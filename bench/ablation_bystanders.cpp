@@ -1,0 +1,53 @@
+// Robustness ablation: how the covert channels degrade as more bystander
+// ("regular traffic") clients share the server.  The paper's testbed had
+// one; a production service has many.  Shows raw error rate, effective
+// bandwidth, and what the ECC framing recovers at each crowd size.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "covert/ecc.hpp"
+#include "covert/uli_channel.hpp"
+
+using namespace ragnar;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("covert channel vs bystander count",
+                "error / effective bandwidth as the server gets crowded",
+                args);
+
+  sim::Xoshiro256 rng(args.seed);
+  const auto payload = covert::random_bits(args.full ? 512 : 192, rng);
+
+  for (auto kind :
+       {covert::UliChannelKind::kInterMr, covert::UliChannelKind::kIntraMr}) {
+    std::printf("\n%s channel (CX-5):\n",
+                kind == covert::UliChannelKind::kInterMr ? "inter-MR"
+                                                         : "intra-MR");
+    std::printf("%-12s %-10s %-14s %-14s\n", "bystanders", "raw err",
+                "effective Kbps", "ECC resid err");
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{4}}) {
+      auto cfg = covert::UliChannelConfig::best_for(rnic::DeviceModel::kCX5,
+                                                    kind, args.seed);
+      cfg.ambient_clients = n;
+      if (n == 0) cfg.ambient_intensity = 0;
+      covert::UliCovertChannel ch(cfg);
+      const auto run = ch.transmit(payload);
+
+      covert::UliCovertChannel ecc_ch(cfg);
+      const auto ecc = covert::transmit_with_ecc(
+          [&](const std::vector<int>& bits) { return ecc_ch.transmit(bits); },
+          payload, /*interleave_depth=*/16);
+
+      std::printf("%-12zu %8.2f%% %14.1f %12.2f%%\n", n,
+                  100 * run.error_rate(), run.effective_bps() / 1e3,
+                  100 * ecc.residual_error());
+    }
+  }
+  std::printf("\nreading: the volatile channel tolerates a busy server — "
+              "errors grow with crowding but the decoder's median "
+              "calibration and ECC keep the channel usable well past the "
+              "paper's single-bystander setting.\n");
+  return 0;
+}

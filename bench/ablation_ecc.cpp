@@ -1,0 +1,53 @@
+// Extension ablation: error-corrected covert framing.  Table V reports raw
+// error rates of 4-8%; the effective-bandwidth column prices that with the
+// Shannon bound 1-H2(e).  A practical exfiltration tool gets close to that
+// bound with cheap coding: Hamming(7,4) plus block interleaving (the
+// channel's noise is bursty — a bystander burst corrupts consecutive bit
+// windows, which interleaving converts into correctable single-bit
+// errors).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "covert/ecc.hpp"
+#include "covert/uli_channel.hpp"
+
+using namespace ragnar;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("ECC framing over the Grain-IV channel",
+                "Hamming(7,4) + interleaving vs the raw channel", args);
+
+  sim::Xoshiro256 rng(args.seed);
+  const std::size_t ndata = args.full ? 1024 : 384;
+  const auto data = covert::random_bits(ndata, rng);
+
+  std::printf("\n%-12s %-10s %-12s %-12s %-12s %-12s\n", "device",
+              "raw err", "raw eff", "ECC resid", "ECC goodput", "corrected");
+  for (auto model : bench::kAllDevices) {
+    auto cfg = covert::UliChannelConfig::best_for(
+        model, covert::UliChannelKind::kIntraMr, args.seed);
+
+    // Raw channel reference.
+    covert::UliCovertChannel raw_ch(cfg);
+    const auto raw = raw_ch.transmit(data);
+
+    // ECC-framed transmission over a fresh channel instance.
+    covert::UliCovertChannel ecc_ch(cfg);
+    const auto ecc = covert::transmit_with_ecc(
+        [&](const std::vector<int>& bits) { return ecc_ch.transmit(bits); },
+        data, /*interleave_depth=*/16);
+
+    std::printf("%-12s %8.2f%% %9.1f K %9.2f%% %9.1f K %9zu\n",
+                rnic::device_name(model), 100 * raw.error_rate(),
+                raw.effective_bps() / 1e3, 100 * ecc.residual_error(),
+                ecc.goodput_bps() / 1e3, ecc.codewords_corrected);
+  }
+  std::printf("\nreading: Hamming(7,4) corrects single errors per codeword, "
+              "so it pays off where the raw error rate is a few percent "
+              "(CX-5/6 here); at ~8%% raw (CX-4) double-hit codewords "
+              "dominate and a stronger code would be needed.  Goodput stays "
+              "near the paper's Shannon-style effective bandwidth while "
+              "delivering *correctable* payloads instead of raw bits.\n");
+  return 0;
+}

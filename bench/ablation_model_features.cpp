@@ -1,0 +1,200 @@
+// Ablation of the RNIC model's microarchitectural mechanisms: switch each
+// one off and show which paper finding disappears.  This is the evidence
+// that the reproduction's findings are *carried by the modeled mechanisms*
+// (DESIGN.md section 5), not baked into the attack code.
+//
+//   mechanism removed              -> experiment that should collapse
+//   ---------------------------------------------------------------
+//   shared recent-line cache       -> Fig 13 snoop (argmin accuracy)
+//   MR context register            -> inter-MR channel (error -> ~50%)
+//   alignment penalties (8B/64B)   -> intra-MR channel (error -> ~50%)
+//   second dispatch lane           -> KF2 (>200% total vanishes)
+//   staging-port pressure          -> KF1a medium-read drop vanishes
+//   egress-over-ingress pressure   -> KF1a write loss vanishes
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "covert/uli_channel.hpp"
+#include "revng/sweeps.hpp"
+#include "side/snoop.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+double channel_error(const rnic::DeviceProfile& prof,
+                     covert::UliChannelKind kind, std::uint64_t seed) {
+  auto cfg = covert::UliChannelConfig::best_for(prof.model, kind, seed);
+  cfg.profile_override = prof;
+  cfg.ambient_intensity = 0;  // isolate the mechanism, no bystander noise
+  covert::UliCovertChannel ch(cfg);
+  sim::Xoshiro256 rng(seed + 1);
+  return ch.transmit(covert::random_bits(96, rng)).error_rate();
+}
+
+double snoop_argmin_accuracy(const rnic::DeviceProfile& prof,
+                             std::uint64_t seed) {
+  side::SnoopConfig cfg;
+  cfg.model = prof.model;
+  cfg.seed = seed;
+  cfg.profile_override = prof;
+  side::SnoopAttack attack(cfg);
+  std::size_t ok = 0, total = 0;
+  for (std::size_t c = 0; c < 16; c += 3) {
+    ok += side::SnoopAttack::argmin_candidate(cfg, attack.capture_trace(c)) == c;
+    ++total;
+  }
+  return static_cast<double>(ok) / static_cast<double>(total);
+}
+
+double kf2_total(const rnic::DeviceProfile& prof, std::uint64_t seed) {
+  revng::FlowSpec w;
+  w.opcode = verbs::WrOpcode::kRdmaWrite;
+  w.msg_size = 128;
+  w.qp_num = 2;
+  w.depth_per_qp = 16;
+  w.duration = sim::us(400);
+  // run_contention_pair takes a model; rebuild inline with the profile.
+  auto run_pair = [&](const rnic::DeviceProfile& p) {
+    revng::ContentionCell cell;
+    {
+      revng::Testbed bed(p, seed, 1);
+      revng::Flow f(bed, 0, w);
+      bed.sched().run_while([&] { return !f.finished(); });
+      cell.solo_a_gbps = f.achieved_gbps();
+      cell.solo_b_gbps = cell.solo_a_gbps;
+    }
+    {
+      revng::Testbed bed(p, seed + 2, 2);
+      revng::Flow fa(bed, 0, w);
+      revng::Flow fb(bed, 1, w);
+      bed.sched().run_while([&] { return !(fa.finished() && fb.finished()); });
+      cell.duo_a_gbps = fa.achieved_gbps();
+      cell.duo_b_gbps = fb.achieved_gbps();
+    }
+    return cell.total_vs_solo();
+  };
+  return run_pair(prof);
+}
+
+struct Kf1aResult {
+  double write_keep;
+  double med_read_keep;
+};
+
+Kf1aResult kf1a(const rnic::DeviceProfile& prof, std::uint64_t seed) {
+  revng::FlowSpec w;
+  w.opcode = verbs::WrOpcode::kRdmaWrite;
+  w.msg_size = 128;
+  w.qp_num = 2;
+  w.depth_per_qp = 16;
+  w.duration = sim::us(400);
+  revng::FlowSpec r = w;
+  r.opcode = verbs::WrOpcode::kRdmaRead;
+  r.msg_size = 1024;
+
+  double solo_w = 0, solo_r = 0, duo_w = 0, duo_r = 0;
+  {
+    revng::Testbed bed(prof, seed, 1);
+    revng::Flow f(bed, 0, w);
+    bed.sched().run_while([&] { return !f.finished(); });
+    solo_w = f.achieved_gbps();
+  }
+  {
+    revng::Testbed bed(prof, seed + 1, 1);
+    revng::Flow f(bed, 0, r);
+    bed.sched().run_while([&] { return !f.finished(); });
+    solo_r = f.achieved_gbps();
+  }
+  {
+    revng::Testbed bed(prof, seed + 2, 2);
+    revng::Flow fw(bed, 0, w);
+    revng::Flow fr(bed, 1, r);
+    bed.sched().run_while([&] { return !(fw.finished() && fr.finished()); });
+    duo_w = fw.achieved_gbps();
+    duo_r = fr.achieved_gbps();
+  }
+  return {duo_w / solo_w, duo_r / solo_r};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("model-feature ablation",
+                "remove one mechanism, watch its finding collapse", args);
+  const auto base = rnic::make_profile(rnic::DeviceModel::kCX4);
+
+  std::printf("\n%-34s %-22s %-12s %-12s\n", "variant", "observable",
+              "baseline", "ablated");
+
+  {
+    auto p = base;
+    p.xl_line_hit_bonus = 0;
+    p.xl_line_cache_entries = 1;
+    std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no shared line cache",
+                "snoop argmin acc (%)", 100 * snoop_argmin_accuracy(base, args.seed),
+                100 * snoop_argmin_accuracy(p, args.seed));
+  }
+  {
+    auto p = base;
+    p.xl_mr_switch_penalty = 0;
+    std::printf("%-34s %-22s %-12.1f %-12.1f\n", "no MR context register",
+                "inter-MR chan err (%)",
+                100 * channel_error(base, covert::UliChannelKind::kInterMr,
+                                    args.seed),
+                100 * channel_error(p, covert::UliChannelKind::kInterMr,
+                                    args.seed));
+  }
+  {
+    // The intra-MR channel rides the whole offset-effect family: word/line
+    // alignment, the relative (delta) terms, and the descriptor banking
+    // (the receiver's probe shares a bank with one of the two encoded
+    // offsets).  Removing Key Finding 4 entirely kills it.
+    auto p = base;
+    p.xl_sub8_penalty = 0;
+    p.xl_line_penalty = 0;
+    p.xl_rel_sub8_penalty = 0;
+    p.xl_rel_line_penalty = 0;
+    p.xl_rel_page_penalty = 0;
+    p.xl_bank_gradient = 0;
+    p.xl_bank_conflict = 0;
+    std::printf("%-34s %-22s %-12.1f %-12.1f\n", "no offset effects (KF4)",
+                "intra-MR chan err (%)",
+                100 * channel_error(base, covert::UliChannelKind::kIntraMr,
+                                    args.seed),
+                100 * channel_error(p, covert::UliChannelKind::kIntraMr,
+                                    args.seed));
+  }
+  {
+    auto p = base;
+    p.rx_dispatch_lanes = 1;
+    std::printf("%-34s %-22s %-12.0f %-12.0f\n", "single dispatch lane",
+                "KF2 total/solo (%)", 100 * kf2_total(base, args.seed),
+                100 * kf2_total(p, args.seed));
+  }
+  {
+    auto p = base;
+    p.staging_pressure = 0;
+    const auto b = kf1a(base, args.seed);
+    const auto a = kf1a(p, args.seed);
+    std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no staging-port pressure",
+                "KF1a medR keep (%)", 100 * b.med_read_keep,
+                100 * a.med_read_keep);
+  }
+  {
+    auto p = base;
+    p.tx_over_rx_pressure = 0;
+    const auto b = kf1a(base, args.seed);
+    const auto a = kf1a(p, args.seed);
+    std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no egress-over-ingress",
+                "KF1a write keep (%)", 100 * b.write_keep,
+                100 * a.write_keep);
+  }
+
+  std::printf("\nreading: baseline column shows the finding present; the "
+              "ablated column shows it gone (error -> ~50%% = channel dead; "
+              "keep -> ~100%% = contention effect gone; accuracy -> chance "
+              "= leak gone).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rnic/device_profile.hpp"
+
+// Shared plumbing for the experiment-reproduction binaries in bench/.
+// Every binary accepts:
+//   --seed N    experiment seed (default 2024)
+//   --full      paper-scale parameters (default: reduced but shape-complete)
+//   --csv DIR   also dump raw series as CSV files into DIR
+namespace ragnar::bench {
+
+struct Args {
+  std::uint64_t seed = 2024;
+  bool full = false;
+  std::string csv_dir;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        a.full = true;
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        a.csv_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--seed N] [--full] [--csv DIR]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+};
+
+inline const rnic::DeviceModel kAllDevices[] = {rnic::DeviceModel::kCX4,
+                                                rnic::DeviceModel::kCX5,
+                                                rnic::DeviceModel::kCX6};
+
+inline void header(const char* experiment, const char* paper_ref,
+                   const Args& args) {
+  std::printf("================================================================\n");
+  std::printf("RAGNAR reproduction | %s\n", experiment);
+  std::printf("paper reference     | %s\n", paper_ref);
+  std::printf("seed=%llu  mode=%s\n",
+              static_cast<unsigned long long>(args.seed),
+              args.full ? "full" : "reduced");
+  std::printf("================================================================\n");
+}
+
+}  // namespace ragnar::bench

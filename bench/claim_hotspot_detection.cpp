@@ -1,0 +1,65 @@
+// Extension experiment motivated by section VI's intro: "An attacker can
+// infer individual usage habits and expose system access hotspots in
+// key-value stores."  Here the victim does not hammer one fixed address —
+// it runs a YCSB-style Zipfian GET mix over the shared records, and the
+// attacker's Grain-IV trace still recovers the *hottest record* (and, with
+// lower skew, degrades gracefully).
+#include <cstdio>
+
+#include "apps/workload.hpp"
+#include "bench/bench_util.hpp"
+#include "side/snoop.hpp"
+
+using namespace ragnar;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("KV-store hotspot detection (section VI motivation)",
+                "Zipfian victim; attacker recovers the hot record", args);
+
+  // Show the skew profile first.
+  {
+    apps::ZipfianGenerator gen(17, 0.99, sim::Xoshiro256(args.seed));
+    const auto hist = apps::sample_histogram(gen, 100000);
+    std::printf("\nZipfian(theta=0.99) over 17 records, 100k draws: "
+                "rank0=%zu rank1=%zu rank2=%zu rank8=%zu rank16=%zu "
+                "(hot mass %.0f%%)\n",
+                hist[0], hist[1], hist[2], hist[8], hist[16],
+                100 * gen.hot_mass());
+  }
+
+  std::printf("\n%-14s %-18s %-10s\n", "zipf theta", "hotspots found",
+              "accuracy");
+  const std::size_t hotspots[] = {1, 5, 9, 13, 16};
+  for (double theta : {0.99, 0.8, 0.6}) {
+    side::SnoopConfig cfg;
+    cfg.model = rnic::DeviceModel::kCX4;
+    cfg.seed = args.seed;
+    cfg.victim_zipf_theta = theta;
+    // The diluted victim needs a longer observation than the fixed-address
+    // attack of Fig 13 (only ~29% of its accesses hit the hot record at
+    // theta 0.99).
+    cfg.sweeps_per_trace = args.full ? 48 : 24;
+    side::SnoopAttack attack(cfg);
+    std::size_t ok = 0;
+    for (std::size_t hot : hotspots) {
+      // Average two captures per target: the hotspot survey is a long-lived
+      // observation, unlike Fig 13's single trace.
+      auto trace = attack.capture_trace(hot);
+      const auto second = attack.capture_trace(hot);
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i] = (trace[i] + second[i]) / 2;
+      }
+      ok += side::SnoopAttack::argmin_candidate(cfg, trace) == hot;
+    }
+    std::printf("%-14.2f %zu/%zu %17.0f%%\n", theta, ok, std::size(hotspots),
+                100.0 * ok / std::size(hotspots));
+  }
+  std::printf("\nreading: even without a fixed-address victim, the hottest "
+              "record dominates the shared-line-cache signature: the attack "
+              "recovers the hotspot for Zipfian skews from YCSB's default "
+              "0.99 down to 0.6 (hot mass ~13%%), because the runner-up "
+              "records split the remaining mass thinly.  This is section "
+              "VI's 'expose system access hotspots' scenario, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table I's stealth/granularity comparison between Pythia and
+// Ragnar (and footnote 3): Pythia's persistent page-granular attack is
+// mitigated by the widely-deployed huge-page configuration; Ragnar's
+// volatile Grain-IV attack resolves 64 B offsets *inside* a page and does
+// not care about page size — the paper's setup even runs it on 2 MB huge
+// pages (Table IV).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "defense/harmonic.hpp"
+#include "side/pythia_snoop.hpp"
+#include "side/snoop.hpp"
+
+using namespace ragnar;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("huge-page mitigation: Pythia vs Ragnar (Table I)",
+                "page-granular persistent attack dies, offset-granular "
+                "volatile attack does not",
+                args);
+
+  // Pythia page snoop, 4 KB pages vs 2 MB huge pages.
+  for (const bool huge : {false, true}) {
+    side::PythiaSnoopConfig cfg;
+    cfg.model = rnic::DeviceModel::kCX5;
+    cfg.seed = args.seed;
+    cfg.huge_pages = huge;
+    side::PythiaPageSnoop snoop(cfg);
+    std::size_t ok = 0, total = 0;
+    for (std::size_t victim : {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+      ok += snoop.guess(victim) == victim;
+      ++total;
+    }
+    std::printf("Pythia page snoop, %-9s: %zu/%zu victims identified\n",
+                huge ? "2MB pages" : "4KB pages", ok, total);
+  }
+
+  // Ragnar offset snoop on huge pages (its default configuration).
+  {
+    side::SnoopConfig cfg;
+    cfg.model = rnic::DeviceModel::kCX5;
+    cfg.seed = args.seed;
+    side::SnoopAttack attack(cfg);
+    std::size_t ok = 0, total = 0;
+    for (std::size_t victim : {std::size_t{2}, std::size_t{7}, std::size_t{12}}) {
+      ok += side::SnoopAttack::argmin_candidate(
+                cfg, attack.capture_trace(victim)) == victim;
+      ++total;
+    }
+    std::printf("Ragnar offset snoop, 2MB pages: %zu/%zu victims identified "
+                "(64 B resolution inside one page)\n",
+                ok, total);
+  }
+
+  // Stealth: Pythia's eviction sweep walks hundreds of distinct pages per
+  // round — a Grain-III resource-footprint spike a HARMONIC-style monitor
+  // can see.  Ragnar's probe touches one MR at gently varying offsets.
+  {
+    side::PythiaSnoopConfig cfg;
+    cfg.model = rnic::DeviceModel::kCX5;
+    cfg.seed = args.seed + 1;
+    side::PythiaPageSnoop snoop(cfg);
+    (void)snoop.attack_scores(2);
+    const auto stats = snoop.server_device().take_src_window_stats();
+    std::size_t attacker_tiny = 0;
+    for (const auto& [src, s] : stats) {
+      attacker_tiny = std::max(attacker_tiny,
+                               static_cast<std::size_t>(s.tiny_msgs));
+    }
+    std::printf("\nPythia eviction footprint: %zu tiny probe reads across "
+                "the sweep window (Grain-II/III visible burst)\n",
+                attacker_tiny);
+  }
+  std::printf("\npaper: Pythia is 'mitigated by widely-used huge pages' "
+              "(footnote 3); Ragnar is Grain-IV and page-size-independent.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Table I's other volatile-channel prior work: Kim & Hur (ICTC'22) use
+// PCIe contention through an RDMA NIC as a side channel, but footnote 4
+// notes "it can only steal coarse information ... rather than reveal
+// detailed data".  This bench reproduces that granularity gap:
+//
+//   * Kim-style observer: times its own bulk READs (PCIe-bound) and
+//     detects WHEN a victim's DMA-heavy phase is active — a binary
+//     activity signal with window-level resolution.
+//   * Ragnar (Fig 13): recovers WHICH 64 B address the victim touches.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+#include "side/snoop.hpp"
+#include "verbs/context.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+// The observer's per-window mean READ latency while a victim runs bursts.
+struct CoarseResult {
+  std::vector<double> window_lat_us;
+  std::vector<int> truth_active;  // ground truth per window
+};
+
+CoarseResult run_coarse_observer(std::uint64_t seed) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, seed, 2);
+  auto conn = bed.connect(0, 1, 4, /*tc=*/1);
+  auto mr = conn.server_pd->register_mr(1u << 20);
+
+  // Victim: alternating 60 us active (bulk writes) / 60 us idle phases.
+  constexpr int kWindows = 16;
+  const sim::SimDur phase = sim::us(60);
+  CoarseResult res;
+  std::vector<std::unique_ptr<revng::Flow>> victim_bursts;
+  for (int w = 0; w < kWindows; ++w) res.truth_active.push_back(w % 2);
+  for (int w = 0; w < kWindows; ++w) {
+    if (res.truth_active[static_cast<std::size_t>(w)]) {
+      revng::FlowSpec v;
+      v.opcode = verbs::WrOpcode::kRdmaWrite;
+      v.msg_size = 16384;
+      v.qp_num = 2;
+      v.depth_per_qp = 8;
+      v.start = bed.sched().now() + static_cast<sim::SimDur>(w) * phase;
+      v.duration = phase;
+      victim_bursts.push_back(std::make_unique<revng::Flow>(bed, 1, v));
+    }
+  }
+
+  // Observer: paced 8 KB READs (PCIe/link-sensitive), timed per window.
+  std::vector<double> sums(kWindows, 0);
+  std::vector<int> counts(kWindows, 0);
+  const sim::SimTime t0 = bed.sched().now();
+  const sim::SimTime t_end = t0 + static_cast<sim::SimDur>(kWindows) * phase;
+  while (bed.sched().now() < t_end) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn.client_mr->addr();
+    wr.length = 8192;
+    wr.remote_addr = mr->addr();
+    wr.rkey = mr->rkey();
+    conn.qp().post_send(wr);
+    conn.cq().run_until_available(1);
+    verbs::Wc wc;
+    conn.cq().poll_one(&wc);
+    const auto w = static_cast<std::size_t>((wc.completed_at - t0) / phase);
+    if (w < sums.size()) {
+      sums[w] += sim::to_us(wc.latency());
+      ++counts[w];
+    }
+    bed.sched().run_until(bed.sched().now() + sim::us(2));
+  }
+  for (int w = 0; w < kWindows; ++w) {
+    res.window_lat_us.push_back(counts[w] ? sums[w] / counts[w] : 0.0);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("coarse PCIe-contention baseline (Kim, Table I)",
+                "activity windows vs Ragnar's 64 B address recovery", args);
+
+  const CoarseResult res = run_coarse_observer(args.seed);
+  double on = 0, off = 0;
+  int n_on = 0, n_off = 0;
+  std::printf("\nobserver READ latency per 60 us window (victim "
+              "active/idle):\n  ");
+  for (std::size_t w = 0; w < res.window_lat_us.size(); ++w) {
+    std::printf("%s%.1f ", res.truth_active[w] ? "A:" : "i:",
+                res.window_lat_us[w]);
+    (res.truth_active[w] ? on : off) += res.window_lat_us[w];
+    (res.truth_active[w] ? n_on : n_off) += 1;
+  }
+  on /= n_on;
+  off /= n_off;
+  // Threshold at the midpoint: how many windows classify correctly?
+  const double thr = (on + off) / 2;
+  int correct = 0;
+  for (std::size_t w = 0; w < res.window_lat_us.size(); ++w) {
+    correct += ((res.window_lat_us[w] > thr) ==
+                (res.truth_active[w] == 1));
+  }
+  std::printf("\n\nactive-window latency %.2f us vs idle %.2f us -> "
+              "activity detection %d/%zu windows\n",
+              on, off, correct, res.window_lat_us.size());
+
+  // Ragnar granularity on the same device class.
+  side::SnoopConfig cfg;
+  cfg.model = rnic::DeviceModel::kCX5;
+  cfg.seed = args.seed;
+  side::SnoopAttack attack(cfg);
+  std::size_t ok = 0;
+  for (std::size_t victim : {std::size_t{3}, std::size_t{9}, std::size_t{14}}) {
+    ok += side::SnoopAttack::argmin_candidate(cfg,
+                                              attack.capture_trace(victim)) ==
+          victim;
+  }
+  std::printf("Ragnar on the same NIC: %zu/3 victim *addresses* recovered "
+              "at 64 B granularity.\n",
+              ok);
+  std::printf("\npaper footnote 4: the PCIe channel 'can only steal coarse "
+              "information ... rather than reveal detailed data' — "
+              "activity windows vs addresses, reproduced.\n");
+  return 0;
+}

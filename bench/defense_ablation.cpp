@@ -1,0 +1,174 @@
+// Reproduces the paper's defense analysis (Table I "Defended" column +
+// section VII): a HARMONIC-style Grain-I/II/III monitor catches classic
+// availability attacks but not Ragnar's Grain-III/IV channels; latency
+// noise only helps once it is large enough to hurt benign tenants.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "covert/uli_channel.hpp"
+#include "defense/harmonic.hpp"
+#include "defense/mitigation.hpp"
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+// Run a flow under the monitor; report whether the tenant was flagged.
+bool monitored_flow(rnic::DeviceModel model, std::uint64_t seed,
+                    const revng::FlowSpec& spec, double* flag_rate) {
+  revng::Testbed bed(model, seed, 1);
+  defense::HarmonicMonitor mon(bed.sched(), bed.server().device(),
+                               sim::ms(1));
+  mon.start();
+  revng::Flow f(bed, 0, spec);
+  bed.sched().run_while([&] { return !f.finished(); });
+  const auto tenant = bed.client(0).device().node();
+  if (flag_rate != nullptr) *flag_rate = mon.flag_rate(tenant);
+  return mon.ever_flagged(tenant);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("defense ablation (Table I / section VII)",
+                "HARMONIC-style Grain-I/II/III monitor + noise mitigation",
+                args);
+  const auto model = rnic::DeviceModel::kCX4;
+
+  std::printf("\n--- detection matrix -------------------------------------\n");
+  std::printf("%-44s %-10s %-10s\n", "workload", "flagged", "flag rate");
+
+  {
+    revng::FlowSpec flood;
+    flood.opcode = verbs::WrOpcode::kRdmaWrite;
+    flood.msg_size = 64;
+    flood.qp_num = 4;
+    flood.depth_per_qp = 16;
+    flood.duration = sim::ms(4);
+    double rate = 0;
+    const bool f = monitored_flow(model, args.seed, flood, &rate);
+    std::printf("%-44s %-10s %.0f%%\n",
+                "Grain-II availability attack (64B write flood)",
+                f ? "YES" : "no", 100 * rate);
+  }
+  {
+    revng::FlowSpec flood;
+    flood.opcode = verbs::WrOpcode::kFetchAdd;
+    flood.qp_num = 4;
+    flood.depth_per_qp = 16;
+    flood.duration = sim::ms(4);
+    double rate = 0;
+    const bool f = monitored_flow(model, args.seed + 1, flood, &rate);
+    std::printf("%-44s %-10s %.0f%%\n", "Grain-II atomic flood",
+                f ? "YES" : "no", 100 * rate);
+  }
+  {
+    revng::FlowSpec benign;
+    benign.opcode = verbs::WrOpcode::kRdmaRead;
+    benign.msg_size = 4096;
+    benign.qp_num = 1;
+    benign.depth_per_qp = 2;
+    benign.duration = sim::ms(4);
+    double rate = 0;
+    const bool f = monitored_flow(model, args.seed + 2, benign, &rate);
+    std::printf("%-44s %-10s %.0f%%\n", "benign tenant (4KB reads, ~10Gb/s)",
+                f ? "YES" : "no", 100 * rate);
+  }
+
+  // Ragnar channels under the same monitor.
+  for (auto kind :
+       {covert::UliChannelKind::kInterMr, covert::UliChannelKind::kIntraMr}) {
+    auto cfg = covert::UliChannelConfig::best_for(model, kind, args.seed);
+    covert::UliCovertChannel ch(cfg);
+    defense::HarmonicMonitor mon(ch.scheduler(), ch.server_device(),
+                                 sim::ms(1));
+    mon.start();
+    sim::Xoshiro256 rng(args.seed + 3);
+    const auto run = ch.transmit(covert::random_bits(128, rng));
+    const bool tx_f = mon.ever_flagged(ch.tx_node());
+    const bool rx_f = mon.ever_flagged(ch.rx_node());
+    char label[64];
+    std::snprintf(label, sizeof label, "Ragnar %s channel (err %.1f%%)",
+                  kind == covert::UliChannelKind::kInterMr ? "inter-MR"
+                                                           : "intra-MR",
+                  100 * run.error_rate());
+    std::printf("%-44s %-10s tx=%s rx=%s\n", label,
+                (tx_f || rx_f) ? "YES" : "no", tx_f ? "YES" : "no",
+                rx_f ? "YES" : "no");
+  }
+
+  std::printf("\npaper: HARMONIC mitigates Grain-II attacks (Zhang/Kong/"
+              "HUSKY) but not Ragnar's Grain-III/IV channels.\n");
+
+  std::printf("\n--- noise-injection mitigation sweep ---------------------\n");
+  const std::vector<sim::SimDur> levels{0,            sim::ns(200),
+                                        sim::ns(800), sim::us(2),
+                                        sim::us(8),   sim::us(20)};
+  const auto points = defense::sweep_noise_mitigation(
+      model, args.seed + 4, levels, args.full ? 256 : 96);
+  std::printf("%-12s %-12s %-14s %-16s %-14s\n", "noise max", "chan err",
+              "chan eff Kbps", "benign mean lat", "benign p99 lat");
+  for (const auto& p : points) {
+    std::printf("%-12s %-11.2f%% %-14.1f %-16.1f %-14.1f\n",
+                sim::format_duration(p.noise_max).c_str(),
+                100 * p.channel_error, p.channel_effective_bps / 1e3,
+                p.benign_mean_latency_ns, p.benign_p99_latency_ns);
+  }
+  std::printf("\npaper: sub-microsecond noise leaves detectable traces; "
+              "full masking costs benign tenants microseconds per op.\n");
+
+  std::printf("\n--- hardware partitioning (section VII) -------------------\n");
+  // Translation-unit partitioning + TDM admission slots: the only
+  // mitigation that actually kills the volatile channels — at a price.
+  for (const bool partitioned : {false, true}) {
+    // Channel viability.
+    auto cfg = covert::UliChannelConfig::best_for(
+        model, covert::UliChannelKind::kIntraMr, args.seed + 5);
+    cfg.ambient_intensity = 0;
+    covert::UliCovertChannel ch(cfg);
+    ch.server_device().set_tenant_isolation(partitioned);
+    sim::Xoshiro256 rng(args.seed + 6);
+    const auto run = ch.transmit(covert::random_bits(96, rng));
+
+    // Benign cost: a small-READ tenant's throughput.
+    revng::Testbed bed(model, args.seed + 7, 1);
+    bed.server().device().set_tenant_isolation(partitioned);
+    revng::FlowSpec benign;
+    benign.opcode = verbs::WrOpcode::kRdmaRead;
+    benign.msg_size = 64;
+    benign.qp_num = 2;
+    benign.depth_per_qp = 16;
+    benign.duration = sim::us(400);
+    revng::Flow f(bed, 0, benign);
+    bed.sched().run_while([&] { return !f.finished(); });
+
+    std::printf("partitioning %-4s: intra-MR channel err %5.1f%%   benign "
+                "64B-READ rate %.2f Mops\n",
+                partitioned ? "ON" : "off", 100 * run.error_rate(),
+                static_cast<double>(f.ops_completed()) /
+                    sim::to_us(sim::us(400)));
+  }
+  std::printf("reading: partitioning + TDM slotting kills the Grain-IV "
+              "channel (err -> ~50%%) but clamps every tenant's small-op "
+              "rate to the TDM slot clock — the \"costly and degrades "
+              "performance\" trade-off of section VII.\n");
+
+  std::printf("\n--- native Grain-I flow control ---------------------------\n");
+  {
+    auto cfg = covert::UliChannelConfig::best_for(
+        model, covert::UliChannelKind::kIntraMr, args.seed + 8);
+    cfg.ambient_intensity = 0;
+    covert::UliCovertChannel ch(cfg);
+    ch.server_device().set_tenant_pacing_gbps(10.0);
+    sim::Xoshiro256 rng(args.seed + 9);
+    const auto run = ch.transmit(covert::random_bits(96, rng));
+    std::printf("per-tenant 10 Gb/s pacing: intra-MR channel err %.1f%% — "
+                "the Kbps-scale channel never hits a bandwidth cap.\n",
+                100 * run.error_rate());
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Reproduces Fig 4: the traffic-priority / contention matrix.  For pairs of
+// flows (opcode x message size x qp_num) we measure each flow solo and
+// together (ETS 50/50, two client hosts, one server) and categorize the
+// bandwidth change the way the paper's pie charts do:
+//   INCR  (> +5%, "abnormal increase", blue)
+//   none  (>= 85% kept, dark red)
+//   slight(60-85% kept, light red)
+//   MAJOR (< 60% kept, medium red)
+// The bench then checks the paper's Key Findings 1-3 explicitly.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "revng/sweeps.hpp"
+
+using namespace ragnar;
+using revng::ContentionCell;
+using revng::FlowSpec;
+using verbs::WrOpcode;
+
+namespace {
+
+FlowSpec make_flow(WrOpcode op, std::uint32_t size, std::uint32_t qp) {
+  FlowSpec s;
+  s.opcode = op;
+  s.msg_size = size;
+  s.qp_num = qp;
+  s.depth_per_qp = 16;
+  s.duration = sim::us(400);
+  return s;
+}
+
+const char* category(double ratio) {
+  if (ratio > 1.05) return "INCR ";
+  if (ratio >= 0.85) return "none ";
+  if (ratio >= 0.60) return "slight";
+  return "MAJOR";
+}
+
+std::string flow_name(const FlowSpec& f) {
+  const char* op = f.opcode == WrOpcode::kRdmaRead
+                       ? (f.reverse ? "revR" : "R")
+                   : f.opcode == WrOpcode::kRdmaWrite ? "W"
+                                                      : "A";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%u q%u", op, f.msg_size, f.qp_num);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("traffic-priority contention matrix (Fig 4)",
+                "pairwise flow contention, CX-4, ETS 50/50", args);
+
+  // Reduced mode keeps a representative subset; --full sweeps the paper's
+  // "over 6000 parameter combinations" regime by also varying queue depth
+  // and adding read-vs-read cells.
+  std::vector<std::uint32_t> wsizes{128, 512, 2048, 16384};
+  std::vector<std::uint32_t> rsizes{64, 1024, 16384};
+  std::vector<std::uint32_t> qps{2};
+  std::vector<std::uint32_t> depths{16};
+  if (args.full) {
+    wsizes = {64, 128, 256, 512, 1024, 2048, 4096, 16384};
+    rsizes = {64, 256, 512, 1024, 4096, 16384, 65536};
+    qps = {1, 2, 4, 8};
+    depths = {4, 16};
+  }
+
+  std::vector<std::pair<FlowSpec, FlowSpec>> pairs;
+  for (auto d : depths) {
+    for (auto q : qps) {
+      for (auto ws : wsizes) {
+        for (auto rs : rsizes) {
+          auto a = make_flow(WrOpcode::kRdmaWrite, ws, q);
+          auto b = make_flow(WrOpcode::kRdmaRead, rs, q);
+          a.depth_per_qp = b.depth_per_qp = d;
+          pairs.emplace_back(a, b);
+        }
+        // write vs write (Key Finding 2 cells)
+        {
+          auto a = make_flow(WrOpcode::kRdmaWrite, ws, q);
+          auto b = a;
+          a.depth_per_qp = b.depth_per_qp = d;
+          pairs.emplace_back(a, b);
+        }
+        if (args.full) {
+          // read vs read of mixed sizes (full-grid completeness)
+          for (auto rs : rsizes) {
+            auto ra = make_flow(WrOpcode::kRdmaRead, ws, q);
+            auto rb = make_flow(WrOpcode::kRdmaRead, rs, q);
+            ra.depth_per_qp = rb.depth_per_qp = d;
+            pairs.emplace_back(ra, rb);
+          }
+        }
+      }
+      // atomics vs read/write (orange box)
+      pairs.emplace_back(make_flow(WrOpcode::kFetchAdd, 8, q),
+                         make_flow(WrOpcode::kRdmaRead, 1024, q));
+      pairs.emplace_back(make_flow(WrOpcode::kFetchAdd, 8, q),
+                         make_flow(WrOpcode::kRdmaWrite, 2048, q));
+      // yellow box: write vs write and write vs reverse-read with identical
+      // parameters (the reverse READ's payload crosses the wire in the same
+      // direction as a WRITE, but takes the READ path through the NICs).
+      {
+        auto rev = make_flow(WrOpcode::kRdmaRead, 512, q);
+        rev.reverse = true;
+        pairs.emplace_back(make_flow(WrOpcode::kRdmaWrite, 512, q), rev);
+      }
+    }
+  }
+  std::printf("\nsweeping %zu contention cells (x3 runs each: solo A, solo "
+              "B, duo)\n",
+              pairs.size());
+
+  std::printf("\n%-14s %-14s | %8s %8s %6s | %8s %8s %6s | %7s\n", "flow A",
+              "flow B", "soloA", "duoA", "catA", "soloB", "duoB", "catB",
+              "total%");
+
+  // KF bookkeeping.
+  bool kf2_seen = false;
+  double ww_ratio_b = -1;      // W2048 vs W2048: how the second write fares
+  double wrev_ratio_b = -1;    // W2048 vs reverse-R2048: how the reverse read fares
+  double worst_small_write_keep = 1e9;
+  double med_read_keep_under_small_w = 1e9;
+  double small_read_keep_under_small_w = 0;
+  double read_keep_under_bulk_w = 1e9;
+  double bulk_write_keep = 0;
+
+  for (const auto& [a, b] : pairs) {
+    const ContentionCell c =
+        revng::run_contention_pair(rnic::DeviceModel::kCX4, args.seed, a, b);
+    std::printf("%-14s %-14s | %8.2f %8.2f %6s | %8.2f %8.2f %6s | %6.1f%%\n",
+                flow_name(a).c_str(), flow_name(b).c_str(), c.solo_a_gbps,
+                c.duo_a_gbps, category(c.ratio_a()), c.solo_b_gbps,
+                c.duo_b_gbps, category(c.ratio_b()),
+                100.0 * c.total_vs_solo());
+
+    const bool a_small_w =
+        a.opcode == WrOpcode::kRdmaWrite && a.msg_size < 512;
+    const bool a_bulk_w =
+        a.opcode == WrOpcode::kRdmaWrite && a.msg_size >= 2048;
+    const bool b_read = b.opcode == WrOpcode::kRdmaRead;
+    if (a_small_w && b.opcode == WrOpcode::kRdmaWrite &&
+        c.total_vs_solo() > 2.0) {
+      kf2_seen = true;
+    }
+    if (a_small_w && b_read) {
+      worst_small_write_keep = std::min(worst_small_write_keep, c.ratio_a());
+      if (b.msg_size == 1024)
+        med_read_keep_under_small_w =
+            std::min(med_read_keep_under_small_w, c.ratio_b());
+      if (b.msg_size == 64)
+        small_read_keep_under_small_w =
+            std::max(small_read_keep_under_small_w, c.ratio_b());
+    }
+    if (a_bulk_w && b_read && b.msg_size <= 1024) {
+      read_keep_under_bulk_w = std::min(read_keep_under_bulk_w, c.ratio_b());
+      bulk_write_keep = std::max(bulk_write_keep, c.ratio_a());
+    }
+    if (a.opcode == WrOpcode::kRdmaWrite && a.msg_size == 512 &&
+        b.msg_size == 512 && a.qp_num == 2) {
+      if (b.opcode == WrOpcode::kRdmaWrite) ww_ratio_b = c.ratio_b();
+      if (b.opcode == WrOpcode::kRdmaRead && b.reverse)
+        wrev_ratio_b = c.ratio_b();
+    }
+  }
+
+  std::printf("\n--- Key Finding checks -----------------------------------\n");
+  std::printf("KF1a small-write flows lose >50%% vs reads:      %s "
+              "(worst keep %.0f%%)\n",
+              worst_small_write_keep < 0.5 ? "PASS" : "FAIL",
+              100 * worst_small_write_keep);
+  std::printf("KF1a medium reads drop under small writes:      %s "
+              "(keep %.0f%%)\n",
+              med_read_keep_under_small_w < 0.8 ? "PASS" : "FAIL",
+              100 * med_read_keep_under_small_w);
+  std::printf("KF1a small reads unaffected by small writes:    %s "
+              "(keep %.0f%%)\n",
+              small_read_keep_under_small_w > 0.9 ? "PASS" : "FAIL",
+              100 * small_read_keep_under_small_w);
+  std::printf("KF1b bulk writes win, reads drop 30-80%%:        %s "
+              "(write keep %.0f%%, read keep %.0f%%)\n",
+              (bulk_write_keep > 0.85 && read_keep_under_bulk_w < 0.7)
+                  ? "PASS"
+                  : "FAIL",
+              100 * bulk_write_keep, 100 * read_keep_under_bulk_w);
+  std::printf("KF2  small-write pair total > 200%% of solo:     %s\n",
+              kf2_seen ? "PASS" : "FAIL");
+  std::printf("KF3  Tx (responses) preempt Rx (writes): implied by KF1a "
+              "write losses while the read flow keeps its responses.\n");
+  if (ww_ratio_b >= 0 && wrev_ratio_b >= 0) {
+    std::printf("obs4 write vs reverse-read dynamics differ:    %s "
+                "(W-vs-W keeps %.0f%%, W-vs-revR keeps %.0f%%)\n",
+                std::abs(ww_ratio_b - wrev_ratio_b) > 0.10 ? "PASS" : "FAIL",
+                100 * ww_ratio_b, 100 * wrev_ratio_b);
+  }
+  return 0;
+}

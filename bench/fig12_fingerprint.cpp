@@ -1,0 +1,90 @@
+// Reproduces Fig 12 + Algorithm 1: fingerprinting shuffle/join operators of
+// an RDMA distributed database from the attacker's own monitored-flow
+// bandwidth.  Shows the plateau (shuffle) and tooth (join) shapes and then
+// runs the sliding-window CorrelationDetect over a mixed schedule.
+#include <cstdio>
+#include <vector>
+
+#include "apps/shufflejoin.hpp"
+#include "bench/bench_util.hpp"
+#include "side/fingerprint.hpp"
+#include "sim/trace.hpp"
+
+using namespace ragnar;
+using side::BandwidthMonitor;
+using side::DbOp;
+using side::FingerprintDetector;
+
+namespace {
+
+std::vector<double> record(rnic::DeviceModel model, std::uint64_t seed,
+                           DbOp op, sim::SimDur span) {
+  revng::Testbed bed(model, seed, 2);
+  apps::ShuffleJoin::Config dcfg;
+  dcfg.rows_per_round = 8192;
+  apps::ShuffleJoin db(bed, dcfg);
+  BandwidthMonitor::Config mcfg;
+  BandwidthMonitor mon(bed, mcfg);
+  mon.start(bed.sched().now() + span);
+  if (op == DbOp::kShuffle) db.start_shuffle(4);
+  if (op == DbOp::kJoin) db.start_join(4);
+  if (op == DbOp::kScan) db.start_scan(4);
+  bed.sched().run_while([&] { return !mon.done(); });
+  return mon.series();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("shuffle/join fingerprint (Fig 12, Algorithm 1)",
+                "attacker-monitored bandwidth under DB operators, CX-4",
+                args);
+  const auto model = rnic::DeviceModel::kCX4;
+  const sim::SimDur span = args.full ? sim::ms(10) : sim::ms(5);
+
+  const auto shuffle_trace = record(model, args.seed, DbOp::kShuffle, span);
+  const auto join_trace = record(model, args.seed + 1, DbOp::kJoin, span);
+  const auto scan_trace = record(model, args.seed + 3, DbOp::kScan, span);
+  const auto idle_trace = record(model, args.seed + 2, DbOp::kIdle, span);
+
+  std::printf("\n%s", sim::ascii_plot(shuffle_trace, 96, 10,
+                                      "monitored BW during SHUFFLE (plateau)")
+                          .c_str());
+  std::printf("\n%s", sim::ascii_plot(join_trace, 96, 10,
+                                      "monitored BW during JOIN (teeth)")
+                          .c_str());
+  std::printf("\n%s", sim::ascii_plot(scan_trace, 96, 10,
+                                      "monitored BW during TABLE SCAN")
+                          .c_str());
+  std::printf("\n%s",
+              sim::ascii_plot(idle_trace, 96, 10, "monitored BW, idle DB")
+                  .c_str());
+
+  // Algorithm 1 end-to-end: templates from one profiling run, detection on
+  // fresh captures with different seeds/round timings.
+  FingerprintDetector det;
+  det.add_template(DbOp::kShuffle, shuffle_trace);
+  det.add_template(DbOp::kJoin, join_trace);
+  det.add_template(DbOp::kScan, scan_trace);
+
+  int correct = 0, total = 0;
+  std::printf("\n%-10s %-10s %-12s\n", "truth", "detected", "correlation");
+  for (int trial = 0; trial < (args.full ? 8 : 4); ++trial) {
+    for (DbOp op : {DbOp::kShuffle, DbOp::kJoin, DbOp::kScan}) {
+      const auto probe =
+          record(model, args.seed + 100 + trial * 7 + static_cast<int>(op),
+                 op, span);
+      const auto d = det.classify(probe);
+      std::printf("%-10s %-10s %-12.3f\n", side::db_op_name(op),
+                  side::db_op_name(d.op), d.correlation);
+      correct += (d.op == op);
+      ++total;
+    }
+  }
+  std::printf("\noperation identification: %d/%d (%.0f%%)\n", correct, total,
+              100.0 * correct / total);
+  std::printf("paper shape: plateau-like drop during shuffle, tooth-like "
+              "during join; patterns remain identifiable across runs.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the simulator core itself: event
+// throughput, end-to-end verbs operation cost, and the hot translation-unit
+// path.  These guard the harness's own performance (the Fig 13 dataset
+// build issues millions of simulated READs).
+#include <benchmark/benchmark.h>
+
+#include "revng/testbed.hpp"
+#include "rnic/translation.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "verbs/context.hpp"
+
+using namespace ragnar;
+
+static void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Xoshiro256 rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.push(rng(), [&sink] { ++sink; });
+    while (!q.empty()) q.pop(nullptr)();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+static void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sched.after(sim::ns(10), tick);
+    };
+    sched.after(sim::ns(10), tick);
+    sched.run_until_idle();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+static void BM_TranslationAccess(benchmark::State& state) {
+  auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  rnic::TranslationUnit xl(prof, sim::Xoshiro256(2));
+  sim::Xoshiro256 rng(3);
+  sim::SimTime t = 0;
+  for (auto _ : state) {
+    rnic::XlRequest r;
+    r.mr_id = 1;
+    r.offset = rng.uniform_u64(1u << 20);
+    r.size = 64;
+    r.is_read = true;
+    t = xl.access(t, r);
+  }
+  benchmark::DoNotOptimize(t);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslationAccess);
+
+static void BM_EndToEndRead(benchmark::State& state) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 4, 1);
+  auto conn = bed.connect(0, 1, 16, 0);
+  auto mr = conn.server_pd->register_mr(1u << 20);
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn.local_addr();
+    wr.length = size;
+    wr.remote_addr = mr->addr();
+    wr.rkey = mr->rkey();
+    conn.qp().post_send(wr);
+    conn.cq().run_until_available(1);
+    verbs::Wc wc;
+    conn.cq().poll_one(&wc);
+    benchmark::DoNotOptimize(wc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("simulated RDMA READ, host-side cost per op");
+}
+BENCHMARK(BM_EndToEndRead)->Arg(64)->Arg(4096);
+
+static void BM_PipelinedReads(benchmark::State& state) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 5, 1);
+  auto conn = bed.connect(0, 1, 64, 0);
+  auto mr = conn.server_pd->register_mr(1u << 20);
+  for (auto _ : state) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn.local_addr();
+    wr.length = 64;
+    wr.remote_addr = mr->addr();
+    wr.rkey = mr->rkey();
+    for (int i = 0; i < 64; ++i) conn.qp().post_send(wr);
+    conn.cq().run_until_available(64);
+    verbs::Wc wc;
+    while (conn.cq().poll_one(&wc)) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PipelinedReads);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Reproduces Table V: design features and end-to-end evaluation of the
+// three covert channels on CX-4/5/6 — bandwidth, error rate and effective
+// bandwidth (raw x (1 - H2(err)); the paper's own numbers satisfy this
+// identity, see tests/sim_test.cpp).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "covert/priority_channel.hpp"
+#include "covert/uli_channel.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double kbps[3];
+  double err[3];
+  double eff[3];
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header("covert-channel evaluation matrix (Table V)",
+                "3 channels x CX-4/5/6: bandwidth / error / effective", args);
+
+  sim::Xoshiro256 rng(args.seed);
+  const std::size_t nbits = args.full ? 768 : 256;
+  const auto payload = covert::random_bits(nbits, rng);
+
+  Row inter{"Inter MR (Grain III)", {}, {}, {}};
+  Row intra{"Intra MR (Grain IV)", {}, {}, {}};
+  Row prio{"Inter Traffic-Class (I+II)", {}, {}, {}};
+
+  for (int d = 0; d < 3; ++d) {
+    const auto model = bench::kAllDevices[d];
+    {
+      auto cfg = covert::UliChannelConfig::best_for(
+          model, covert::UliChannelKind::kInterMr, args.seed);
+      covert::UliCovertChannel ch(cfg);
+      const auto run = ch.transmit(payload);
+      inter.kbps[d] = run.raw_bps() / 1e3;
+      inter.err[d] = run.error_rate();
+      inter.eff[d] = run.effective_bps() / 1e3;
+    }
+    {
+      auto cfg = covert::UliChannelConfig::best_for(
+          model, covert::UliChannelKind::kIntraMr, args.seed);
+      covert::UliCovertChannel ch(cfg);
+      const auto run = ch.transmit(payload);
+      intra.kbps[d] = run.raw_bps() / 1e3;
+      intra.err[d] = run.error_rate();
+      intra.eff[d] = run.effective_bps() / 1e3;
+    }
+    {
+      covert::PriorityChannelConfig cfg;
+      cfg.model = model;
+      cfg.seed = args.seed;
+      covert::PriorityCovertChannel ch(cfg);
+      const auto sub = covert::random_bits(24, rng);
+      const auto run = ch.transmit(sub);
+      prio.kbps[d] = ch.bits_per_interval(run);  // bits per counter interval
+      prio.err[d] = run.error_rate();
+      prio.eff[d] = prio.kbps[d] * (1 - sim::binary_entropy(prio.err[d]));
+    }
+  }
+
+  auto print_row = [](const char* metric, const Row& r, const char* unit) {
+    std::printf("%-28s %-12s | %8.2f | %8.2f | %8.2f | %s\n", r.label, metric,
+                r.kbps[0], r.kbps[1], r.kbps[2], unit);
+    (void)unit;
+  };
+  std::printf("\n%-28s %-12s | %8s | %8s | %8s |\n", "channel", "metric",
+              "CX-4", "CX-5", "CX-6");
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  print_row("bandwidth", prio, "bits/interval (paper: 1.0/1.1/1.1 bps @1s)");
+  std::printf("%-28s %-12s | %7.2f%% | %7.2f%% | %7.2f%% | paper: 0/0/0\n",
+              "", "error", 100 * prio.err[0], 100 * prio.err[1],
+              100 * prio.err[2]);
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  print_row("bandwidth", inter, "Kbps (paper: 31.8/63.6/84.3)");
+  std::printf("%-28s %-12s | %7.2f%% | %7.2f%% | %7.2f%% | paper: "
+              "5.92/3.98/7.59\n",
+              "", "error", 100 * inter.err[0], 100 * inter.err[1],
+              100 * inter.err[2]);
+  std::printf("%-28s %-12s | %8.2f | %8.2f | %8.2f | Kbps (paper: "
+              "21.5/48.3/51.6)\n",
+              "", "effective", inter.eff[0], inter.eff[1], inter.eff[2]);
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  print_row("bandwidth", intra, "Kbps (paper: 32.2/31.5/81.3)");
+  std::printf("%-28s %-12s | %7.2f%% | %7.2f%% | %7.2f%% | paper: "
+              "6.95/4.84/4.08\n",
+              "", "error", 100 * intra.err[0], 100 * intra.err[1],
+              100 * intra.err[2]);
+  std::printf("%-28s %-12s | %8.2f | %8.2f | %8.2f | Kbps (paper: "
+              "20.5/22.7/61.3)\n",
+              "", "effective", intra.eff[0], intra.eff[1], intra.eff[2]);
+  return 0;
+}

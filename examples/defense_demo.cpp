@@ -1,0 +1,84 @@
+// Defense walk-through: run the Grain-IV covert channel against a server
+// and try every defense from the paper's section VII on it, live:
+//
+//   1. HARMONIC-style Grain-I/II/III counters — never fire.
+//   2. Native per-tenant flow control       — channel unaffected.
+//   3. Latency-noise injection              — only helps once it is large
+//                                             enough to hurt everyone.
+//   4. Translation-unit partitioning + TDM  — kills the channel, clamps
+//                                             everyone's small-op rate.
+#include <cstdio>
+
+#include "covert/uli_channel.hpp"
+#include "defense/harmonic.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+double run_channel(covert::UliCovertChannel& ch, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  return ch.transmit(covert::random_bits(96, rng)).error_rate();
+}
+
+covert::UliChannelConfig base_cfg(std::uint64_t seed) {
+  auto cfg = covert::UliChannelConfig::best_for(
+      rnic::DeviceModel::kCX4, covert::UliChannelKind::kIntraMr, seed);
+  cfg.ambient_intensity = 0;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("the attacker runs the Grain-IV (intra-MR) covert channel; "
+              "each round we arm one defense.\n\n");
+
+  {
+    covert::UliCovertChannel ch(base_cfg(1));
+    defense::HarmonicMonitor mon(ch.scheduler(), ch.server_device(),
+                                 sim::ms(1));
+    mon.start();
+    const double err = run_channel(ch, 2);
+    std::printf("1) HARMONIC counters : channel err %4.1f%%  monitor flags: "
+                "tx=%s rx=%s  -> NOT STOPPED, NOT SEEN\n",
+                100 * err, mon.ever_flagged(ch.tx_node()) ? "YES" : "no",
+                mon.ever_flagged(ch.rx_node()) ? "YES" : "no");
+  }
+  {
+    covert::UliCovertChannel ch(base_cfg(3));
+    ch.server_device().set_tenant_pacing_gbps(10.0);
+    std::printf("2) 10G tenant pacing : channel err %4.1f%%  "
+                "-> NOT STOPPED (channel needs only Kbps)\n",
+                100 * run_channel(ch, 4));
+  }
+  {
+    auto cfg = base_cfg(5);
+    cfg.responder_noise = sim::ns(800);
+    covert::UliCovertChannel ch(cfg);
+    std::printf("3) 800 ns noise      : channel err %4.1f%%  "
+                "-> NOT STOPPED (averaging eats sub-us noise)\n",
+                100 * run_channel(ch, 6));
+  }
+  {
+    auto cfg = base_cfg(7);
+    cfg.responder_noise = sim::us(12);
+    covert::UliCovertChannel ch(cfg);
+    std::printf("3b) 12 us noise      : channel err %4.1f%%  "
+                "-> degraded, but every tenant now pays ~6 us extra per op\n",
+                100 * run_channel(ch, 8));
+  }
+  {
+    covert::UliCovertChannel ch(base_cfg(9));
+    ch.server_device().set_tenant_isolation(true);
+    std::printf("4) partitioning+TDM  : channel err %4.1f%%  "
+                "-> STOPPED, at a hard per-tenant small-op rate cap\n",
+                100 * run_channel(ch, 10));
+  }
+
+  std::printf("\nconclusion (paper section VII): nothing short of real "
+              "per-tenant partitioning stops the volatile channels, and "
+              "that costs exactly the performance RDMA exists to "
+              "provide.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// A miniature reverse-engineering session (section IV) through the public
+// API: measure ULI, check its linearity, find the MR-switch penalty and the
+// address-offset periodicities — the same steps that led to the paper's
+// Key Finding 4, in one minute of simulated probing.
+#include <array>
+#include <cstdio>
+
+#include "revng/sweeps.hpp"
+#include "revng/uli.hpp"
+#include "sim/trace.hpp"
+
+using namespace ragnar;
+
+int main() {
+  const auto model = rnic::DeviceModel::kCX4;
+  std::printf("reverse-engineering a %s...\n\n",
+              rnic::device_name(model));
+
+  // Step 1: is Lat_total linear in queue occupancy?  (footnotes 7/8)
+  const std::array<std::uint32_t, 5> depths{8, 16, 32, 64, 128};
+  const auto lin = revng::uli_linearity(model, 1, 64, depths, 300);
+  std::printf("step 1: Lat_total vs len_sq+1 -> slope %.1f ns/slot, "
+              "Pearson %.5f\n        => ULI := Lat_total/(len_sq+1) is a "
+              "per-message observable\n\n",
+              lin.fit.slope, lin.fit.r);
+
+  // Step 2: does engaging a second MR cost anything?  (Fig 5)
+  const std::array<std::uint32_t, 1> sz{64};
+  const auto same = revng::sweep_inter_mr(model, 2, false, sz, 800);
+  const auto diff = revng::sweep_inter_mr(model, 2, true, sz, 800);
+  std::printf("step 2: alternating addresses, 64 B READs\n"
+              "        same MR: %.0f ns   different MRs: %.0f ns  "
+              "(+%.0f%%)\n        => an MR context register exists "
+              "(Grain-III leak)\n\n",
+              same[0].mean, diff[0].mean,
+              100 * (diff[0].mean / same[0].mean - 1));
+
+  // Step 3: sweep the remote offset and look for structure.  (Figs 6-8)
+  const auto curve = revng::sweep_abs_offset(model, 3, 64, 512, 4, 250);
+  double a64 = 0, a8 = 0, amis = 0;
+  int n64 = 0, n8 = 0, nmis = 0;
+  for (const auto& p : curve) {
+    const auto off = static_cast<std::uint64_t>(p.x);
+    if (off % 64 == 0) {
+      a64 += p.mean;
+      ++n64;
+    } else if (off % 8 == 0) {
+      a8 += p.mean;
+      ++n8;
+    } else {
+      amis += p.mean;
+      ++nmis;
+    }
+  }
+  std::printf("step 3: ULI vs remote offset (0..512 B)\n"
+              "        64 B-aligned %.0f ns < 8 B-aligned %.0f ns < "
+              "misaligned %.0f ns\n        => 2's-power periodic offset "
+              "effect (Grain-IV leak, Key Finding 4)\n\n",
+              a64 / n64, a8 / n8, amis / nmis);
+
+  std::printf("these three observables are everything the covert channels "
+              "(src/covert) and the address snoop (src/side) are built "
+              "from.\n");
+  return 0;
+}

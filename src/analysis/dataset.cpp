@@ -1,0 +1,124 @@
+#include "analysis/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+namespace ragnar::analysis {
+
+std::pair<Dataset, Dataset> Dataset::split(double test_frac,
+                                           sim::Xoshiro256& rng) const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.uniform_u64(i)]);
+  }
+  const std::size_t n_test =
+      static_cast<std::size_t>(test_frac * static_cast<double>(size()));
+  Dataset train, test;
+  train.num_classes = test.num_classes = num_classes;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    Dataset& d = i < n_test ? test : train;
+    d.x.push_back(x[idx[i]]);
+    d.y.push_back(y[idx[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void normalize_zscore(std::span<double> trace) {
+  if (trace.empty()) return;
+  double mean = 0;
+  for (double v : trace) mean += v;
+  mean /= static_cast<double>(trace.size());
+  double var = 0;
+  for (double v : trace) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(trace.size());
+  const double sd = std::sqrt(var);
+  for (double& v : trace) v = sd > 1e-12 ? (v - mean) / sd : 0.0;
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (std::size_t i = 0; i < k_; ++i) diag += cells_[i * k_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::uint64_t row = 0;
+  for (std::size_t j = 0; j < k_; ++j)
+    row += cells_[static_cast<std::size_t>(cls) * k_ + j];
+  if (row == 0) return 0.0;
+  return static_cast<double>(at(cls, cls)) / static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::string out = "truth\\pred";
+  char buf[32];
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::snprintf(buf, sizeof buf, "%5zu", j);
+    out += buf;
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::snprintf(buf, sizeof buf, "%9zu ", i);
+    out += buf;
+    for (std::size_t j = 0; j < k_; ++j) {
+      std::snprintf(buf, sizeof buf, "%5llu",
+                    static_cast<unsigned long long>(cells_[i * k_ + j]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "  recall=%.3f", recall(static_cast<int>(i)));
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+void NearestCentroid::fit(const Dataset& train) {
+  centroids_.assign(train.num_classes,
+                    std::vector<double>(train.dim(), 0.0));
+  std::vector<std::size_t> counts(train.num_classes, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    auto& c = centroids_[static_cast<std::size_t>(train.y[i])];
+    for (std::size_t d = 0; d < c.size(); ++d) c[d] += train.x[i][d];
+    ++counts[static_cast<std::size_t>(train.y[i])];
+  }
+  for (std::size_t k = 0; k < centroids_.size(); ++k) {
+    if (counts[k] == 0) continue;
+    for (double& v : centroids_[k]) v /= static_cast<double>(counts[k]);
+  }
+}
+
+int NearestCentroid::predict(std::span<const double> x) const {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < centroids_.size(); ++k) {
+    double d = 0;
+    for (std::size_t i = 0; i < x.size() && i < centroids_[k].size(); ++i) {
+      const double diff = x[i] - centroids_[k][i];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double NearestCentroid::evaluate(const Dataset& test,
+                                 ConfusionMatrix* cm) const {
+  std::uint64_t hit = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const int pred = predict(test.x[i]);
+    if (cm != nullptr) cm->add(test.y[i], pred);
+    hit += (pred == test.y[i]);
+  }
+  return test.size() ? static_cast<double>(hit) / static_cast<double>(test.size())
+                     : 0.0;
+}
+
+}  // namespace ragnar::analysis

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+
+// Dataset plumbing for the side-channel classifiers (paper Fig 13: 6720
+// traces of 257 ULI samples, 17 classes).
+namespace ragnar::analysis {
+
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::size_t num_classes = 0;
+
+  void add(std::vector<double> features, int label) {
+    x.push_back(std::move(features));
+    y.push_back(label);
+    if (static_cast<std::size_t>(label) + 1 > num_classes)
+      num_classes = static_cast<std::size_t>(label) + 1;
+  }
+  std::size_t size() const { return x.size(); }
+  std::size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  // Shuffled train/test split with the given test fraction.
+  std::pair<Dataset, Dataset> split(double test_frac,
+                                    sim::Xoshiro256& rng) const;
+};
+
+// In-place z-score normalization of one trace (mean 0, sd 1); traces that
+// differ only by a latency baseline shift become comparable.
+void normalize_zscore(std::span<double> trace);
+
+// Confusion matrix with accuracy/recall reporting (Fig 13 b).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t k) : k_(k), cells_(k * k, 0) {}
+
+  void add(int truth, int pred) {
+    cells_[static_cast<std::size_t>(truth) * k_ +
+           static_cast<std::size_t>(pred)]++;
+    ++total_;
+  }
+  std::size_t classes() const { return k_; }
+  std::uint64_t at(int truth, int pred) const {
+    return cells_[static_cast<std::size_t>(truth) * k_ +
+                  static_cast<std::size_t>(pred)];
+  }
+  double accuracy() const;
+  double recall(int cls) const;
+  std::string to_string() const;  // compact ASCII rendering
+
+ private:
+  std::size_t k_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+// Baseline classifier: nearest centroid in feature space.
+class NearestCentroid {
+ public:
+  void fit(const Dataset& train);
+  int predict(std::span<const double> x) const;
+  double evaluate(const Dataset& test, ConfusionMatrix* cm = nullptr) const;
+
+ private:
+  std::vector<std::vector<double>> centroids_;
+};
+
+}  // namespace ragnar::analysis

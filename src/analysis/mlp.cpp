@@ -1,0 +1,213 @@
+#include "analysis/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace ragnar::analysis {
+
+Mlp::Mlp(Config cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  for (std::size_t l = 0; l + 1 < cfg_.layers.size(); ++l) {
+    Layer layer;
+    layer.in = cfg_.layers[l];
+    layer.out = cfg_.layers[l + 1];
+    layer.w.resize(static_cast<std::size_t>(layer.in) * layer.out);
+    layer.b.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+    // He initialization for ReLU nets.
+    const double scale = std::sqrt(2.0 / layer.in);
+    for (double& w : layer.w) w = rng_.normal() * scale;
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::softmax_inplace(std::vector<double>* v) {
+  double mx = -1e300;
+  for (double x : *v) mx = std::max(mx, x);
+  double sum = 0;
+  for (double& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : *v) x /= sum;
+}
+
+void Mlp::forward(std::span<const double> x,
+                  std::vector<std::vector<double>>* acts) const {
+  acts->clear();
+  std::vector<double> cur(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& L = layers_[l];
+    std::vector<double> next(static_cast<std::size_t>(L.out));
+    for (int o = 0; o < L.out; ++o) {
+      double s = L.b[static_cast<std::size_t>(o)];
+      const double* wrow = &L.w[static_cast<std::size_t>(o) * L.in];
+      for (int i = 0; i < L.in; ++i) s += wrow[i] * cur[static_cast<std::size_t>(i)];
+      next[static_cast<std::size_t>(o)] = s;
+    }
+    if (l + 1 < layers_.size()) {
+      for (double& v : next) v = std::max(0.0, v);  // ReLU
+    }
+    acts->push_back(next);
+    cur = acts->back();
+  }
+}
+
+void Mlp::backward(std::span<const double> x, int y,
+                   const std::vector<std::vector<double>>& acts,
+                   std::vector<std::vector<double>>* gw,
+                   std::vector<std::vector<double>>* gb) const {
+  // delta at the output: softmax(logits) - onehot(y).
+  std::vector<double> delta = acts.back();
+  softmax_inplace(&delta);
+  delta[static_cast<std::size_t>(y)] -= 1.0;
+
+  std::vector<double> x_copy(x.begin(), x.end());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Layer& L = layers_[l];
+    const std::vector<double>& input_act = l == 0 ? x_copy : acts[l - 1];
+    auto& gwl = (*gw)[l];
+    auto& gbl = (*gb)[l];
+    for (int o = 0; o < L.out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      gbl[static_cast<std::size_t>(o)] += d;
+      double* grow = &gwl[static_cast<std::size_t>(o) * L.in];
+      for (int i = 0; i < L.in; ++i) grow[i] += d * input_act[static_cast<std::size_t>(i)];
+    }
+    if (l == 0) break;
+    // Propagate delta to the previous layer through W, gated by ReLU.
+    std::vector<double> prev(static_cast<std::size_t>(L.in), 0.0);
+    for (int i = 0; i < L.in; ++i) {
+      double s = 0;
+      for (int o = 0; o < L.out; ++o) {
+        s += L.w[static_cast<std::size_t>(o) * L.in + i] *
+             delta[static_cast<std::size_t>(o)];
+      }
+      prev[static_cast<std::size_t>(i)] =
+          acts[l - 1][static_cast<std::size_t>(i)] > 0.0 ? s : 0.0;
+    }
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::fit(const Dataset& train, std::string* log) {
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  double lr = cfg_.lr;
+
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> acts;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng_.uniform_u64(i)]);
+
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg_.batch)) {
+      const std::size_t stop =
+          std::min(order.size(), start + static_cast<std::size_t>(cfg_.batch));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(gw[l].begin(), gw[l].end(), 0.0);
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+      for (std::size_t i = start; i < stop; ++i) {
+        forward(train.x[order[i]], &acts);
+        backward(train.x[order[i]], train.y[order[i]], acts, &gw, &gb);
+      }
+      const double scale = lr / static_cast<double>(stop - start);
+      const double decay = 1.0 - lr * cfg_.weight_decay;
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& L = layers_[l];
+        for (std::size_t k = 0; k < L.w.size(); ++k) {
+          L.vw[k] = cfg_.momentum * L.vw[k] - scale * gw[l][k];
+          L.w[k] = L.w[k] * decay + L.vw[k];
+        }
+        for (std::size_t k = 0; k < L.b.size(); ++k) {
+          L.vb[k] = cfg_.momentum * L.vb[k] - scale * gb[l][k];
+          L.b[k] += L.vb[k];
+        }
+      }
+    }
+    lr *= cfg_.lr_decay;
+    if (log != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "epoch %3d  loss %.4f  train-acc %.4f\n",
+                    epoch, loss(train), evaluate(train));
+      *log += buf;
+    }
+  }
+}
+
+int Mlp::predict(std::span<const double> x) const {
+  std::vector<std::vector<double>> acts;
+  forward(x, &acts);
+  const auto& logits = acts.back();
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+std::vector<double> Mlp::predict_proba(std::span<const double> x) const {
+  std::vector<std::vector<double>> acts;
+  forward(x, &acts);
+  std::vector<double> probs = acts.back();
+  softmax_inplace(&probs);
+  return probs;
+}
+
+double Mlp::evaluate(const Dataset& test, ConfusionMatrix* cm) const {
+  std::uint64_t hit = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const int pred = predict(test.x[i]);
+    if (cm != nullptr) cm->add(test.y[i], pred);
+    hit += (pred == test.y[i]);
+  }
+  return test.size() ? static_cast<double>(hit) / static_cast<double>(test.size())
+                     : 0.0;
+}
+
+double Mlp::loss(const Dataset& data) const {
+  double total = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto probs = predict_proba(data.x[i]);
+    total -= std::log(std::max(probs[static_cast<std::size_t>(data.y[i])], 1e-12));
+  }
+  return data.size() ? total / static_cast<double>(data.size()) : 0.0;
+}
+
+double Mlp::analytic_gradient_check(std::span<const double> x, int y,
+                                    std::size_t layer, std::size_t row,
+                                    std::size_t col, double eps) {
+  // Returns |analytic - numeric| for one weight.
+  std::vector<std::vector<double>> acts;
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+  forward(x, &acts);
+  backward(x, y, acts, &gw, &gb);
+  const double analytic =
+      gw[layer][row * static_cast<std::size_t>(layers_[layer].in) + col];
+
+  Dataset one;
+  one.num_classes = layers_.back().out;
+  one.add(std::vector<double>(x.begin(), x.end()), y);
+  double& w = layers_[layer].w[row * static_cast<std::size_t>(layers_[layer].in) + col];
+  const double orig = w;
+  w = orig + eps;
+  const double lp = loss(one);
+  w = orig - eps;
+  const double lm = loss(one);
+  w = orig;
+  const double numeric = (lp - lm) / (2 * eps);
+  return std::abs(analytic - numeric);
+}
+
+}  // namespace ragnar::analysis

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "sim/random.hpp"
+
+// A small from-scratch multilayer perceptron with softmax cross-entropy and
+// minibatch SGD + momentum.
+//
+// Substitution note (DESIGN.md section 2): the paper recovers the victim
+// address from 257-dimensional ULI traces with a ResNet18.  The trace is a
+// 1-D vector with localized structure, for which an MLP of a few thousand
+// parameters reaches the same >95% regime; convolutional residual stacks add
+// nothing that the reproduction depends on.
+namespace ragnar::analysis {
+
+class Mlp {
+ public:
+  struct Config {
+    std::vector<int> layers;  // e.g. {257, 128, 64, 17}
+    double lr = 0.02;
+    double lr_decay = 0.95;   // per epoch
+    double momentum = 0.9;
+    double weight_decay = 0.0;  // L2 regularization
+    int epochs = 40;
+    int batch = 32;
+    std::uint64_t seed = 1;
+  };
+
+  explicit Mlp(Config cfg);
+
+  // Train; if `log` is non-null a one-line-per-epoch summary is appended.
+  void fit(const Dataset& train, std::string* log = nullptr);
+
+  int predict(std::span<const double> x) const;
+  std::vector<double> predict_proba(std::span<const double> x) const;
+  double evaluate(const Dataset& test, ConfusionMatrix* cm = nullptr) const;
+
+  // Mean cross-entropy loss over a dataset (used by tests and the training
+  // loop's log).
+  double loss(const Dataset& data) const;
+
+  // Exposed for the gradient-check unit test: analytic gradient of the loss
+  // of a single example with respect to a specific weight.
+  double analytic_gradient_check(std::span<const double> x, int y,
+                                 std::size_t layer, std::size_t row,
+                                 std::size_t col, double eps = 1e-5);
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> w;   // out x in, row-major
+    std::vector<double> b;   // out
+    std::vector<double> vw;  // momentum buffers
+    std::vector<double> vb;
+  };
+
+  // Forward pass; fills per-layer activations (post-ReLU, last = logits).
+  void forward(std::span<const double> x,
+               std::vector<std::vector<double>>* acts) const;
+  // Backward pass for one example; accumulates gradients.
+  void backward(std::span<const double> x, int y,
+                const std::vector<std::vector<double>>& acts,
+                std::vector<std::vector<double>>* gw,
+                std::vector<std::vector<double>>* gb) const;
+  static void softmax_inplace(std::vector<double>* v);
+
+  Config cfg_;
+  std::vector<Layer> layers_;
+  sim::Xoshiro256 rng_;
+};
+
+}  // namespace ragnar::analysis

@@ -1,0 +1,249 @@
+#include "apps/btree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ragnar::apps {
+
+namespace {
+struct Separator {
+  std::uint64_t min_key;
+  std::uint64_t leaf;
+};
+}  // namespace
+
+RemoteBTree::RemoteBTree(revng::Testbed& bed, const Config& cfg)
+    : bed_(bed), cfg_(cfg) {
+  ms_pd_ = bed_.server().alloc_pd();
+  leaf_mr_ = ms_pd_->register_mr(cfg_.max_leaves * kBTreeLeafBytes);
+  sep_mr_ = ms_pd_->register_mr(cfg_.max_leaves * sizeof(Separator));
+}
+
+void RemoteBTree::bulk_load(
+    const std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>&
+        sorted_kvs,
+    std::size_t fill) {
+  fill = std::clamp<std::size_t>(fill, 1, kBTreeLeafFanout);
+  leaves_used_ = 0;
+  std::size_t i = 0;
+  while (i < sorted_kvs.size() && leaves_used_ < cfg_.max_leaves) {
+    std::uint8_t* node = leaf_mr_->data() + leaves_used_ * kBTreeLeafBytes;
+    auto* hdr = reinterpret_cast<BTreeLeafHeader*>(node);
+    auto* entries = reinterpret_cast<BTreeLeafEntry*>(node + sizeof(*hdr));
+    std::memset(node, 0, kBTreeLeafBytes);
+
+    const std::size_t n = std::min(fill, sorted_kvs.size() - i);
+    for (std::size_t j = 0; j < n; ++j, ++i) {
+      entries[j].key = sorted_kvs[i].first;
+      const auto& v = sorted_kvs[i].second;
+      std::memcpy(entries[j].value, v.data(),
+                  std::min(v.size(), sizeof entries[j].value));
+      entries[j].meta = v.size();
+    }
+    hdr->count = n;
+    hdr->min_key = entries[0].key;
+    hdr->lock = 0;
+
+    auto* sep = reinterpret_cast<Separator*>(sep_mr_->data()) + leaves_used_;
+    sep->min_key = hdr->min_key;
+    sep->leaf = leaves_used_;
+    ++leaves_used_;
+  }
+  // Link the leaves.
+  for (std::size_t l = 0; l + 1 < leaves_used_; ++l) {
+    auto* hdr = reinterpret_cast<BTreeLeafHeader*>(leaf_mr_->data() +
+                                                   l * kBTreeLeafBytes);
+    hdr->next_leaf = l + 2;  // index + 1
+  }
+}
+
+RemoteBTree::Client::Client(RemoteBTree& tree, std::size_t client_idx,
+                            rnic::TrafficClass tc)
+    : tree_(tree),
+      conn_(tree.bed_.connect(client_idx, 1, 8, tc, /*client_buf_len=*/1u << 16)),
+      lock_tag_(0x1000 + client_idx) {}
+
+verbs::Wc RemoteBTree::Client::sync_op(const verbs::SendWr& wr) {
+  verbs::Wc wc;
+  if (conn_.qp().post_send(wr) != verbs::PostResult::kOk) {
+    wc.status = rnic::WcStatus::kRemoteInvalidRequest;
+    return wc;
+  }
+  conn_.cq().run_until_available(1);
+  conn_.cq().poll_one(&wc);
+  return wc;
+}
+
+void RemoteBTree::Client::refresh_separators() {
+  ++cache_refreshes_;
+  const std::uint32_t bytes = static_cast<std::uint32_t>(
+      tree_.leaves_used_ * sizeof(Separator));
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr();
+  wr.length = bytes;
+  wr.remote_addr = tree_.sep_mr_->addr();
+  wr.rkey = tree_.sep_mr_->rkey();
+  sync_op(wr);
+  const auto* seps = reinterpret_cast<const Separator*>(conn_.client_mr->data());
+  separators_.clear();
+  for (std::size_t i = 0; i < tree_.leaves_used_; ++i) {
+    separators_.emplace_back(seps[i].min_key, seps[i].leaf);
+  }
+  std::sort(separators_.begin(), separators_.end());
+}
+
+std::size_t RemoteBTree::Client::locate_leaf(std::uint64_t key) {
+  if (separators_.empty()) refresh_separators();
+  auto it = std::upper_bound(
+      separators_.begin(), separators_.end(), key,
+      [](std::uint64_t k, const auto& s) { return k < s.first; });
+  if (it == separators_.begin()) return separators_.front().second;
+  return std::prev(it)->second;
+}
+
+void RemoteBTree::Client::read_leaf(std::size_t leaf, std::uint8_t* out) {
+  ++leaf_reads_;
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr();
+  wr.length = kBTreeLeafBytes;
+  wr.remote_addr = tree_.leaf_mr_->addr() + leaf * kBTreeLeafBytes;
+  wr.rkey = tree_.leaf_mr_->rkey();
+  sync_op(wr);
+  std::memcpy(out, conn_.client_mr->data(), kBTreeLeafBytes);
+}
+
+std::optional<std::vector<std::uint8_t>> RemoteBTree::Client::get(
+    std::uint64_t key) {
+  if (tree_.leaves_used_ == 0) return std::nullopt;
+  std::size_t leaf = locate_leaf(key);
+  std::uint8_t node[kBTreeLeafBytes];
+  read_leaf(leaf, node);
+  auto* hdr = reinterpret_cast<const BTreeLeafHeader*>(node);
+  // Stale cache: the leaf no longer covers the key (e.g. new leaves were
+  // loaded after our snapshot).  One refresh + retry.
+  if (key < hdr->min_key ||
+      (hdr->next_leaf != 0 && separators_.size() != tree_.leaves_used_)) {
+    refresh_separators();
+    leaf = locate_leaf(key);
+    read_leaf(leaf, node);
+    hdr = reinterpret_cast<const BTreeLeafHeader*>(node);
+  }
+  const auto* entries =
+      reinterpret_cast<const BTreeLeafEntry*>(node + sizeof(*hdr));
+  for (std::uint64_t i = 0; i < hdr->count; ++i) {
+    if (entries[i].key == key) {
+      const std::size_t len =
+          std::min<std::size_t>(entries[i].meta, sizeof entries[i].value);
+      return std::vector<std::uint8_t>(entries[i].value,
+                                       entries[i].value + len);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+RemoteBTree::Client::scan(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> out;
+  if (tree_.leaves_used_ == 0 || lo >= hi) return out;
+  std::size_t leaf = locate_leaf(lo);
+  std::uint8_t node[kBTreeLeafBytes];
+  while (true) {
+    read_leaf(leaf, node);
+    const auto* hdr = reinterpret_cast<const BTreeLeafHeader*>(node);
+    const auto* entries =
+        reinterpret_cast<const BTreeLeafEntry*>(node + sizeof(*hdr));
+    // Entries within a leaf are unsorted (inserts append), so examine every
+    // slot; leaves themselves partition the key space in order, so once a
+    // leaf contains any key >= hi no later leaf can matter.
+    bool past_hi = false;
+    for (std::uint64_t i = 0; i < hdr->count; ++i) {
+      if (entries[i].key >= hi) {
+        past_hi = true;
+        continue;
+      }
+      if (entries[i].key >= lo) {
+        const std::size_t len =
+            std::min<std::size_t>(entries[i].meta, sizeof entries[i].value);
+        out.emplace_back(entries[i].key,
+                         std::vector<std::uint8_t>(entries[i].value,
+                                                   entries[i].value + len));
+      }
+    }
+    if (past_hi || hdr->next_leaf == 0) break;
+    leaf = hdr->next_leaf - 1;
+  }
+  // Leaf-local inserts keep entries unsorted within a node; order globally.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool RemoteBTree::Client::insert(std::uint64_t key,
+                                 const std::vector<std::uint8_t>& value) {
+  if (tree_.leaves_used_ == 0 || value.size() > sizeof(BTreeLeafEntry{}.value))
+    return false;
+  const std::size_t leaf = locate_leaf(key);
+  const std::uint64_t leaf_addr =
+      tree_.leaf_mr_->addr() + leaf * kBTreeLeafBytes;
+
+  // 1. Acquire the leaf lock with CAS(0 -> tag).
+  verbs::SendWr cas;
+  cas.opcode = verbs::WrOpcode::kCmpSwap;
+  cas.local_addr = conn_.local_addr();
+  cas.length = 8;
+  cas.remote_addr = leaf_addr + offsetof(BTreeLeafHeader, lock);
+  cas.rkey = tree_.leaf_mr_->rkey();
+  cas.compare_add = 0;
+  cas.swap = lock_tag_;
+  if (sync_op(cas).status != rnic::WcStatus::kSuccess) return false;
+  std::uint64_t old = 0;
+  std::memcpy(&old, conn_.client_mr->data(), 8);
+  if (old != 0) return false;  // lock held; Sherman retries, we report
+
+  // 2. Read the leaf, check capacity and duplicates.
+  std::uint8_t node[kBTreeLeafBytes];
+  read_leaf(leaf, node);
+  auto* hdr = reinterpret_cast<BTreeLeafHeader*>(node);
+  auto* entries = reinterpret_cast<BTreeLeafEntry*>(node + sizeof(*hdr));
+  bool ok = hdr->count < kBTreeLeafFanout;
+  for (std::uint64_t i = 0; ok && i < hdr->count; ++i) {
+    ok = entries[i].key != key;
+  }
+  if (ok) {
+    // 3. Write the new entry then the bumped header (entry first so a
+    // concurrent reader never sees count cover garbage).
+    BTreeLeafEntry e{};
+    e.key = key;
+    e.meta = value.size();
+    std::memcpy(e.value, value.data(), value.size());
+    std::memcpy(conn_.client_mr->data(), &e, sizeof e);
+    verbs::SendWr we;
+    we.opcode = verbs::WrOpcode::kRdmaWrite;
+    we.local_addr = conn_.local_addr();
+    we.length = sizeof e;
+    we.remote_addr =
+        leaf_addr + sizeof(BTreeLeafHeader) + hdr->count * sizeof e;
+    we.rkey = tree_.leaf_mr_->rkey();
+    sync_op(we);
+
+    std::uint64_t new_count = hdr->count + 1;
+    std::memcpy(conn_.client_mr->data(), &new_count, 8);
+    verbs::SendWr wh;
+    wh.opcode = verbs::WrOpcode::kRdmaWrite;
+    wh.local_addr = conn_.local_addr();
+    wh.length = 8;
+    wh.remote_addr = leaf_addr + offsetof(BTreeLeafHeader, count);
+    wh.rkey = tree_.leaf_mr_->rkey();
+    sync_op(wh);
+  }
+
+  // 4. Release the lock (CAS tag -> 0).
+  cas.compare_add = lock_tag_;
+  cas.swap = 0;
+  sync_op(cas);
+  return ok;
+}
+
+}  // namespace ragnar::apps

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "verbs/context.hpp"
+
+// A Sherman-style distributed B+tree index on disaggregated memory
+// (Wang et al., SIGMOD'22 — the system the paper attacks in section VI-B).
+//
+// Memory-server (MS) layout, all reachable with one-sided verbs:
+//   * a leaf region: fixed 512 B leaf nodes — a 64 B header (lock word,
+//     count, next-leaf link) plus seven 64 B entries;
+//   * a separator region: one (min_key, leaf_index) pair per leaf, the
+//     "internal level".
+//
+// Compute-server (CS) clients cache the separator array locally (Sherman
+// caches internal nodes on the CS) so a GET costs one 512 B leaf READ;
+// INSERT takes the leaf lock with CAS, writes the entry, and releases —
+// Sherman's write-optimized leaf update.  Stale caches are detected by key
+// range checks and refreshed with one separator-array READ.
+namespace ragnar::apps {
+
+struct BTreeLeafEntry {
+  std::uint64_t key;
+  std::uint64_t meta;  // reserved (version bits in Sherman)
+  std::uint8_t value[48];
+};
+static_assert(sizeof(BTreeLeafEntry) == 64);
+
+struct BTreeLeafHeader {
+  std::uint64_t lock;       // 0 free, else owner tag (CAS target)
+  std::uint64_t count;      // live entries
+  std::uint64_t next_leaf;  // index + 1 of the right sibling; 0 = none
+  std::uint64_t min_key;    // separator copy for staleness checks
+  std::uint8_t pad[32];
+};
+static_assert(sizeof(BTreeLeafHeader) == 64);
+
+inline constexpr std::size_t kBTreeLeafFanout = 7;
+inline constexpr std::size_t kBTreeLeafBytes =
+    sizeof(BTreeLeafHeader) + kBTreeLeafFanout * sizeof(BTreeLeafEntry);
+
+class RemoteBTree {
+ public:
+  struct Config {
+    std::size_t max_leaves = 512;
+  };
+
+  RemoteBTree(revng::Testbed& bed, const Config& cfg);
+
+  // Host-side bulk load (the MS owner populating the index): keys must be
+  // strictly increasing; leaves are filled `fill` entries at a time to
+  // leave insert headroom.
+  void bulk_load(
+      const std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>&
+          sorted_kvs,
+      std::size_t fill = 4);
+
+  std::size_t leaf_count() const { return leaves_used_; }
+  verbs::MemoryRegion& leaf_mr() { return *leaf_mr_; }
+
+  class Client {
+   public:
+    Client(RemoteBTree& tree, std::size_t client_idx,
+           rnic::TrafficClass tc = 0);
+
+    std::optional<std::vector<std::uint8_t>> get(std::uint64_t key);
+    // Collect all (key, value) pairs with lo <= key < hi, in order.
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> scan(
+        std::uint64_t lo, std::uint64_t hi);
+    // Insert into the covering leaf; returns false when the leaf is full
+    // (splits are out of scope — Sherman handles them with a coarse lock)
+    // or the key already exists.
+    bool insert(std::uint64_t key, const std::vector<std::uint8_t>& value);
+
+    std::uint64_t leaf_reads() const { return leaf_reads_; }
+    std::uint64_t cache_refreshes() const { return cache_refreshes_; }
+
+   private:
+    void refresh_separators();
+    // Locate the leaf covering `key` via the cached separators; refreshes
+    // the cache when it looks stale.
+    std::size_t locate_leaf(std::uint64_t key);
+    void read_leaf(std::size_t leaf, std::uint8_t* out);
+    verbs::Wc sync_op(const verbs::SendWr& wr);
+
+    RemoteBTree& tree_;
+    revng::Testbed::Connection conn_;
+    std::vector<std::pair<std::uint64_t, std::size_t>> separators_;
+    std::uint64_t lock_tag_;
+    std::uint64_t leaf_reads_ = 0;
+    std::uint64_t cache_refreshes_ = 0;
+  };
+
+ private:
+  friend class Client;
+  revng::Testbed& bed_;
+  Config cfg_;
+  std::unique_ptr<verbs::ProtectionDomain> ms_pd_;
+  std::unique_ptr<verbs::MemoryRegion> leaf_mr_;
+  std::unique_ptr<verbs::MemoryRegion> sep_mr_;  // (min_key, leaf) pairs
+  std::size_t leaves_used_ = 0;
+};
+
+}  // namespace ragnar::apps

@@ -1,0 +1,246 @@
+#include "apps/dmem_kv.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ragnar::apps {
+
+DisaggKv::DisaggKv(revng::Testbed& bed, const Config& cfg)
+    : bed_(bed), cfg_(cfg), next_value_off_(cfg.shared_file_len) {
+  ms_pd_ = bed_.server().alloc_pd();
+  index_mr_ = ms_pd_->register_mr(cfg_.index_entries * sizeof(KvEntry));
+  data_mr_ = ms_pd_->register_mr(cfg_.data_region_len);
+}
+
+void DisaggKv::load(std::uint64_t key, const std::vector<std::uint8_t>& value) {
+  if (loaded_ >= cfg_.index_entries) return;
+  KvEntry e{};
+  e.key = key;
+  e.version = 1;
+  if (value.size() <= sizeof(e.inline_value)) {
+    e.value_off = ~0ull;  // inline marker
+    e.value_len = value.size();
+    std::memcpy(e.inline_value, value.data(), value.size());
+  } else {
+    e.value_off = next_value_off_;
+    e.value_len = value.size();
+    std::memcpy(data_mr_->data() + next_value_off_, value.data(),
+                value.size());
+    next_value_off_ += (value.size() + 63) & ~63ull;
+  }
+  std::memcpy(index_mr_->data() + loaded_ * sizeof(KvEntry), &e, sizeof e);
+  ++loaded_;
+}
+
+DisaggKv::Client::Client(DisaggKv& kv, std::size_t client_idx,
+                         rnic::TrafficClass tc, std::uint32_t queue_depth)
+    : kv_(kv) {
+  conn_ = kv.bed_.connect(client_idx, /*qp_count=*/1, queue_depth, tc,
+                          /*client_buf_len=*/1u << 16);
+}
+
+verbs::Wc DisaggKv::Client::sync_op(const verbs::SendWr& wr) {
+  verbs::Wc wc;
+  if (conn_.qp().post_send(wr) != verbs::PostResult::kOk) {
+    wc.status = rnic::WcStatus::kRemoteInvalidRequest;
+    return wc;
+  }
+  conn_.cq().run_until_available(1);
+  conn_.cq().poll_one(&wc);
+  return wc;
+}
+
+std::optional<std::vector<std::uint8_t>> DisaggKv::Client::get(
+    std::uint64_t key) {
+  // Binary search over the sorted remote leaf level, one 64 B READ per step.
+  std::int64_t lo = 0, hi = static_cast<std::int64_t>(kv_.loaded_) - 1;
+  KvEntry e{};
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn_.local_addr();
+    wr.length = sizeof(KvEntry);
+    wr.remote_addr =
+        kv_.index_mr_->addr() + static_cast<std::uint64_t>(mid) * sizeof(KvEntry);
+    wr.rkey = kv_.index_mr_->rkey();
+    const verbs::Wc wc = sync_op(wr);
+    ++index_reads_;
+    if (wc.status != rnic::WcStatus::kSuccess) return std::nullopt;
+    std::memcpy(&e, conn_.client_mr->data(), sizeof e);
+    if (e.key == key) {
+      if (e.value_off == ~0ull) {
+        return std::vector<std::uint8_t>(e.inline_value,
+                                         e.inline_value + e.value_len);
+      }
+      verbs::SendWr dr;
+      dr.opcode = verbs::WrOpcode::kRdmaRead;
+      dr.local_addr = conn_.local_addr();
+      dr.length = static_cast<std::uint32_t>(e.value_len);
+      dr.remote_addr = kv_.data_mr_->addr() + e.value_off;
+      dr.rkey = kv_.data_mr_->rkey();
+      const verbs::Wc dwc = sync_op(dr);
+      ++data_reads_;
+      if (dwc.status != rnic::WcStatus::kSuccess) return std::nullopt;
+      const std::uint8_t* buf = conn_.client_mr->data();
+      return std::vector<std::uint8_t>(buf, buf + e.value_len);
+    }
+    if (e.key < key)
+      lo = mid + 1;
+    else
+      hi = mid - 1;
+  }
+  return std::nullopt;
+}
+
+sim::Task DisaggKv::Client::read_entry(std::uint64_t slot, KvEntry* out,
+                                       bool* done) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr();
+  wr.length = sizeof(KvEntry);
+  wr.remote_addr = kv_.index_mr_->addr() + slot * sizeof(KvEntry);
+  wr.rkey = kv_.index_mr_->rkey();
+  conn_.qp().post_send(wr);
+  co_await conn_.cq().wait(1);
+  verbs::Wc wc;
+  conn_.cq().poll_one(&wc);
+  ++index_reads_;
+  if (out != nullptr)
+    std::memcpy(out, conn_.client_mr->data(), sizeof *out);
+  if (done != nullptr) *done = true;
+}
+
+sim::Task DisaggKv::Client::get_async(
+    std::uint64_t key, std::optional<std::vector<std::uint8_t>>* out,
+    bool* done) {
+  std::int64_t lo = 0, hi = static_cast<std::int64_t>(kv_.loaded_) - 1;
+  KvEntry e{};
+  verbs::Wc wc;
+  if (out != nullptr) *out = std::nullopt;
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn_.local_addr();
+    wr.length = sizeof(KvEntry);
+    wr.remote_addr =
+        kv_.index_mr_->addr() + static_cast<std::uint64_t>(mid) * sizeof(KvEntry);
+    wr.rkey = kv_.index_mr_->rkey();
+    conn_.qp().post_send(wr);
+    co_await conn_.cq().wait(1);
+    conn_.cq().poll_one(&wc);
+    ++index_reads_;
+    if (wc.status != rnic::WcStatus::kSuccess) break;
+    std::memcpy(&e, conn_.client_mr->data(), sizeof e);
+    if (e.key == key) {
+      if (e.value_off == ~0ull) {
+        if (out != nullptr)
+          *out = std::vector<std::uint8_t>(e.inline_value,
+                                           e.inline_value + e.value_len);
+      } else {
+        verbs::SendWr dr;
+        dr.opcode = verbs::WrOpcode::kRdmaRead;
+        dr.local_addr = conn_.local_addr();
+        dr.length = static_cast<std::uint32_t>(e.value_len);
+        dr.remote_addr = kv_.data_mr_->addr() + e.value_off;
+        dr.rkey = kv_.data_mr_->rkey();
+        conn_.qp().post_send(dr);
+        co_await conn_.cq().wait(1);
+        conn_.cq().poll_one(&wc);
+        ++data_reads_;
+        if (wc.status == rnic::WcStatus::kSuccess && out != nullptr) {
+          const std::uint8_t* buf = conn_.client_mr->data();
+          *out = std::vector<std::uint8_t>(buf, buf + e.value_len);
+        }
+      }
+      break;
+    }
+    if (e.key < key)
+      lo = mid + 1;
+    else
+      hi = mid - 1;
+  }
+  if (done != nullptr) *done = true;
+}
+
+sim::Task DisaggKv::Client::read_file_async(std::uint64_t offset, bool* done) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr();
+  wr.length = 64;
+  wr.remote_addr = kv_.data_mr_->addr() + kv_.cfg_.shared_file_off + offset;
+  wr.rkey = kv_.data_mr_->rkey();
+  conn_.qp().post_send(wr);
+  co_await conn_.cq().wait(1);
+  verbs::Wc wc;
+  conn_.cq().poll_one(&wc);
+  ++data_reads_;
+  if (done != nullptr) *done = true;
+}
+
+bool DisaggKv::Client::update_inline(std::uint64_t key,
+                                     const std::vector<std::uint8_t>& value) {
+  if (value.size() > sizeof(KvEntry{}.inline_value)) return false;
+  // Locate the slot (binary search) first.
+  std::int64_t lo = 0, hi = static_cast<std::int64_t>(kv_.loaded_) - 1;
+  std::int64_t slot = -1;
+  KvEntry e{};
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = conn_.local_addr();
+    wr.length = sizeof(KvEntry);
+    wr.remote_addr =
+        kv_.index_mr_->addr() + static_cast<std::uint64_t>(mid) * sizeof(KvEntry);
+    wr.rkey = kv_.index_mr_->rkey();
+    if (sync_op(wr).status != rnic::WcStatus::kSuccess) return false;
+    ++index_reads_;
+    std::memcpy(&e, conn_.client_mr->data(), sizeof e);
+    if (e.key == key) {
+      slot = mid;
+      break;
+    }
+    if (e.key < key)
+      lo = mid + 1;
+    else
+      hi = mid - 1;
+  }
+  if (slot < 0) return false;
+
+  // CAS the version to lock the entry (Sherman-style optimistic update).
+  const std::uint64_t entry_addr =
+      kv_.index_mr_->addr() + static_cast<std::uint64_t>(slot) * sizeof(KvEntry);
+  verbs::SendWr cas;
+  cas.opcode = verbs::WrOpcode::kCmpSwap;
+  cas.local_addr = conn_.local_addr();
+  cas.length = 8;
+  cas.remote_addr = entry_addr + offsetof(KvEntry, version);
+  cas.rkey = kv_.index_mr_->rkey();
+  cas.compare_add = e.version;
+  cas.swap = e.version + 1;
+  const verbs::Wc cwc = sync_op(cas);
+  std::uint64_t old = 0;
+  std::memcpy(&old, conn_.client_mr->data(), 8);
+  if (cwc.status != rnic::WcStatus::kSuccess || old != e.version) return false;
+
+  // Write the new inline value + length.
+  KvEntry updated = e;
+  updated.version = e.version + 1;
+  updated.value_off = ~0ull;
+  updated.value_len = value.size();
+  std::memset(updated.inline_value, 0, sizeof updated.inline_value);
+  std::memcpy(updated.inline_value, value.data(), value.size());
+  std::uint8_t* staging = conn_.client_mr->data();
+  std::memcpy(staging, &updated, sizeof updated);
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaWrite;
+  wr.local_addr = conn_.local_addr();
+  wr.length = sizeof(KvEntry);
+  wr.remote_addr = entry_addr;
+  wr.rkey = kv_.index_mr_->rkey();
+  return sync_op(wr).status == rnic::WcStatus::kSuccess;
+}
+
+}  // namespace ragnar::apps

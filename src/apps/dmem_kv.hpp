@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "verbs/context.hpp"
+
+// Sherman-style disaggregated memory (paper section VI-B): the memory
+// server (MS) passively hosts an ordered 64 B-entry key-value index plus a
+// shared data ("file") region; compute servers (CS) operate on it with
+// one-sided verbs only — READs for lookups, WRITE+CAS for inserts, exactly
+// the access discipline of a write-optimized distributed B+tree leaf level.
+//
+// The paper treats the KV store as a file index over a 1 KB shared file
+// with a 0.01 index:data access ratio; the snoop attack (Fig 13) recovers
+// *which 64 B block of the shared region a victim CS keeps reading*.
+namespace ragnar::apps {
+
+// One 64 B leaf entry of the remote index.
+struct KvEntry {
+  std::uint64_t key;
+  std::uint64_t version;     // bumped by every in-place update
+  std::uint64_t value_off;   // offset of the value in the data region
+  std::uint64_t value_len;
+  std::uint8_t inline_value[32];  // small values live in the entry
+};
+static_assert(sizeof(KvEntry) == 64, "Sherman's KV entries are 64 B");
+
+class DisaggKv {
+ public:
+  struct Config {
+    std::size_t index_entries = 4096;    // leaf level capacity
+    std::uint64_t data_region_len = 64 * 1024;
+    std::uint64_t shared_file_off = 0;   // the paper's 1 KB shared file
+    std::uint64_t shared_file_len = 1024;
+  };
+
+  // Registers MS memory on the testbed server.
+  DisaggKv(revng::Testbed& bed, const Config& cfg);
+
+  const Config& config() const { return cfg_; }
+  verbs::MemoryRegion& index_mr() { return *index_mr_; }
+  verbs::MemoryRegion& data_mr() { return *data_mr_; }
+
+  // Host-side loader (the MS owner populating the store before clients
+  // attach): keys must be inserted in sorted order.
+  void load(std::uint64_t key, const std::vector<std::uint8_t>& value);
+  std::size_t loaded() const { return loaded_; }
+
+  // --- CS-side handle ------------------------------------------------------
+  class Client {
+   public:
+    Client(DisaggKv& kv, std::size_t client_idx, rnic::TrafficClass tc = 0,
+           std::uint32_t queue_depth = 8);
+
+    // One-sided GET: binary search over the remote leaf level (64 B READs),
+    // then a READ of the value bytes.  Returns the value, or nullopt.
+    // Synchronous variant — drives the scheduler until done.
+    std::optional<std::vector<std::uint8_t>> get(std::uint64_t key);
+
+    // Async variant for concurrent actors.
+    sim::Task get_async(std::uint64_t key,
+                        std::optional<std::vector<std::uint8_t>>* out,
+                        bool* done);
+
+    // Direct 64 B READ of the shared data region at `offset` — the victim's
+    // "file access" pattern in the snoop experiment.
+    sim::Task read_file_async(std::uint64_t offset, bool* done);
+
+    // In-place UPDATE of an existing key's inline value via CAS on the
+    // version field + WRITE (write-optimized leaf update, Sherman-style).
+    bool update_inline(std::uint64_t key,
+                       const std::vector<std::uint8_t>& value);
+
+    std::uint64_t index_reads() const { return index_reads_; }
+    std::uint64_t data_reads() const { return data_reads_; }
+
+   private:
+    sim::Task read_entry(std::uint64_t slot, KvEntry* out, bool* done);
+    verbs::Wc sync_op(const verbs::SendWr& wr);
+
+    DisaggKv& kv_;
+    revng::Testbed::Connection conn_;
+    std::uint64_t index_reads_ = 0;
+    std::uint64_t data_reads_ = 0;
+  };
+
+ private:
+  friend class Client;
+  revng::Testbed& bed_;
+  Config cfg_;
+  std::unique_ptr<verbs::ProtectionDomain> ms_pd_;
+  std::unique_ptr<verbs::MemoryRegion> index_mr_;
+  std::unique_ptr<verbs::MemoryRegion> data_mr_;
+  std::size_t loaded_ = 0;
+  std::uint64_t next_value_off_;
+};
+
+}  // namespace ragnar::apps

@@ -1,0 +1,268 @@
+#include "apps/shufflejoin.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ragnar::apps {
+
+std::uint64_t row_hash(std::uint64_t key) {
+  std::uint64_t x = key;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+ShuffleJoin::ShuffleJoin(revng::Testbed& bed, const Config& cfg)
+    : bed_(bed), cfg_(cfg), rng_(cfg.seed) {
+  conn_ = bed_.connect(cfg_.client_idx, /*qp_count=*/2, cfg_.queue_depth,
+                       cfg_.tc, /*client_buf_len=*/4u << 20);
+  join_cq_ = bed_.client(cfg_.client_idx).create_cq();
+  verbs::QueuePair::Config qcfg;
+  qcfg.max_send_wr = cfg_.queue_depth;
+  qcfg.tc = cfg_.tc;
+  join_qp_ = std::make_unique<verbs::QueuePair>(*conn_.client_pd, *join_cq_,
+                                                qcfg);
+  join_server_qp_ = std::make_unique<verbs::QueuePair>(*conn_.server_pd,
+                                                       *conn_.server_cq, qcfg);
+  join_qp_->connect(*join_server_qp_);
+  const std::uint64_t exchange_len =
+      cfg_.partitions * cfg_.rows_per_round * sizeof(Row);
+  exchange_mr_ = conn_.server_pd->register_mr(exchange_len);
+  const std::uint64_t probe_len = 8ull * cfg_.rows_per_round * sizeof(Row);
+  probe_mr_ = conn_.server_pd->register_mr(probe_len);
+
+  // Local worker table: random keys in a bounded domain so joins match.
+  local_rows_.resize(cfg_.rows_per_round);
+  for (std::size_t i = 0; i < local_rows_.size(); ++i) {
+    local_rows_[i].key = rng_.uniform_u64(cfg_.rows_per_round * 4);
+    std::memset(local_rows_[i].payload, static_cast<int>(i & 0xff),
+                sizeof local_rows_[i].payload);
+  }
+  // Server-side probe table, materialized directly into the MR backing
+  // store (the DBMS loaded it earlier).
+  const std::size_t probe_rows = probe_len / sizeof(Row);
+  probe_reference_.resize(probe_rows);
+  for (std::size_t i = 0; i < probe_rows; ++i) {
+    probe_reference_[i].key = rng_.uniform_u64(cfg_.rows_per_round * 4);
+    std::memset(probe_reference_[i].payload, static_cast<int>(i & 0xff),
+                sizeof probe_reference_[i].payload);
+  }
+  std::memcpy(probe_mr_->data(), probe_reference_.data(),
+              probe_rows * sizeof(Row));
+}
+
+sim::Task ShuffleJoin::write_chunk(std::uint64_t local_off,
+                                   std::uint64_t remote_off,
+                                   std::uint32_t bytes) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaWrite;
+  wr.local_addr = conn_.local_addr() + local_off;
+  wr.length = bytes;
+  wr.remote_addr = exchange_mr_->addr() + remote_off;
+  wr.rkey = exchange_mr_->rkey();
+  while (conn_.qp(0).post_send(wr) != verbs::PostResult::kOk) {
+    co_await conn_.cq().wait(1);
+    verbs::Wc wc;
+    while (conn_.cq().poll_one(&wc)) {
+    }
+  }
+}
+
+sim::Task ShuffleJoin::read_chunk(std::uint64_t local_off,
+                                  std::uint64_t remote_off,
+                                  std::uint32_t bytes) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr() + join_staging_off_ + local_off;
+  wr.length = bytes;
+  wr.remote_addr = probe_mr_->addr() + remote_off;
+  wr.rkey = probe_mr_->rkey();
+  while (join_qp_->post_send(wr) != verbs::PostResult::kOk) {
+    co_await join_cq_->wait(1);
+    verbs::Wc wc;
+    while (join_cq_->poll_one(&wc)) {
+    }
+  }
+}
+
+void ShuffleJoin::start_shuffle(std::size_t rounds) {
+  ++running_;
+  bed_.sched().spawn(shuffle_actor(rounds));
+}
+
+void ShuffleJoin::start_join(std::size_t rounds) {
+  ++running_;
+  bed_.sched().spawn(join_actor(rounds));
+}
+
+void ShuffleJoin::start_scan(std::size_t rounds) {
+  ++running_;
+  bed_.sched().spawn(scan_actor(rounds));
+}
+
+sim::Task ShuffleJoin::scan_actor(std::size_t rounds) {
+  verbs::Wc wc;
+  rows_scanned_ = 0;
+  scan_checksum_ = 0;
+  // Large sequential reads, pipelined, no compute pauses: the third
+  // fingerprintable traffic shape (sustained read-direction pressure).
+  const std::uint32_t chunk_bytes =
+      static_cast<std::uint32_t>(8 * cfg_.chunk_rows * sizeof(Row));
+  const std::uint64_t total_bytes = probe_reference_.size() * sizeof(Row);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::uint64_t off = 0;
+    while (off < total_bytes) {
+      const std::uint32_t n =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(
+              chunk_bytes, total_bytes - off));
+      co_await read_chunk(0, off, n);
+      while (join_qp_->outstanding() > 0) {
+        co_await join_cq_->wait(1);
+        while (join_cq_->poll_one(&wc)) {
+        }
+      }
+      const Row* rows = reinterpret_cast<const Row*>(
+          bed_.client(cfg_.client_idx)
+              .resolve_local(conn_.local_addr() + join_staging_off_, n));
+      for (std::uint32_t i = 0; i < n / sizeof(Row); ++i) {
+        scan_checksum_ ^= row_hash(rows[i].key);
+        ++rows_scanned_;
+      }
+      off += n;
+    }
+  }
+  --running_;
+}
+
+std::uint64_t ShuffleJoin::expected_scan_checksum() const {
+  // Each full pass XORs every row hash; an even number of passes cancels.
+  const std::uint64_t passes =
+      probe_reference_.empty() ? 0 : rows_scanned_ / probe_reference_.size();
+  if (passes % 2 == 0) return 0;
+  std::uint64_t sum = 0;
+  for (const Row& r : probe_reference_) sum ^= row_hash(r.key);
+  return sum;
+}
+
+sim::Task ShuffleJoin::shuffle_actor(std::size_t rounds) {
+  auto& sched = bed_.sched();
+  verbs::Wc wc;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Partition locally (CPU) into the staging buffer, partition by
+    // partition, then stream each partition to its exchange slot.
+    partition_reference_.assign(cfg_.partitions, {});
+    for (const Row& r : local_rows_) {
+      partition_reference_[row_hash(r.key) % cfg_.partitions].push_back(r);
+    }
+    co_await sched.sleep(static_cast<sim::SimDur>(local_rows_.size()) *
+                         cfg_.compute_per_row);
+
+    std::uint64_t remote_base = 0;
+    for (std::size_t p = 0; p < cfg_.partitions; ++p) {
+      const auto& part = partition_reference_[p];
+      // Stage this partition contiguously in the client buffer.
+      std::uint8_t* staging = bed_.client(cfg_.client_idx)
+                                  .resolve_local(conn_.local_addr(),
+                                                 static_cast<std::uint32_t>(
+                                                     part.size() * sizeof(Row)));
+      std::memcpy(staging, part.data(), part.size() * sizeof(Row));
+      remote_base = p * cfg_.rows_per_round * sizeof(Row);
+
+      std::size_t sent_rows = 0;
+      while (sent_rows < part.size()) {
+        const std::size_t n = std::min(cfg_.chunk_rows, part.size() - sent_rows);
+        co_await write_chunk(sent_rows * sizeof(Row),
+                             remote_base + sent_rows * sizeof(Row),
+                             static_cast<std::uint32_t>(n * sizeof(Row)));
+        sent_rows += n;
+        rows_shuffled_ += n;
+      }
+      // Drain outstanding writes before re-using the staging buffer.
+      while (conn_.qp(0).outstanding() > 0) {
+        co_await conn_.cq().wait(1);
+        while (conn_.cq().poll_one(&wc)) {
+        }
+      }
+    }
+    co_await sched.sleep(cfg_.round_barrier);
+  }
+  --running_;
+}
+
+sim::Task ShuffleJoin::join_actor(std::size_t rounds) {
+  auto& sched = bed_.sched();
+  verbs::Wc wc;
+
+  // Build phase: local hash table over the first join_build_rows keys.
+  std::unordered_multimap<std::uint64_t, std::size_t> build;
+  for (std::size_t i = 0; i < cfg_.join_build_rows && i < local_rows_.size();
+       ++i) {
+    build.emplace(local_rows_[i].key, i);
+  }
+  co_await sched.sleep(static_cast<sim::SimDur>(cfg_.join_build_rows) *
+                       cfg_.compute_per_row);
+
+  join_matches_ = 0;
+  const std::size_t probe_rows = probe_reference_.size();
+  const std::size_t batches_per_round =
+      (probe_rows / rounds) / cfg_.join_batch_rows;
+
+  std::size_t next_row = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t b = 0; b < std::max<std::size_t>(batches_per_round, 1);
+         ++b) {
+      const std::size_t n =
+          std::min(cfg_.join_batch_rows, probe_rows - next_row);
+      if (n == 0) break;
+      co_await read_chunk(0, next_row * sizeof(Row),
+                          static_cast<std::uint32_t>(n * sizeof(Row)));
+      // Wait for the batch to land before probing it.
+      while (join_qp_->outstanding() > 0) {
+        co_await join_cq_->wait(1);
+        while (join_cq_->poll_one(&wc)) {
+        }
+      }
+      // Probe the fetched batch against the build table.
+      const Row* batch = reinterpret_cast<const Row*>(
+          bed_.client(cfg_.client_idx)
+              .resolve_local(conn_.local_addr() + join_staging_off_,
+                             static_cast<std::uint32_t>(n * sizeof(Row))));
+      for (std::size_t i = 0; i < n; ++i) {
+        join_matches_ += build.count(batch[i].key);
+      }
+      co_await sched.sleep(static_cast<sim::SimDur>(n) * cfg_.compute_per_row);
+      next_row += n;
+      rows_probed_ = next_row;
+    }
+    co_await sched.sleep(cfg_.round_barrier);
+  }
+  --running_;
+}
+
+std::uint64_t ShuffleJoin::expected_join_matches() const {
+  std::unordered_multimap<std::uint64_t, std::size_t> build;
+  for (std::size_t i = 0; i < cfg_.join_build_rows && i < local_rows_.size();
+       ++i) {
+    build.emplace(local_rows_[i].key, i);
+  }
+  std::uint64_t matches = 0;
+  for (std::size_t i = 0; i < rows_probed_ && i < probe_reference_.size(); ++i)
+    matches += build.count(probe_reference_[i].key);
+  return matches;
+}
+
+bool ShuffleJoin::verify_shuffle_partitions() const {
+  for (std::size_t p = 0; p < partition_reference_.size(); ++p) {
+    const auto& part = partition_reference_[p];
+    const std::uint8_t* remote =
+        exchange_mr_->data() + p * cfg_.rows_per_round * sizeof(Row);
+    if (std::memcmp(remote, part.data(), part.size() * sizeof(Row)) != 0)
+      return false;
+  }
+  return !partition_reference_.empty();
+}
+
+}  // namespace ragnar::apps

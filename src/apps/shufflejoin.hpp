@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "verbs/context.hpp"
+
+// A miniature RDMA distributed-database engine: the shuffle and hash-join
+// operators the paper's Grain-II side channel fingerprints (section VI-A,
+// Fig 12).  Rows are 64 B tuples; a worker client exchanges partitions with
+// a server-hosted exchange region via one-sided verbs:
+//
+//   * SHUFFLE — hash-partition the local table and stream every partition
+//     to the exchange region in bulk WRITE chunks: sustained, network-bound
+//     traffic (the attacker sees a plateau-shaped bandwidth drop).
+//   * JOIN — build a local hash table, then probe in rounds: READ a batch
+//     of probe rows from the server, then compute on them (hash probing),
+//     then the next batch: bursty traffic (a tooth-shaped pattern).
+//
+// The operators are real: the shuffle's partitions land byte-exact in the
+// exchange region and the join reports the true match count; tests verify
+// both against a host-side reference.
+namespace ragnar::apps {
+
+struct Row {
+  std::uint64_t key;
+  std::uint8_t payload[56];
+};
+static_assert(sizeof(Row) == 64, "the paper's tuples are 64 B");
+
+std::uint64_t row_hash(std::uint64_t key);
+
+class ShuffleJoin {
+ public:
+  struct Config {
+    std::size_t client_idx = 0;
+    rnic::TrafficClass tc = 0;
+    std::size_t partitions = 4;
+    std::size_t rows_per_round = 16384;    // 1 MB of tuples per round
+    std::size_t chunk_rows = 512;          // 32 KB I/O granularity
+    std::size_t join_build_rows = 2048;
+    std::size_t join_batch_rows = 512;     // probe batch (32 KB READ)
+    sim::SimDur compute_per_row = sim::ns(25);   // hash/probe CPU cost
+    sim::SimDur round_barrier = sim::us(60);     // inter-round sync
+    std::uint32_t queue_depth = 8;
+    std::uint64_t seed = 42;
+  };
+
+  ShuffleJoin(revng::Testbed& bed, const Config& cfg);
+
+  // Run `rounds` shuffle rounds starting now; `done()` reports completion.
+  void start_shuffle(std::size_t rounds);
+  // Run `rounds` join rounds (build once, probe in batches per round).
+  void start_join(std::size_t rounds);
+  // Full table scan: stream the probe table in large sequential READs with
+  // no per-batch compute pauses (a third operator class for the
+  // fingerprinting attack).
+  void start_scan(std::size_t rounds);
+  bool done() const { return running_ == 0; }
+
+  // Verification hooks.
+  std::uint64_t join_matches() const { return join_matches_; }
+  std::uint64_t rows_shuffled() const { return rows_shuffled_; }
+  std::uint64_t rows_scanned() const { return rows_scanned_; }
+  // Checksum over scanned rows, verifiable against the probe table.
+  std::uint64_t scan_checksum() const { return scan_checksum_; }
+  std::uint64_t expected_scan_checksum() const;
+  // Host-side reference for the last join configuration.
+  std::uint64_t expected_join_matches() const;
+  // Check the exchange region holds exactly the partitioned rows.
+  bool verify_shuffle_partitions() const;
+
+ private:
+  sim::Task shuffle_actor(std::size_t rounds);
+  sim::Task join_actor(std::size_t rounds);
+  sim::Task scan_actor(std::size_t rounds);
+  sim::Task write_chunk(std::uint64_t local_off, std::uint64_t remote_off,
+                        std::uint32_t bytes);
+  sim::Task read_chunk(std::uint64_t local_off, std::uint64_t remote_off,
+                       std::uint32_t bytes);
+
+  revng::Testbed& bed_;
+  Config cfg_;
+  sim::Xoshiro256 rng_;
+  revng::Testbed::Connection conn_;
+  // The join operator owns its own QP/CQ and the upper half of the staging
+  // buffer so shuffle and join can run concurrently (separate completion
+  // streams, disjoint staging).
+  std::unique_ptr<verbs::CompletionQueue> join_cq_;
+  std::unique_ptr<verbs::QueuePair> join_qp_;
+  std::unique_ptr<verbs::QueuePair> join_server_qp_;
+  std::uint64_t join_staging_off_ = 2u << 20;
+  std::unique_ptr<verbs::MemoryRegion> exchange_mr_;  // server side
+  std::unique_ptr<verbs::MemoryRegion> probe_mr_;     // server-side probe table
+
+  std::vector<Row> local_rows_;      // worker's table (shuffle input)
+  std::vector<Row> probe_reference_; // content of probe_mr_ (for verification)
+  std::vector<std::vector<Row>> partition_reference_;
+  int running_ = 0;
+  std::uint64_t join_matches_ = 0;
+  std::uint64_t rows_shuffled_ = 0;
+  std::size_t rows_probed_ = 0;
+  std::uint64_t rows_scanned_ = 0;
+  std::uint64_t scan_checksum_ = 0;
+};
+
+}  // namespace ragnar::apps

@@ -1,0 +1,44 @@
+#include "apps/workload.hpp"
+
+#include <cmath>
+
+namespace ragnar::apps {
+
+ZipfianGenerator::ZipfianGenerator(std::size_t n, double theta,
+                                   sim::Xoshiro256 rng)
+    : n_(n ? n : 1), theta_(theta), rng_(rng) {
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::size_t n, double theta) const {
+  double sum = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::size_t ZipfianGenerator::next_rank() {
+  const double u = rng_.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianGenerator::hot_mass() const { return 1.0 / zetan_; }
+
+std::vector<std::size_t> sample_histogram(ZipfianGenerator& gen,
+                                          std::size_t samples) {
+  std::vector<std::size_t> hist(gen.n(), 0);
+  for (std::size_t i = 0; i < samples; ++i) ++hist[gen.next_rank()];
+  return hist;
+}
+
+}  // namespace ragnar::apps

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+// YCSB-style workload generators for the application substrates: uniform
+// and Zipfian key choice (the skew behind "access hotspots in key-value
+// stores", which section VI's intro motivates as the privacy leak).
+namespace ragnar::apps {
+
+// Zipfian generator over [0, n) with parameter theta (YCSB default 0.99),
+// using the Gray et al. rejection-free inverse-CDF construction.  rank 0 is
+// the hottest item; use `rank_to_item` to scatter ranks over concrete keys.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::size_t n, double theta, sim::Xoshiro256 rng);
+
+  // Draw a rank in [0, n): 0 is drawn most often.
+  std::size_t next_rank();
+  std::size_t n() const { return n_; }
+  // Probability mass of rank 0 (how hot the hotspot is).
+  double hot_mass() const;
+
+ private:
+  double zeta(std::size_t n, double theta) const;
+
+  std::size_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+  sim::Xoshiro256 rng_;
+};
+
+// Histogram helper: draw `samples` ranks and count hits per rank.
+std::vector<std::size_t> sample_histogram(ZipfianGenerator& gen,
+                                          std::size_t samples);
+
+}  // namespace ragnar::apps

@@ -1,0 +1,63 @@
+#include "covert/common.hpp"
+#include <algorithm>
+
+namespace ragnar::covert {
+
+std::vector<int> random_bits(std::size_t n, sim::Xoshiro256& rng) {
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+std::vector<int> bits_from_string(const std::string& s) {
+  std::vector<int> bits;
+  for (char c : s) {
+    if (c == '0' || c == '1') bits.push_back(c - '0');
+  }
+  return bits;
+}
+
+std::string bits_to_string(const std::vector<int>& bits) {
+  std::string s;
+  for (int b : bits) s += static_cast<char>('0' + (b ? 1 : 0));
+  return s;
+}
+
+namespace {
+double median_of(std::vector<double> v, double fallback) {
+  if (v.empty()) return fallback;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+}  // namespace
+
+std::vector<int> ThresholdDecoder::decode(
+    const std::vector<double>& window_means,
+    const std::vector<int>& calibration, double* threshold_out,
+    bool* one_is_high_out) {
+  // Learn the two levels from the known calibration windows.  Medians, not
+  // means: bystander traffic bursts are impulse noise that would otherwise
+  // drag the learned levels around.
+  std::vector<double> ones, zeros;
+  const std::size_t ncal = std::min(calibration.size(), window_means.size());
+  for (std::size_t i = 0; i < ncal; ++i) {
+    (calibration[i] ? ones : zeros).push_back(window_means[i]);
+  }
+  const double level1 = median_of(std::move(ones), 1.0);
+  const double level0 = median_of(std::move(zeros), 0.0);
+  const double threshold = (level1 + level0) / 2.0;
+  const bool one_is_high = level1 >= level0;
+  if (threshold_out != nullptr) *threshold_out = threshold;
+  if (one_is_high_out != nullptr) *one_is_high_out = one_is_high;
+
+  std::vector<int> out;
+  out.reserve(window_means.size() - ncal);
+  for (std::size_t i = ncal; i < window_means.size(); ++i) {
+    const bool high = window_means[i] >= threshold;
+    out.push_back(high == one_is_high ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace ragnar::covert

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+// Shared covert-channel plumbing: bit generation, framing, and the
+// bandwidth/error accounting behind Table V.
+namespace ragnar::covert {
+
+std::vector<int> random_bits(std::size_t n, sim::Xoshiro256& rng);
+std::vector<int> bits_from_string(const std::string& s);  // "1101..." -> bits
+std::string bits_to_string(const std::vector<int>& bits);
+
+// Outcome of one covert transmission.
+struct ChannelRun {
+  std::vector<int> sent;
+  std::vector<int> received;
+  sim::SimDur elapsed = 0;          // time spent on payload bits
+  std::vector<double> rx_metric;    // per-bit receiver observable (for plots)
+  double threshold = 0;             // decoder threshold after calibration
+
+  double error_rate() const {
+    if (sent.empty()) return 1.0;
+    std::size_t err = 0;
+    const std::size_t n = std::min(sent.size(), received.size());
+    for (std::size_t i = 0; i < n; ++i) err += (sent[i] != received[i]);
+    err += sent.size() - n;  // missing bits count as errors
+    return static_cast<double>(err) / static_cast<double>(sent.size());
+  }
+  double raw_bps() const {
+    return elapsed ? static_cast<double>(sent.size()) / sim::to_sec(elapsed)
+                   : 0.0;
+  }
+  // Table V's "effective bandwidth": raw * (1 - H2(error)).
+  double effective_bps() const {
+    return sim::effective_bandwidth(raw_bps(), error_rate());
+  }
+};
+
+// Threshold decoder: per-bit window means against a midpoint threshold
+// learned from a known alternating calibration prefix.
+struct ThresholdDecoder {
+  // `window_means[i]` is the receiver metric in bit-window i; the first
+  // `calibration.size()` windows carry the known calibration pattern.
+  // `one_is_high` is learned from calibration (covert channels may invert).
+  static std::vector<int> decode(const std::vector<double>& window_means,
+                                 const std::vector<int>& calibration,
+                                 double* threshold_out = nullptr,
+                                 bool* one_is_high_out = nullptr);
+};
+
+}  // namespace ragnar::covert

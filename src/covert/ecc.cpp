@@ -1,0 +1,110 @@
+#include "covert/ecc.hpp"
+
+namespace ragnar::covert {
+
+namespace {
+
+// Codeword layout: [p1 p2 d1 p3 d2 d3 d4] (positions 1..7); parity bit p_i
+// covers positions whose index has bit i set.
+void encode_nibble(const int d[4], std::vector<int>* out) {
+  const int d1 = d[0], d2 = d[1], d3 = d[2], d4 = d[3];
+  const int p1 = d1 ^ d2 ^ d4;
+  const int p2 = d1 ^ d3 ^ d4;
+  const int p3 = d2 ^ d3 ^ d4;
+  out->push_back(p1);
+  out->push_back(p2);
+  out->push_back(d1);
+  out->push_back(p3);
+  out->push_back(d2);
+  out->push_back(d3);
+  out->push_back(d4);
+}
+
+}  // namespace
+
+std::vector<int> hamming74_encode(const std::vector<int>& data) {
+  std::vector<int> out;
+  out.reserve((data.size() + 3) / 4 * 7);
+  int nibble[4];
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      nibble[j] = i + j < data.size() ? data[i + j] : 0;
+    }
+    encode_nibble(nibble, &out);
+  }
+  return out;
+}
+
+std::vector<int> hamming74_decode(const std::vector<int>& coded,
+                                  std::size_t* corrected_out) {
+  std::vector<int> out;
+  out.reserve(coded.size() / 7 * 4);
+  std::size_t corrected = 0;
+  for (std::size_t i = 0; i + 7 <= coded.size(); i += 7) {
+    int c[8] = {0};  // 1-indexed
+    for (int j = 0; j < 7; ++j) c[j + 1] = coded[i + static_cast<std::size_t>(j)];
+    const int s1 = c[1] ^ c[3] ^ c[5] ^ c[7];
+    const int s2 = c[2] ^ c[3] ^ c[6] ^ c[7];
+    const int s3 = c[4] ^ c[5] ^ c[6] ^ c[7];
+    const int syndrome = s1 + 2 * s2 + 4 * s3;
+    if (syndrome != 0) {
+      c[syndrome] ^= 1;
+      ++corrected;
+    }
+    out.push_back(c[3]);
+    out.push_back(c[5]);
+    out.push_back(c[6]);
+    out.push_back(c[7]);
+  }
+  if (corrected_out != nullptr) *corrected_out = corrected;
+  return out;
+}
+
+std::vector<int> interleave(const std::vector<int>& bits, std::size_t depth) {
+  if (depth <= 1) return bits;
+  const std::size_t cols = (bits.size() + depth - 1) / depth;
+  std::vector<int> padded = bits;
+  padded.resize(depth * cols, 0);
+  std::vector<int> out;
+  out.reserve(padded.size());
+  // Write row-major, read column-major.
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      out.push_back(padded[r * cols + c]);
+    }
+  }
+  return out;
+}
+
+std::vector<int> deinterleave(const std::vector<int>& bits,
+                              std::size_t depth) {
+  if (depth <= 1) return bits;
+  const std::size_t cols = bits.size() / depth;
+  std::vector<int> out(depth * cols, 0);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      if (idx < bits.size()) out[r * cols + c] = bits[idx++];
+    }
+  }
+  return out;
+}
+
+EccRun transmit_with_ecc(
+    const std::function<ChannelRun(const std::vector<int>&)>& transmit,
+    const std::vector<int>& data, std::size_t interleave_depth) {
+  EccRun run;
+  run.data_sent = data;
+  const std::vector<int> coded = hamming74_encode(data);
+  const std::vector<int> wire = interleave(coded, interleave_depth);
+  run.raw = transmit(wire);
+  std::vector<int> received = run.raw.received;
+  received.resize(wire.size(), 0);  // missing tail counts as zeros
+  const std::vector<int> de = deinterleave(received, interleave_depth);
+  std::vector<int> decoded = hamming74_decode(de, &run.codewords_corrected);
+  decoded.resize(data.size(), 0);  // drop codeword padding
+  run.data_recovered = std::move(decoded);
+  return run;
+}
+
+}  // namespace ragnar::covert

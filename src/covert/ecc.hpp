@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "covert/common.hpp"
+
+// Error-corrected covert framing — a natural extension of the paper's
+// channels (its Table V reports raw error rates of 4-8%; a real exfiltration
+// tool would add coding).  Two classic pieces:
+//
+//   * Hamming(7,4): 4 data bits -> 7 coded bits, corrects any single bit
+//     error per codeword (rate 0.571).
+//   * Block interleaving: the dominant noise on these channels is *bursty*
+//     (a bystander's traffic burst corrupts consecutive bit windows);
+//     interleaving with depth d spreads a burst of <= d corrupted symbols
+//     across d different codewords, converting burst errors into the
+//     single-bit errors Hamming can fix.
+namespace ragnar::covert {
+
+// Encode data bits (padded to a multiple of 4 with zeros) into Hamming(7,4)
+// codewords.
+std::vector<int> hamming74_encode(const std::vector<int>& data);
+
+// Decode; single-bit errors per codeword are corrected.  `corrected_out`
+// counts corrected codewords; trailing pad bits are kept (callers know
+// their payload length).
+std::vector<int> hamming74_decode(const std::vector<int>& coded,
+                                  std::size_t* corrected_out = nullptr);
+
+// Row-column block interleaver of the given depth (rows).  Pads with zeros
+// to a full block; deinterleave returns exactly the padded length.
+std::vector<int> interleave(const std::vector<int>& bits, std::size_t depth);
+std::vector<int> deinterleave(const std::vector<int>& bits,
+                              std::size_t depth);
+
+// Result of an ECC-framed transmission over a raw covert channel.
+struct EccRun {
+  ChannelRun raw;                // the underlying channel run (coded bits)
+  std::vector<int> data_sent;
+  std::vector<int> data_recovered;
+  std::size_t codewords_corrected = 0;
+
+  double residual_error() const {
+    if (data_sent.empty()) return 1.0;
+    std::size_t err = 0;
+    for (std::size_t i = 0; i < data_sent.size(); ++i) {
+      if (i >= data_recovered.size() || data_sent[i] != data_recovered[i])
+        ++err;
+    }
+    return static_cast<double>(err) / static_cast<double>(data_sent.size());
+  }
+  // Data bits per second actually delivered (coding overhead included).
+  double goodput_bps() const {
+    return raw.elapsed ? static_cast<double>(data_sent.size()) /
+                             sim::to_sec(raw.elapsed)
+                       : 0.0;
+  }
+};
+
+// Transmit `data` over any channel exposed as a transmit-callable, with
+// Hamming(7,4) + depth-`interleave_depth` interleaving.
+EccRun transmit_with_ecc(
+    const std::function<ChannelRun(const std::vector<int>&)>& transmit,
+    const std::vector<int>& data, std::size_t interleave_depth = 8);
+
+}  // namespace ragnar::covert

@@ -1,0 +1,114 @@
+#include "covert/priority_channel.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+namespace ragnar::covert {
+
+PriorityCovertChannel::PriorityCovertChannel(const PriorityChannelConfig& cfg)
+    : cfg_(cfg), bed_(cfg.model, cfg.seed, /*clients=*/2) {
+  tx_conn_ = bed_.connect(0, cfg_.tx_qp_num, cfg_.tx_depth, /*tc=*/0,
+                          /*client_buf_len=*/1u << 16);
+  tx_mr_ = tx_conn_.server_pd->register_mr(1u << 20);
+  rx_conn_ = bed_.connect(1, /*qp_count=*/2, cfg_.rx_depth, /*tc=*/1);
+  rx_mr_ = rx_conn_.server_pd->register_mr(1u << 20);
+  telemetry::set_ets_50_50(bed_.server().device());
+}
+
+int PriorityCovertChannel::current_bit(sim::SimTime t) const {
+  if (t < t0_) return frame_.empty() ? 0 : frame_.front();
+  const std::size_t idx =
+      static_cast<std::size_t>((t - t0_) / cfg_.counter_interval);
+  return frame_[std::min(idx, frame_.size() - 1)];
+}
+
+bool PriorityCovertChannel::tx_post_one() {
+  const int bit = current_bit(bed_.sched().now());
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaWrite;
+  wr.local_addr = tx_conn_.local_addr();
+  wr.length = bit ? cfg_.bit1_write_size : cfg_.bit0_write_size;
+  wr.remote_addr = tx_mr_->addr();
+  wr.rkey = tx_mr_->rkey();
+  verbs::QueuePair& qp =
+      tx_conn_.qp(++tx_alternator_ % tx_conn_.client_qps.size());
+  return qp.post_send(wr) == verbs::PostResult::kOk;
+}
+
+bool PriorityCovertChannel::rx_post_one() {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = rx_conn_.local_addr();
+  wr.length = cfg_.rx_read_size;
+  wr.remote_addr = rx_mr_->addr();
+  wr.rkey = rx_mr_->rkey();
+  verbs::QueuePair& qp = rx_conn_.qp(++rx_alternator_ % 2);
+  return qp.post_send(wr) == verbs::PostResult::kOk;
+}
+
+sim::Task PriorityCovertChannel::tx_actor() {
+  auto& sched = bed_.sched();
+  // Keep all QPs saturated; re-fill on every completion.
+  while (tx_post_one()) {
+  }
+  verbs::Wc wc;
+  while (sched.now() < t_end_) {
+    co_await tx_conn_.cq().wait(1);
+    while (tx_conn_.cq().poll_one(&wc)) {
+      if (sched.now() < t_end_) tx_post_one();
+    }
+  }
+  tx_done_ = true;
+}
+
+sim::Task PriorityCovertChannel::rx_actor() {
+  auto& sched = bed_.sched();
+  while (rx_post_one()) {
+  }
+  verbs::Wc wc;
+  while (sched.now() < t_end_) {
+    co_await rx_conn_.cq().wait(1);
+    while (rx_conn_.cq().poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess && wc.completed_at >= t0_ &&
+          wc.completed_at < t_end_) {
+        const std::size_t w = static_cast<std::size_t>(
+            (wc.completed_at - t0_) / cfg_.counter_interval);
+        if (w < rx_bw_series_.size()) {
+          rx_bw_series_[w] += static_cast<double>(wc.byte_len) * 8.0 / 1e9 /
+                              sim::to_sec(cfg_.counter_interval);
+        }
+      }
+      if (sched.now() < t_end_) rx_post_one();
+    }
+  }
+  rx_done_ = true;
+}
+
+ChannelRun PriorityCovertChannel::transmit(const std::vector<int>& payload) {
+  std::vector<int> calibration(cfg_.calibration_bits);
+  for (std::size_t i = 0; i < calibration.size(); ++i)
+    calibration[i] = static_cast<int>(i & 1);
+  frame_ = calibration;
+  frame_.insert(frame_.end(), payload.begin(), payload.end());
+
+  tx_done_ = rx_done_ = false;
+  rx_bw_series_.assign(frame_.size(), 0.0);
+  t0_ = bed_.sched().now() + sim::us(50);
+  t_end_ = t0_ + cfg_.counter_interval * frame_.size();
+  bed_.sched().spawn(tx_actor());
+  bed_.sched().spawn(rx_actor());
+  bed_.sched().run_while([&] { return !(tx_done_ && rx_done_); });
+
+  ChannelRun run;
+  run.sent = payload;
+  run.received = ThresholdDecoder::decode(rx_bw_series_, calibration,
+                                          &run.threshold, nullptr);
+  run.elapsed = cfg_.counter_interval * payload.size();
+  run.rx_metric.assign(
+      rx_bw_series_.begin() + static_cast<std::ptrdiff_t>(calibration.size()),
+      rx_bw_series_.end());
+  return run;
+}
+
+}  // namespace ragnar::covert

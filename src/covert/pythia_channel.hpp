@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "covert/common.hpp"
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "verbs/context.hpp"
+
+// Pythia-style *persistent*-channel baseline (Tsai et al., USENIX Security
+// 2019) — the state of the art Ragnar compares against (20 Kbps on CX-5;
+// Ragnar's inter-MR channel is ~3.2x faster there).
+//
+// Pythia is a cache attack on RNIC on-board state: the receiver times one
+// READ to a probe page of a 4 KB-paged MR (MTT-cache hit = fast, miss =
+// slow); the sender either evicts the probe page's MTT set (bit 1) by
+// reading an eviction set of same-set pages, or idles (bit 0).  The round
+// time is dominated by the eviction sweep — that, not NIC speed, caps the
+// bandwidth, which is exactly why the volatile channels win.
+namespace ragnar::covert {
+
+struct PythiaConfig {
+  rnic::DeviceModel model = rnic::DeviceModel::kCX5;
+  std::uint64_t seed = 1;
+  std::uint32_t probe_read_size = 8;
+  // Eviction set size: mtt_ways + slack same-set pages.
+  std::uint32_t eviction_slack = 2;
+  std::size_t calibration_bits = 8;
+};
+
+class PythiaCovertChannel {
+ public:
+  explicit PythiaCovertChannel(const PythiaConfig& cfg);
+  const PythiaConfig& config() const { return cfg_; }
+
+  ChannelRun transmit(const std::vector<int>& payload);
+
+ private:
+  sim::Task run_protocol();
+  verbs::Wc do_read(revng::Testbed::Connection& conn,
+                    std::uint64_t remote_addr, verbs::MemoryRegion& mr);
+
+  PythiaConfig cfg_;
+  revng::Testbed bed_;
+  revng::Testbed::Connection tx_conn_;
+  revng::Testbed::Connection rx_conn_;
+  // One shared 4 KB-paged MR on the server: the probe page and the eviction
+  // set live in it.
+  std::unique_ptr<verbs::MemoryRegion> mr_;
+  std::vector<std::uint64_t> eviction_offsets_;
+  std::uint64_t probe_offset_ = 0;
+
+  std::vector<int> frame_;
+  std::vector<double> probe_lat_ns_;
+  bool done_ = false;
+  sim::SimDur elapsed_ = 0;
+};
+
+}  // namespace ragnar::covert

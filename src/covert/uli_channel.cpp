@@ -1,0 +1,267 @@
+#include "covert/uli_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ragnar::covert {
+
+UliChannelConfig UliChannelConfig::best_for(rnic::DeviceModel model,
+                                            UliChannelKind kind,
+                                            std::uint64_t seed) {
+  UliChannelConfig cfg;
+  cfg.model = model;
+  cfg.kind = kind;
+  cfg.seed = seed;
+  if (kind == UliChannelKind::kInterMr) {
+    // Paper footnote 10: 512 B / 64 B / 512 B reads; SQ 10 / 6 / 6.
+    // Ambient intensities are calibrated so error rates land in Table V's
+    // 4-8% band (each testbed host has its own noise floor, Table II).
+    switch (model) {
+      case rnic::DeviceModel::kCX4:
+        cfg.tx_read_size = cfg.rx_read_size = 512;
+        cfg.tx_queue_depth = cfg.rx_queue_depth = 10;
+        cfg.bit_period = sim::us(30);
+        cfg.ambient_intensity = 0.05;
+        break;
+      case rnic::DeviceModel::kCX5:
+        cfg.tx_read_size = cfg.rx_read_size = 64;
+        cfg.tx_queue_depth = cfg.rx_queue_depth = 6;
+        cfg.bit_period = sim::us(15);
+        cfg.ambient_intensity = 0.12;
+        break;
+      case rnic::DeviceModel::kCX6:
+        cfg.tx_read_size = cfg.rx_read_size = 512;
+        cfg.tx_queue_depth = cfg.rx_queue_depth = 6;
+        cfg.bit_period = sim::us(11.5);
+        cfg.ambient_intensity = 1.0;
+        break;
+    }
+  } else {
+    // Paper footnote 11: 512 B reads, SQ 8; offsets 0/255 (CX-4/5),
+    // 0/257 (CX-6).
+    cfg.tx_read_size = cfg.rx_read_size = 512;
+    cfg.tx_queue_depth = cfg.rx_queue_depth = 8;
+    cfg.bit0_offset = 0;
+    switch (model) {
+      case rnic::DeviceModel::kCX4:
+        cfg.bit1_offset = 255;
+        cfg.bit_period = sim::us(30);
+        cfg.ambient_intensity = 0.2;
+        break;
+      case rnic::DeviceModel::kCX5:
+        cfg.bit1_offset = 255;
+        cfg.bit_period = sim::us(30);
+        cfg.ambient_intensity = 0.5;
+        break;
+      case rnic::DeviceModel::kCX6:
+        cfg.bit1_offset = 257;
+        cfg.bit_period = sim::us(12);
+        cfg.ambient_intensity = 0.8;
+        break;
+    }
+  }
+  return cfg;
+}
+
+UliCovertChannel::UliCovertChannel(const UliChannelConfig& cfg)
+    : cfg_(cfg),
+      bed_(cfg.profile_override ? *cfg.profile_override
+                                : rnic::make_profile(cfg.model),
+           cfg.seed,
+           /*clients=*/2 + (cfg.ambient_intensity > 0 ? cfg.ambient_clients
+                                                      : 0)) {
+  // Tx = client 0, Rx = client 1; both talk to the same server device and
+  // share the readable service region MR#0 (threat model, section V-A).
+  tx_conn_ = bed_.connect(0, /*qp_count=*/2, cfg_.tx_queue_depth, /*tc=*/0);
+  tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
+  tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
+  rx_conn_ = bed_.connect(1, /*qp_count=*/2, cfg_.rx_queue_depth, /*tc=*/1);
+  bed_.server().device().set_responder_noise(cfg_.responder_noise);
+  if (cfg_.ambient_intensity > 0) {
+    for (std::size_t i = 0; i < cfg_.ambient_clients; ++i) {
+      revng::AmbientFlow::Config ac;
+      ac.client_idx = 2 + i;
+      ac.intensity = cfg_.ambient_intensity;
+      ambient_.push_back(std::make_unique<revng::AmbientFlow>(bed_, ac));
+    }
+  }
+}
+
+int UliCovertChannel::current_bit(sim::SimTime t) const {
+  if (t < t0_) return frame_.empty() ? 0 : frame_.front();
+  const std::size_t idx = static_cast<std::size_t>((t - t0_) / cfg_.bit_period);
+  return frame_[std::min(idx, frame_.size() - 1)];
+}
+
+bool UliCovertChannel::tx_post_one() {
+  const int bit = current_bit(bed_.sched().now());
+  std::uint32_t mr_index = 0;
+  std::uint64_t offset = 0;
+
+  if (cfg_.kind == UliChannelKind::kInterMr) {
+    // Bit 0: alternate two addresses inside MR#0.
+    // Bit 1: alternate the same addresses across MR#0 / MR#1 (resource X is
+    // *which MRs are engaged*, a pure Grain-III parameter).
+    const bool second = (tx_alternator_++ & 1) != 0;
+    offset = second ? 1024 : 0;
+    mr_index = (bit == 1 && second) ? 1 : 0;
+  } else {
+    // Bit selects the address offset (Grain-IV parameter).
+    offset = (bit == 1) ? cfg_.bit1_offset : cfg_.bit0_offset;
+  }
+
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = tx_conn_.local_addr();
+  wr.length = cfg_.tx_read_size;
+  wr.remote_addr = tx_mrs_[mr_index]->addr() + offset;
+  wr.rkey = tx_mrs_[mr_index]->rkey();
+  verbs::QueuePair& qp = tx_conn_.qp(tx_alternator_ % 2);
+  return qp.post_send(wr) == verbs::PostResult::kOk;
+}
+
+bool UliCovertChannel::rx_post_one() {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = rx_conn_.local_addr();
+  wr.length = cfg_.rx_read_size;
+  wr.remote_addr = tx_mrs_[0]->addr() + rx_probe_offset_;
+  wr.rkey = tx_mrs_[0]->rkey();
+  verbs::QueuePair& qp = rx_conn_.qp(++rx_alternator_ % 2);
+  return qp.post_send(wr) == verbs::PostResult::kOk;
+}
+
+sim::Task UliCovertChannel::tx_actor() {
+  auto& sched = bed_.sched();
+  while (tx_post_one()) {
+  }
+  verbs::Wc wc;
+  while (sched.now() < t_end_) {
+    co_await tx_conn_.cq().wait(1);
+    while (tx_conn_.cq().poll_one(&wc)) {
+      if (sched.now() < t_end_) tx_post_one();
+    }
+  }
+  tx_done_ = true;
+}
+
+sim::Task UliCovertChannel::rx_actor() {
+  auto& sched = bed_.sched();
+  while (rx_post_one()) {
+  }
+  verbs::Wc wc;
+  while (sched.now() < t_end_) {
+    co_await rx_conn_.cq().wait(1);
+    while (rx_conn_.cq().poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess) {
+        rx_trace_.add(wc.completed_at, wc.uli_ns());
+        rx_samples_.push_back({wc.posted_at, wc.completed_at, wc.uli_ns()});
+      }
+      if (sched.now() < t_end_) rx_post_one();
+    }
+  }
+  rx_done_ = true;
+}
+
+ChannelRun UliCovertChannel::transmit(const std::vector<int>& payload) {
+  // Known alternating calibration prefix, then the payload.
+  std::vector<int> calibration(cfg_.calibration_bits);
+  for (std::size_t i = 0; i < calibration.size(); ++i)
+    calibration[i] = static_cast<int>(i & 1);
+  frame_ = calibration;
+  frame_.insert(frame_.end(), payload.begin(), payload.end());
+
+  rx_trace_.clear();
+  rx_samples_.clear();
+  window_means_.clear();
+  tx_done_ = rx_done_ = false;
+
+  // Give both sides a short spin-up before the first bit window.
+  t0_ = bed_.sched().now() + sim::us(5);
+  t_end_ = t0_ + cfg_.bit_period * frame_.size();
+  for (auto& a : ambient_) a->start(t_end_);
+  bed_.sched().spawn(tx_actor());
+  bed_.sched().spawn(rx_actor());
+  bed_.sched().run_while([&] { return !(tx_done_ && rx_done_); });
+
+  // Fold the Rx samples into per-bit-window means.  Only "pure" samples —
+  // posted and completed inside the same bit window — are kept: a READ
+  // completing early in window i spent its queueing life in window i-1 and
+  // would smear the symbol boundary by up to half a window.
+  //
+  // The receiver's clock may be offset from the sender's; it recovers the
+  // bit phase by trying candidate offsets and keeping the one that
+  // maximizes the level separation of the known calibration prefix.
+  const auto fold = [&](sim::SimTime rx_t0) {
+    std::vector<double> means(frame_.size(), 0.0);
+    std::vector<std::size_t> counts(frame_.size(), 0);
+    for (const auto& s : rx_samples_) {
+      if (s.posted < rx_t0 || s.completed >= t_end_) continue;
+      const std::size_t wp =
+          static_cast<std::size_t>((s.posted - rx_t0) / cfg_.bit_period);
+      const std::size_t wcw =
+          static_cast<std::size_t>((s.completed - rx_t0) / cfg_.bit_period);
+      if (wp != wcw || wcw >= means.size()) continue;
+      means[wcw] += s.uli_ns;
+      ++counts[wcw];
+    }
+    for (std::size_t w = 0; w < means.size(); ++w) {
+      if (counts[w]) {
+        means[w] /= static_cast<double>(counts[w]);
+      } else if (w > 0) {
+        means[w] = means[w - 1];  // no pure sample: hold level
+      }
+    }
+    return means;
+  };
+  const auto calibration_contrast = [&](const std::vector<double>& means) {
+    double s1 = 0, s0 = 0;
+    std::size_t n1 = 0, n0 = 0;
+    for (std::size_t i = 0; i < calibration.size() && i < means.size(); ++i) {
+      (calibration[i] ? s1 : s0) += means[i];
+      (calibration[i] ? n1 : n0) += 1;
+    }
+    if (n1 == 0 || n0 == 0) return 0.0;
+    return std::abs(s1 / static_cast<double>(n1) -
+                    s0 / static_cast<double>(n0));
+  };
+
+  // The receiver believes the frame started at t0_ + rx_clock_offset; it
+  // searches phases within one bit period around that belief.
+  const sim::SimTime rx_belief = t0_ + cfg_.rx_clock_offset;
+  const std::size_t steps = std::max<std::size_t>(cfg_.phase_search_steps, 1);
+  double best_contrast = -1.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Candidate offsets spread over (-T/2, T/2), centered on the belief
+    // (steps == 1 degenerates to exactly the belief).
+    const double frac =
+        (static_cast<double>(k) + 0.5) / static_cast<double>(steps) - 0.5;
+    const auto delta = static_cast<std::int64_t>(
+        frac * static_cast<double>(cfg_.bit_period));
+    sim::SimTime cand = rx_belief;
+    if (delta < 0 && rx_belief > static_cast<sim::SimTime>(-delta)) {
+      cand = rx_belief - static_cast<sim::SimTime>(-delta);
+    } else if (delta > 0) {
+      cand = rx_belief + static_cast<sim::SimTime>(delta);
+    }
+    auto means = fold(cand);
+    const double contrast = calibration_contrast(means);
+    if (contrast > best_contrast) {
+      best_contrast = contrast;
+      window_means_ = std::move(means);
+    }
+  }
+
+  ChannelRun run;
+  run.sent = payload;
+  run.received = ThresholdDecoder::decode(window_means_, calibration,
+                                          &run.threshold, nullptr);
+  run.elapsed = cfg_.bit_period * payload.size();
+  run.rx_metric.assign(window_means_.begin() + static_cast<std::ptrdiff_t>(
+                                                   calibration.size()),
+                       window_means_.end());
+  return run;
+}
+
+}  // namespace ragnar::covert

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "covert/common.hpp"
+#include "revng/ambient.hpp"
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "sim/trace.hpp"
+#include "verbs/context.hpp"
+
+// The Grain-III (inter-MR, paper section V-C) and Grain-IV (intra-MR,
+// section V-D) covert channels share one engine:
+//
+//   * The covert Tx is a client that keeps RDMA READs outstanding against
+//     the shared server; the *addressing mode* of those reads encodes the
+//     current bit (resource X).
+//   * The covert Rx is another client running a steady background READ
+//     stream against its own server MR, recording ULI per completion
+//     (resource Y).  Tx's addressing mode modulates the shared translation
+//     unit's occupancy, which the Rx sees as a ULI shift.
+//   * Tx and Rx never exchange messages; they only share a bit clock
+//     (period + start time) and a known calibration prefix, from which the
+//     Rx learns its decision threshold.
+namespace ragnar::covert {
+
+enum class UliChannelKind : std::uint8_t {
+  kInterMr,  // Grain-III: bit selects same-MR vs cross-MR alternation
+  kIntraMr,  // Grain-IV: bit selects the READ address offset
+};
+
+struct UliChannelConfig {
+  rnic::DeviceModel model = rnic::DeviceModel::kCX4;
+  std::uint64_t seed = 1;
+  UliChannelKind kind = UliChannelKind::kInterMr;
+
+  // Transmitter ("best parameter combinations", paper footnotes 10/11).
+  std::uint32_t tx_read_size = 512;
+  std::uint32_t tx_queue_depth = 10;
+  std::uint64_t bit0_offset = 0;    // intra-MR mode
+  std::uint64_t bit1_offset = 255;  // 257 on CX-6 (footnote 11)
+
+  // Receiver probe.
+  std::uint32_t rx_read_size = 512;
+  std::uint32_t rx_queue_depth = 10;
+
+  // Bit clock.
+  sim::SimDur bit_period = sim::us(30);
+  std::size_t calibration_bits = 16;  // known 1010... prefix
+
+  // Receiver clock error relative to the sender's bit clock (can be
+  // negative in spirit; expressed as a delay here).  The decoder recovers
+  // the phase from the calibration prefix, so covert parties only need
+  // coarsely synchronized clocks.
+  sim::SimDur rx_clock_offset = 0;
+  std::size_t phase_search_steps = 9;  // candidates across one bit period
+
+  // Bystander "regular traffic" clients (threat model Fig 2): the noise
+  // floor behind Table V's error rates.  intensity 0 disables;
+  // ambient_clients scales how many independent bystanders share the
+  // server (robustness ablation).
+  double ambient_intensity = 1.0;
+  std::size_t ambient_clients = 1;
+
+  // Section VII noise mitigation on the server device: uniform [0, x] added
+  // to every responder READ translation.  0 disables.
+  sim::SimDur responder_noise = 0;
+
+  // Optional custom device profile (every host); overrides `model` when
+  // set.  Used by the model-feature ablations.
+  std::optional<rnic::DeviceProfile> profile_override;
+
+  // Populate the per-device best-parameter combinations from the paper's
+  // footnotes (sizes, queue depths, offsets, bit periods).
+  static UliChannelConfig best_for(rnic::DeviceModel model,
+                                   UliChannelKind kind, std::uint64_t seed);
+};
+
+class UliCovertChannel {
+ public:
+  explicit UliCovertChannel(const UliChannelConfig& cfg);
+
+  // Transmit `payload` (calibration prefix is prepended internally); runs
+  // the simulation to completion and returns the decoded result.
+  ChannelRun transmit(const std::vector<int>& payload);
+
+  // Introspection for experiments that watch the channel from outside
+  // (e.g. a HARMONIC monitor on the server device).
+  sim::Scheduler& scheduler() { return bed_.sched(); }
+  rnic::Rnic& server_device() { return bed_.server().device(); }
+  rnic::NodeId tx_node() { return bed_.client(0).device().node(); }
+  rnic::NodeId rx_node() { return bed_.client(1).device().node(); }
+
+  // Raw receiver trace of the last run (time, ULI ns) — Figs 10/11.
+  const sim::TimeSeries& rx_trace() const { return rx_trace_; }
+  // Bit-window means of the last run, calibration included.
+  const std::vector<double>& window_means() const { return window_means_; }
+
+ private:
+  sim::Task tx_actor();
+  sim::Task rx_actor();
+  bool tx_post_one();
+  bool rx_post_one();
+  int current_bit(sim::SimTime t) const;
+
+  UliChannelConfig cfg_;
+  revng::Testbed bed_;
+  // Tx side: QPs + two server MRs (inter-MR mode needs MR#0 and MR#1).
+  revng::Testbed::Connection tx_conn_;
+  std::vector<std::unique_ptr<verbs::MemoryRegion>> tx_mrs_;
+  // Rx side: per the threat model (V-A) both clients read the same
+  // RDMA-backed service region, so the Rx probes MR#0 at a far offset.
+  revng::Testbed::Connection rx_conn_;
+  std::uint64_t rx_probe_offset_ = 64 * 1024;
+
+  struct RxSample {
+    sim::SimTime posted;
+    sim::SimTime completed;
+    double uli_ns;
+  };
+  std::vector<RxSample> rx_samples_;
+  std::vector<std::unique_ptr<revng::AmbientFlow>> ambient_;
+
+  std::vector<int> frame_;  // calibration + payload
+  sim::SimTime t0_ = 0;
+  sim::SimTime t_end_ = 0;
+  bool tx_done_ = false;
+  bool rx_done_ = false;
+  std::size_t tx_alternator_ = 0;
+  std::size_t rx_alternator_ = 0;
+  sim::TimeSeries rx_trace_;
+  std::vector<double> window_means_;
+};
+
+}  // namespace ragnar::covert

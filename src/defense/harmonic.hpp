@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rnic/rnic.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+// HARMONIC-style performance-isolation monitor (Lou et al., NSDI'24 — the
+// state-of-the-art defense the paper shows Ragnar bypasses).
+//
+// The monitor polls the device's per-tenant window counters and applies
+// Grain-I/II/III policies:
+//   * Grain-I  — aggregate bandwidth above the tenant's fair-share cap;
+//   * Grain-II — a single (opcode x size-class) stream above a message-rate
+//     cap (the Zhang/Kong/HUSKY availability-attack signature);
+//   * Grain-III — resource churn: too many distinct rkeys or QPs per window
+//     (Pythia-style eviction sweeps light this up).
+//
+// What it cannot see is Grain-IV: *which addresses inside one MR* a tenant
+// touches.  Ragnar's intra-MR channel changes only that, and its inter-MR
+// channel's footprint (two MRs, steady READs) sits below any sane
+// Grain-III threshold — section VII's conclusion.
+namespace ragnar::defense {
+
+struct TenantVerdict {
+  rnic::NodeId src = 0;
+  double gbps = 0;
+  double mpps = 0;
+  double peak_stream_mpps = 0;  // hottest (opcode, size-class) stream
+  std::size_t distinct_rkeys = 0;
+  std::size_t distinct_qps = 0;
+  bool grain1 = false;
+  bool grain2 = false;
+  bool grain3 = false;
+  bool flagged() const { return grain1 || grain2 || grain3; }
+};
+
+struct HarmonicPolicy {
+  double grain1_gbps_cap = 20.0;      // per-tenant bandwidth cap
+  double grain2_stream_mpps_cap = 6.0;  // per (opcode,size-class) stream
+  double grain2_atomic_mpps_cap = 1.0;  // atomics are priced separately
+  std::size_t grain3_rkey_cap = 16;
+  std::size_t grain3_qp_cap = 128;
+};
+
+class HarmonicMonitor {
+ public:
+  HarmonicMonitor(sim::Scheduler& sched, rnic::Rnic& dev,
+                  sim::SimDur window = sim::ms(1),
+                  HarmonicPolicy policy = {});
+
+  void start();
+  void stop() { running_ = false; }
+
+  // Enforcement (HARMONIC is an isolation system, not just a detector):
+  // flagged tenants are throttled to `throttle_gbps`; the throttle lifts
+  // after `clean_windows_to_lift` consecutive clean windows.
+  void enable_enforcement(double throttle_gbps,
+                          std::size_t clean_windows_to_lift = 3) {
+    enforce_gbps_ = throttle_gbps;
+    clean_to_lift_ = clean_windows_to_lift;
+  }
+  bool currently_throttled(rnic::NodeId src) const {
+    return throttled_.count(src) > 0;
+  }
+
+  // All verdicts, one row per (window, tenant).
+  const std::vector<TenantVerdict>& verdicts() const { return verdicts_; }
+  // Was this tenant flagged in any window so far?
+  bool ever_flagged(rnic::NodeId src) const;
+  // Fraction of windows in which the tenant was flagged.
+  double flag_rate(rnic::NodeId src) const;
+  std::size_t windows() const { return windows_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  rnic::Rnic& dev_;
+  sim::SimDur window_;
+  HarmonicPolicy policy_;
+  bool running_ = false;
+  std::size_t windows_ = 0;
+  std::vector<TenantVerdict> verdicts_;
+  double enforce_gbps_ = 0;
+  std::size_t clean_to_lift_ = 3;
+  std::map<rnic::NodeId, std::size_t> throttled_;  // src -> clean windows seen
+};
+
+}  // namespace ragnar::defense

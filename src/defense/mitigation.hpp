@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rnic/device_profile.hpp"
+#include "sim/time.hpp"
+
+// Section VII's "hardware partitioning or adding noise" analysis: sweep the
+// responder-side latency-noise mitigation and measure (a) how fast the
+// Grain-IV covert channel degrades and (b) what it costs legitimate
+// traffic.  The full experiment driver lives in bench/defense_ablation; the
+// types here are shared with tests.
+namespace ragnar::defense {
+
+struct NoisePoint {
+  sim::SimDur noise_max = 0;      // uniform [0, noise_max] added per READ
+  double channel_error = 0;       // intra-MR channel error rate under noise
+  double channel_effective_bps = 0;
+  // What the mitigation costs an innocent tenant: unloaded small-READ
+  // round-trip latency (the noise lands directly on it).
+  double benign_mean_latency_ns = 0;
+  double benign_p99_latency_ns = 0;
+};
+
+// Run the intra-MR channel + a benign ULI probe at each noise level.
+std::vector<NoisePoint> sweep_noise_mitigation(
+    rnic::DeviceModel model, std::uint64_t seed,
+    const std::vector<sim::SimDur>& noise_levels, std::size_t payload_bits);
+
+}  // namespace ragnar::defense

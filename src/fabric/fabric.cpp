@@ -1,0 +1,34 @@
+#include "fabric/fabric.hpp"
+
+namespace ragnar::fabric {
+
+rnic::Rnic* Fabric::add_device(rnic::DeviceModel model, sim::Xoshiro256 rng) {
+  return add_device(rnic::make_profile(model), rng);
+}
+
+rnic::Rnic* Fabric::add_device(rnic::DeviceProfile profile,
+                               sim::Xoshiro256 rng) {
+  const auto id = static_cast<rnic::NodeId>(devices_.size());
+  const sim::SimDur wire_lat = profile.wire_lat;
+  devices_.push_back(
+      std::make_unique<rnic::Rnic>(sched_, std::move(profile), id, rng));
+  rnic::Rnic* dev = devices_.back().get();
+  dev->set_delivery([this, wire_lat](const rnic::InFlightMsg& msg,
+                                     sim::SimTime depart) {
+    route(msg, depart, wire_lat);
+  });
+  return dev;
+}
+
+void Fabric::route(const rnic::InFlightMsg& msg, sim::SimTime depart,
+                   sim::SimDur wire_lat) {
+  // Requests travel to the target node; every reply kind returns to the
+  // requester.
+  const rnic::NodeId dst = msg.kind == rnic::InFlightMsg::Kind::kRequest
+                               ? msg.op.dst_node
+                               : msg.op.src_node;
+  rnic::Rnic* target = devices_.at(dst).get();
+  sched_.at(depart + wire_lat, [target, msg] { target->deliver(msg); });
+}
+
+}  // namespace ragnar::fabric

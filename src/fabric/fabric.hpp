@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rnic/device_profile.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+// The simulated network: a set of RNICs joined by an ideal switch.  Each
+// endpoint's port serialization is modeled inside its Rnic; the fabric adds
+// propagation/switching latency and routes replies back to the requester.
+namespace ragnar::fabric {
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Scheduler& sched) : sched_(sched) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Create an RNIC of the given model attached to this fabric.  The fabric
+  // owns the device; the returned pointer stays valid for the fabric's life.
+  rnic::Rnic* add_device(rnic::DeviceModel model, sim::Xoshiro256 rng);
+  rnic::Rnic* add_device(rnic::DeviceProfile profile, sim::Xoshiro256 rng);
+
+  rnic::Rnic* node(rnic::NodeId id) { return devices_.at(id).get(); }
+  std::size_t size() const { return devices_.size(); }
+  sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  void route(const rnic::InFlightMsg& msg, sim::SimTime depart,
+             sim::SimDur wire_lat);
+
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<rnic::Rnic>> devices_;
+};
+
+}  // namespace ragnar::fabric

@@ -1,0 +1,71 @@
+#include "revng/ambient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ragnar::revng {
+
+AmbientFlow::AmbientFlow(Testbed& bed, const Config& cfg)
+    : bed_(bed), cfg_(cfg), rng_(bed.fork_rng()) {
+  conn_ = bed_.connect(cfg_.client_idx, /*qp_count=*/2, cfg_.max_depth,
+                       /*tc=*/0, /*client_buf_len=*/1u << 16);
+  mr_ = conn_.server_pd->register_mr(cfg_.region_len);
+}
+
+void AmbientFlow::start(sim::SimTime stop_at) {
+  stop_at_ = stop_at;
+  if (cfg_.intensity > 0) bed_.sched().spawn(run());
+}
+
+bool AmbientFlow::post_one() {
+  verbs::SendWr wr;
+  wr.opcode = burst_op_;
+  wr.local_addr = conn_.local_addr();
+  wr.length = burst_size_;
+  wr.remote_addr =
+      mr_->addr() + (rng_.uniform_u64(cfg_.region_len - burst_size_) & ~7ull);
+  wr.rkey = mr_->rkey();
+  return conn_.qp(ops_ % conn_.client_qps.size()).post_send(wr) ==
+         verbs::PostResult::kOk;
+}
+
+sim::Task AmbientFlow::run() {
+  auto& sched = bed_.sched();
+  static constexpr std::uint32_t kSizes[] = {64, 128, 256, 512};
+  verbs::Wc wc;
+  while (sched.now() < stop_at_) {
+    // Draw the next burst's shape.
+    burst_size_ = kSizes[rng_.uniform_u64(std::size(kSizes))];
+    burst_op_ = rng_.bernoulli(0.5) ? verbs::WrOpcode::kRdmaRead
+                                    : verbs::WrOpcode::kRdmaWrite;
+    const double burst_frac = std::min(1.0, cfg_.intensity);
+    const sim::SimDur burst_len = static_cast<sim::SimDur>(
+        -static_cast<double>(cfg_.mean_burst) * burst_frac *
+        std::log(std::max(rng_.uniform(), 1e-12)));
+    const sim::SimTime burst_end =
+        std::min<sim::SimTime>(sched.now() + burst_len, stop_at_);
+
+    while (post_one()) {
+      ++ops_;
+    }
+    while (sched.now() < burst_end) {
+      co_await conn_.cq().wait(1);
+      while (conn_.cq().poll_one(&wc)) {
+        if (sched.now() < burst_end && post_one()) ++ops_;
+      }
+    }
+    // Drain, then idle.
+    while (conn_.qp(0).outstanding() + conn_.qp(1).outstanding() > 0) {
+      co_await conn_.cq().wait(1);
+      while (conn_.cq().poll_one(&wc)) {
+      }
+    }
+    const sim::SimDur idle = static_cast<sim::SimDur>(
+        -static_cast<double>(cfg_.mean_idle) *
+        std::log(std::max(rng_.uniform(), 1e-12)));
+    if (sched.now() + idle >= stop_at_) break;
+    co_await sched.sleep(idle);
+  }
+}
+
+}  // namespace ragnar::revng

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "verbs/context.hpp"
+
+// Bursty "regular traffic" from a bystander client (the third party of the
+// paper's threat model, Fig 2).  Random on/off bursts of READs and WRITEs
+// with random sizes hit the shared server and provide the environmental
+// noise floor that real testbeds have; covert-channel error rates (Table V)
+// come from this, not from decoder artifacts.
+namespace ragnar::revng {
+
+class AmbientFlow {
+ public:
+  struct Config {
+    std::size_t client_idx = 2;
+    double intensity = 1.0;        // scales burst duty cycle (0 disables)
+    std::uint32_t max_depth = 2;
+    sim::SimDur mean_burst = sim::us(10);
+    sim::SimDur mean_idle = sim::us(60);
+    std::uint64_t region_len = 1u << 20;
+  };
+
+  AmbientFlow(Testbed& bed, const Config& cfg);
+
+  // Runs until `stop_at`; spawn on the testbed scheduler.
+  void start(sim::SimTime stop_at);
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  sim::Task run();
+  bool post_one();
+
+  Testbed& bed_;
+  Config cfg_;
+  sim::Xoshiro256 rng_;
+  Testbed::Connection conn_;
+  std::unique_ptr<verbs::MemoryRegion> mr_;
+  sim::SimTime stop_at_ = 0;
+  std::uint32_t burst_size_ = 64;
+  verbs::WrOpcode burst_op_ = verbs::WrOpcode::kRdmaRead;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ragnar::revng

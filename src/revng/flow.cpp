@@ -1,0 +1,98 @@
+#include "revng/flow.hpp"
+
+#include <algorithm>
+
+namespace ragnar::revng {
+
+Flow::Flow(Testbed& bed, std::size_t client_idx, const FlowSpec& spec)
+    : bed_(bed), spec_(spec) {
+  // In reverse mode the roles swap: the requester lives on the server host
+  // and the target MR lives on the client host.
+  verbs::Context& cl = spec.reverse ? bed.server() : bed.client(client_idx);
+  verbs::Context& srv = spec.reverse ? bed.client(client_idx) : bed.server();
+  auto client_pd = cl.alloc_pd();
+  auto server_pd = srv.alloc_pd();
+  conn_.client_pd = std::move(client_pd);
+  conn_.server_pd = std::move(server_pd);
+  conn_.client_mr = conn_.client_pd->register_mr(
+      std::max<std::uint64_t>(spec.msg_size, 1u << 16));
+  server_mr_ = conn_.server_pd->register_mr(spec.region_len);
+  conn_.server_cq = srv.create_cq();
+
+  next_offset_.assign(spec.qp_num, 0);
+  for (std::uint32_t q = 0; q < spec.qp_num; ++q) {
+    per_qp_cq_.push_back(cl.create_cq());
+    verbs::QueuePair::Config cfg;
+    cfg.max_send_wr = spec.depth_per_qp;
+    cfg.tc = spec.tc;
+    qps_.push_back(std::make_unique<verbs::QueuePair>(*conn_.client_pd,
+                                                      *per_qp_cq_.back(), cfg));
+    server_qps_.push_back(std::make_unique<verbs::QueuePair>(
+        *conn_.server_pd, *conn_.server_cq, cfg));
+    qps_.back()->connect(*server_qps_.back());
+  }
+  live_qps_ = spec.qp_num;
+  for (std::uint32_t q = 0; q < spec.qp_num; ++q) {
+    bed.sched().spawn(run_qp(q));
+  }
+}
+
+double Flow::achieved_gbps() const {
+  return static_cast<double>(bytes_) * 8.0 / 1e9 /
+         sim::to_sec(spec_.duration);
+}
+
+bool Flow::post_one(std::size_t qp_idx) {
+  const bool is_atomic = spec_.opcode == verbs::WrOpcode::kFetchAdd ||
+                         spec_.opcode == verbs::WrOpcode::kCmpSwap;
+  const std::uint32_t len = is_atomic ? 8u : spec_.msg_size;
+  std::uint64_t off = next_offset_[qp_idx];
+  if (off + len > spec_.region_len) off = 0;
+
+  verbs::SendWr wr;
+  wr.wr_id = qp_idx;
+  wr.opcode = spec_.opcode;
+  wr.local_addr = conn_.client_mr->addr();
+  wr.length = len;
+  wr.remote_addr = server_mr_->addr() + off;
+  wr.rkey = server_mr_->rkey();
+  wr.compare_add = 1;
+  const verbs::PostResult r = qps_[qp_idx]->post_send(wr);
+  if (r != verbs::PostResult::kOk) return false;
+
+  if (spec_.stride > 0) {
+    std::uint64_t next = off + spec_.stride;
+    if (next + len > spec_.region_len) next = 0;
+    next_offset_[qp_idx] = next;
+  }
+  return true;
+}
+
+sim::Task Flow::run_qp(std::size_t qp_idx) {
+  auto& sched = bed_.sched();
+  if (spec_.start > sched.now()) {
+    co_await sched.sleep(spec_.start - sched.now());
+  }
+  const sim::SimTime end = spec_.start + spec_.duration;
+
+  // Prime the send queue.
+  while (sched.now() < end && post_one(qp_idx)) {
+  }
+
+  verbs::Wc wc;
+  while (qps_[qp_idx]->outstanding() > 0) {
+    co_await per_qp_cq_[qp_idx]->wait(1);
+    while (per_qp_cq_[qp_idx]->poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess &&
+          wc.completed_at >= spec_.start && wc.completed_at < end) {
+        bytes_ += wc.byte_len;
+        ++ops_;
+        rate_.record(wc.completed_at, wc.byte_len);
+      }
+      if (sched.now() < end) post_one(qp_idx);
+    }
+  }
+  if (--live_qps_ == 0) finished_ = true;
+}
+
+}  // namespace ragnar::revng

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "sim/trace.hpp"
+#include "verbs/context.hpp"
+
+// Closed-loop traffic flows: each flow keeps `depth_per_qp` work requests
+// outstanding on each of `qp_num` queue pairs against a server MR for a
+// fixed window — the workload shape behind the Fig 4 contention study and
+// the Grain-I/II covert channel.
+namespace ragnar::revng {
+
+struct FlowSpec {
+  verbs::WrOpcode opcode = verbs::WrOpcode::kRdmaRead;
+  std::uint32_t msg_size = 64;
+  std::uint32_t qp_num = 1;
+  std::uint32_t depth_per_qp = 16;
+  rnic::TrafficClass tc = 0;
+  sim::SimTime start = 0;
+  sim::SimDur duration = sim::ms(1);
+  // Remote addressing: sequential strides over [0, region_len) so that MTT
+  // and offset structure stay quiet unless an experiment wants otherwise.
+  std::uint64_t region_len = 1u << 20;
+  std::uint64_t stride = 0;  // 0: fixed address; else advance per op
+  // Reverse direction (Fig 4's yellow box, "reverse RDMA Read"): the flow
+  // runs *on the server* against an MR on the client host, so a reverse
+  // READ's payload crosses the wire in the same direction as a client
+  // WRITE.
+  bool reverse = false;
+};
+
+// Runs one flow from a client against a dedicated server MR.  Construct,
+// then run the scheduler; results are valid once the flow window has passed.
+class Flow {
+ public:
+  Flow(Testbed& bed, std::size_t client_idx, const FlowSpec& spec);
+
+  // Completed payload bytes inside the measurement window.
+  std::uint64_t bytes_completed() const { return bytes_; }
+  std::uint64_t ops_completed() const { return ops_; }
+  double achieved_gbps() const;
+  // Per-millisecond-bin achieved bandwidth within the window.
+  const sim::RateSampler& rate() const { return rate_; }
+  bool finished() const { return finished_; }
+
+ private:
+  sim::Task run_qp(std::size_t qp_idx);
+  bool post_one(std::size_t qp_idx);
+
+  Testbed& bed_;
+  FlowSpec spec_;
+  std::unique_ptr<verbs::MemoryRegion> server_mr_;
+  Testbed::Connection conn_;
+  std::vector<std::unique_ptr<verbs::CompletionQueue>> per_qp_cq_;
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps_;
+  std::vector<std::unique_ptr<verbs::QueuePair>> server_qps_;
+  std::vector<std::uint64_t> next_offset_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t ops_ = 0;
+  sim::RateSampler rate_{sim::us(100)};
+  std::size_t live_qps_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ragnar::revng

@@ -1,0 +1,137 @@
+#include "telemetry/telemetry.hpp"
+
+#include "revng/sweeps.hpp"
+
+namespace ragnar::revng {
+
+namespace {
+
+UliCurvePoint point_from(double x, const sim::SampleSet& s) {
+  UliCurvePoint p;
+  p.x = x;
+  p.mean = s.mean();
+  p.p10 = s.percentile(10);
+  p.p90 = s.percentile(90);
+  return p;
+}
+
+}  // namespace
+
+UliCurve sweep_inter_mr(rnic::DeviceModel model, std::uint64_t seed,
+                        bool different_mr,
+                        std::span<const std::uint32_t> sizes,
+                        std::size_t samples_per_point) {
+  UliCurve curve;
+  for (std::uint32_t size : sizes) {
+    Testbed bed(model, seed ^ size, 1);
+    UliProbe::Spec spec;
+    spec.msg_size = size;
+    spec.queue_depth = 10;
+    spec.qp_count = 2;
+    spec.server_mr_count = 2;
+    UliProbe probe(bed, 0, spec);
+    // Table IV: alternate 0@MR#0 with 1024@MR#0 (same) or 1024@MR#1 (diff).
+    probe.set_targets({{0, 0}, {different_mr ? 1u : 0u, 1024}});
+    curve.push_back(point_from(size, probe.sample(samples_per_point)));
+  }
+  return curve;
+}
+
+UliCurve sweep_abs_offset(rnic::DeviceModel model, std::uint64_t seed,
+                          std::uint32_t msg_size, std::uint64_t max_offset,
+                          std::uint64_t step, std::size_t samples_per_point) {
+  UliCurve curve;
+  for (std::uint64_t off = 0; off <= max_offset; off += step) {
+    Testbed bed(model, seed ^ (off * 7919), 1);
+    UliProbe::Spec spec;
+    spec.msg_size = msg_size;
+    spec.queue_depth = 10;
+    UliProbe probe(bed, 0, spec);
+    // A single swept target isolates the absolute-offset structure: in a
+    // saturated send queue, per-target latency attribution of an
+    // alternating stream washes out by 1/len_sq (the whole queue drains at
+    // the mixed rate), so the stream mean of a single-target probe is the
+    // clean observable.
+    probe.set_targets({{0, off}});
+    curve.push_back(
+        point_from(static_cast<double>(off), probe.sample(samples_per_point)));
+  }
+  return curve;
+}
+
+UliCurve sweep_rel_offset(rnic::DeviceModel model, std::uint64_t seed,
+                          std::uint32_t msg_size, std::uint64_t base,
+                          std::uint64_t max_delta, std::uint64_t step,
+                          std::size_t samples_per_point) {
+  UliCurve curve;
+  for (std::uint64_t d = 0; d <= max_delta; d += step) {
+    Testbed bed(model, seed ^ (d * 104729), 1);
+    UliProbe::Spec spec;
+    spec.msg_size = msg_size;
+    spec.queue_depth = 10;
+    UliProbe probe(bed, 0, spec);
+    // Alternation is the point here: every request pays the delta-dependent
+    // speculative-descriptor cost, so the stream mean carries rel(delta).
+    probe.set_targets({{0, base}, {0, base + d}});
+    curve.push_back(
+        point_from(static_cast<double>(d), probe.sample(samples_per_point)));
+  }
+  return curve;
+}
+
+LinearityResult uli_linearity(rnic::DeviceModel model, std::uint64_t seed,
+                              std::uint32_t msg_size,
+                              std::span<const std::uint32_t> depths,
+                              std::size_t samples_per_point) {
+  LinearityResult r;
+  for (std::uint32_t depth : depths) {
+    Testbed bed(model, seed ^ depth, 1);
+    UliProbe::Spec spec;
+    spec.msg_size = msg_size;
+    spec.queue_depth = depth;
+    UliProbe probe(bed, 0, spec);
+    probe.set_targets({{0, 0}});
+    const sim::SampleSet lat = probe.sample_raw_latency(samples_per_point);
+    r.depth.push_back(static_cast<double>(depth));
+    r.lat_ns.push_back(lat.mean());
+  }
+  r.fit = sim::linear_fit(r.depth, r.lat_ns);
+  return r;
+}
+
+ContentionCell run_contention_pair(rnic::DeviceModel model,
+                                   std::uint64_t seed, FlowSpec a,
+                                   FlowSpec b) {
+  ContentionCell cell;
+  a.tc = 0;
+  b.tc = 1;
+  cell.a = a;
+  cell.b = b;
+
+  {
+    Testbed bed(model, seed, 1);
+    telemetry::set_ets_50_50(bed.server().device());
+    Flow fa(bed, 0, a);
+    bed.sched().run_while([&] { return !fa.finished(); });
+    cell.solo_a_gbps = fa.achieved_gbps();
+  }
+  {
+    Testbed bed(model, seed + 1, 1);
+    telemetry::set_ets_50_50(bed.server().device());
+    Flow fb(bed, 0, b);
+    bed.sched().run_while([&] { return !fb.finished(); });
+    cell.solo_b_gbps = fb.achieved_gbps();
+  }
+  {
+    Testbed bed(model, seed + 2, 2);
+    telemetry::set_ets_50_50(bed.server().device());
+    Flow fa(bed, 0, a);
+    Flow fb(bed, 1, b);
+    bed.sched().run_while([&] { return !(fa.finished() && fb.finished()); });
+    cell.duo_a_gbps = fa.achieved_gbps();
+    cell.duo_b_gbps = fb.achieved_gbps();
+  }
+  return cell;
+}
+
+}  // namespace ragnar::revng

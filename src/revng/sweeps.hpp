@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+#include "revng/uli.hpp"
+#include "sim/stats.hpp"
+
+// Reverse-engineering experiment drivers behind Figures 4-8 and footnote 8.
+// Each driver builds a fresh testbed per measurement point so device state
+// (caches, bank windows) cannot leak between points.
+namespace ragnar::revng {
+
+struct UliCurvePoint {
+  double x = 0;      // swept parameter (bytes)
+  double mean = 0;   // ns
+  double p10 = 0;
+  double p90 = 0;
+};
+using UliCurve = std::vector<UliCurvePoint>;
+
+// Fig 5: alternate two addresses in the same MR vs in two different MRs,
+// sweeping the READ message size.
+UliCurve sweep_inter_mr(rnic::DeviceModel model, std::uint64_t seed,
+                        bool different_mr, std::span<const std::uint32_t> sizes,
+                        std::size_t samples_per_point);
+
+// Figs 6/7: alternate offset 0 and offset X in one MR; sweep X.
+UliCurve sweep_abs_offset(rnic::DeviceModel model, std::uint64_t seed,
+                          std::uint32_t msg_size, std::uint64_t max_offset,
+                          std::uint64_t step, std::size_t samples_per_point);
+
+// Fig 8: alternate a fixed base F and F+delta; sweep delta.
+UliCurve sweep_rel_offset(rnic::DeviceModel model, std::uint64_t seed,
+                          std::uint32_t msg_size, std::uint64_t base,
+                          std::uint64_t max_delta, std::uint64_t step,
+                          std::size_t samples_per_point);
+
+// Footnote 8: Lat_total vs send-queue occupancy must be linear with
+// negligible intercept.
+struct LinearityResult {
+  std::vector<double> depth;    // len_sq + 1
+  std::vector<double> lat_ns;   // mean Lat_total
+  sim::LinearFit fit;           // lat = k * depth + C
+};
+LinearityResult uli_linearity(rnic::DeviceModel model, std::uint64_t seed,
+                              std::uint32_t msg_size,
+                              std::span<const std::uint32_t> depths,
+                              std::size_t samples_per_point);
+
+// Fig 4: one pairwise contention measurement — flow A and flow B measured
+// solo and together (A from client 0 on TC0, B from client 1 on TC1, server
+// ETS 50/50).
+struct ContentionCell {
+  FlowSpec a, b;
+  double solo_a_gbps = 0;
+  double solo_b_gbps = 0;
+  double duo_a_gbps = 0;
+  double duo_b_gbps = 0;
+
+  double ratio_a() const { return solo_a_gbps > 0 ? duo_a_gbps / solo_a_gbps : 0; }
+  double ratio_b() const { return solo_b_gbps > 0 ? duo_b_gbps / solo_b_gbps : 0; }
+  // Total throughput relative to the larger solo flow (Key Finding 2's
+  // ">200% of the original single flow" criterion).
+  double total_vs_solo() const {
+    const double solo = std::max(solo_a_gbps, solo_b_gbps);
+    return solo > 0 ? (duo_a_gbps + duo_b_gbps) / solo : 0;
+  }
+};
+ContentionCell run_contention_pair(rnic::DeviceModel model, std::uint64_t seed,
+                                   FlowSpec a, FlowSpec b);
+
+}  // namespace ragnar::revng

@@ -1,0 +1,46 @@
+#include "revng/testbed.hpp"
+
+namespace ragnar::revng {
+
+Testbed::Testbed(rnic::DeviceModel model, std::uint64_t seed,
+                 std::size_t clients)
+    : Testbed(rnic::make_profile(model), seed, clients) {}
+
+Testbed::Testbed(const rnic::DeviceProfile& profile, std::uint64_t seed,
+                 std::size_t clients)
+    : model_(profile.model), rng_(seed), fabric_(sched_) {
+  rnic::Rnic* sdev = fabric_.add_device(profile, rng_.fork());
+  server_ = std::make_unique<verbs::Context>(fabric_, sdev, "server");
+  for (std::size_t i = 0; i < clients; ++i) {
+    rnic::Rnic* cdev = fabric_.add_device(profile, rng_.fork());
+    clients_.push_back(std::make_unique<verbs::Context>(
+        fabric_, cdev, "client" + std::to_string(i)));
+  }
+}
+
+Testbed::Connection Testbed::connect(std::size_t client_idx,
+                                     std::size_t qp_count,
+                                     std::uint32_t max_send_wr,
+                                     rnic::TrafficClass tc,
+                                     std::uint64_t client_buf_len) {
+  Connection c;
+  verbs::Context& cl = client(client_idx);
+  c.client_pd = cl.alloc_pd();
+  c.server_pd = server_->alloc_pd();
+  c.client_cq = cl.create_cq();
+  c.server_cq = server_->create_cq();
+  c.client_mr = c.client_pd->register_mr(client_buf_len);
+  for (std::size_t q = 0; q < qp_count; ++q) {
+    verbs::QueuePair::Config cfg;
+    cfg.max_send_wr = max_send_wr;
+    cfg.tc = tc;
+    c.client_qps.push_back(
+        std::make_unique<verbs::QueuePair>(*c.client_pd, *c.client_cq, cfg));
+    c.server_qps.push_back(
+        std::make_unique<verbs::QueuePair>(*c.server_pd, *c.server_cq, cfg));
+    c.client_qps.back()->connect(*c.server_qps.back());
+  }
+  return c;
+}
+
+}  // namespace ragnar::revng

@@ -1,0 +1,94 @@
+#include "revng/uli.hpp"
+
+namespace ragnar::revng {
+
+UliProbe::UliProbe(Testbed& bed, std::size_t client_idx, const Spec& spec)
+    : bed_(bed), spec_(spec) {
+  conn_ = bed.connect(client_idx, spec.qp_count, spec.queue_depth, spec.tc,
+                      /*client_buf_len=*/1u << 16);
+  for (std::uint32_t i = 0; i < spec.server_mr_count; ++i) {
+    server_mrs_.push_back(conn_.server_pd->register_mr(spec.server_mr_len));
+  }
+  targets_ = {Target{0, 0}};
+}
+
+void UliProbe::set_targets(std::vector<Target> targets) {
+  if (!targets.empty()) targets_ = std::move(targets);
+}
+
+bool UliProbe::post_next() {
+  const Target& tgt = targets_[next_target_ % targets_.size()];
+  verbs::QueuePair& qp = conn_.qp(next_qp_ % conn_.client_qps.size());
+
+  verbs::SendWr wr;
+  // Encode the target index in wr_id so completions can be attributed.
+  wr.wr_id = next_target_ % targets_.size();
+  wr.opcode = spec_.opcode;
+  wr.local_addr = conn_.local_addr();
+  wr.length = spec_.msg_size;
+  wr.remote_addr = server_mrs_.at(tgt.mr_index)->addr() + tgt.offset;
+  wr.rkey = server_mrs_.at(tgt.mr_index)->rkey();
+  if (qp.post_send(wr) != verbs::PostResult::kOk) return false;
+  ++next_target_;
+  ++next_qp_;
+  ++posted_;
+  return true;
+}
+
+sim::Task UliProbe::sample_async(std::size_t n, sim::SampleSet* out,
+                                 std::vector<sim::SampleSet>* per_target) {
+  done_ = false;
+  const std::size_t warmup =
+      spec_.warmup != 0
+          ? spec_.warmup
+          : 2 * static_cast<std::size_t>(spec_.queue_depth) * spec_.qp_count +
+                16;
+  wanted_ = n + warmup;
+  got_ = 0;
+  posted_ = 0;
+  out_ = out;
+  per_target_ = per_target;
+
+  // Prime every QP to its full depth so len_sq sits at steady state.
+  while (posted_ < wanted_ && post_next()) {
+  }
+
+  verbs::Wc wc;
+  while (got_ < wanted_) {
+    co_await conn_.cq().wait(1);
+    while (conn_.cq().poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess) {
+        ++got_;
+        if (got_ > warmup) {
+          const double v =
+              record_raw_ ? sim::to_ns(wc.latency()) : wc.uli_ns();
+          if (out_ != nullptr) out_->add(v);
+          if (per_target_ != nullptr && wc.wr_id < per_target_->size()) {
+            (*per_target_)[wc.wr_id].add(v);
+          }
+        }
+      }
+      if (posted_ < wanted_) post_next();
+    }
+  }
+  done_ = true;
+}
+
+sim::SampleSet UliProbe::sample(std::size_t n) {
+  sim::SampleSet out;
+  record_raw_ = false;
+  bed_.sched().spawn(sample_async(n, &out));
+  bed_.sched().run_while([this] { return !done_; });
+  return out;
+}
+
+sim::SampleSet UliProbe::sample_raw_latency(std::size_t n) {
+  sim::SampleSet out;
+  record_raw_ = true;
+  bed_.sched().spawn(sample_async(n, &out));
+  bed_.sched().run_while([this] { return !done_; });
+  record_raw_ = false;
+  return out;
+}
+
+}  // namespace ragnar::revng

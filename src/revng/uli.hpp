@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "sim/stats.hpp"
+#include "verbs/context.hpp"
+
+// Unit Latency Increase measurement (paper section IV-C).
+//
+// The probe keeps `queue_depth` RDMA READs outstanding on a small set of
+// QPs, cycling through a configured sequence of remote targets, and records
+// ULI = Lat_total / (len_sq + 1) per completion.  Because the probe only
+// observes its own verbs-level completions, it measures exactly what a real
+// attacker can measure.
+namespace ragnar::revng {
+
+class UliProbe {
+ public:
+  struct Spec {
+    std::uint32_t msg_size = 64;
+    std::uint32_t queue_depth = 10;  // the paper's "max send queue size"
+    std::uint32_t qp_count = 2;      // Table IV: 2 QPs
+    rnic::TrafficClass tc = 0;
+    std::uint32_t server_mr_count = 2;  // MR#0, MR#1 (Table IV)
+    std::uint64_t server_mr_len = 2u << 20;  // 2 MB on huge pages
+    verbs::WrOpcode opcode = verbs::WrOpcode::kRdmaRead;
+    // Completions discarded before recording starts, so ramp-up (queue not
+    // yet at steady-state depth) does not bias Lat_total.  0 = automatic
+    // (2x the total queue capacity + slack).
+    std::size_t warmup = 0;
+  };
+
+  // A remote target: address `offset` within server MR `mr_index`.
+  struct Target {
+    std::uint32_t mr_index = 0;
+    std::uint64_t offset = 0;
+  };
+
+  UliProbe(Testbed& bed, std::size_t client_idx, const Spec& spec);
+
+  void set_targets(std::vector<Target> targets);
+  verbs::MemoryRegion& server_mr(std::size_t i) { return *server_mrs_.at(i); }
+
+  // Asynchronous collection: records `n` ULI samples (ns per queue slot)
+  // into `out`; per-target split goes to `per_target` when non-null (sized
+  // to the target count).  Check `done()` for completion.
+  sim::Task sample_async(std::size_t n, sim::SampleSet* out,
+                         std::vector<sim::SampleSet>* per_target = nullptr);
+  bool done() const { return done_; }
+
+  // Synchronous convenience: spawn + run the scheduler until finished.
+  sim::SampleSet sample(std::size_t n);
+
+  // Raw latency (not divided by queue position), for the linearity check.
+  sim::SampleSet sample_raw_latency(std::size_t n);
+
+ private:
+  bool post_next();
+
+  Testbed& bed_;
+  Spec spec_;
+  Testbed::Connection conn_;
+  std::vector<std::unique_ptr<verbs::MemoryRegion>> server_mrs_;
+  std::vector<Target> targets_;
+  std::size_t next_target_ = 0;
+  std::size_t next_qp_ = 0;
+  bool done_ = true;
+  bool record_raw_ = false;
+  std::size_t wanted_ = 0;
+  std::size_t got_ = 0;
+  std::size_t posted_ = 0;
+  sim::SampleSet* out_ = nullptr;
+  std::vector<sim::SampleSet>* per_target_ = nullptr;
+};
+
+}  // namespace ragnar::revng

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rnic/op.hpp"
+
+// Hardware-style counters: the Grain-I (per-traffic-class bps/pps) and
+// Grain-II (per-opcode) observables that ethtool / HARMONIC-class defenses
+// can see.  The telemetry module snapshots these at a configurable interval
+// to emulate counter-update granularity.
+namespace ragnar::rnic {
+
+inline constexpr std::size_t kNumTrafficClasses = 8;
+inline constexpr std::size_t kNumOpcodes = 5;
+
+struct TcCounters {
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_pkts = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_pkts = 0;
+};
+
+struct PortCounters {
+  std::array<TcCounters, kNumTrafficClasses> tc{};
+  std::array<std::uint64_t, kNumOpcodes> rx_msgs_by_opcode{};
+  std::array<std::uint64_t, kNumOpcodes> tx_msgs_by_opcode{};
+  std::uint64_t rx_msgs_total = 0;
+  std::uint64_t tx_msgs_total = 0;
+
+  void count_tx(TrafficClass tcls, Opcode op, std::uint64_t bytes,
+                std::uint64_t pkts) {
+    auto& c = tc[tcls % kNumTrafficClasses];
+    c.tx_bytes += bytes;
+    c.tx_pkts += pkts;
+    tx_msgs_by_opcode[static_cast<std::size_t>(op)] += 1;
+    ++tx_msgs_total;
+  }
+  void count_rx(TrafficClass tcls, Opcode op, std::uint64_t bytes,
+                std::uint64_t pkts) {
+    auto& c = tc[tcls % kNumTrafficClasses];
+    c.rx_bytes += bytes;
+    c.rx_pkts += pkts;
+    rx_msgs_by_opcode[static_cast<std::size_t>(op)] += 1;
+    ++rx_msgs_total;
+  }
+
+  // Raw byte/packet accounting for replies (ACKs, READ responses): these
+  // show up in bps/pps counters but are not new operations.
+  void count_tx_raw(TrafficClass tcls, std::uint64_t bytes,
+                    std::uint64_t pkts) {
+    auto& c = tc[tcls % kNumTrafficClasses];
+    c.tx_bytes += bytes;
+    c.tx_pkts += pkts;
+  }
+  void count_rx_raw(TrafficClass tcls, std::uint64_t bytes,
+                    std::uint64_t pkts) {
+    auto& c = tc[tcls % kNumTrafficClasses];
+    c.rx_bytes += bytes;
+    c.rx_pkts += pkts;
+  }
+
+  std::uint64_t rx_bytes_total() const {
+    std::uint64_t s = 0;
+    for (const auto& c : tc) s += c.rx_bytes;
+    return s;
+  }
+  std::uint64_t tx_bytes_total() const {
+    std::uint64_t s = 0;
+    for (const auto& c : tc) s += c.tx_bytes;
+    return s;
+  }
+};
+
+// ETS (Enhanced Transmission Selection) configuration, the mlnx_qos
+// equivalent: per-TC bandwidth share in percent.
+struct EtsConfig {
+  std::array<double, kNumTrafficClasses> weight_pct{};
+
+  EtsConfig() {
+    // Default: TC0 and TC1 split the port 50/50 (the paper's setup);
+    // remaining TCs idle.
+    weight_pct[0] = 50.0;
+    weight_pct[1] = 50.0;
+  }
+};
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,156 @@
+#include "rnic/device_profile.hpp"
+
+namespace ragnar::rnic {
+
+using sim::ns;
+
+namespace {
+
+// Shared defaults; per-device factories override the scaling knobs.
+DeviceProfile base_profile() {
+  DeviceProfile p;
+  p.mtu = 4096;
+  p.pkt_header_bytes = 66;
+  p.read_req_bytes = 28;
+  p.ack_bytes = 12;
+  p.inline_max = 220;
+  p.write_bulk_cutoff = 512;
+  p.wqe_bytes = 64;
+  p.fastpath_max_bytes = 256;
+  p.medium_pass_factor = 2.2;
+  p.bulk_write_cycle_factor = 0.35;
+  p.tx_over_rx_pressure = 2.6;
+  p.rx_dispatch_lanes = 2;
+  p.fastpath_cycle_factor = 0.8;
+  p.xl_banks = 32;  // 32 banks x 64 B lines = 2048 B descriptor window
+  p.xl_line_cache_entries = 8;
+  p.jitter_frac = 0.03;
+  p.jitter_floor = ns(3);
+  return p;
+}
+
+}  // namespace
+
+DeviceProfile make_profile(DeviceModel m) {
+  DeviceProfile p = base_profile();
+  p.model = m;
+  p.name = device_name(m);
+  switch (m) {
+    case DeviceModel::kCX4:
+      // 25 Gb/s, PCIe 3.0 x8 (~50 Gb/s effective after protocol overhead).
+      p.link_gbps = 25.0;
+      p.pcie_gbps = 50.0;
+      p.pcie_lat = ns(350);
+      p.pcie_txn_overhead = ns(20);
+      p.mmio_doorbell_lat = ns(120);
+      p.resp_gen_small = ns(90);
+      p.resp_gen_staged = ns(250);
+      p.resp_gen_ack = ns(35);
+      p.ack_coalesce_window = ns(300);
+      p.wire_lat = ns(250);
+      p.tx_arb_cycle = ns(80);
+      p.rx_dispatch_cycle = ns(170);
+      p.rx_pu_count = 2;
+      p.tx_pu_count = 2;
+      p.pu_base = ns(55);
+      p.pu_per_kib = ns(40);
+      p.xl_base = ns(300);
+      p.xl_sub8_penalty = ns(42);
+      p.xl_line_penalty = ns(70);
+      p.xl_bank_gradient = ns(60);
+      p.xl_bank_conflict = ns(90);
+      p.xl_bank_hold = ns(150);
+      p.xl_line_hit_bonus = ns(80);
+      p.xl_mr_switch_penalty = ns(120);
+      p.atomic_lock_time = ns(120);
+      p.xl_rel_sub8_penalty = ns(25);
+      p.xl_rel_line_penalty = ns(45);
+      p.xl_rel_page_penalty = ns(60);
+      p.xl_partition_overhead = ns(45);
+      p.xl_tdm_slot = ns(800);
+      p.mtt_sets = 64;
+      p.mtt_ways = 16;
+      p.mtt_miss_penalty = ns(900);
+      break;
+
+    case DeviceModel::kCX5:
+      // 100 Gb/s, PCIe 3.0 x8 — the port outruns the host interface.
+      p.link_gbps = 100.0;
+      p.pcie_gbps = 50.0;
+      p.pcie_lat = ns(300);
+      p.pcie_txn_overhead = ns(15);
+      p.mmio_doorbell_lat = ns(110);
+      p.resp_gen_small = ns(45);
+      p.resp_gen_staged = ns(125);
+      p.resp_gen_ack = ns(18);
+      p.ack_coalesce_window = ns(160);
+      p.wire_lat = ns(250);
+      p.tx_arb_cycle = ns(45);
+      p.rx_dispatch_cycle = ns(95);
+      p.rx_pu_count = 2;
+      p.tx_pu_count = 2;
+      p.pu_base = ns(35);
+      p.pu_per_kib = ns(18);
+      p.xl_base = ns(150);
+      // The CX-5 offset-effect amplitudes are small relative to its jitter:
+      // this is why the paper's intra-MR channel on CX-5 is no faster than
+      // on CX-4 (Table V) even though the NIC itself is 2x faster.
+      p.xl_sub8_penalty = ns(32);
+      p.xl_line_penalty = ns(55);
+      p.xl_bank_gradient = ns(45);
+      p.xl_bank_conflict = ns(70);
+      p.xl_bank_hold = ns(120);
+      p.xl_line_hit_bonus = ns(60);
+      p.xl_mr_switch_penalty = ns(95);
+      p.atomic_lock_time = ns(70);
+      p.xl_rel_sub8_penalty = ns(19);
+      p.xl_rel_line_penalty = ns(34);
+      p.xl_rel_page_penalty = ns(45);
+      p.xl_partition_overhead = ns(25);
+      p.xl_tdm_slot = ns(420);
+      p.mtt_sets = 128;
+      p.mtt_ways = 16;
+      p.mtt_miss_penalty = ns(600);
+      break;
+
+    case DeviceModel::kCX6:
+      // 200 Gb/s, PCIe 4.0 x16.
+      p.link_gbps = 200.0;
+      p.pcie_gbps = 200.0;
+      p.pcie_lat = ns(250);
+      p.pcie_txn_overhead = ns(12);
+      p.mmio_doorbell_lat = ns(100);
+      p.resp_gen_small = ns(30);
+      p.resp_gen_staged = ns(85);
+      p.resp_gen_ack = ns(12);
+      p.ack_coalesce_window = ns(110);
+      p.wire_lat = ns(250);
+      p.tx_arb_cycle = ns(30);
+      p.rx_dispatch_cycle = ns(70);
+      p.rx_pu_count = 4;
+      p.tx_pu_count = 4;
+      p.pu_base = ns(25);
+      p.pu_per_kib = ns(9);
+      p.xl_base = ns(110);
+      p.xl_sub8_penalty = ns(22);
+      p.xl_line_penalty = ns(40);
+      p.xl_bank_gradient = ns(24);
+      p.xl_bank_conflict = ns(36);
+      p.xl_bank_hold = ns(60);
+      p.xl_line_hit_bonus = ns(32);
+      p.xl_mr_switch_penalty = ns(46);
+      p.atomic_lock_time = ns(55);
+      p.xl_rel_sub8_penalty = ns(10);
+      p.xl_rel_line_penalty = ns(18);
+      p.xl_rel_page_penalty = ns(26);
+      p.xl_partition_overhead = ns(18);
+      p.xl_tdm_slot = ns(320);
+      p.mtt_sets = 128;
+      p.mtt_ways = 32;
+      p.mtt_miss_penalty = ns(500);
+      break;
+  }
+  return p;
+}
+
+}  // namespace ragnar::rnic

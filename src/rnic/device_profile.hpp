@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+// Calibrated timing models for the three NICs of the paper's testbed
+// (Table III): ConnectX-4 (25 Gb/s, PCIe3 x8), ConnectX-5 (100 Gb/s,
+// PCIe3 x8) and ConnectX-6 (200 Gb/s, PCIe4 x16).
+//
+// Absolute constants are calibrated, not measured from silicon: the goal is
+// that verbs-level observables land in the paper's ballpark (small-READ
+// round trips of a few microseconds, ULI of hundreds of nanoseconds, the
+// Kbps covert-channel regime) and that the *relative* structure across
+// devices and parameters matches the paper's findings.  Every experiment in
+// EXPERIMENTS.md states which constants it is sensitive to.
+namespace ragnar::rnic {
+
+enum class DeviceModel : std::uint8_t { kCX4, kCX5, kCX6 };
+
+inline const char* device_name(DeviceModel m) {
+  switch (m) {
+    case DeviceModel::kCX4: return "ConnectX-4";
+    case DeviceModel::kCX5: return "ConnectX-5";
+    case DeviceModel::kCX6: return "ConnectX-6";
+  }
+  return "?";
+}
+
+struct DeviceProfile {
+  DeviceModel model = DeviceModel::kCX4;
+  std::string name;
+
+  // --- physical interfaces ---------------------------------------------
+  double link_gbps = 25.0;        // port speed
+  double pcie_gbps = 50.0;        // effective host-interface bandwidth
+  sim::SimDur pcie_lat = 0;       // one-way DMA latency
+  sim::SimDur pcie_txn_overhead = 0;  // per-TLP fixed cost
+  sim::SimDur mmio_doorbell_lat = 0;  // CPU MMIO write to NIC
+  sim::SimDur wire_lat = 0;       // propagation + switch latency, one way
+  std::uint32_t mtu = 4096;       // path MTU for payload segmentation
+  std::uint32_t pkt_header_bytes = 66;  // Eth+IP+UDP+BTH+ICRC per packet
+  std::uint32_t read_req_bytes = 28;    // RETH request payload on the wire
+  std::uint32_t ack_bytes = 12;         // AETH
+
+  // --- schedulers (Grain-I/II behaviour, Key Findings 1-3) ---------------
+  sim::SimDur tx_arb_cycle = 0;   // egress arbiter time per WQE grant
+  sim::SimDur rx_dispatch_cycle = 0;  // ingress dispatcher time per message
+  // KF3: the egress (Tx/response) scheduler preempts ingress dispatch; when
+  // egress grant utilization is high, ingress dispatch slows by this factor.
+  double tx_over_rx_pressure = 0.9;
+  // KF2 ("NoC activation"): the ingress fast path has multiple dispatch
+  // lanes, hashed by traffic source.  A single source keeps one lane busy;
+  // a second source activates the other lane, so two small-write flows can
+  // together exceed 200% of a solo flow's bandwidth.
+  std::uint32_t rx_dispatch_lanes = 2;
+  double fastpath_cycle_factor = 0.8;  // cut-through dispatch discount
+  // Extra clock boost when both lanes are recently active (cycle multiplier).
+  double noc_dual_lane_boost = 0.8;
+  // Header-only inbound requests (READ/atomic) only queue a responder
+  // descriptor; their dispatch is cheaper than payload-carrying messages.
+  double request_dispatch_factor = 0.5;
+
+  // --- response generator (shared, single-ported) -------------------------
+  // Every responder-side reply (READ response, ACK, atomic response) passes
+  // one shared response-generation stage.  Medium-size responses need a
+  // store-and-forward staging pass whose SRAM write port is shared with the
+  // ingress cut-through path (see staging_pressure below) — that sharing,
+  // plus the egress-over-ingress pressure, is what makes small-WRITE floods
+  // selectively crush medium READ flows (Key Finding 1).  ACKs coalesce per
+  // QP and ride a control lane at egress.
+  sim::SimDur resp_gen_small = 0;     // cut-through responses (<= fastpath)
+  sim::SimDur resp_gen_staged = 0;    // store-and-forward responses
+  sim::SimDur resp_gen_ack = 0;       // ACK generation
+  sim::SimDur ack_coalesce_window = 0;  // per-QP ACK piggyback window
+  // The response-staging SRAM shares its write port with the ingress
+  // cut-through path: a high-rate small-message flood inflates the staging
+  // pass of *medium* responses by (1 + staging_pressure * fastpath_util).
+  // This is the microarchitectural reading of Key Finding 1's "only the
+  // medium read flow drops under a small-write flood".
+  double staging_pressure = 2.0;
+  // Bulk (DMA-gather) writes earn a larger scheduler quantum; expressed as
+  // a cycle multiplier < 1 per granted message.
+  double bulk_write_cycle_factor = 0.35;
+
+  // --- processing units ---------------------------------------------------
+  std::uint32_t rx_pu_count = 2;
+  std::uint32_t tx_pu_count = 2;
+  sim::SimDur pu_base = 0;        // per-message engine time
+  sim::SimDur pu_per_kib = 0;     // additional engine time per KiB
+  // Medium-sized messages (between fast-path cutoff and MTU) need a second
+  // engine pass (header + payload passes), making them slot-hungry — this
+  // is what makes *medium* READs the first victims of small-WRITE floods
+  // (Key Finding 1).
+  std::uint32_t fastpath_max_bytes = 256;
+  double medium_pass_factor = 2.2;
+
+  // --- translation & protection unit (Grain-III/IV, Key Finding 4) -------
+  sim::SimDur xl_base = 0;            // descriptor lookup, READ responder path
+  sim::SimDur xl_sub8_penalty = 0;    // remote addr not 8 B aligned
+  sim::SimDur xl_line_penalty = 0;    // remote addr not 64 B aligned
+  std::uint32_t xl_banks = 32;        // descriptor banks; 32 x 64 B = 2048 B
+  sim::SimDur xl_bank_gradient = 0;   // per-bank-position extra (2048 B saw)
+  sim::SimDur xl_bank_conflict = 0;   // concurrent same-bank access penalty
+  sim::SimDur xl_bank_hold = 0;       // bank busy window after an access
+  std::uint32_t xl_line_cache_entries = 8;  // shared recent-line cache
+  sim::SimDur xl_line_hit_bonus = 0;  // hit in the shared line cache
+  sim::SimDur xl_mr_switch_penalty = 0;  // MR context register swap
+  sim::SimDur atomic_lock_time = 0;   // serialization of atomics
+  // Relative-offset terms (Fig 8): the unit speculatively keeps the last
+  // descriptor; penalties depend on the delta to the previous access.
+  sim::SimDur xl_rel_sub8_penalty = 0;
+  sim::SimDur xl_rel_line_penalty = 0;
+  sim::SimDur xl_rel_page_penalty = 0;  // delta crosses a 2048 B block
+  // Section VII partitioning mitigation: per-access time-slicing overhead
+  // when the translation unit runs in per-tenant partitioned mode, and the
+  // fixed TDM admission slot each tenant's responder requests are clocked
+  // into (constant per-tenant rate = no rate-coupled leakage, at a steep
+  // small-message throughput cost).
+  sim::SimDur xl_partition_overhead = 0;
+  sim::SimDur xl_tdm_slot = 0;
+
+  // --- requester-side paths ----------------------------------------------
+  std::uint32_t inline_max = 220;        // writes <= this ride the doorbell
+  std::uint32_t write_bulk_cutoff = 512; // >= this: DMA-gather bulk path
+  std::uint32_t wqe_bytes = 64;
+
+  // --- on-chip MTT page cache (Pythia substrate) --------------------------
+  std::uint32_t mtt_sets = 64;
+  std::uint32_t mtt_ways = 16;
+  sim::SimDur mtt_miss_penalty = 0;
+
+  // --- noise ---------------------------------------------------------------
+  double jitter_frac = 0.03;       // sd as a fraction of each service time
+  sim::SimDur jitter_floor = 0;    // absolute sd floor
+
+  // Service rate of the ingress dispatcher in messages/sec (for reasoning
+  // about the NoC boost threshold in tests).
+  double rx_dispatch_mps() const {
+    return 1e12 / static_cast<double>(rx_dispatch_cycle);
+  }
+};
+
+// Factory for the calibrated per-device profiles.
+DeviceProfile make_profile(DeviceModel m);
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rnic/op.hpp"
+
+// Responder-side memory-region registry: rkey -> (base, length, access,
+// backing storage).  The verbs layer registers MRs here; the RNIC responder
+// consults it for protection checks and data movement.
+namespace ragnar::rnic {
+
+struct MrEntry {
+  Rkey rkey = 0;
+  std::uint32_t mr_id = 0;       // dense id used by the translation unit
+  std::uint64_t base = 0;        // virtual base address
+  std::uint64_t length = 0;
+  std::uint32_t page_bytes = 2u << 20;  // 2 MB huge pages by default
+  bool allow_read = true;
+  bool allow_write = true;
+  bool allow_atomic = true;
+  std::uint8_t* data = nullptr;  // backing buffer (owned by the verbs MR)
+};
+
+class MemoryTable {
+ public:
+  void register_mr(const MrEntry& e) { table_[e.rkey] = e; }
+  void deregister_mr(Rkey rkey) { table_.erase(rkey); }
+
+  // nullptr if the rkey is unknown.
+  const MrEntry* lookup(Rkey rkey) const {
+    auto it = table_.find(rkey);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  // Validates a remote access; returns kSuccess or the failure status.
+  WcStatus check(Rkey rkey, std::uint64_t addr, std::uint32_t len,
+                 Opcode op, const MrEntry** entry_out) const;
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<Rkey, MrEntry> table_;
+};
+
+inline WcStatus MemoryTable::check(Rkey rkey, std::uint64_t addr,
+                                   std::uint32_t len, Opcode op,
+                                   const MrEntry** entry_out) const {
+  const MrEntry* e = lookup(rkey);
+  if (entry_out != nullptr) *entry_out = e;
+  if (e == nullptr) return WcStatus::kRemoteAccessError;
+  if (addr < e->base || addr + len > e->base + e->length)
+    return WcStatus::kRemoteAccessError;
+  switch (op) {
+    case Opcode::kRead:
+      if (!e->allow_read) return WcStatus::kRemoteAccessError;
+      break;
+    case Opcode::kWrite:
+    case Opcode::kSend:
+      if (!e->allow_write) return WcStatus::kRemoteAccessError;
+      break;
+    case Opcode::kFetchAdd:
+    case Opcode::kCmpSwap:
+      if (!e->allow_atomic) return WcStatus::kRemoteAccessError;
+      if (len != 8 || addr % 8 != 0) return WcStatus::kRemoteInvalidRequest;
+      break;
+  }
+  return WcStatus::kSuccess;
+}
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+// Wire-level operation descriptors exchanged between simulated RNICs.
+namespace ragnar::rnic {
+
+enum class Opcode : std::uint8_t {
+  kRead,       // RDMA READ (requester fetches remote memory)
+  kWrite,      // RDMA WRITE (requester deposits into remote memory)
+  kSend,       // two-sided SEND (consumed by a receive WQE; modeled as a
+               // write into a responder-managed bounce region)
+  kFetchAdd,   // ATOMIC fetch-and-add (8 bytes)
+  kCmpSwap,    // ATOMIC compare-and-swap (8 bytes)
+};
+
+inline bool is_atomic(Opcode op) {
+  return op == Opcode::kFetchAdd || op == Opcode::kCmpSwap;
+}
+inline const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kRead: return "READ";
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+    case Opcode::kCmpSwap: return "CMP_SWAP";
+  }
+  return "?";
+}
+
+using NodeId = std::uint16_t;   // fabric endpoint (one RNIC per host)
+using Qpn = std::uint32_t;      // queue pair number
+using Rkey = std::uint32_t;     // remote key of a memory region
+using TrafficClass = std::uint8_t;
+
+// One message as the requester hands it to its RNIC.  `laddr`/`raddr` are
+// simulated virtual addresses; payloads move between MR backing buffers when
+// the operation logically completes.
+struct WireOp {
+  Opcode op = Opcode::kRead;
+  std::uint32_t size = 0;        // payload bytes (8 for atomics)
+  std::uint64_t laddr = 0;       // local buffer VA
+  std::uint64_t raddr = 0;       // remote buffer VA
+  Rkey rkey = 0;
+  TrafficClass tc = 0;
+  Qpn src_qpn = 0;
+  Qpn dst_qpn = 0;
+  NodeId src_node = 0;
+  NodeId dst_node = 0;
+  std::uint64_t wr_id = 0;
+  bool inlined = false;          // payload carried in the WQE (small writes)
+  std::uint64_t atomic_operand = 0;
+  std::uint64_t atomic_compare = 0;
+};
+
+// Completion status surfaced to the verbs layer (subset of ibv_wc_status).
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRemoteAccessError,   // rkey/bounds/permission failure at the responder
+  kRemoteInvalidRequest,
+};
+
+inline const char* wc_status_name(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteInvalidRequest: return "REMOTE_INVALID_REQUEST";
+  }
+  return "?";
+}
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,264 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rnic/counters.hpp"
+#include "rnic/device_profile.hpp"
+#include "rnic/memory_table.hpp"
+#include "rnic/op.hpp"
+#include "rnic/translation.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+// Top-level RNIC pipeline model (paper Fig 3).
+//
+// Requester path (red):  doorbell -> WQE/payload fetch over PCIe ->
+// Tx arbiter grant -> Tx processing unit -> egress serialization (+ETS
+// pacing) -> wire.
+//
+// Responder path (yellow/green): ingress serialization -> dispatcher
+// (source-hashed fast-path lanes / store-forward path) -> Rx processing
+// unit -> protection check -> translation unit (READ/ATOMIC only; the
+// Grain-IV leak) -> PCIe DMA -> response generation back through the Tx
+// arbiter and egress port.
+//
+// All stages are FIFO/bandwidth servers, so each message's traversal is
+// computed with latency arithmetic inside a handful of events; contention
+// between flows emerges from the shared server state, exactly the
+// "volatile channel" the paper exploits.
+namespace ragnar::rnic {
+
+// Callback type used by the verbs layer to receive completions.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  virtual void on_completion(std::uint64_t wr_id, WcStatus status,
+                             sim::SimTime at, std::uint64_t atomic_result) = 0;
+};
+
+// A message traveling the simulated fabric.  Pointers travel with the
+// message (single-process simulation shortcut).
+struct InFlightMsg {
+  enum class Kind : std::uint8_t {
+    kRequest,
+    kReadResponse,
+    kAck,           // WRITE/SEND acknowledgment
+    kAtomicResponse,
+    kNak,           // protection/validation failure
+  };
+  WireOp op;
+  Kind kind = Kind::kRequest;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint8_t* requester_local = nullptr;  // requester-side buffer
+  const std::uint8_t* responder_data = nullptr;  // source of READ payload
+  CompletionSink* sink = nullptr;
+  std::uint64_t atomic_result = 0;
+  std::uint64_t wire_bytes = 0;  // total bytes incl. headers, all packets
+  std::uint32_t wire_pkts = 1;
+};
+
+// Leaky-bucket utilization estimator: `value()` is busy-fraction over a
+// sliding window, used for the egress-over-ingress pressure (KF3).
+class DecayedUtil {
+ public:
+  explicit DecayedUtil(sim::SimDur window = sim::us(10)) : window_(window) {}
+  void add(sim::SimTime now, sim::SimDur busy) {
+    decay(now);
+    acc_ += static_cast<double>(busy);
+    if (acc_ > static_cast<double>(window_)) acc_ = static_cast<double>(window_);
+  }
+  double value(sim::SimTime now) {
+    decay(now);
+    return acc_ / static_cast<double>(window_);
+  }
+
+ private:
+  void decay(sim::SimTime now) {
+    if (now > last_) {
+      acc_ -= static_cast<double>(now - last_);
+      if (acc_ < 0) acc_ = 0;
+      last_ = now;
+    }
+  }
+  sim::SimDur window_;
+  double acc_ = 0;
+  sim::SimTime last_ = 0;
+};
+
+// Per-source-node (per-tenant) accounting window — the observables a
+// HARMONIC-class defense (Grain-I/II/III counters) gets to see.
+struct SrcWindowStats {
+  std::array<std::uint64_t, kNumOpcodes> msgs{};
+  std::array<std::uint64_t, kNumOpcodes> bytes{};
+  std::uint64_t tiny_msgs = 0;    // <= fast-path cutoff
+  std::uint64_t medium_msgs = 0;  // <= MTU
+  std::uint64_t large_msgs = 0;   // > MTU
+  std::unordered_set<Rkey> rkeys_touched;  // Grain-III resource footprint
+  std::unordered_set<Qpn> qpns_seen;
+
+  std::uint64_t total_msgs() const {
+    std::uint64_t s = 0;
+    for (auto m : msgs) s += m;
+    return s;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t s = 0;
+    for (auto b : bytes) s += b;
+    return s;
+  }
+};
+
+class Rnic {
+ public:
+  using DeliveryFn =
+      std::function<void(const InFlightMsg&, sim::SimTime depart)>;
+
+  Rnic(sim::Scheduler& sched, DeviceProfile profile, NodeId node,
+       sim::Xoshiro256 rng);
+
+  NodeId node() const { return node_; }
+  const DeviceProfile& profile() const { return prof_; }
+  MemoryTable& memory() { return memory_; }
+  PortCounters& counters() { return counters_; }
+  const PortCounters& counters() const { return counters_; }
+  EtsConfig& ets() { return ets_; }
+  TranslationUnit& translation() { return xlate_; }
+
+  // Wired up by the Fabric.
+  void set_delivery(DeliveryFn fn) { deliver_fn_ = std::move(fn); }
+
+  // Two-sided SEND delivery hook, wired by the verbs layer: consume a recv
+  // buffer on QP `dst_qpn`, copy `len` bytes from `data`, and report the
+  // recv completion at time `at`.  Returns false when no recv WQE is
+  // posted (receiver-not-ready), which NAKs the sender.
+  using SendHandler = std::function<bool(Qpn dst_qpn, const std::uint8_t* data,
+                                         std::uint32_t len, sim::SimTime at)>;
+  void set_send_handler(SendHandler fn) { send_handler_ = std::move(fn); }
+
+  // Requester entry point: process one WQE.  `local_ptr` is the local
+  // buffer backing laddr (source for WRITE/SEND, destination for READ).
+  void post(WireOp op, CompletionSink* sink, std::uint8_t* local_ptr);
+
+  // Fabric delivers an inbound message at the current simulated time.
+  void deliver(const InFlightMsg& msg);
+
+  // Tenant-granularity window counters: returns the stats accumulated since
+  // the previous call and resets the window (how a HARMONIC-style monitor
+  // polls the device).
+  std::unordered_map<NodeId, SrcWindowStats> take_src_window_stats() {
+    auto out = std::move(src_stats_);
+    src_stats_.clear();
+    return out;
+  }
+
+  // Section VII mitigation: add uniform noise in [0, max] to every READ
+  // translation on the responder path (0 disables).
+  void set_responder_noise(sim::SimDur max_noise) { mitigation_noise_ = max_noise; }
+  sim::SimDur responder_noise() const { return mitigation_noise_; }
+
+  // Section VII "hardware partitioning" mitigation: per-tenant isolation of
+  // the translation unit's speculative state (kills the Grain-III/IV
+  // volatile channels, costs capacity + time-slicing overhead).
+  void set_tenant_isolation(bool on) { xlate_.set_partitioned(on); }
+  bool tenant_isolation() const { return xlate_.partitioned(); }
+
+  // Native Grain-I flow control: per-tenant ingress pacing at `gbps_cap`
+  // (0 disables).  This is what modern RNICs already ship; it contains pure
+  // bandwidth floods but cannot see — let alone stop — the Kbps-scale
+  // Ragnar channels.
+  void set_tenant_pacing_gbps(double gbps_cap) { tenant_pacing_gbps_ = gbps_cap; }
+  double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
+
+  // Targeted throttle for one tenant (HARMONIC-style enforcement; 0 lifts
+  // it).  Overrides the global pacing cap for that tenant.
+  void set_tenant_cap_gbps(NodeId src, double gbps_cap);
+  double tenant_cap_gbps(NodeId src) const {
+    auto it = tenant_caps_.find(src);
+    return it == tenant_caps_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  sim::SimDur pu_time(std::uint32_t bytes) const;
+  sim::SimDur jitter(sim::SimDur base);
+  // Egress port: full-rate serializer plus per-TC ETS pacing when more than
+  // one TC is recently active.
+  sim::SimTime egress_reserve(sim::SimTime t, TrafficClass tc,
+                              std::uint64_t bytes, std::uint32_t pkts);
+  // Control frames (ACK/NAK/atomic responses) ride a per-packet priority
+  // lane: they pay serialization but never queue behind payload responses
+  // and are exempt from ETS accounting and KF3 pressure tracking.
+  sim::SimTime control_egress(sim::SimTime t, std::uint64_t bytes) {
+    return t + egress_link_.service_time(bytes);
+  }
+  // Arrival accounting + admission control (Grain-I pacing, partitioned-
+  // mode TDM slotting).  Deferred admissions re-enter through the event
+  // queue so shared-stage reservations always happen in time order.
+  void handle_request(InFlightMsg msg, sim::SimTime t);
+  void handle_request_admitted(InFlightMsg msg, sim::SimTime t);
+  void handle_response(InFlightMsg msg, sim::SimTime t);
+  // Response-generation stages, run *at* their start time.  Reserving them
+  // at request-arrival time would poison the shared FIFO horizon whenever
+  // the upstream DMA has a deep backlog (e.g. pipelined 64 KB READs), making
+  // unrelated ACKs queue behind far-future reservations.
+  void finish_read_response(InFlightMsg reply, std::uint32_t size,
+                            TrafficClass tc);
+  void finish_ack(InFlightMsg reply, TrafficClass tc, Qpn src_qpn);
+  void finish_atomic_response(InFlightMsg reply, TrafficClass tc);
+  void defer(sim::SimTime t, std::function<void()> fn) {
+    if (t <= sched_.now()) {
+      fn();
+    } else {
+      sched_.at(t, std::move(fn));
+    }
+  }
+  void send_reply(InFlightMsg reply, sim::SimTime t);
+  static std::uint32_t packet_count(std::uint64_t payload, std::uint32_t mtu);
+
+  sim::Scheduler& sched_;
+  DeviceProfile prof_;
+  NodeId node_;
+  sim::Xoshiro256 rng_;
+  DeliveryFn deliver_fn_;
+  SendHandler send_handler_;
+
+  MemoryTable memory_;
+  PortCounters counters_;
+  EtsConfig ets_;
+
+  // Shared stages.  PCIe is full duplex: host-to-device reads (WQE fetch,
+  // payload gather, responder DMA-fetch) and device-to-host writes (payload
+  // placement, CQE writes) occupy independent directions.
+  sim::BandwidthServer pcie_rd_;
+  sim::BandwidthServer pcie_wr_;
+  sim::FifoServer tx_arb_;
+  sim::PoolServer tx_pu_;
+  std::vector<sim::FifoServer> rx_dispatch_lanes_;
+  std::vector<sim::SimTime> lane_last_active_;
+  sim::FifoServer store_forward_;
+  sim::PoolServer rx_pu_;
+  TranslationUnit xlate_;
+  sim::FifoServer atomic_lock_;
+  sim::FifoServer resp_gen_;
+  std::unordered_map<Qpn, sim::SimTime> last_ack_at_;
+  sim::BandwidthServer egress_link_;
+  sim::BandwidthServer ingress_link_;
+  std::vector<sim::BandwidthServer> tc_pacer_;
+  std::vector<sim::SimTime> tc_last_active_;
+  DecayedUtil egress_util_;    // payload egress (KF3 pressure source)
+  DecayedUtil fastpath_util_;  // ingress cut-through load (staging pressure)
+  std::unordered_map<NodeId, SrcWindowStats> src_stats_;
+  std::unordered_map<NodeId, sim::BandwidthServer> tenant_pacer_;
+  std::unordered_map<NodeId, double> tenant_caps_;
+  std::unordered_map<NodeId, sim::FifoServer> tdm_admission_;
+  double tenant_pacing_gbps_ = 0;
+  sim::SimDur mitigation_noise_ = 0;
+};
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,163 @@
+#include "rnic/translation.hpp"
+
+#include <algorithm>
+
+namespace ragnar::rnic {
+
+TranslationUnit::TranslationUnit(const DeviceProfile& prof,
+                                 sim::Xoshiro256 rng)
+    : prof_(prof), rng_(rng) {
+  bank_busy_until_.assign(prof_.xl_banks, 0);
+  bank_busy_src_.assign(prof_.xl_banks, 0);
+  mtt_sets_.assign(prof_.mtt_sets, {});
+}
+
+sim::SimDur TranslationUnit::static_read_cost(std::uint64_t offset) const {
+  sim::SimDur t = prof_.xl_base;
+  if (offset % 8 != 0) t += prof_.xl_sub8_penalty;
+  if (offset % 64 != 0) t += prof_.xl_line_penalty;
+  // Descriptor banks: offsets later in the 2048 B window pay a growing
+  // decode cost, producing the sawtooth with 2048 B period.
+  const std::uint64_t bank = (offset / 64) % prof_.xl_banks;
+  t += prof_.xl_bank_gradient * bank / std::max<std::uint32_t>(prof_.xl_banks, 1);
+  return t;
+}
+
+sim::SimDur TranslationUnit::relative_cost(const SpecState& st,
+                                           std::uint64_t offset) const {
+  if (!st.have_prev) return 0;
+  const std::uint64_t delta = offset > st.prev_offset
+                                  ? offset - st.prev_offset
+                                  : st.prev_offset - offset;
+  sim::SimDur t = 0;
+  if (delta % 8 != 0) t += prof_.xl_rel_sub8_penalty;
+  if (delta % 64 != 0) t += prof_.xl_rel_line_penalty;
+  // Crossing into a different 2048 B descriptor block defeats the
+  // speculative descriptor reuse.
+  if ((offset / 2048) != (st.prev_offset / 2048))
+    t += prof_.xl_rel_page_penalty;
+  return t;
+}
+
+TranslationUnit::SpecState& TranslationUnit::state_for(NodeId src) {
+  return partitioned_ ? per_src_state_[src] : shared_state_;
+}
+
+bool TranslationUnit::line_cache_touch(SpecState& st, std::uint32_t mr_id,
+                                       std::uint64_t line,
+                                       std::uint32_t capacity) {
+  const LineKey key{mr_id, line};
+  auto& lru = st.line_lru;
+  for (auto it = lru.begin(); it != lru.end(); ++it) {
+    if (*it == key) {
+      lru.erase(it);
+      lru.push_front(key);
+      return true;
+    }
+  }
+  lru.push_front(key);
+  if (lru.size() > capacity) lru.pop_back();
+  return false;
+}
+
+bool TranslationUnit::mtt_touch(std::uint32_t mr_id, std::uint64_t offset,
+                                std::uint32_t page_bytes) {
+  const std::uint64_t page = offset / std::max<std::uint32_t>(page_bytes, 1);
+  const MttKey key{mr_id, page};
+  auto& set = mtt_sets_[(page ^ (mr_id * 0x9e37u)) % mtt_sets_.size()];
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i] == key) {
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+      set.insert(set.begin(), key);
+      return true;
+    }
+  }
+  set.insert(set.begin(), key);
+  if (set.size() > prof_.mtt_ways) set.pop_back();
+  return false;
+}
+
+bool TranslationUnit::mtt_lookup_would_hit(std::uint32_t mr_id,
+                                           std::uint64_t offset,
+                                           std::uint32_t page_bytes) const {
+  const std::uint64_t page = offset / std::max<std::uint32_t>(page_bytes, 1);
+  const MttKey key{mr_id, page};
+  const auto& set = mtt_sets_[(page ^ (mr_id * 0x9e37u)) % mtt_sets_.size()];
+  return std::find(set.begin(), set.end(), key) != set.end();
+}
+
+void TranslationUnit::mtt_flush() {
+  for (auto& set : mtt_sets_) set.clear();
+}
+
+sim::SimTime TranslationUnit::access(sim::SimTime now, const XlRequest& req,
+                                     sim::SimDur* svc_out) {
+  ++accesses_;
+  sim::SimDur t = 0;
+
+  if (req.is_read) {
+    SpecState& st = state_for(req.src);
+    const std::uint32_t cache_cap =
+        partitioned_
+            ? std::max<std::uint32_t>(prof_.xl_line_cache_entries / 2, 1)
+            : prof_.xl_line_cache_entries;
+
+    t += static_read_cost(req.offset);
+    t += relative_cost(st, req.offset);
+
+    // MR context register: switching the translated MR swaps the context.
+    if (st.have_prev && req.mr_id != st.prev_mr)
+      t += prof_.xl_mr_switch_penalty;
+
+    // Recent-line cache: a hit (the line was translated recently — by any
+    // QP in shared mode, only by this tenant in partitioned mode) is
+    // faster.  The bonus must never underflow the base cost.
+    const bool line_hit =
+        line_cache_touch(st, req.mr_id, req.offset / 64, cache_cap);
+    if (line_hit) {
+      t = t > prof_.xl_line_hit_bonus + prof_.xl_base / 2
+              ? t - prof_.xl_line_hit_bonus
+              : prof_.xl_base / 2;
+    }
+
+    // Bank busy window: a concurrent access to the same descriptor bank
+    // collides.  In partitioned mode banks are time-sliced per tenant, so
+    // only same-tenant accesses conflict (no cross-tenant observable).
+    const std::uint64_t bank = (req.offset / 64) % prof_.xl_banks;
+    const bool conflicts = bank_busy_until_[bank] > now &&
+                           (!partitioned_ || bank_busy_src_[bank] == req.src);
+    if (conflicts) t += prof_.xl_bank_conflict;
+    bank_busy_until_[bank] = now + t + prof_.xl_bank_hold;
+    bank_busy_src_[bank] = req.src;
+
+    if (partitioned_) t += prof_.xl_partition_overhead;
+
+    st.have_prev = true;
+    st.prev_mr = req.mr_id;
+    st.prev_offset = req.offset;
+  } else {
+    // Posted WRITE pipeline: address-independent (paper footnote 9).
+    t += prof_.xl_base / 2;
+  }
+
+  // MTT page walk (both directions need a valid translation entry).
+  if (!mtt_touch(req.mr_id, req.offset, req.page_bytes)) {
+    ++mtt_misses_;
+    t += prof_.mtt_miss_penalty;
+  }
+
+  // Service-time jitter.
+  const double sd = std::max<double>(static_cast<double>(prof_.jitter_floor),
+                                     static_cast<double>(t) * prof_.jitter_frac);
+  t = static_cast<sim::SimDur>(
+      std::max(1.0, rng_.clamped_normal(static_cast<double>(t), sd)));
+
+  if (svc_out != nullptr) *svc_out = t;
+  // Partitioned mode: each tenant owns a time-sliced partition of the unit
+  // (private queue); shared mode: one pipe, whose queueing is itself a
+  // cross-tenant observable.
+  if (partitioned_ && req.is_read) return pipes_[req.src].reserve(now, t);
+  return pipe_.reserve(now, t);
+}
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "rnic/device_profile.hpp"
+#include "rnic/op.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+// The Translation & Protection unit of the RNIC model — the microarchitecture
+// behind the paper's Key Finding 4 (address-offset effect) and the
+// Grain-III/IV channels.
+//
+// The responder path of every RDMA READ and ATOMIC walks this unit to
+// translate the remote address and check protection.  Its service time
+// depends on address bits:
+//
+//   * +sub8 penalty when the address is not 8 B aligned (descriptor word
+//     sub-access), giving the 8 B periodicity of Figs 6-8;
+//   * +line penalty when not 64 B aligned (descriptor line split), the
+//     stronger 64 B periodicity;
+//   * a per-bank gradient over (offset/64) mod banks — 32 banks x 64 B
+//     gives the apparent 2048 B periodicity;
+//   * penalties as a function of the *delta* to the previously translated
+//     offset (speculative descriptor reuse), producing the relative-offset
+//     pattern of Fig 8;
+//   * an MR context register: translating a different MR than the previous
+//     request swaps the context (Grain-III, Fig 5);
+//   * a small shared recent-line cache and per-bank busy windows: state is
+//     shared across QPs and across tenants, which is precisely the
+//     volatile/contention leak the side-channel attack of Fig 13 reads out.
+//
+// RDMA WRITEs take a separate posted pipeline whose timing is
+// address-independent (the paper found no stable WRITE offset effect,
+// footnote 9).
+namespace ragnar::rnic {
+
+struct XlRequest {
+  std::uint32_t mr_id = 0;
+  std::uint64_t offset = 0;   // offset from the MR base
+  std::uint32_t size = 0;
+  bool is_read = true;        // READ/ATOMIC responder path
+  std::uint32_t page_bytes = 2u << 20;  // MR page granularity (MTT)
+  NodeId src = 0;             // requesting tenant (for partitioned mode)
+};
+
+class TranslationUnit {
+ public:
+  TranslationUnit(const DeviceProfile& prof, sim::Xoshiro256 rng);
+
+  // Reserve the unit at time `now`; returns the completion time.  The
+  // variable service time (including all offset effects and MTT result) is
+  // returned via `svc_out` when non-null.
+  sim::SimTime access(sim::SimTime now, const XlRequest& req,
+                      sim::SimDur* svc_out = nullptr);
+
+  // Deterministic part of the service time for a hypothetical access, with
+  // no state mutation and no jitter — used by unit tests to verify the
+  // periodicity properties in isolation.
+  sim::SimDur static_read_cost(std::uint64_t offset) const;
+
+  // MTT page cache interface (exposed for the Pythia baseline's substrate).
+  bool mtt_lookup_would_hit(std::uint32_t mr_id, std::uint64_t offset,
+                            std::uint32_t page_bytes) const;
+  void mtt_flush();
+
+  // Section VII "hardware partitioning" mitigation: per-tenant speculative
+  // state (line cache split in half, private context registers) and
+  // time-sliced banks (no cross-tenant conflicts), at a fixed per-access
+  // time-slicing overhead.  Kills the Grain-III/IV leaks by construction;
+  // costs every tenant cache capacity and latency.
+  void set_partitioned(bool on) { partitioned_ = on; }
+  bool partitioned() const { return partitioned_; }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t mtt_misses() const { return mtt_misses_; }
+
+ private:
+  struct LineKey {
+    std::uint32_t mr_id;
+    std::uint64_t line;
+    bool operator==(const LineKey&) const = default;
+  };
+
+  // Per-tenant (partitioned) or device-wide (shared) speculative state.
+  struct SpecState {
+    bool have_prev = false;
+    std::uint32_t prev_mr = 0;
+    std::uint64_t prev_offset = 0;
+    std::list<LineKey> line_lru;  // front = most recent
+  };
+
+  sim::SimDur relative_cost(const SpecState& st, std::uint64_t offset) const;
+  bool line_cache_touch(SpecState& st, std::uint32_t mr_id,
+                        std::uint64_t line, std::uint32_t capacity);
+  bool mtt_touch(std::uint32_t mr_id, std::uint64_t offset,
+                 std::uint32_t page_bytes);
+  SpecState& state_for(NodeId src);
+
+  const DeviceProfile& prof_;
+  sim::Xoshiro256 rng_;
+  sim::FifoServer pipe_;                                // shared mode
+  std::unordered_map<NodeId, sim::FifoServer> pipes_;   // partitioned mode
+  bool partitioned_ = false;
+
+  SpecState shared_state_;
+  std::unordered_map<NodeId, SpecState> per_src_state_;
+  std::vector<sim::SimTime> bank_busy_until_;
+  std::vector<NodeId> bank_busy_src_;
+
+  // MTT page cache: set-associative LRU of (mr, page).
+  struct MttKey {
+    std::uint32_t mr_id;
+    std::uint64_t page;
+    bool operator==(const MttKey&) const = default;
+  };
+  std::vector<std::vector<MttKey>> mtt_sets_;  // [set] -> LRU list (front MRU)
+
+  std::uint64_t accesses_ = 0;
+  std::uint64_t mtt_misses_ = 0;
+};
+
+}  // namespace ragnar::rnic

@@ -1,0 +1,137 @@
+#include "side/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/dataset.hpp"
+
+namespace ragnar::side {
+
+BandwidthMonitor::BandwidthMonitor(revng::Testbed& bed, const Config& cfg)
+    : bed_(bed), cfg_(cfg) {
+  conn_ = bed_.connect(cfg_.client_idx, /*qp_count=*/2, cfg_.queue_depth,
+                       cfg_.tc, /*client_buf_len=*/1u << 16);
+  mr_ = conn_.server_pd->register_mr(1u << 20);
+}
+
+void BandwidthMonitor::start(sim::SimTime stop_at) {
+  t0_ = bed_.sched().now();
+  stop_at_ = stop_at;
+  done_ = false;
+  bed_.sched().spawn(run());
+}
+
+bool BandwidthMonitor::post_one() {
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kRdmaRead;
+  wr.local_addr = conn_.local_addr();
+  wr.length = cfg_.read_size;
+  wr.remote_addr = mr_->addr();
+  wr.rkey = mr_->rkey();
+  return conn_.qp(++alternator_ % 2).post_send(wr) == verbs::PostResult::kOk;
+}
+
+sim::Task BandwidthMonitor::run() {
+  auto& sched = bed_.sched();
+  while (post_one()) {
+  }
+  verbs::Wc wc;
+  while (sched.now() < stop_at_) {
+    co_await conn_.cq().wait(1);
+    while (conn_.cq().poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess && wc.completed_at >= t0_) {
+        const std::size_t bin =
+            static_cast<std::size_t>((wc.completed_at - t0_) / cfg_.bin);
+        if (bin >= bytes_per_bin_.size()) bytes_per_bin_.resize(bin + 1, 0);
+        bytes_per_bin_[bin] += wc.byte_len;
+      }
+      if (sched.now() < stop_at_) post_one();
+    }
+  }
+  done_ = true;
+}
+
+std::vector<double> BandwidthMonitor::series() const {
+  std::vector<double> out;
+  out.reserve(bytes_per_bin_.size());
+  const double secs = sim::to_sec(cfg_.bin);
+  for (auto b : bytes_per_bin_)
+    out.push_back(static_cast<double>(b) * 8.0 / 1e9 / secs);
+  return out;
+}
+
+FingerprintDetector::Features FingerprintDetector::features_of(
+    std::span<const double> raw) {
+  Features f;
+  f.mean = sim::mean_of(raw);
+  sim::SampleSet s;
+  for (double v : raw) s.add(v);
+  f.p5_over_mean = f.mean > 1e-12 ? s.percentile(5) / f.mean : 0.0;
+  double var = 0;
+  for (double v : raw) var += (v - f.mean) * (v - f.mean);
+  var /= std::max<std::size_t>(raw.size(), 1);
+  f.cv = f.mean > 1e-12 ? std::sqrt(var) / f.mean : 0.0;
+  return f;
+}
+
+void FingerprintDetector::add_template(DbOp op, std::vector<double> shape) {
+  const Features feat = features_of(shape);
+  analysis::normalize_zscore(shape);
+  templates_.push_back({op, std::move(shape), feat});
+}
+
+FingerprintDetector::Detection FingerprintDetector::classify(
+    std::span<const double> window, double threshold) const {
+  Detection best;
+  std::vector<double> w(window.begin(), window.end());
+  const Features wf = features_of(w);
+  analysis::normalize_zscore(w);
+  double best_score = -1;
+  for (const auto& t : templates_) {
+    const double r = sim::max_normalized_correlation(w, t.shape);
+    // Feature mismatch, each term clamped to [0, 1]: mean level within 15%,
+    // dip depth (p5/mean) within 0.2 absolute, CV within 0.3 absolute.
+    const double d_mean = std::min(
+        1.0, std::abs(wf.mean - t.feat.mean) /
+                 (0.15 * std::max(t.feat.mean, 1e-12)));
+    const double d_dip =
+        std::min(1.0, std::abs(wf.p5_over_mean - t.feat.p5_over_mean) / 0.2);
+    const double d_cv = std::min(1.0, std::abs(wf.cv - t.feat.cv) / 0.3);
+    const double feat_match = 1.0 - (d_mean + d_dip + d_cv) / 3.0;
+    // Shape correlation carries periodic signatures (teeth); the features
+    // separate flat signatures of different severity (shuffle vs scan vs
+    // idle), which z-normalized correlation alone cannot.
+    const double score = 0.4 * r + 0.6 * feat_match;
+    if (score > best_score) {
+      best_score = score;
+      best.correlation = r;
+      best.op = t.op;
+    }
+  }
+  if (best_score < threshold) best.op = DbOp::kIdle;
+  return best;
+}
+
+std::size_t FingerprintDetector::estimate_round_bins(
+    std::span<const double> window, std::size_t min_bins,
+    std::size_t max_bins) {
+  std::vector<double> w(window.begin(), window.end());
+  analysis::normalize_zscore(w);
+  return sim::estimate_period(w, min_bins, max_bins);
+}
+
+std::vector<FingerprintDetector::Detection>
+FingerprintDetector::classify_series(std::span<const double> series,
+                                     std::size_t window_bins,
+                                     std::size_t hop_bins,
+                                     double threshold) const {
+  std::vector<Detection> out;
+  if (series.size() < window_bins) return out;
+  for (std::size_t start = 0; start + window_bins <= series.size();
+       start += hop_bins) {
+    out.push_back(classify(series.subspan(start, window_bins), threshold));
+  }
+  return out;
+}
+
+}  // namespace ragnar::side

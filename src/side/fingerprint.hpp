@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "sim/stats.hpp"
+#include "verbs/context.hpp"
+
+// Grain-II side channel on a distributed database (paper section VI-A,
+// Algorithm 1, Fig 12).
+//
+// The attacker client maintains a small monitored READ flow against the
+// shared server and keeps a sliding window of its own achieved bandwidth
+// (BW_History).  Database operators perturb that bandwidth with
+// characteristic shapes — a plateau during shuffle (sustained bulk writes),
+// teeth during join (bursty batched reads) — and CorrelationDetect matches
+// the window against per-operation templates.
+namespace ragnar::side {
+
+enum class DbOp : std::uint8_t { kIdle, kShuffle, kJoin, kScan };
+inline const char* db_op_name(DbOp op) {
+  switch (op) {
+    case DbOp::kIdle: return "IDLE";
+    case DbOp::kShuffle: return "SHUFFLE";
+    case DbOp::kJoin: return "JOIN";
+    case DbOp::kScan: return "SCAN";
+  }
+  return "?";
+}
+
+// The attacker's monitored flow + bandwidth history (Algorithm 1 lines 1-12).
+class BandwidthMonitor {
+ public:
+  struct Config {
+    std::size_t client_idx = 1;
+    std::uint32_t read_size = 1024;
+    std::uint32_t queue_depth = 4;
+    sim::SimDur bin = sim::us(100);  // BW sampling granularity
+    rnic::TrafficClass tc = 1;
+  };
+
+  BandwidthMonitor(revng::Testbed& bed, const Config& cfg);
+
+  void start(sim::SimTime stop_at);
+  bool done() const { return done_; }
+
+  // Bandwidth series in Gb/s, one point per bin since start.
+  std::vector<double> series() const;
+  sim::SimDur bin() const { return cfg_.bin; }
+  sim::SimTime started_at() const { return t0_; }
+
+ private:
+  sim::Task run();
+  bool post_one();
+
+  revng::Testbed& bed_;
+  Config cfg_;
+  revng::Testbed::Connection conn_;
+  std::unique_ptr<verbs::MemoryRegion> mr_;
+  sim::SimTime t0_ = 0;
+  sim::SimTime stop_at_ = 0;
+  std::vector<std::uint64_t> bytes_per_bin_;
+  std::size_t alternator_ = 0;
+  bool done_ = false;
+};
+
+// Template store + CorrelationDetect (Algorithm 1 lines 13-15).
+class FingerprintDetector {
+ public:
+  struct Detection {
+    DbOp op = DbOp::kIdle;
+    double correlation = 0;
+  };
+
+  // Register a reference bandwidth shape for an operation (recorded from a
+  // profiling run, normalized internally).
+  void add_template(DbOp op, std::vector<double> shape);
+
+  // Classify a window of the attacker's bandwidth history: best combined
+  // score (shape correlation + depth match) above `threshold` wins;
+  // otherwise IDLE.  Shape separates plateau from teeth; depth separates
+  // two plateaus of different severity (e.g. an ingress-heavy shuffle from
+  // an egress-heavy table scan) that z-normalized correlation alone
+  // confuses.
+  Detection classify(std::span<const double> window,
+                     double threshold = 0.55) const;
+
+  // Sliding classification over a whole run.
+  std::vector<Detection> classify_series(std::span<const double> series,
+                                         std::size_t window_bins,
+                                         std::size_t hop_bins,
+                                         double threshold = 0.55) const;
+
+  // Estimate the victim's join round time (in bins) from the tooth
+  // pattern's periodicity — the paper notes the fingerprint survives
+  // "different round times and configurations"; this recovers them.
+  static std::size_t estimate_round_bins(std::span<const double> window,
+                                         std::size_t min_bins = 2,
+                                         std::size_t max_bins = 400);
+
+ private:
+  struct Features {
+    double mean = 0;         // raw mean bandwidth
+    double p5_over_mean = 0; // depth of the worst dips
+    double cv = 0;           // coefficient of variation ("shapeness")
+  };
+  static Features features_of(std::span<const double> raw);
+
+  struct Template {
+    DbOp op;
+    std::vector<double> shape;  // z-normalized
+    Features feat;
+  };
+  std::vector<Template> templates_;
+};
+
+}  // namespace ragnar::side

@@ -1,0 +1,131 @@
+#include "side/pythia_snoop.hpp"
+
+#include <algorithm>
+
+namespace ragnar::side {
+
+namespace {
+constexpr std::uint64_t kPage = 4096;
+}
+
+PythiaPageSnoop::PythiaPageSnoop(const PythiaSnoopConfig& cfg)
+    : cfg_(cfg),
+      bed_(cfg.model, cfg.seed, /*clients=*/2),
+      rng_(cfg.seed ^ 0x5eed) {
+  victim_conn_ = bed_.connect(0, 1, 4, /*tc=*/0);
+  attacker_conn_ = bed_.connect(1, 1, 4, /*tc=*/1);
+  const auto& prof = bed_.profile();
+
+  // Shared MR big enough for the candidates and a same-set eviction sweep
+  // at 4 KB granularity.
+  const std::uint64_t evict_pages = prof.mtt_ways + 2;
+  const std::uint64_t mr_len =
+      (evict_pages + 2) * prof.mtt_sets * kPage;
+  shared_mr_ = victim_conn_.server_pd->register_mr(
+      mr_len, verbs::Access::full(), cfg_.huge_pages);
+
+  // Eviction set for set-index collisions at 4 KB page granularity: pages
+  // at stride mtt_sets alias to the same MTT set.  Under huge pages these
+  // offsets mostly collapse into a handful of 2 MB entries, which is
+  // exactly why the mitigation works.
+  for (std::uint64_t k = 1; k <= evict_pages; ++k) {
+    eviction_offsets_.push_back((k * prof.mtt_sets) * kPage %
+                                (mr_len - kPage));
+  }
+}
+
+sim::Task PythiaPageSnoop::victim_actor() {
+  auto& sched = bed_.sched();
+  const std::uint64_t off = victim_page_ * kPage;
+  verbs::Wc wc;
+  while (!victim_stop_) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = victim_conn_.local_addr();
+    wr.length = 64;
+    wr.remote_addr = shared_mr_->addr() + off;
+    wr.rkey = shared_mr_->rkey();
+    victim_conn_.qp().post_send(wr);
+    co_await victim_conn_.cq().wait(1);
+    victim_conn_.cq().poll_one(&wc);
+    co_await sched.sleep(cfg_.victim_gap);
+  }
+  victim_done_ = true;
+}
+
+sim::Task PythiaPageSnoop::attacker_round(std::size_t candidate,
+                                          double* score) {
+  auto& sched = bed_.sched();
+  verbs::Wc wc;
+  auto read_at = [&](std::uint64_t off) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = attacker_conn_.local_addr();
+    wr.length = 8;
+    wr.remote_addr = shared_mr_->addr() + off;
+    wr.rkey = shared_mr_->rkey();
+    attacker_conn_.qp().post_send(wr);
+  };
+
+  const std::uint64_t cand_off = candidate * kPage;
+
+  // Calibrate hit latency: double-read the candidate.
+  read_at(cand_off);
+  co_await attacker_conn_.cq().wait(1);
+  attacker_conn_.cq().poll_one(&wc);
+  read_at(cand_off);
+  co_await attacker_conn_.cq().wait(1);
+  attacker_conn_.cq().poll_one(&wc);
+  const double hit_lat = sim::to_ns(wc.latency());
+  const double threshold =
+      hit_lat + 0.5 * sim::to_ns(bed_.profile().mtt_miss_penalty);
+
+  // Evict the candidate's MTT set (offset the sweep so the candidate's own
+  // set index is covered: same-set pages at stride mtt_sets from it).
+  for (std::uint64_t base : eviction_offsets_) {
+    const std::uint64_t off = (cand_off + base) %
+                              (shared_mr_->length() - kPage);
+    read_at(off & ~(kPage - 1));
+    co_await attacker_conn_.cq().wait(1);
+    attacker_conn_.cq().poll_one(&wc);
+  }
+
+  // Give the victim a window to (maybe) touch its page.
+  co_await sched.sleep(cfg_.victim_gap * 3);
+
+  // Timed reload: a hit means someone reinstalled the entry -> the victim.
+  read_at(cand_off);
+  co_await attacker_conn_.cq().wait(1);
+  attacker_conn_.cq().poll_one(&wc);
+  if (sim::to_ns(wc.latency()) < threshold) *score += 1.0;
+  round_done_ = true;
+}
+
+std::vector<double> PythiaPageSnoop::attack_scores(std::size_t victim_page) {
+  victim_page_ = victim_page % cfg_.candidate_pages;
+  victim_stop_ = false;
+  victim_done_ = false;
+  bed_.sched().spawn(victim_actor());
+  bed_.sched().run_until(bed_.sched().now() + sim::us(10));
+
+  std::vector<double> scores(cfg_.candidate_pages, 0.0);
+  for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+    for (std::size_t c = 0; c < cfg_.candidate_pages; ++c) {
+      round_done_ = false;
+      bed_.sched().spawn(attacker_round(c, &scores[c]));
+      bed_.sched().run_while([&] { return !round_done_; });
+    }
+  }
+
+  victim_stop_ = true;
+  bed_.sched().run_while([&] { return !victim_done_; });
+  return scores;
+}
+
+std::size_t PythiaPageSnoop::guess(std::size_t victim_page) {
+  const auto scores = attack_scores(victim_page);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace ragnar::side

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+#include "verbs/context.hpp"
+
+// Pythia-style *persistent* side channel (Tsai et al. 2019), reproduced as
+// the comparison point for Table I's granularity/stealth columns.
+//
+// The attacker evict+reloads the RNIC's MTT page cache to learn *which
+// page* of a shared MR the victim keeps reading.  Two structural
+// limitations the paper leans on:
+//   * granularity is one MTT entry — a page.  With the ordinary 4 KB pages
+//     it resolves 4 KB; with 2 MB huge pages (the widely-deployed
+//     mitigation the paper cites) every candidate lands in one entry and
+//     the attack is blind.  Ragnar's Grain-IV offset attack resolves 64 B
+//     inside a single page either way.
+//   * the eviction sweep is loud: hundreds of distinct rkey-page touches
+//     per round light up Grain-III counters (see tests).
+namespace ragnar::side {
+
+struct PythiaSnoopConfig {
+  rnic::DeviceModel model = rnic::DeviceModel::kCX5;
+  std::uint64_t seed = 1;
+  std::size_t candidate_pages = 8;   // victim reads one of these pages
+  bool huge_pages = false;           // MR registration granularity
+  std::size_t rounds = 6;            // evict+reload rounds per candidate
+  sim::SimDur victim_gap = sim::us(1);
+};
+
+class PythiaPageSnoop {
+ public:
+  explicit PythiaPageSnoop(const PythiaSnoopConfig& cfg);
+
+  // Run the attack while the victim hammers `victim_page`; returns the
+  // attacker's per-candidate miss scores (reload latency above threshold).
+  std::vector<double> attack_scores(std::size_t victim_page);
+  // Convenience: argmax of the scores (the attacker's guess).
+  std::size_t guess(std::size_t victim_page);
+
+  rnic::Rnic& server_device() { return bed_.server().device(); }
+
+ private:
+  sim::Task victim_actor();
+  sim::Task attacker_round(std::size_t candidate, double* score);
+
+  PythiaSnoopConfig cfg_;
+  revng::Testbed bed_;
+  revng::Testbed::Connection victim_conn_;
+  revng::Testbed::Connection attacker_conn_;
+  std::unique_ptr<verbs::MemoryRegion> shared_mr_;
+  std::vector<std::uint64_t> eviction_offsets_;
+  sim::Xoshiro256 rng_;
+  std::size_t victim_page_ = 0;
+  bool victim_stop_ = false;
+  bool victim_done_ = false;
+  bool round_done_ = false;
+};
+
+}  // namespace ragnar::side

@@ -1,0 +1,213 @@
+#include "side/snoop.hpp"
+
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ragnar::side {
+
+namespace {
+
+apps::DisaggKv::Config kv_config(const SnoopConfig& cfg) {
+  apps::DisaggKv::Config kc;
+  kc.index_entries = 1024;
+  // Shared file region must cover candidates and observation points.
+  kc.shared_file_off = 0;
+  kc.shared_file_len =
+      std::max<std::uint64_t>(cfg.candidates * cfg.candidate_step + 64,
+                              cfg.observation_points * cfg.observation_step + 64);
+  kc.data_region_len = 64 * 1024;
+  return kc;
+}
+
+}  // namespace
+
+SnoopAttack::SnoopAttack(const SnoopConfig& cfg)
+    : cfg_(cfg),
+      bed_(cfg.profile_override ? *cfg.profile_override
+                                : rnic::make_profile(cfg.model),
+           cfg.seed, /*clients=*/2),
+      kv_(bed_, kv_config(cfg)),
+      victim_(kv_, /*client_idx=*/0, /*tc=*/0, /*queue_depth=*/4),
+      rng_(cfg.seed ^ 0xabcdef) {
+  // Populate the index so the victim's occasional lookups are real.
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    kv_.load(k * 3 + 1, {static_cast<std::uint8_t>(k), 1, 2, 3});
+  }
+  attacker_ = bed_.connect(1, /*qp_count=*/2, cfg_.attacker_depth, /*tc=*/1,
+                           /*client_buf_len=*/1u << 16);
+}
+
+sim::Task SnoopAttack::victim_actor() {
+  auto& sched = bed_.sched();
+  bool done = false;
+  // Zipfian mode: ranks scatter over candidates with the victim's hot
+  // record at rank 0, so the attacker recovers the *hotspot*.  Colder ranks
+  // land on a random permutation of the remaining records (real hotspots
+  // are not surrounded by the second-hottest keys).
+  std::unique_ptr<apps::ZipfianGenerator> zipf;
+  std::vector<std::size_t> rank_to_candidate;
+  if (cfg_.victim_zipf_theta > 0) {
+    zipf = std::make_unique<apps::ZipfianGenerator>(
+        cfg_.candidates, cfg_.victim_zipf_theta, rng_.fork());
+    for (std::size_t c = 0; c < cfg_.candidates; ++c) {
+      if (c != victim_candidate_) rank_to_candidate.push_back(c);
+    }
+    for (std::size_t i = rank_to_candidate.size(); i > 1; --i) {
+      std::swap(rank_to_candidate[i - 1],
+                rank_to_candidate[rng_.uniform_u64(i)]);
+    }
+    rank_to_candidate.insert(rank_to_candidate.begin(), victim_candidate_);
+  }
+  while (!victim_stop_) {
+    if (rng_.uniform() < cfg_.victim_index_ratio) {
+      std::optional<std::vector<std::uint8_t>> out;
+      co_await victim_.get_async(rng_.uniform_u64(512) * 3 + 1, &out, &done);
+    } else {
+      std::size_t candidate = victim_candidate_;
+      if (zipf != nullptr) {
+        candidate = rank_to_candidate[zipf->next_rank()];
+      }
+      co_await victim_.read_file_async(candidate * cfg_.candidate_step,
+                                       &done);
+    }
+    co_await sched.sleep(cfg_.victim_gap);
+  }
+  victim_done_ = true;
+}
+
+sim::Task SnoopAttack::attacker_sweep(std::vector<double>* sums,
+                                      std::vector<std::size_t>* counts) {
+  verbs::Wc wc;
+  // Probe in a fresh random order each sweep: sequential order would
+  // self-warm each 64 B descriptor line (16 consecutive observation points
+  // share a line), leaving signal only on the first probe per line.  With a
+  // random permutation, probes of the victim's hot line hit the shared
+  // recent-line cache far more often than probes of cold lines — the dip
+  // that recovers the address.
+  std::vector<std::size_t> order(cfg_.observation_points);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.uniform_u64(i)]);
+  }
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t i = order[idx];
+    verbs::SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = attacker_.local_addr();
+    wr.length = cfg_.read_size;
+    wr.remote_addr = kv_.data_mr().addr() + kv_.config().shared_file_off +
+                     i * cfg_.observation_step;
+    wr.rkey = kv_.data_mr().rkey();
+    attacker_.qp(++attacker_alternator_ % 2).post_send(wr);
+    co_await attacker_.cq().wait(1);
+    while (attacker_.cq().poll_one(&wc)) {
+      if (wc.status == rnic::WcStatus::kSuccess && wc.wr_id < sums->size()) {
+        (*sums)[wc.wr_id] += wc.uli_ns();
+        ++(*counts)[wc.wr_id];
+      }
+    }
+  }
+  sweep_done_ = true;
+}
+
+std::vector<double> SnoopAttack::capture_trace(std::size_t which) {
+  victim_candidate_ = which % cfg_.candidates;
+  victim_stop_ = false;
+  victim_done_ = false;
+  bed_.sched().spawn(victim_actor());
+  bed_.sched().run_until(bed_.sched().now() + sim::us(20));  // warm up
+
+  std::vector<double> sums(cfg_.observation_points, 0.0);
+  std::vector<std::size_t> counts(cfg_.observation_points, 0);
+  for (std::size_t s = 0; s < cfg_.sweeps_per_trace; ++s) {
+    sweep_done_ = false;
+    bed_.sched().spawn(attacker_sweep(&sums, &counts));
+    bed_.sched().run_while([&] { return !sweep_done_; });
+  }
+
+  victim_stop_ = true;
+  bed_.sched().run_while([&] { return !victim_done_; });
+
+  std::vector<double> trace(cfg_.observation_points, 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (counts[i]) trace[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return trace;
+}
+
+std::size_t SnoopAttack::argmin_candidate(const SnoopConfig& cfg,
+                                          std::span<const double> trace) {
+  // Remove the static descriptor-bank gradient (linear across the 2048 B
+  // window, so linear across our 1 KB observation span) before scoring,
+  // otherwise low-bank candidates always look coldest.
+  std::vector<double> xs(trace.size()), detrended(trace.begin(), trace.end());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const sim::LinearFit fit = sim::linear_fit(xs, detrended);
+  for (std::size_t i = 0; i < detrended.size(); ++i) {
+    detrended[i] -= fit.slope * xs[i] + fit.intercept;
+  }
+  trace = detrended;
+
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < cfg.candidates; ++c) {
+    const std::uint64_t lo = c * cfg.candidate_step;
+    const std::uint64_t hi = lo + 64;
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const std::uint64_t off = i * cfg.observation_step;
+      if (off >= lo && off < hi) {
+        sum += trace[i];
+        ++n;
+      }
+    }
+    // Regions with very few observation points (the last candidate sits at
+    // the edge of the observation window) are too noisy for a raw argmin;
+    // the learned classifier handles those, this detector skips them.
+    if (n < 8) continue;
+    const double mean = sum / static_cast<double>(n);
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = c;
+    }
+  }
+  return best;
+}
+
+analysis::Dataset SnoopAttack::build_dataset(std::size_t base_per_class,
+                                             std::size_t augment_factor) {
+  analysis::Dataset ds;
+  ds.num_classes = cfg_.candidates;
+  for (std::size_t cls = 0; cls < cfg_.candidates; ++cls) {
+    for (std::size_t b = 0; b < base_per_class; ++b) {
+      std::vector<double> trace = capture_trace(cls);
+
+      // Measurement-level augmentation: jitter each point by a fraction of
+      // the trace's own dispersion, plus a small baseline shift.  This
+      // multiplies dataset size without multiplying simulation time
+      // (documented in DESIGN.md / EXPERIMENTS.md).
+      double mean = 0;
+      for (double v : trace) mean += v;
+      mean /= static_cast<double>(trace.size());
+      double mad = 0;
+      for (double v : trace) mad += std::abs(v - mean);
+      mad /= static_cast<double>(trace.size());
+
+      ds.add(trace, static_cast<int>(cls));
+      for (std::size_t a = 1; a < augment_factor; ++a) {
+        std::vector<double> noisy = trace;
+        const double shift = rng_.normal() * 0.25 * mad;
+        for (double& v : noisy) v += shift + rng_.normal() * 0.4 * mad;
+        ds.add(std::move(noisy), static_cast<int>(cls));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace ragnar::side

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "apps/dmem_kv.hpp"
+#include "apps/workload.hpp"
+#include "revng/testbed.hpp"
+#include "sim/coro.hpp"
+
+// Grain-IV side channel on disaggregated memory (paper section VI-B,
+// Fig 13).
+//
+// Victim and attacker are compute-server clients of the same
+// memory-server-hosted KV store.  The victim repeatedly reads 64 B at one
+// of 17 candidate offsets (0..1024 B, 64 B apart) of the shared file,
+// sprinkling in index lookups at the paper's 0.01 index:data ratio.  The
+// attacker sweeps an observation set (257 offsets, 0..1024 B, 4 B apart)
+// with 64 B READs and averages ULI per offset into a 257-point trace; the
+// victim's hot descriptor line and bank occupancy emboss the trace, and a
+// classifier recovers the candidate.
+namespace ragnar::side {
+
+struct SnoopConfig {
+  rnic::DeviceModel model = rnic::DeviceModel::kCX4;
+  std::uint64_t seed = 1;
+  std::size_t candidates = 17;        // victim addresses, 64 B apart
+  std::uint64_t candidate_step = 64;
+  std::size_t observation_points = 257;  // attacker offsets, 4 B apart
+  std::uint64_t observation_step = 4;
+  std::size_t sweeps_per_trace = 10;  // averaged attacker sweeps per trace
+  std::uint32_t read_size = 64;
+  std::uint32_t attacker_depth = 4;
+  double victim_index_ratio = 0.01;   // index:data access ratio
+  sim::SimDur victim_gap = sim::ns(600);  // pause between victim accesses
+  // 0 = the paper's fixed-address victim.  > 0 = a Zipfian victim: it
+  // samples candidates with this skew, hottest = the trace's target —
+  // the "KV-store hotspot" variant motivated in section VI's intro.
+  double victim_zipf_theta = 0;
+  // Optional custom device profile for ablations; overrides `model`.
+  std::optional<rnic::DeviceProfile> profile_override;
+};
+
+class SnoopAttack {
+ public:
+  explicit SnoopAttack(const SnoopConfig& cfg);
+
+  // Capture one attacker trace while the victim hammers candidate `which`.
+  // Returns `observation_points` mean-ULI values (ns).
+  std::vector<double> capture_trace(std::size_t which);
+
+  // Build a labeled dataset: `base_per_class` fully simulated traces per
+  // candidate, optionally augmented `augment_factor`x with measurement-level
+  // noise (Gaussian jitter + baseline shift drawn from the observed trace
+  // statistics).  augment_factor=1 means simulation-only.
+  analysis::Dataset build_dataset(std::size_t base_per_class,
+                                  std::size_t augment_factor);
+
+  const SnoopConfig& config() const { return cfg_; }
+  // The memory server's device — for mitigation experiments.
+  rnic::Rnic& server_device() { return bed_.server().device(); }
+
+  // Template-free detector: the victim's candidate region (its 64 B line)
+  // is the coldest stretch of the trace thanks to shared line-cache hits;
+  // returns argmin over candidates of the region-mean ULI.
+  static std::size_t argmin_candidate(const SnoopConfig& cfg,
+                                      std::span<const double> trace);
+
+ private:
+  sim::Task victim_actor();
+  sim::Task attacker_sweep(std::vector<double>* sums,
+                           std::vector<std::size_t>* counts);
+
+  SnoopConfig cfg_;
+  revng::Testbed bed_;
+  apps::DisaggKv kv_;
+  apps::DisaggKv::Client victim_;
+  revng::Testbed::Connection attacker_;
+  sim::Xoshiro256 rng_;
+  std::size_t victim_candidate_ = 0;
+  bool victim_stop_ = false;
+  bool victim_done_ = false;
+  bool sweep_done_ = false;
+  std::size_t attacker_alternator_ = 0;
+};
+
+}  // namespace ragnar::side

@@ -1,0 +1,18 @@
+#include "sim/coro.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace ragnar::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  // Resume waiters through the event queue (not inline) so that firing from
+  // deep inside another actor cannot reorder same-instant events.
+  for (auto h : waiters_) {
+    sched_->at(sched_->now(), [h] { h.resume(); });
+  }
+  waiters_.clear();
+}
+
+}  // namespace ragnar::sim

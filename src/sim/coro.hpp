@@ -1,0 +1,138 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Minimal cooperative-coroutine layer over the event scheduler.
+//
+// Actors (victim workloads, covert senders/receivers, attackers) are written
+// as `sim::Task` coroutines using `co_await sched.sleep(...)`,
+// `co_await trigger`, or `co_await cq.wait_async(n)`.  This keeps attack
+// code linear and readable while all concurrency lives in simulated time.
+namespace ragnar::sim {
+
+class Scheduler;
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    bool finished = false;
+    std::coroutine_handle<> continuation;  // parent awaiting this task
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().finished = true;
+        // Symmetric transfer back to an awaiting parent; spawned actors
+        // have no continuation and are reaped by the scheduler.
+        if (h.promise().continuation) return h.promise().continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.promise().finished; }
+  void start() {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+  // `co_await child_task()` runs the child to completion, then resumes the
+  // parent (the child starts lazily inside await_suspend).  The awaited Task
+  // temporary lives in the parent's frame for the duration of the await.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> h;
+    bool await_ready() const noexcept { return !h || h.promise().finished; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      h.promise().continuation = parent;
+      return h;  // symmetric transfer into the child
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() const { return Awaiter{handle_}; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// One-shot event: actors `co_await` it; `fire()` releases all waiters at the
+// current simulated time.  Once fired it stays open (await_ready == true).
+class Trigger {
+ public:
+  explicit Trigger(Scheduler& sched) : sched_(&sched) {}
+
+  bool fired() const { return fired_; }
+  void fire();
+
+  struct Awaiter {
+    Trigger* tr;
+    bool await_ready() const noexcept { return tr->fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      tr->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Scheduler* sched_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Counted latch: `arrive()` n times releases waiters.  Used by experiment
+// drivers to join a set of actors.
+class Latch {
+ public:
+  Latch(Scheduler& sched, std::size_t expected)
+      : trigger_(sched), remaining_(expected) {
+    if (remaining_ == 0) trigger_.fire();
+  }
+
+  void arrive() {
+    if (remaining_ > 0 && --remaining_ == 0) trigger_.fire();
+  }
+  bool open() const { return trigger_.fired(); }
+
+  Trigger::Awaiter operator co_await() { return trigger_.operator co_await(); }
+
+ private:
+  Trigger trigger_;
+  std::size_t remaining_;
+};
+
+}  // namespace ragnar::sim

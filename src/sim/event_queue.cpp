@@ -1,0 +1,27 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ragnar::sim {
+
+void EventQueue::push(SimTime at, Callback cb) {
+  heap_.push_back(Entry{at, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+SimTime EventQueue::next_time() const { return heap_.front().at; }
+
+EventQueue::Callback EventQueue::pop(SimTime* at) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  if (at != nullptr) *at = e.at;
+  return std::move(e.cb);
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+}
+
+}  // namespace ragnar::sim

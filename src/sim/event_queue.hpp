@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ragnar::sim {
+
+// Min-heap of timed callbacks.  Ties on the timestamp are broken by
+// insertion order (a monotonically increasing sequence number) so that
+// same-instant events run deterministically in FIFO order — the attacks
+// depend on reproducible interleavings.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void push(SimTime at, Callback cb);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  SimTime next_time() const;  // precondition: !empty()
+
+  // Pop the earliest event and return its callback.
+  // Precondition: !empty().
+  Callback pop(SimTime* at);
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ragnar::sim

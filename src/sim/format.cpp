@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace ragnar::sim {
+
+std::string format_duration(SimDur d) {
+  char buf[48];
+  if (d < kNanosecond) {
+    std::snprintf(buf, sizeof buf, "%llu ps", static_cast<unsigned long long>(d));
+  } else if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", to_ns(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_sec(d));
+  }
+  return buf;
+}
+
+}  // namespace ragnar::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+// Deterministic pseudo-randomness for the simulator.
+//
+// All stochastic behaviour in Ragnar (service-time jitter, workload
+// randomness, dataset shuffling) draws from Xoshiro256++ streams seeded from
+// a single experiment seed, so every figure and table in EXPERIMENTS.md is
+// bit-for-bit reproducible with `--seed`.
+namespace ragnar::sim {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  // Derive an independent generator (splitmix over a drawn value), used to
+  // give each simulated component its own stream.
+  Xoshiro256 fork();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n);
+  // Standard normal via Box-Muller (no cached spare: keeps streams forkable).
+  double normal();
+  // Normal with the given mean/stddev, clamped to [mean - clamp_sigmas*sd,
+  // mean + clamp_sigmas*sd]; service-time jitter must never go negative or
+  // produce unbounded outliers that would destabilize percentile stats.
+  double clamped_normal(double mean, double sd, double clamp_sigmas = 3.0);
+  // True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace ragnar::sim

@@ -1,0 +1,7 @@
+// resource.hpp is header-only; this TU exists so the primitives get compiled
+// and type-checked even in builds that have not yet linked a user.
+#include "sim/resource.hpp"
+
+namespace ragnar::sim {
+static_assert(sizeof(FifoServer) > 0);
+}  // namespace ragnar::sim

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Latency-arithmetic resource primitives.
+//
+// The RNIC model's shared stages (PCIe, link serializers, processing-unit
+// pools) are FIFO resources: because the event queue delivers requests in
+// nondecreasing time order, a reservation made "at now" can safely compute
+// its start as max(now, next_free) without simulating an explicit queue.
+namespace ragnar::sim {
+
+// Single server, FIFO order.
+class FifoServer {
+ public:
+  // Reserve the server at time `now` for `service`; returns the completion
+  // time of this request (start may be delayed behind earlier requests).
+  SimTime reserve(SimTime now, SimDur service) {
+    const SimTime start = now > next_free_ ? now : next_free_;
+    next_free_ = start + service;
+    busy_total_ += service;
+    ++reservations_;
+    return next_free_;
+  }
+
+  SimTime next_free() const { return next_free_; }
+  // Total busy time accumulated; utilization = busy_total / elapsed.
+  SimDur busy_total() const { return busy_total_; }
+  std::uint64_t reservations() const { return reservations_; }
+  // Backlog seen by a request arriving at `now` (how long it would wait).
+  SimDur backlog(SimTime now) const {
+    return next_free_ > now ? next_free_ - now : 0;
+  }
+
+ private:
+  SimTime next_free_ = 0;
+  SimDur busy_total_ = 0;
+  std::uint64_t reservations_ = 0;
+};
+
+// Byte-granular FIFO server: service time derives from a configured rate
+// plus a fixed per-transaction overhead.  Models PCIe and the wire.
+class BandwidthServer {
+ public:
+  BandwidthServer() = default;
+  BandwidthServer(double gbps, SimDur per_txn_overhead)
+      : gbps_(gbps), overhead_(per_txn_overhead) {}
+
+  void configure(double gbps, SimDur per_txn_overhead) {
+    gbps_ = gbps;
+    overhead_ = per_txn_overhead;
+  }
+
+  SimDur service_time(std::uint64_t bytes) const {
+    return serialization_time(bytes, gbps_) + overhead_;
+  }
+
+  SimTime reserve(SimTime now, std::uint64_t bytes) {
+    bytes_total_ += bytes;
+    return server_.reserve(now, service_time(bytes));
+  }
+
+  double gbps() const { return gbps_; }
+  SimTime next_free() const { return server_.next_free(); }
+  SimDur backlog(SimTime now) const { return server_.backlog(now); }
+  SimDur busy_total() const { return server_.busy_total(); }
+  std::uint64_t bytes_total() const { return bytes_total_; }
+  std::uint64_t reservations() const { return server_.reservations(); }
+
+ private:
+  FifoServer server_;
+  double gbps_ = 1.0;
+  SimDur overhead_ = 0;
+  std::uint64_t bytes_total_ = 0;
+};
+
+// Pool of k identical servers (processing units); a request takes the
+// earliest-free unit.
+class PoolServer {
+ public:
+  explicit PoolServer(std::size_t units = 1) : free_at_(units, 0) {}
+
+  void resize(std::size_t units) { free_at_.assign(units, 0); }
+  std::size_t units() const { return free_at_.size(); }
+
+  SimTime reserve(SimTime now, SimDur service) {
+    // Linear scan: unit counts are small (1-8) so a heap would be overkill.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
+    const SimTime start = now > free_at_[best] ? now : free_at_[best];
+    free_at_[best] = start + service;
+    busy_total_ += service;
+    ++reservations_;
+    return free_at_[best];
+  }
+
+  // Earliest time any unit becomes free.
+  SimTime earliest_free() const {
+    SimTime m = free_at_.empty() ? 0 : free_at_[0];
+    for (SimTime t : free_at_) m = t < m ? t : m;
+    return m;
+  }
+
+  SimDur busy_total() const { return busy_total_; }
+  std::uint64_t reservations() const { return reservations_; }
+
+ private:
+  std::vector<SimTime> free_at_;
+  SimDur busy_total_ = 0;
+  std::uint64_t reservations_ = 0;
+};
+
+}  // namespace ragnar::sim

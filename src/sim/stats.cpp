@@ -1,0 +1,180 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ragnar::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSet::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double SampleSet::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_valid_ || sorted_.size() != xs_.size()) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r = pearson(x, y);
+  return fit;
+}
+
+double max_normalized_correlation(std::span<const double> signal,
+                                  std::span<const double> tmpl) {
+  if (tmpl.empty() || signal.size() < tmpl.size()) return 0.0;
+  double best = -1.0;
+  const std::size_t lags = signal.size() - tmpl.size() + 1;
+  for (std::size_t lag = 0; lag < lags; ++lag) {
+    const double r = pearson(signal.subspan(lag, tmpl.size()), tmpl);
+    best = std::max(best, r);
+  }
+  return best;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (lag == 0) return 1.0;
+  if (xs.size() < lag + 2) return 0.0;
+  return pearson(xs.subspan(0, xs.size() - lag), xs.subspan(lag));
+}
+
+std::size_t estimate_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag, double min_corr) {
+  // Only consider lags short enough that the overlap stays meaningful.
+  max_lag = std::min(max_lag, xs.size() / 2);
+  double best = 0;
+  for (std::size_t lag = std::max<std::size_t>(min_lag, 1); lag <= max_lag;
+       ++lag) {
+    best = std::max(best, autocorrelation(xs, lag));
+  }
+  if (best < min_corr) return 0;
+  // Harmonics of the true period correlate almost as well as the period
+  // itself: take the smallest lag within tolerance of the maximum, then
+  // hill-climb to the local peak (the tolerance may land on the shoulder).
+  for (std::size_t lag = std::max<std::size_t>(min_lag, 1); lag <= max_lag;
+       ++lag) {
+    if (autocorrelation(xs, lag) >= 0.9 * best) {
+      while (lag + 1 <= max_lag &&
+             autocorrelation(xs, lag + 1) > autocorrelation(xs, lag)) {
+        ++lag;
+      }
+      return lag;
+    }
+  }
+  return 0;
+}
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double effective_bandwidth(double raw_bps, double error_rate) {
+  return raw_bps * (1.0 - binary_entropy(error_rate));
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace ragnar::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+// Statistics helpers used by the reverse-engineering harness and the attack
+// decoders: running moments, percentiles, Pearson correlation (footnote 8 of
+// the paper validates ULI linearity with it), least-squares fits, and the
+// binary entropy that converts raw covert-channel bandwidth into the paper's
+// "effective bandwidth" column of Table V.
+namespace ragnar::sim {
+
+// Online mean/variance (Welford) without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample container with percentile queries (Figures 5-8 report average and
+// 10/90-percentile bands).
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void clear() { xs_.clear(); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double stddev() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  std::span<const double> samples() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt for percentile()
+  mutable bool sorted_valid_ = false;
+};
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  // Pearson correlation coefficient of the fit
+};
+
+// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+// Normalized cross-correlation of a signal against a template, maximized
+// over alignment lag in [0, signal.size() - tmpl.size()].  Used by the
+// Algorithm-1 fingerprint detector.
+double max_normalized_correlation(std::span<const double> signal,
+                                  std::span<const double> tmpl);
+
+// Normalized autocorrelation of a series at the given lag, in [-1, 1].
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+// Dominant period of a (roughly) periodic series: the lag in
+// [min_lag, max_lag] maximizing the autocorrelation.  Returns 0 when the
+// best correlation is below `min_corr` (no convincing periodicity) — used
+// by the fingerprint attack to recover the victim's join round time.
+std::size_t estimate_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag, double min_corr = 0.2);
+
+// Binary entropy H2(p) in bits; H2(0) = H2(1) = 0.
+double binary_entropy(double p);
+
+// Paper Table V: effective bandwidth = raw bandwidth * (1 - H2(error_rate)).
+double effective_bandwidth(double raw_bps, double error_rate);
+
+// Mean of a span (convenience for decoders).
+double mean_of(std::span<const double> xs);
+
+}  // namespace ragnar::sim

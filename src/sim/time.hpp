@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+// Simulated time for the Ragnar RNIC model.
+//
+// The unit is the picosecond: at 200 Gb/s (ConnectX-6) a single byte
+// serializes in 40 ps, so nanosecond resolution would accumulate rounding
+// error across the multi-packet pipelines we model.  A uint64_t of
+// picoseconds covers ~213 days of simulated time, far beyond any experiment.
+namespace ragnar::sim {
+
+using SimTime = std::uint64_t;   // absolute simulated time, picoseconds
+using SimDur = std::uint64_t;    // simulated duration, picoseconds
+
+inline constexpr SimDur kPicosecond = 1;
+inline constexpr SimDur kNanosecond = 1000;
+inline constexpr SimDur kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDur kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDur kSecond = 1000 * kMillisecond;
+
+constexpr SimDur ps(double v) { return static_cast<SimDur>(v); }
+constexpr SimDur ns(double v) { return static_cast<SimDur>(v * kNanosecond); }
+constexpr SimDur us(double v) { return static_cast<SimDur>(v * kMicrosecond); }
+constexpr SimDur ms(double v) { return static_cast<SimDur>(v * kMillisecond); }
+constexpr SimDur sec(double v) { return static_cast<SimDur>(v * kSecond); }
+
+constexpr double to_ns(SimDur d) { return static_cast<double>(d) / kNanosecond; }
+constexpr double to_us(SimDur d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double to_ms(SimDur d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_sec(SimDur d) { return static_cast<double>(d) / kSecond; }
+
+// Duration needed to serialize `bytes` at `gbps` gigabits per second.
+constexpr SimDur serialization_time(std::uint64_t bytes, double gbps) {
+  // bits / (Gb/s) = ns; scale to ps.  8000 ps per byte per Gbps.
+  return static_cast<SimDur>(static_cast<double>(bytes) * 8000.0 / gbps);
+}
+
+// Human-readable rendering, e.g. "1.234 us", used in harness output.
+std::string format_duration(SimDur d);
+
+}  // namespace ragnar::sim

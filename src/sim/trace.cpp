@@ -1,0 +1,124 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace ragnar::sim {
+
+std::vector<double> TimeSeries::values_in(SimTime from, SimTime to) const {
+  std::vector<double> out;
+  for (const auto& p : points_) {
+    if (p.t >= from && p.t < to) out.push_back(p.value);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.value);
+  return out;
+}
+
+void RateSampler::record(SimTime t, std::uint64_t bytes) {
+  const std::size_t bin = static_cast<std::size_t>(t / bin_);
+  if (bin >= bytes_per_bin_.size()) {
+    bytes_per_bin_.resize(bin + 1, 0);
+    ops_per_bin_.resize(bin + 1, 0);
+  }
+  bytes_per_bin_[bin] += bytes;
+  ops_per_bin_[bin] += 1;
+}
+
+std::vector<double> RateSampler::gbps_series() const {
+  std::vector<double> out;
+  out.reserve(bytes_per_bin_.size());
+  const double secs = to_sec(bin_);
+  for (auto b : bytes_per_bin_) {
+    out.push_back(static_cast<double>(b) * 8.0 / 1e9 / secs);
+  }
+  return out;
+}
+
+std::vector<double> RateSampler::ops_series() const {
+  std::vector<double> out;
+  out.reserve(ops_per_bin_.size());
+  const double secs = to_sec(bin_);
+  for (auto c : ops_per_bin_) {
+    out.push_back(static_cast<double>(c) / secs);
+  }
+  return out;
+}
+
+std::string ascii_plot(std::span<const double> ys, int width, int height,
+                       const std::string& title) {
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  if (ys.empty() || width <= 0 || height <= 1) {
+    os << "(empty series)\n";
+    return os.str();
+  }
+
+  // Bin the series down (or stretch it up) to `width` columns.
+  std::vector<double> cols(static_cast<std::size_t>(width), 0.0);
+  for (int c = 0; c < width; ++c) {
+    const std::size_t lo = ys.size() * static_cast<std::size_t>(c) /
+                           static_cast<std::size_t>(width);
+    std::size_t hi = ys.size() * static_cast<std::size_t>(c + 1) /
+                     static_cast<std::size_t>(width);
+    hi = std::max(hi, lo + 1);
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = lo; i < hi && i < ys.size(); ++i, ++n) s += ys[i];
+    cols[static_cast<std::size_t>(c)] = n ? s / static_cast<double>(n) : 0.0;
+  }
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : cols) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int c = 0; c < width; ++c) {
+    const double norm = (cols[static_cast<std::size_t>(c)] - lo) / (hi - lo);
+    int r = static_cast<int>(std::lround(norm * (height - 1)));
+    r = std::clamp(r, 0, height - 1);
+    rows[static_cast<std::size_t>(height - 1 - r)]
+        [static_cast<std::size_t>(c)] = '*';
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%12.4g |", hi);
+  os << buf << rows[0] << "\n";
+  for (int r = 1; r < height - 1; ++r) {
+    os << "             |" << rows[static_cast<std::size_t>(r)] << "\n";
+  }
+  std::snprintf(buf, sizeof buf, "%12.4g |", lo);
+  os << buf << rows[static_cast<std::size_t>(height - 1)] << "\n";
+  return os.str();
+}
+
+void write_csv(const std::string& path, const std::string& header,
+               std::span<const std::vector<double>> columns) {
+  std::ofstream f(path);
+  if (!f) return;
+  f << header << "\n";
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) f << ",";
+      if (r < columns[c].size()) f << columns[c][r];
+    }
+    f << "\n";
+  }
+}
+
+}  // namespace ragnar::sim

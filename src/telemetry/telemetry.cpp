@@ -1,0 +1,62 @@
+#include "telemetry/telemetry.hpp"
+
+namespace ragnar::telemetry {
+
+CounterSampler::CounterSampler(sim::Scheduler& sched, const rnic::Rnic& dev,
+                               sim::SimDur interval)
+    : sched_(sched), dev_(dev), interval_(interval) {}
+
+void CounterSampler::start() {
+  if (running_) return;
+  running_ = true;
+  last_ = dev_.counters();
+  sched_.after(interval_, [this] { tick(); });
+}
+
+void CounterSampler::tick() {
+  if (!running_) return;
+  snapshot();
+  sched_.after(interval_, [this] { tick(); });
+}
+
+void CounterSampler::snapshot() {
+  const rnic::PortCounters& now = dev_.counters();
+  CounterDelta d;
+  d.at = sched_.now();
+  d.interval = interval_;
+  const double secs = sim::to_sec(interval_);
+  for (std::size_t t = 0; t < rnic::kNumTrafficClasses; ++t) {
+    const auto& a = last_.tc[t];
+    const auto& b = now.tc[t];
+    d.tx_gbps[t] = static_cast<double>(b.tx_bytes - a.tx_bytes) * 8.0 / 1e9 / secs;
+    d.rx_gbps[t] = static_cast<double>(b.rx_bytes - a.rx_bytes) * 8.0 / 1e9 / secs;
+    d.tx_pps[t] = static_cast<double>(b.tx_pkts - a.tx_pkts) / secs;
+    d.rx_pps[t] = static_cast<double>(b.rx_pkts - a.rx_pkts) / secs;
+  }
+  for (std::size_t o = 0; o < rnic::kNumOpcodes; ++o) {
+    d.rx_ops_per_sec[o] = static_cast<double>(now.rx_msgs_by_opcode[o] -
+                                              last_.rx_msgs_by_opcode[o]) /
+                          secs;
+    d.tx_ops_per_sec[o] = static_cast<double>(now.tx_msgs_by_opcode[o] -
+                                              last_.tx_msgs_by_opcode[o]) /
+                          secs;
+  }
+  samples_.push_back(d);
+  last_ = now;
+}
+
+void set_ets_weights(rnic::Rnic& dev,
+                     const std::array<double, rnic::kNumTrafficClasses>& pct) {
+  for (std::size_t t = 0; t < rnic::kNumTrafficClasses; ++t) {
+    dev.ets().weight_pct[t] = pct[t];
+  }
+}
+
+void set_ets_50_50(rnic::Rnic& dev) {
+  std::array<double, rnic::kNumTrafficClasses> w{};
+  w[0] = 50.0;
+  w[1] = 50.0;
+  set_ets_weights(dev, w);
+}
+
+}  // namespace ragnar::telemetry

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rnic/counters.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+// Observability the way an operator (or an attacker with shell access to its
+// own host) sees it: periodic snapshots of the NIC's hardware counters.
+//
+// Crucially, counters update at a fixed interval — on real ethtool this is
+// ~1 s, which is exactly why the paper's Grain-I/II priority covert channel
+// tops out near 1 bit per counter interval (Table V's "1.0 bps" row).  The
+// interval here is configurable so experiments can trade simulated seconds
+// for wall-clock time; EXPERIMENTS.md reports bits *per interval* for that
+// channel.
+namespace ragnar::telemetry {
+
+struct CounterDelta {
+  sim::SimTime at = 0;           // end of the interval
+  sim::SimDur interval = 0;
+  std::array<double, rnic::kNumTrafficClasses> tx_gbps{};
+  std::array<double, rnic::kNumTrafficClasses> rx_gbps{};
+  std::array<double, rnic::kNumTrafficClasses> tx_pps{};
+  std::array<double, rnic::kNumTrafficClasses> rx_pps{};
+  std::array<double, rnic::kNumOpcodes> rx_ops_per_sec{};
+  std::array<double, rnic::kNumOpcodes> tx_ops_per_sec{};
+
+  double rx_gbps_total() const {
+    double s = 0;
+    for (double v : rx_gbps) s += v;
+    return s;
+  }
+  double tx_gbps_total() const {
+    double s = 0;
+    for (double v : tx_gbps) s += v;
+    return s;
+  }
+};
+
+// Samples one device's counters every `interval` of simulated time until
+// stop() — the ethtool-watch equivalent.
+class CounterSampler {
+ public:
+  CounterSampler(sim::Scheduler& sched, const rnic::Rnic& dev,
+                 sim::SimDur interval);
+
+  void start();
+  void stop() { running_ = false; }
+  sim::SimDur interval() const { return interval_; }
+  const std::vector<CounterDelta>& samples() const { return samples_; }
+
+ private:
+  void tick();
+  void snapshot();
+
+  sim::Scheduler& sched_;
+  const rnic::Rnic& dev_;
+  sim::SimDur interval_;
+  bool running_ = false;
+  rnic::PortCounters last_{};
+  std::vector<CounterDelta> samples_;
+};
+
+// mlnx_qos facade: configure ETS bandwidth shares on a device.
+void set_ets_weights(rnic::Rnic& dev,
+                     const std::array<double, rnic::kNumTrafficClasses>& pct);
+// The paper's setup: two traffic classes at 50/50.
+void set_ets_50_50(rnic::Rnic& dev);
+
+}  // namespace ragnar::telemetry

@@ -1,0 +1,272 @@
+#include "verbs/context.hpp"
+
+#include <cstring>
+#include <algorithm>
+#include <utility>
+
+namespace ragnar::verbs {
+
+Context::Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name)
+    : fabric_(fabric),
+      device_(device),
+      name_(std::move(name)),
+      // Give each host a disjoint VA range so cross-host address confusion
+      // is caught immediately.
+      next_va_((static_cast<std::uint64_t>(device->node()) + 1) << 40),
+      next_rkey_((static_cast<rnic::Rkey>(device->node()) + 1) << 20) {
+  // Inbound SEND delivery: route to the destination QP's receive queue.
+  device_->set_send_handler([this](rnic::Qpn dst_qpn, const std::uint8_t* data,
+                                   std::uint32_t len, sim::SimTime at) {
+    auto it = qp_registry_.find(dst_qpn);
+    if (it == qp_registry_.end()) return false;
+    return it->second->consume_recv(data, len, at);
+  });
+}
+
+Context::~Context() = default;
+
+std::unique_ptr<ProtectionDomain> Context::alloc_pd() {
+  static std::uint32_t next_pdn = 1;
+  return std::make_unique<ProtectionDomain>(*this, next_pdn++);
+}
+
+std::unique_ptr<CompletionQueue> Context::create_cq(std::uint32_t depth) {
+  return std::make_unique<CompletionQueue>(*this, depth);
+}
+
+std::uint64_t Context::allocate_va(std::uint64_t len) {
+  // Align every allocation to 2 MB so offset arithmetic inside an MR is
+  // unpolluted by base alignment (the paper pins MRs to huge pages).
+  constexpr std::uint64_t kAlign = 2ull << 20;
+  next_va_ = (next_va_ + kAlign - 1) & ~(kAlign - 1);
+  const std::uint64_t base = next_va_;
+  next_va_ += len;
+  return base;
+}
+
+void Context::map_local(std::uint64_t base, std::uint64_t len,
+                        std::uint8_t* data) {
+  local_maps_[base] = LocalMap{len, data};
+}
+
+void Context::unmap_local(std::uint64_t base) { local_maps_.erase(base); }
+
+std::uint8_t* Context::resolve_local(std::uint64_t addr, std::uint32_t len) {
+  auto it = local_maps_.upper_bound(addr);
+  if (it == local_maps_.begin()) return nullptr;
+  --it;
+  const std::uint64_t base = it->first;
+  const LocalMap& m = it->second;
+  if (addr < base || addr + len > base + m.len) return nullptr;
+  return m.data + (addr - base);
+}
+
+std::unique_ptr<MemoryRegion> ProtectionDomain::register_mr(std::uint64_t len,
+                                                            Access access,
+                                                            bool huge_pages) {
+  return std::make_unique<MemoryRegion>(ctx_, pdn_, len, access, huge_pages);
+}
+
+MemoryRegion::MemoryRegion(Context& ctx, std::uint32_t pdn, std::uint64_t len,
+                           Access access, bool huge_pages)
+    : ctx_(ctx),
+      pdn_(pdn),
+      base_(ctx.allocate_va(len)),
+      len_(len),
+      rkey_(ctx.next_rkey()),
+      mr_id_(ctx.next_mr_id()),
+      buf_(len, 0) {
+  ctx_.map_local(base_, len_, buf_.data());
+  rnic::MrEntry e;
+  e.rkey = rkey_;
+  e.mr_id = mr_id_;
+  e.base = base_;
+  e.length = len_;
+  e.page_bytes = huge_pages ? (2u << 20) : 4096u;
+  e.allow_read = access.remote_read;
+  e.allow_write = access.remote_write;
+  e.allow_atomic = access.remote_atomic;
+  e.data = buf_.data();
+  ctx_.device().memory().register_mr(e);
+}
+
+MemoryRegion::~MemoryRegion() {
+  ctx_.device().memory().deregister_mr(rkey_);
+  ctx_.unmap_local(base_);
+}
+
+std::size_t CompletionQueue::poll(std::span<Wc> out) {
+  const std::size_t n = std::min(out.size(), ready_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ready_.front();
+    ready_.pop_front();
+  }
+  return n;
+}
+
+bool CompletionQueue::poll_one(Wc* out) {
+  if (ready_.empty()) return false;
+  if (out != nullptr) *out = ready_.front();
+  ready_.pop_front();
+  return true;
+}
+
+void CompletionQueue::push(const Wc& wc) {
+  ready_.push_back(wc);
+  if (ready_.size() > depth_) ready_.pop_front();  // CQ overrun drops oldest
+  // Release satisfied waiters through the scheduler for deterministic order.
+  for (std::size_t i = 0; i < waiters_.size();) {
+    if (ready_.size() >= waiters_[i].n) {
+      auto h = waiters_[i].h;
+      ctx_.scheduler().at(ctx_.scheduler().now(), [h] { h.resume(); });
+      waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool CompletionQueue::run_until_available(std::size_t n) {
+  auto& sched = ctx_.scheduler();
+  while (ready_.size() < n) {
+    if (!sched.step()) return false;
+  }
+  return true;
+}
+
+QueuePair::QueuePair(ProtectionDomain& pd, CompletionQueue& cq, Config cfg)
+    : ctx_(pd.context()),
+      cq_(cq),
+      cfg_(cfg),
+      qpn_(pd.context().next_qpn()),
+      pdn_(pd.pdn()) {
+  ctx_.note_qp_created();
+  ctx_.register_qp(qpn_, this);
+}
+
+QueuePair::~QueuePair() {
+  ctx_.unregister_qp(qpn_);
+  ctx_.note_qp_destroyed();
+}
+
+PostResult QueuePair::post_recv(const RecvWr& wr) {
+  if (ctx_.resolve_local(wr.local_addr, wr.length) == nullptr) {
+    return PostResult::kBadLocalAddr;
+  }
+  recv_queue_.push_back(wr);
+  return PostResult::kOk;
+}
+
+bool QueuePair::consume_recv(const std::uint8_t* data, std::uint32_t len,
+                             sim::SimTime at) {
+  if (recv_queue_.empty()) return false;
+  const RecvWr rwr = recv_queue_.front();
+  recv_queue_.pop_front();
+
+  Wc wc;
+  wc.wr_id = rwr.wr_id;
+  wc.opcode = WrOpcode::kRecv;
+  wc.posted_at = at;
+  wc.completed_at = at;
+  if (len > rwr.length) {
+    // Inbound message larger than the posted buffer: local length error.
+    wc.status = rnic::WcStatus::kRemoteInvalidRequest;
+  } else {
+    wc.status = rnic::WcStatus::kSuccess;
+    wc.byte_len = len;
+  }
+
+  // Snapshot the payload now (the sender may reuse its buffer) but deliver
+  // buffer contents and the completion at the simulated arrival time.
+  std::vector<std::uint8_t> payload;
+  if (wc.status == rnic::WcStatus::kSuccess && data != nullptr && len > 0) {
+    payload.assign(data, data + len);
+  }
+  ctx_.scheduler().at(
+      at, [this, wc, rwr, payload = std::move(payload)] {
+        if (wc.status == rnic::WcStatus::kSuccess && !payload.empty()) {
+          std::uint8_t* dst = ctx_.resolve_local(
+              rwr.local_addr, static_cast<std::uint32_t>(payload.size()));
+          if (dst != nullptr) {
+            std::memcpy(dst, payload.data(), payload.size());
+          }
+        }
+        cq_.push(wc);
+      });
+  return true;
+}
+
+void QueuePair::connect(QueuePair& peer) {
+  connected_ = true;
+  peer_node_ = peer.ctx_.device().node();
+  peer_qpn_ = peer.qpn_;
+  peer.connected_ = true;
+  peer.peer_node_ = ctx_.device().node();
+  peer.peer_qpn_ = qpn_;
+}
+
+PostResult QueuePair::post_send(const SendWr& wr) {
+  if (!connected_) return PostResult::kNotConnected;
+  if (outstanding_ >= cfg_.max_send_wr) return PostResult::kSqFull;
+  std::uint8_t* local = nullptr;
+  if (wr.length > 0 || wr.opcode == WrOpcode::kFetchAdd ||
+      wr.opcode == WrOpcode::kCmpSwap) {
+    const std::uint32_t need =
+        (wr.opcode == WrOpcode::kFetchAdd || wr.opcode == WrOpcode::kCmpSwap)
+            ? 8
+            : wr.length;
+    local = ctx_.resolve_local(wr.local_addr, need);
+    if (local == nullptr) return PostResult::kBadLocalAddr;
+  }
+
+  const std::uint64_t internal_id = next_internal_id_++;
+  Pending p;
+  p.user_wr_id = wr.wr_id;
+  p.opcode = wr.opcode;
+  p.length = wr.length;
+  p.posted_at = ctx_.scheduler().now();
+  p.queue_ahead = outstanding_;
+  pending_[internal_id] = p;
+  ++outstanding_;
+
+  rnic::WireOp op;
+  op.op = to_wire(wr.opcode);
+  op.size = (wr.opcode == WrOpcode::kFetchAdd || wr.opcode == WrOpcode::kCmpSwap)
+                ? 8
+                : wr.length;
+  op.laddr = wr.local_addr;
+  op.raddr = wr.remote_addr;
+  op.rkey = wr.rkey;
+  op.tc = cfg_.tc;
+  op.src_qpn = qpn_;
+  op.dst_qpn = peer_qpn_;
+  op.src_node = ctx_.device().node();
+  op.dst_node = peer_node_;
+  op.wr_id = internal_id;
+  op.atomic_operand =
+      wr.opcode == WrOpcode::kCmpSwap ? wr.swap : wr.compare_add;
+  op.atomic_compare = wr.compare_add;
+
+  ctx_.device().post(op, this, local);
+  return PostResult::kOk;
+}
+
+void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
+                              sim::SimTime at, std::uint64_t /*atomic_result*/) {
+  auto it = pending_.find(wr_id);
+  Wc wc;
+  wc.status = status;
+  wc.completed_at = at;
+  if (it != pending_.end()) {
+    wc.wr_id = it->second.user_wr_id;
+    wc.opcode = it->second.opcode;
+    wc.byte_len = it->second.length;
+    wc.posted_at = it->second.posted_at;
+    wc.queue_ahead = it->second.queue_ahead;
+    pending_.erase(it);
+  }
+  if (outstanding_ > 0) --outstanding_;
+  cq_.push(wc);
+}
+
+}  // namespace ragnar::verbs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rnic/op.hpp"
+#include "sim/time.hpp"
+
+// User-facing verbs types, mirroring the ibverbs vocabulary (work requests,
+// scatter-gather, work completions) so attack and application code reads
+// like real RDMA code and could be ported to libibverbs.
+namespace ragnar::verbs {
+
+enum class WrOpcode : std::uint8_t {
+  kRdmaRead,
+  kRdmaWrite,
+  kSend,
+  kFetchAdd,
+  kCmpSwap,
+  kRecv,  // completion-side only: a consumed receive WQE
+};
+
+inline rnic::Opcode to_wire(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kRdmaRead: return rnic::Opcode::kRead;
+    case WrOpcode::kRdmaWrite: return rnic::Opcode::kWrite;
+    case WrOpcode::kSend: return rnic::Opcode::kSend;
+    case WrOpcode::kFetchAdd: return rnic::Opcode::kFetchAdd;
+    case WrOpcode::kCmpSwap: return rnic::Opcode::kCmpSwap;
+  }
+  return rnic::Opcode::kRead;
+}
+
+// MR access permissions (IBV_ACCESS_* equivalent).
+struct Access {
+  bool remote_read = true;
+  bool remote_write = true;
+  bool remote_atomic = true;
+
+  static Access read_only() { return {true, false, false}; }
+  static Access full() { return {true, true, true}; }
+};
+
+// A receive work request: a buffer waiting for an inbound SEND.
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::uint64_t local_addr = 0;
+  std::uint32_t length = 0;
+};
+
+// One work request (single SGE; the paper's workloads never need more).
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  WrOpcode opcode = WrOpcode::kRdmaRead;
+  std::uint64_t local_addr = 0;
+  std::uint32_t length = 0;
+  std::uint64_t remote_addr = 0;
+  rnic::Rkey rkey = 0;
+  std::uint64_t compare_add = 0;  // FetchAdd addend / CmpSwap compare
+  std::uint64_t swap = 0;         // CmpSwap swap value
+};
+
+// Work completion.
+struct Wc {
+  std::uint64_t wr_id = 0;
+  rnic::WcStatus status = rnic::WcStatus::kSuccess;
+  WrOpcode opcode = WrOpcode::kRdmaRead;
+  std::uint32_t byte_len = 0;
+  sim::SimTime posted_at = 0;
+  sim::SimTime completed_at = 0;
+  // Number of WQEs already outstanding on the SQ when this WR was posted
+  // (len_sq in the paper's ULI definition).
+  std::uint32_t queue_ahead = 0;
+
+  sim::SimDur latency() const { return completed_at - posted_at; }
+  // Unit Latency Increase, the paper's Grain-III/IV observable:
+  // ULI = Lat_total / (len_sq + 1).
+  double uli_ns() const {
+    return sim::to_ns(latency()) / static_cast<double>(queue_ahead + 1);
+  }
+};
+
+enum class PostResult : std::uint8_t {
+  kOk,
+  kSqFull,        // max_send_wr outstanding WQEs already posted
+  kBadLocalAddr,  // local buffer not covered by a registered MR
+  kNotConnected,
+};
+
+inline const char* post_result_name(PostResult r) {
+  switch (r) {
+    case PostResult::kOk: return "OK";
+    case PostResult::kSqFull: return "SQ_FULL";
+    case PostResult::kBadLocalAddr: return "BAD_LOCAL_ADDR";
+    case PostResult::kNotConnected: return "NOT_CONNECTED";
+  }
+  return "?";
+}
+
+}  // namespace ragnar::verbs

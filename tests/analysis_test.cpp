@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dataset.hpp"
+#include "analysis/mlp.hpp"
+#include "sim/random.hpp"
+
+namespace ragnar::analysis {
+namespace {
+
+// Synthetic k-class dataset: class c has a bump at a class-specific
+// position of a `dim`-point trace plus noise — a miniature of the snoop
+// traces.
+Dataset make_bump_dataset(std::size_t classes, std::size_t per_class,
+                          std::size_t dim, double noise,
+                          sim::Xoshiro256& rng) {
+  Dataset ds;
+  ds.num_classes = classes;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<double> x(dim);
+      const double center =
+          static_cast<double>(c + 1) * static_cast<double>(dim) /
+          static_cast<double>(classes + 1);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double z = (static_cast<double>(d) - center) / 3.0;
+        x[d] = std::exp(-z * z) + noise * rng.normal();
+      }
+      ds.add(std::move(x), static_cast<int>(c));
+    }
+  }
+  return ds;
+}
+
+TEST(Dataset, SplitPreservesAll) {
+  sim::Xoshiro256 rng(1);
+  Dataset ds = make_bump_dataset(4, 25, 16, 0.1, rng);
+  auto [train, test] = ds.split(0.2, rng);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.num_classes, 4u);
+}
+
+TEST(Dataset, ZscoreNormalization) {
+  std::vector<double> v{10, 20, 30, 40};
+  normalize_zscore(v);
+  double mean = 0;
+  for (double x : v) mean += x;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0;
+  for (double x : v) var += x * x;
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+}
+
+TEST(Dataset, ZscoreConstantTraceIsZero) {
+  std::vector<double> v{5, 5, 5};
+  normalize_zscore(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(ConfusionMatrixTest, AccuracyAndRecall) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_NE(cm.to_string().find("recall"), std::string::npos);
+}
+
+TEST(NearestCentroidTest, SeparableData) {
+  sim::Xoshiro256 rng(2);
+  Dataset ds = make_bump_dataset(5, 40, 32, 0.05, rng);
+  auto [train, test] = ds.split(0.25, rng);
+  NearestCentroid nc;
+  nc.fit(train);
+  EXPECT_GT(nc.evaluate(test), 0.95);
+}
+
+TEST(MlpTest, GradientCheck) {
+  Mlp::Config cfg;
+  cfg.layers = {6, 5, 3};
+  cfg.seed = 3;
+  Mlp mlp(cfg);
+  sim::Xoshiro256 rng(4);
+  std::vector<double> x(6);
+  for (auto& v : x) v = rng.normal();
+  // Check several weights in both layers against numeric differentiation.
+  for (std::size_t layer : {0u, 1u}) {
+    for (std::size_t row : {0u, 2u}) {
+      for (std::size_t col : {0u, 3u}) {
+        const double diff = mlp.analytic_gradient_check(x, 1, layer, row, col);
+        EXPECT_LT(diff, 1e-6) << "layer " << layer << " w(" << row << ","
+                              << col << ")";
+      }
+    }
+  }
+}
+
+TEST(MlpTest, LearnsSeparableData) {
+  sim::Xoshiro256 rng(5);
+  Dataset ds = make_bump_dataset(5, 60, 32, 0.15, rng);
+  auto [train, test] = ds.split(0.25, rng);
+  Mlp::Config cfg;
+  cfg.layers = {32, 24, 5};
+  cfg.epochs = 30;
+  cfg.seed = 6;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  ConfusionMatrix cm(5);
+  const double acc = mlp.evaluate(test, &cm);
+  EXPECT_GT(acc, 0.95);
+  EXPECT_NEAR(cm.accuracy(), acc, 1e-12);
+}
+
+TEST(MlpTest, LossDecreasesOverTraining) {
+  sim::Xoshiro256 rng(7);
+  Dataset ds = make_bump_dataset(3, 40, 16, 0.2, rng);
+  Mlp::Config cfg;
+  cfg.layers = {16, 12, 3};
+  cfg.epochs = 15;
+  cfg.seed = 8;
+  Mlp mlp(cfg);
+  const double before = mlp.loss(ds);
+  std::string log;
+  mlp.fit(ds, &log);
+  const double after = mlp.loss(ds);
+  EXPECT_LT(after, before * 0.5);
+  EXPECT_NE(log.find("epoch"), std::string::npos);
+}
+
+TEST(MlpTest, ProbabilitiesSumToOne) {
+  Mlp::Config cfg;
+  cfg.layers = {4, 8, 3};
+  cfg.seed = 9;
+  Mlp mlp(cfg);
+  const std::vector<double> x{0.1, -0.2, 0.3, 0.7};
+  const auto p = mlp.predict_proba(x);
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  sim::Xoshiro256 rng(10);
+  Dataset ds = make_bump_dataset(3, 30, 16, 0.1, rng);
+  auto train_once = [&ds]() {
+    Mlp::Config cfg;
+    cfg.layers = {16, 8, 3};
+    cfg.epochs = 5;
+    cfg.seed = 11;
+    Mlp mlp(cfg);
+    mlp.fit(ds);
+    return mlp.loss(ds);
+  };
+  EXPECT_DOUBLE_EQ(train_once(), train_once());
+}
+
+}  // namespace
+}  // namespace ragnar::analysis

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "apps/dmem_kv.hpp"
+#include "apps/shufflejoin.hpp"
+#include "apps/workload.hpp"
+#include "revng/testbed.hpp"
+
+namespace ragnar::apps {
+namespace {
+
+TEST(RowHashTest, DeterministicAndSpread) {
+  EXPECT_EQ(row_hash(42), row_hash(42));
+  int buckets[4] = {0, 0, 0, 0};
+  for (std::uint64_t k = 0; k < 4000; ++k) ++buckets[row_hash(k) % 4];
+  for (int b : buckets) EXPECT_NEAR(b, 1000, 150);
+}
+
+TEST(ShuffleJoinTest, ShufflePartitionsLandByteExact) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 31, 1);
+  ShuffleJoin::Config cfg;
+  cfg.rows_per_round = 2048;
+  ShuffleJoin db(bed, cfg);
+  db.start_shuffle(1);
+  bed.sched().run_while([&] { return !db.done(); });
+  EXPECT_EQ(db.rows_shuffled(), 2048u);
+  EXPECT_TRUE(db.verify_shuffle_partitions());
+}
+
+TEST(ShuffleJoinTest, JoinMatchesReference) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 32, 1);
+  ShuffleJoin::Config cfg;
+  cfg.rows_per_round = 2048;
+  cfg.join_build_rows = 512;
+  ShuffleJoin db(bed, cfg);
+  db.start_join(4);
+  bed.sched().run_while([&] { return !db.done(); });
+  EXPECT_GT(db.join_matches(), 0u);
+  EXPECT_EQ(db.join_matches(), db.expected_join_matches());
+}
+
+TEST(ShuffleJoinTest, ShuffleIsNetworkIntensive) {
+  // One shuffle round of 2048 rows = 128 KB must move through the wire.
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 33, 1);
+  ShuffleJoin::Config cfg;
+  cfg.rows_per_round = 2048;
+  ShuffleJoin db(bed, cfg);
+  const auto before = bed.server().device().counters().rx_bytes_total();
+  db.start_shuffle(1);
+  bed.sched().run_while([&] { return !db.done(); });
+  const auto moved = bed.server().device().counters().rx_bytes_total() - before;
+  EXPECT_GE(moved, 2048u * 64u);
+}
+
+struct KvFixture : public ::testing::Test {
+  revng::Testbed bed{rnic::DeviceModel::kCX5, 34, 2};
+  DisaggKv::Config cfg;
+  DisaggKv kv{bed, cfg};
+
+  void load_some() {
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      kv.load(k * 2, {static_cast<std::uint8_t>(k), 0xAB});
+    }
+  }
+};
+
+TEST_F(KvFixture, GetFindsLoadedKeys) {
+  load_some();
+  DisaggKv::Client cl(kv, 0);
+  const auto v = cl.get(42 * 2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 42);
+  EXPECT_EQ((*v)[1], 0xAB);
+  // Binary search over 100 entries: ~7 index READs.
+  EXPECT_LE(cl.index_reads(), 8u);
+  EXPECT_GE(cl.index_reads(), 4u);
+}
+
+TEST_F(KvFixture, GetMissesAbsentKeys) {
+  load_some();
+  DisaggKv::Client cl(kv, 0);
+  EXPECT_FALSE(cl.get(43).has_value());  // odd keys were never loaded
+  EXPECT_FALSE(cl.get(1'000'000).has_value());
+}
+
+TEST_F(KvFixture, LargeValuesSpillToDataRegion) {
+  std::vector<std::uint8_t> big(256);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i);
+  kv.load(7, big);
+  DisaggKv::Client cl(kv, 0);
+  const auto v = cl.get(7);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->size(), big.size());
+  EXPECT_EQ(*v, big);
+  EXPECT_EQ(cl.data_reads(), 1u);
+}
+
+TEST_F(KvFixture, UpdateInlineCasProtected) {
+  load_some();
+  DisaggKv::Client cl(kv, 0);
+  EXPECT_TRUE(cl.update_inline(10 * 2, {9, 9, 9}));
+  const auto v = cl.get(10 * 2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{9, 9, 9}));
+  // Updating a missing key fails cleanly.
+  EXPECT_FALSE(cl.update_inline(999, {1}));
+}
+
+TEST_F(KvFixture, TwoClientsShareTheStore) {
+  load_some();
+  DisaggKv::Client alice(kv, 0);
+  DisaggKv::Client bob(kv, 1);
+  EXPECT_TRUE(alice.update_inline(4, {0x55}));
+  const auto v = bob.get(4);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 0x55);
+}
+
+TEST_F(KvFixture, VictimFilePatternIs64ByteReads) {
+  load_some();
+  DisaggKv::Client cl(kv, 0);
+  bool done = false;
+  const auto before = bed.server().device().counters().rx_msgs_total;
+  bed.sched().spawn(cl.read_file_async(128, &done));
+  bed.sched().run_while([&] { return !done; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cl.data_reads(), 1u);
+  EXPECT_GT(bed.server().device().counters().rx_msgs_total, before);
+}
+
+TEST(ShuffleJoinTest, ScanChecksumsVerify) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 35, 1);
+  ShuffleJoin::Config cfg;
+  cfg.rows_per_round = 2048;
+  ShuffleJoin db(bed, cfg);
+  db.start_scan(1);
+  bed.sched().run_while([&] { return !db.done(); });
+  EXPECT_EQ(db.rows_scanned(), 8u * 2048u);  // the whole probe table
+  EXPECT_NE(db.scan_checksum(), 0u);
+  EXPECT_EQ(db.scan_checksum(), db.expected_scan_checksum());
+}
+
+TEST(ShuffleJoinTest, TwoScanPassesCancelChecksum) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 36, 1);
+  ShuffleJoin::Config cfg;
+  cfg.rows_per_round = 1024;
+  ShuffleJoin db(bed, cfg);
+  db.start_scan(2);
+  bed.sched().run_while([&] { return !db.done(); });
+  EXPECT_EQ(db.scan_checksum(), 0u);  // XOR over two identical passes
+  EXPECT_EQ(db.expected_scan_checksum(), 0u);
+}
+
+TEST(Zipfian, RankZeroIsHottest) {
+  ZipfianGenerator gen(100, 0.99, sim::Xoshiro256(7));
+  const auto hist = sample_histogram(gen, 200000);
+  // Monotone-ish head: rank 0 > rank 1 > rank 5 > rank 50.
+  EXPECT_GT(hist[0], hist[1]);
+  EXPECT_GT(hist[1], hist[5]);
+  EXPECT_GT(hist[5], hist[50]);
+  // Hot mass matches theory within sampling error.
+  EXPECT_NEAR(static_cast<double>(hist[0]) / 200000.0, gen.hot_mass(), 0.01);
+}
+
+TEST(Zipfian, LowerThetaIsFlatter) {
+  ZipfianGenerator hot(50, 0.99, sim::Xoshiro256(8));
+  ZipfianGenerator flat(50, 0.5, sim::Xoshiro256(8));
+  EXPECT_GT(hot.hot_mass(), flat.hot_mass());
+}
+
+TEST(Zipfian, AllRanksReachable) {
+  ZipfianGenerator gen(8, 0.9, sim::Xoshiro256(9));
+  const auto hist = sample_histogram(gen, 50000);
+  for (std::size_t r = 0; r < 8; ++r) EXPECT_GT(hist[r], 0u) << "rank " << r;
+}
+
+TEST(Zipfian, DegenerateSizeOne) {
+  ZipfianGenerator gen(1, 0.99, sim::Xoshiro256(10));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next_rank(), 0u);
+}
+
+}  // namespace
+}  // namespace ragnar::apps

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/btree.hpp"
+#include "sim/stats.hpp"
+#include "revng/testbed.hpp"
+
+namespace ragnar::apps {
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> make_kvs(
+    std::size_t n, std::uint64_t stride = 10) {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> kvs;
+  for (std::size_t i = 0; i < n; ++i) {
+    kvs.emplace_back(i * stride,
+                     std::vector<std::uint8_t>{static_cast<std::uint8_t>(i),
+                                               static_cast<std::uint8_t>(i >> 8),
+                                               0x42});
+  }
+  return kvs;
+}
+
+struct BTreeFixture : public ::testing::Test {
+  revng::Testbed bed{rnic::DeviceModel::kCX5, 401, 2};
+  RemoteBTree::Config cfg;
+  RemoteBTree tree{bed, cfg};
+};
+
+TEST_F(BTreeFixture, BulkLoadAndGet) {
+  tree.bulk_load(make_kvs(200));
+  EXPECT_EQ(tree.leaf_count(), 50u);  // 4 per leaf by default
+  RemoteBTree::Client cl(tree, 0);
+  for (std::uint64_t k : {0ull, 10ull, 990ull, 1990ull}) {
+    const auto v = cl.get(k);
+    ASSERT_TRUE(v.has_value()) << "key " << k;
+    EXPECT_EQ((*v)[0], static_cast<std::uint8_t>(k / 10));
+    EXPECT_EQ((*v)[2], 0x42);
+  }
+  EXPECT_FALSE(cl.get(5).has_value());
+  EXPECT_FALSE(cl.get(99999).has_value());
+}
+
+TEST_F(BTreeFixture, GetCostsOneLeafReadWithWarmCache) {
+  tree.bulk_load(make_kvs(200));
+  RemoteBTree::Client cl(tree, 0);
+  (void)cl.get(0);  // warms the separator cache
+  const auto before = cl.leaf_reads();
+  for (std::uint64_t k = 0; k < 50; ++k) (void)cl.get(k * 40);
+  // Sherman's selling point: one leaf READ per GET once internal nodes are
+  // cached on the compute server.
+  EXPECT_EQ(cl.leaf_reads() - before, 50u);
+  EXPECT_LE(cl.cache_refreshes(), 1u);
+}
+
+TEST_F(BTreeFixture, ScanMatchesReferenceMap) {
+  const auto kvs = make_kvs(120, 7);
+  tree.bulk_load(kvs);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> ref(kvs.begin(),
+                                                         kvs.end());
+  RemoteBTree::Client cl(tree, 0);
+  for (auto [lo, hi] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 50}, {33, 333}, {700, 840}, {0, 10000}, {500, 501}}) {
+    const auto got = cl.scan(lo, hi);
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> want;
+    for (auto it = ref.lower_bound(lo); it != ref.end() && it->first < hi;
+         ++it) {
+      want.emplace_back(it->first, it->second);
+    }
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST_F(BTreeFixture, InsertVisibleToOtherClient) {
+  tree.bulk_load(make_kvs(40));
+  RemoteBTree::Client alice(tree, 0);
+  RemoteBTree::Client bob(tree, 1);
+  EXPECT_TRUE(alice.insert(15, {0xAA, 0xBB}));
+  const auto v = bob.get(15);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{0xAA, 0xBB}));
+  // And the scan picks it up in order.
+  const auto range = bob.scan(10, 21);
+  ASSERT_EQ(range.size(), 3u);  // 10, 15, 20
+  EXPECT_EQ(range[1].first, 15u);
+}
+
+TEST_F(BTreeFixture, InsertRejectsDuplicatesAndFullLeaves) {
+  tree.bulk_load(make_kvs(8), /*fill=*/4);  // 2 leaves, 4/7 full
+  RemoteBTree::Client cl(tree, 0);
+  EXPECT_FALSE(cl.insert(10, {1}));  // duplicate
+  // Fill leaf 0 (keys 0..30 live there): 3 slots remain.
+  EXPECT_TRUE(cl.insert(1, {1}));
+  EXPECT_TRUE(cl.insert(2, {1}));
+  EXPECT_TRUE(cl.insert(3, {1}));
+  EXPECT_FALSE(cl.insert(4, {1}));  // leaf full now
+  // The other leaf still accepts.
+  EXPECT_TRUE(cl.insert(45, {1}));
+}
+
+TEST_F(BTreeFixture, LockBlocksConcurrentInsert) {
+  tree.bulk_load(make_kvs(8));
+  // Simulate a crashed/stalled writer holding the leaf lock.
+  auto* hdr = reinterpret_cast<BTreeLeafHeader*>(tree.leaf_mr().data());
+  hdr->lock = 0xdeadbeef;
+  RemoteBTree::Client cl(tree, 0);
+  EXPECT_FALSE(cl.insert(1, {1}));  // CAS fails, insert reports failure
+  hdr->lock = 0;
+  EXPECT_TRUE(cl.insert(1, {1}));
+}
+
+TEST_F(BTreeFixture, OversizedValueRejected) {
+  tree.bulk_load(make_kvs(8));
+  RemoteBTree::Client cl(tree, 0);
+  EXPECT_FALSE(cl.insert(2, std::vector<std::uint8_t>(64, 1)));
+}
+
+TEST_F(BTreeFixture, EmptyTreeBehaves) {
+  RemoteBTree empty_tree(bed, cfg);
+  RemoteBTree::Client cl(empty_tree, 0);
+  EXPECT_FALSE(cl.get(1).has_value());
+  EXPECT_TRUE(cl.scan(0, 100).empty());
+  EXPECT_FALSE(cl.insert(1, {1}));
+}
+
+// The section VI-B attack generalizes to the B+tree: a victim GET is one
+// 512 B leaf READ at a key-determined leaf offset, and the shared
+// recent-line state of the translation unit leaks *which leaf* (hence which
+// ~7-key range) the victim keeps querying.
+TEST(BTreeSnoop, VictimLeafRecoverableFromUli) {
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 402, 2);
+  RemoteBTree::Config cfg;
+  RemoteBTree tree(bed, cfg);
+  tree.bulk_load(make_kvs(64));  // 16 leaves
+  const std::size_t n_leaves = tree.leaf_count();
+
+  // Victim actor: hot-key GETs through the tree.
+  RemoteBTree::Client victim(tree, 0);
+  (void)victim.get(0);  // warm separator cache
+  constexpr std::uint64_t kHotKey = 9 * 40 + 10;  // lives in leaf 9
+
+  // Synchronous interleaving instead: alternate victim GETs with attacker
+  // probe batches (both are sync drivers over the same scheduler).
+  auto attacker_conn = bed.connect(1, 1, 4, /*tc=*/1);
+  auto probe = [&](std::uint64_t offset) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = attacker_conn.local_addr();
+    wr.length = 64;
+    wr.remote_addr = tree.leaf_mr().addr() + offset;
+    wr.rkey = tree.leaf_mr().rkey();
+    attacker_conn.qp().post_send(wr);
+    attacker_conn.cq().run_until_available(1);
+    verbs::Wc wc;
+    attacker_conn.cq().poll_one(&wc);
+    return wc.uli_ns();
+  };
+
+  // Sweep each leaf's header line right after a victim GET; the victim's
+  // leaf line is warm in the shared cache -> lower ULI.
+  std::vector<double> sums(n_leaves, 0);
+  sim::Xoshiro256 order_rng(403);
+  std::vector<std::size_t> order(n_leaves);
+  for (std::size_t i = 0; i < n_leaves; ++i) order[i] = i;
+  const int kSweeps = 12;
+  for (int s = 0; s < kSweeps; ++s) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[order_rng.uniform_u64(i)]);
+    }
+    for (std::size_t idx : order) {
+      ASSERT_TRUE(victim.get(kHotKey).has_value());
+      sums[idx] += probe(idx * kBTreeLeafBytes);
+    }
+  }
+  // Detrend against the bank gradient and take the argmin leaf.
+  std::vector<double> xs(n_leaves), ys(n_leaves);
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    xs[i] = static_cast<double>(i);
+    ys[i] = sums[i] / kSweeps;
+  }
+  const auto fit = sim::linear_fit(xs, ys);
+  std::size_t best = 0;
+  double best_v = 1e300;
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    const double v = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  EXPECT_EQ(best, 9u);  // the hot key's leaf
+}
+
+}  // namespace
+}  // namespace ragnar::apps

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "covert/ecc.hpp"
+#include "sim/random.hpp"
+
+namespace ragnar::covert {
+namespace {
+
+TEST(Hamming74, RoundTripClean) {
+  sim::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto data = random_bits(4 * (1 + trial % 8), rng);
+    const auto coded = hamming74_encode(data);
+    EXPECT_EQ(coded.size(), data.size() / 4 * 7);
+    std::size_t corrected = 9;
+    const auto decoded = hamming74_decode(coded, &corrected);
+    EXPECT_EQ(corrected, 0u);
+    ASSERT_GE(decoded.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(decoded[i], data[i]);
+  }
+}
+
+TEST(Hamming74, PadsToNibble) {
+  const std::vector<int> data{1, 0, 1};  // 3 bits -> one padded codeword
+  const auto coded = hamming74_encode(data);
+  EXPECT_EQ(coded.size(), 7u);
+  const auto decoded = hamming74_decode(coded);
+  EXPECT_EQ(decoded[0], 1);
+  EXPECT_EQ(decoded[1], 0);
+  EXPECT_EQ(decoded[2], 1);
+  EXPECT_EQ(decoded[3], 0);  // pad
+}
+
+TEST(Hamming74, CorrectsAnySingleBitError) {
+  sim::Xoshiro256 rng(2);
+  const auto data = random_bits(4, rng);
+  const auto coded = hamming74_encode(data);
+  for (std::size_t flip = 0; flip < 7; ++flip) {
+    auto corrupted = coded;
+    corrupted[flip] ^= 1;
+    std::size_t corrected = 0;
+    const auto decoded = hamming74_decode(corrupted, &corrected);
+    EXPECT_EQ(corrected, 1u) << "flip at " << flip;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(decoded[i], data[i]) << "flip at " << flip << " data bit " << i;
+    }
+  }
+}
+
+TEST(Hamming74, DoubleErrorsAreBeyondTheCode) {
+  // Documents the limitation: two errors per codeword mis-correct.
+  const std::vector<int> data{1, 1, 0, 1};
+  auto coded = hamming74_encode(data);
+  coded[0] ^= 1;
+  coded[3] ^= 1;
+  const auto decoded = hamming74_decode(coded);
+  bool all_match = true;
+  for (std::size_t i = 0; i < 4; ++i) all_match &= (decoded[i] == data[i]);
+  EXPECT_FALSE(all_match);
+}
+
+TEST(Interleaver, RoundTrip) {
+  sim::Xoshiro256 rng(3);
+  for (std::size_t depth : {1u, 2u, 8u, 16u}) {
+    const auto bits = random_bits(100, rng);
+    const auto inter = interleave(bits, depth);
+    const auto de = deinterleave(inter, depth);
+    ASSERT_GE(de.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_EQ(de[i], bits[i]);
+  }
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  // A burst of `depth` consecutive wire errors must land in `depth`
+  // *different* pre-interleave positions spaced by `cols`.
+  const std::size_t depth = 8;
+  std::vector<int> bits(depth * 10, 0);
+  auto wire = interleave(bits, depth);
+  // Corrupt a burst on the wire.
+  for (std::size_t i = 20; i < 20 + depth; ++i) wire[i] ^= 1;
+  const auto de = deinterleave(wire, depth);
+  // Count adjacent corrupted pairs after deinterleaving: there must be none.
+  int adjacent = 0;
+  for (std::size_t i = 0; i + 1 < de.size(); ++i) {
+    adjacent += (de[i] == 1 && de[i + 1] == 1);
+  }
+  EXPECT_EQ(adjacent, 0);
+  // All 8 errors survived (just relocated).
+  int total = 0;
+  for (int b : de) total += b;
+  EXPECT_EQ(total, static_cast<int>(depth));
+}
+
+// A fake channel that flips a configurable burst of bits.
+ChannelRun burst_channel(const std::vector<int>& wire, std::size_t burst_at,
+                         std::size_t burst_len) {
+  ChannelRun run;
+  run.sent = wire;
+  run.received = wire;
+  for (std::size_t i = burst_at; i < burst_at + burst_len && i < wire.size();
+       ++i) {
+    run.received[i] ^= 1;
+  }
+  run.elapsed = sim::ms(1);
+  return run;
+}
+
+TEST(EccTransmit, CleanChannelIsLossless) {
+  sim::Xoshiro256 rng(4);
+  const auto data = random_bits(64, rng);
+  const auto run = transmit_with_ecc(
+      [](const std::vector<int>& w) { return burst_channel(w, 0, 0); }, data,
+      8);
+  EXPECT_EQ(run.residual_error(), 0.0);
+  EXPECT_EQ(run.codewords_corrected, 0u);
+  EXPECT_EQ(run.data_recovered, data);
+}
+
+TEST(EccTransmit, CorrectsABurstUpToTheInterleaveDepth) {
+  sim::Xoshiro256 rng(5);
+  const auto data = random_bits(64, rng);
+  const auto run = transmit_with_ecc(
+      [](const std::vector<int>& w) { return burst_channel(w, 9, 8); }, data,
+      /*interleave_depth=*/8);
+  EXPECT_EQ(run.residual_error(), 0.0)
+      << "an 8-bit wire burst must decompose into single errors";
+  EXPECT_GT(run.codewords_corrected, 0u);
+}
+
+TEST(EccTransmit, BurstBeyondDepthLeavesResidual) {
+  sim::Xoshiro256 rng(6);
+  const auto data = random_bits(64, rng);
+  const auto run = transmit_with_ecc(
+      [](const std::vector<int>& w) { return burst_channel(w, 0, 40); }, data,
+      /*interleave_depth=*/4);
+  EXPECT_GT(run.residual_error(), 0.0);
+}
+
+TEST(EccTransmit, GoodputAccountsForCodeRate) {
+  sim::Xoshiro256 rng(7);
+  const auto data = random_bits(56, rng);
+  const auto run = transmit_with_ecc(
+      [](const std::vector<int>& w) { return burst_channel(w, 0, 0); }, data,
+      8);
+  // 56 data bits over 1 ms -> 56 Kbps goodput regardless of wire length.
+  EXPECT_NEAR(run.goodput_bps(), 56000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ragnar::covert

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "revng/flow.hpp"
+#include "revng/sweeps.hpp"
+#include "revng/testbed.hpp"
+#include "revng/uli.hpp"
+
+namespace ragnar::revng {
+namespace {
+
+TEST(UliProbe, ProducesStableSamples) {
+  Testbed bed(rnic::DeviceModel::kCX4, 42, 1);
+  UliProbe::Spec spec;
+  spec.msg_size = 64;
+  spec.queue_depth = 10;
+  UliProbe probe(bed, 0, spec);
+  const sim::SampleSet s = probe.sample(500);
+  EXPECT_EQ(s.count(), 500u);
+  EXPECT_GT(s.mean(), 50.0);    // ns — somewhere in the hundreds
+  EXPECT_LT(s.mean(), 2000.0);
+  // Stable: p90/p10 spread well under 2x.
+  EXPECT_LT(s.percentile(90) / s.percentile(10), 2.0);
+}
+
+// Footnote 8 of the paper: Lat_total is linear in (len_sq + 1) with
+// Pearson ~ 0.9998 and negligible intercept.  Footnote 7's derivation
+// assumes the queue is the bottleneck ("an SQ reaching the maximum send
+// queue size in the stable traffic case"), i.e. depths above the knee where
+// queueing dominates the unloaded pipeline latency — measured accordingly.
+TEST(UliLinearity, MatchesPaperFootnote8) {
+  const std::array<std::uint32_t, 6> depths{16, 32, 64, 96, 128, 192};
+  const LinearityResult r =
+      uli_linearity(rnic::DeviceModel::kCX4, 7, 64, depths, 400);
+  EXPECT_GT(r.fit.r, 0.999);
+  // C (intercept) is small relative to the latency at the deepest queue.
+  EXPECT_LT(std::abs(r.fit.intercept), 0.15 * r.lat_ns.back());
+}
+
+class LinearityAcrossDevices
+    : public ::testing::TestWithParam<rnic::DeviceModel> {};
+
+TEST_P(LinearityAcrossDevices, HoldsEverywhere) {
+  const std::array<std::uint32_t, 5> depths{16, 32, 64, 128, 192};
+  const LinearityResult r = uli_linearity(GetParam(), 11, 64, depths, 300);
+  EXPECT_GT(r.fit.r, 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, LinearityAcrossDevices,
+                         ::testing::Values(rnic::DeviceModel::kCX4,
+                                           rnic::DeviceModel::kCX5,
+                                           rnic::DeviceModel::kCX6));
+
+TEST(InterMr, DifferentMrRaisesUli) {
+  // Fig 5: alternating across MRs is visibly slower than within one MR.
+  const std::array<std::uint32_t, 1> sizes{64};
+  const UliCurve same = sweep_inter_mr(rnic::DeviceModel::kCX4, 5, false,
+                                       sizes, 600);
+  const UliCurve diff = sweep_inter_mr(rnic::DeviceModel::kCX4, 5, true,
+                                       sizes, 600);
+  ASSERT_EQ(same.size(), 1u);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_GT(diff[0].mean, same[0].mean * 1.05);
+}
+
+TEST(OffsetEffect, MisalignedCostsMore) {
+  // Fig 6: 8 B misalignment is visible in the stream-mean ULI of two
+  // otherwise identical probes.
+  auto stream_mean = [](std::uint64_t offset) {
+    Testbed bed(rnic::DeviceModel::kCX4, 3, 1);
+    UliProbe::Spec spec;
+    spec.msg_size = 64;
+    spec.queue_depth = 10;
+    UliProbe probe(bed, 0, spec);
+    probe.set_targets({{0, offset}});
+    return probe.sample(800).mean();
+  };
+  const double aligned = stream_mean(1024);
+  const double mis = stream_mean(1027);  // same bank, not 8 B aligned
+  EXPECT_GT(mis, aligned * 1.05);
+}
+
+TEST(Flow, AchievesReasonableBandwidth) {
+  Testbed bed(rnic::DeviceModel::kCX5, 21, 1);
+  FlowSpec spec;
+  spec.opcode = verbs::WrOpcode::kRdmaRead;
+  spec.msg_size = 4096;
+  spec.qp_num = 4;
+  spec.depth_per_qp = 16;
+  spec.duration = sim::ms(1);
+  Flow f(bed, 0, spec);
+  bed.sched().run_while([&] { return !f.finished(); });
+  EXPECT_TRUE(f.finished());
+  // 4 KB reads on a 100 Gb/s NIC with PCIe3 x8: tens of Gb/s.
+  EXPECT_GT(f.achieved_gbps(), 5.0);
+  EXPECT_LT(f.achieved_gbps(), 100.0);
+}
+
+TEST(Flow, WriteFlowCompletes) {
+  Testbed bed(rnic::DeviceModel::kCX4, 22, 1);
+  FlowSpec spec;
+  spec.opcode = verbs::WrOpcode::kRdmaWrite;
+  spec.msg_size = 128;
+  spec.qp_num = 2;
+  spec.depth_per_qp = 16;
+  spec.duration = sim::us(300);
+  Flow f(bed, 0, spec);
+  bed.sched().run_while([&] { return !f.finished(); });
+  EXPECT_GT(f.ops_completed(), 100u);
+}
+
+TEST(Contention, PairRunsAndReports) {
+  FlowSpec a;
+  a.opcode = verbs::WrOpcode::kRdmaRead;
+  a.msg_size = 1024;
+  a.qp_num = 2;
+  a.duration = sim::us(400);
+  FlowSpec b;
+  b.opcode = verbs::WrOpcode::kRdmaWrite;
+  b.msg_size = 128;
+  b.qp_num = 2;
+  b.duration = sim::us(400);
+  const ContentionCell cell =
+      run_contention_pair(rnic::DeviceModel::kCX4, 31, a, b);
+  EXPECT_GT(cell.solo_a_gbps, 0.0);
+  EXPECT_GT(cell.solo_b_gbps, 0.0);
+  EXPECT_GT(cell.duo_a_gbps, 0.0);
+  EXPECT_GT(cell.duo_b_gbps, 0.0);
+}
+
+}  // namespace
+}  // namespace ragnar::revng

@@ -1,0 +1,152 @@
+// White-box tests of the RNIC pipeline mechanisms that carry the paper's
+// findings — complementing tests/rnic_test.cpp (units) and the benches
+// (emergent behaviour) by pinning each mechanism at the flow level.
+#include <gtest/gtest.h>
+
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+#include "revng/uli.hpp"
+#include "verbs/context.hpp"
+
+namespace ragnar {
+namespace {
+
+double flow_gbps(const rnic::DeviceProfile& prof, std::uint64_t seed,
+                 verbs::WrOpcode op, std::uint32_t size, std::size_t clients,
+                 std::size_t run_on = 0) {
+  revng::Testbed bed(prof, seed, clients);
+  revng::FlowSpec s;
+  s.opcode = op;
+  s.msg_size = size;
+  s.qp_num = 2;
+  s.depth_per_qp = 16;
+  s.duration = sim::us(300);
+  revng::Flow f(bed, run_on, s);
+  bed.sched().run_while([&] { return !f.finished(); });
+  return f.achieved_gbps();
+}
+
+TEST(RnicMech, DualLaneBoostNeedsTwoSources) {
+  // Two small-write flows from ONE host share a lane: no KF2 boost.
+  const auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  revng::Testbed bed(prof, 601, 1);
+  revng::FlowSpec s;
+  s.opcode = verbs::WrOpcode::kRdmaWrite;
+  s.msg_size = 128;
+  s.qp_num = 2;
+  s.depth_per_qp = 16;
+  s.duration = sim::us(300);
+  revng::Flow f1(bed, 0, s);
+  revng::Flow f2(bed, 0, s);  // same client host
+  bed.sched().run_while([&] { return !(f1.finished() && f2.finished()); });
+  const double same_host_total = f1.achieved_gbps() + f2.achieved_gbps();
+
+  revng::Testbed bed2(prof, 601, 2);
+  revng::Flow g1(bed2, 0, s);
+  revng::Flow g2(bed2, 1, s);  // distinct hosts -> distinct lanes
+  bed2.sched().run_while([&] { return !(g1.finished() && g2.finished()); });
+  const double two_host_total = g1.achieved_gbps() + g2.achieved_gbps();
+
+  EXPECT_GT(two_host_total, 1.3 * same_host_total);
+}
+
+TEST(RnicMech, AckControlLaneBypassesBigResponses) {
+  // A write flow's completions must not stall behind a concurrent flow of
+  // huge READ responses: ACKs ride the control lane.  Compare the write
+  // flow's throughput with and without the big-read flow; the drop must be
+  // modest (ingress sharing), not catastrophic (egress FIFO entrapment).
+  const auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  const double solo =
+      flow_gbps(prof, 602, verbs::WrOpcode::kRdmaWrite, 4096, 1);
+
+  revng::Testbed bed(prof, 603, 2);
+  revng::FlowSpec w;
+  w.opcode = verbs::WrOpcode::kRdmaWrite;
+  w.msg_size = 4096;
+  w.qp_num = 2;
+  w.depth_per_qp = 16;
+  w.duration = sim::us(300);
+  revng::FlowSpec r = w;
+  r.opcode = verbs::WrOpcode::kRdmaRead;
+  r.msg_size = 65536;
+  revng::Flow fw(bed, 0, w);
+  revng::Flow fr(bed, 1, r);
+  bed.sched().run_while([&] { return !(fw.finished() && fr.finished()); });
+  EXPECT_GT(fw.achieved_gbps(), 0.5 * solo);
+}
+
+TEST(RnicMech, StagingPressureHitsOnlyMediumResponses) {
+  // Direct mechanism check: with staging_pressure zeroed, a small-write
+  // flood no longer slows a medium-read flow's responses.
+  auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  auto run_pair = [&](const rnic::DeviceProfile& p) {
+    revng::Testbed bed(p, 604, 2);
+    revng::FlowSpec flood;
+    flood.opcode = verbs::WrOpcode::kRdmaWrite;
+    flood.msg_size = 128;
+    flood.qp_num = 2;
+    flood.depth_per_qp = 16;
+    flood.duration = sim::us(300);
+    revng::FlowSpec med = flood;
+    med.opcode = verbs::WrOpcode::kRdmaRead;
+    med.msg_size = 1024;
+    revng::Flow ff(bed, 0, flood);
+    revng::Flow fm(bed, 1, med);
+    bed.sched().run_while([&] { return !(ff.finished() && fm.finished()); });
+    return fm.achieved_gbps();
+  };
+  const double with_pressure = run_pair(prof);
+  prof.staging_pressure = 0;
+  const double without_pressure = run_pair(prof);
+  EXPECT_GT(without_pressure, 1.15 * with_pressure);
+}
+
+TEST(RnicMech, RequestDispatchFactorKeepsReadsTranslationBound) {
+  // With the cheap request-dispatch factor removed, small READ throughput
+  // must fall (dispatch becomes the bottleneck instead of translation).
+  auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  const double normal =
+      flow_gbps(prof, 605, verbs::WrOpcode::kRdmaRead, 64, 1);
+  prof.request_dispatch_factor = 3.0;  // make request dispatch expensive
+  const double hobbled =
+      flow_gbps(prof, 605, verbs::WrOpcode::kRdmaRead, 64, 1);
+  EXPECT_GT(normal, 1.2 * hobbled);
+}
+
+TEST(RnicMech, MitigationNoiseRaisesLatencyLinearly) {
+  // Mean unloaded READ latency grows by ~noise/2 (uniform [0, x]).
+  auto measure = [](sim::SimDur noise) {
+    revng::Testbed bed(rnic::DeviceModel::kCX4, 606, 1);
+    bed.server().device().set_responder_noise(noise);
+    revng::UliProbe::Spec spec;
+    spec.queue_depth = 1;
+    spec.qp_count = 1;
+    revng::UliProbe probe(bed, 0, spec);
+    return probe.sample_raw_latency(800).mean();
+  };
+  const double base = measure(0);
+  const double with_noise = measure(sim::us(4));
+  EXPECT_NEAR(with_noise - base, sim::to_ns(sim::us(2)), 350.0);
+}
+
+TEST(RnicMech, TdmSlotCapsSmallOpRate) {
+  // Partitioned mode clamps a tenant's READ rate near 1/xl_tdm_slot.
+  const auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
+  revng::Testbed bed(prof, 607, 1);
+  bed.server().device().set_tenant_isolation(true);
+  revng::FlowSpec s;
+  s.opcode = verbs::WrOpcode::kRdmaRead;
+  s.msg_size = 64;
+  s.qp_num = 2;
+  s.depth_per_qp = 16;
+  s.duration = sim::us(300);
+  revng::Flow f(bed, 0, s);
+  bed.sched().run_while([&] { return !f.finished(); });
+  const double mops = static_cast<double>(f.ops_completed()) / 300.0;  // per us
+  const double slot_rate = 1e6 / sim::to_ns(prof.xl_tdm_slot) / 1e3;   // Mops
+  EXPECT_LE(mops, 1.1 * slot_rate);
+  EXPECT_GE(mops, 0.6 * slot_rate);
+}
+
+}  // namespace
+}  // namespace ragnar

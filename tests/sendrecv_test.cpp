@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "revng/testbed.hpp"
+#include "verbs/context.hpp"
+
+namespace ragnar::verbs {
+namespace {
+
+using revng::Testbed;
+
+struct SendRecvFixture : public ::testing::Test {
+  Testbed bed{rnic::DeviceModel::kCX5, 301, 1};
+  Testbed::Connection conn = bed.connect(0, 1, 16, 0);
+  // Server-side recv staging buffer.
+  std::unique_ptr<MemoryRegion> server_buf =
+      conn.server_pd->register_mr(1 << 16);
+
+  QueuePair& client_qp() { return conn.qp(); }
+  QueuePair& server_qp() { return *conn.server_qps.at(0); }
+};
+
+TEST_F(SendRecvFixture, SendDeliversIntoPostedRecv) {
+  RecvWr rwr;
+  rwr.wr_id = 77;
+  rwr.local_addr = server_buf->addr();
+  rwr.length = 256;
+  ASSERT_EQ(server_qp().post_recv(rwr), PostResult::kOk);
+  EXPECT_EQ(server_qp().recv_outstanding(), 1u);
+
+  const char msg[] = "two-sided hello";
+  std::memcpy(conn.client_mr->data(), msg, sizeof msg);
+  SendWr swr;
+  swr.wr_id = 5;
+  swr.opcode = WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = sizeof msg;
+  ASSERT_EQ(client_qp().post_send(swr), PostResult::kOk);
+
+  // Sender-side completion.
+  ASSERT_TRUE(conn.cq().run_until_available(1));
+  Wc swc;
+  ASSERT_TRUE(conn.cq().poll_one(&swc));
+  EXPECT_EQ(swc.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(swc.wr_id, 5u);
+
+  // Receiver-side completion + payload.
+  bed.sched().run_until_idle();
+  Wc rwc;
+  ASSERT_TRUE(conn.server_cq->poll_one(&rwc));
+  EXPECT_EQ(rwc.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(rwc.opcode, WrOpcode::kRecv);
+  EXPECT_EQ(rwc.wr_id, 77u);
+  EXPECT_EQ(rwc.byte_len, sizeof msg);
+  EXPECT_STREQ(reinterpret_cast<const char*>(server_buf->data()), msg);
+  EXPECT_EQ(server_qp().recv_outstanding(), 0u);
+}
+
+TEST_F(SendRecvFixture, SendWithoutRecvIsNaked) {
+  SendWr swr;
+  swr.opcode = WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = 64;
+  ASSERT_EQ(client_qp().post_send(swr), PostResult::kOk);
+  ASSERT_TRUE(conn.cq().run_until_available(1));
+  Wc wc;
+  ASSERT_TRUE(conn.cq().poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kRemoteInvalidRequest);
+}
+
+TEST_F(SendRecvFixture, RecvsConsumeInFifoOrder) {
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    RecvWr rwr;
+    rwr.wr_id = 100 + i;
+    rwr.local_addr = server_buf->addr() + i * 1024;
+    rwr.length = 1024;
+    ASSERT_EQ(server_qp().post_recv(rwr), PostResult::kOk);
+  }
+  SendWr swr;
+  swr.opcode = WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = 32;
+  for (int i = 0; i < 3; ++i) {
+    conn.client_mr->data()[0] = static_cast<std::uint8_t>('a' + i);
+    ASSERT_EQ(client_qp().post_send(swr), PostResult::kOk);
+    ASSERT_TRUE(conn.cq().run_until_available(1));
+    Wc wc;
+    conn.cq().poll_one(&wc);
+  }
+  bed.sched().run_until_idle();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Wc wc;
+    ASSERT_TRUE(conn.server_cq->poll_one(&wc));
+    EXPECT_EQ(wc.wr_id, 100 + i);
+    EXPECT_EQ(server_buf->data()[i * 1024], 'a' + i);
+  }
+}
+
+TEST_F(SendRecvFixture, OversizedSendFailsTheRecv) {
+  RecvWr rwr;
+  rwr.local_addr = server_buf->addr();
+  rwr.length = 16;  // too small
+  ASSERT_EQ(server_qp().post_recv(rwr), PostResult::kOk);
+  SendWr swr;
+  swr.opcode = WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = 64;
+  ASSERT_EQ(client_qp().post_send(swr), PostResult::kOk);
+  bed.sched().run_until_idle();
+  Wc wc;
+  ASSERT_TRUE(conn.server_cq->poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kRemoteInvalidRequest);
+}
+
+TEST_F(SendRecvFixture, PostRecvValidatesLocalBuffer) {
+  RecvWr rwr;
+  rwr.local_addr = 0xdead0000;
+  rwr.length = 64;
+  EXPECT_EQ(server_qp().post_recv(rwr), PostResult::kBadLocalAddr);
+}
+
+TEST_F(SendRecvFixture, InlineSendStillDeliversPayload) {
+  RecvWr rwr;
+  rwr.local_addr = server_buf->addr();
+  rwr.length = 64;
+  ASSERT_EQ(server_qp().post_recv(rwr), PostResult::kOk);
+  conn.client_mr->data()[0] = 0x5a;  // small inline-path send
+  SendWr swr;
+  swr.opcode = WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = 8;
+  ASSERT_EQ(client_qp().post_send(swr), PostResult::kOk);
+  bed.sched().run_until_idle();
+  Wc wc;
+  ASSERT_TRUE(conn.server_cq->poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(server_buf->data()[0], 0x5a);
+}
+
+}  // namespace
+}  // namespace ragnar::verbs

@@ -1,0 +1,151 @@
+// Multi-tenant stress + conservation checks: many concurrent workloads on
+// one server, then global invariants on the counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/dmem_kv.hpp"
+#include "apps/shufflejoin.hpp"
+#include "revng/ambient.hpp"
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+#include "revng/uli.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ragnar {
+namespace {
+
+TEST(Stress, SixTenantsMixedWorkloads) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 201, 6);
+  telemetry::set_ets_50_50(bed.server().device());
+
+  // Tenant 0/1: read + write flows.
+  revng::FlowSpec reads;
+  reads.opcode = verbs::WrOpcode::kRdmaRead;
+  reads.msg_size = 1024;
+  reads.qp_num = 2;
+  reads.depth_per_qp = 8;
+  reads.duration = sim::ms(1);
+  revng::Flow f0(bed, 0, reads);
+  revng::FlowSpec writes = reads;
+  writes.opcode = verbs::WrOpcode::kRdmaWrite;
+  writes.msg_size = 256;
+  revng::Flow f1(bed, 1, writes);
+
+  // Tenant 2: a database doing a shuffle then probing a join.
+  apps::ShuffleJoin::Config dcfg;
+  dcfg.client_idx = 2;
+  dcfg.rows_per_round = 4096;
+  apps::ShuffleJoin db(bed, dcfg);
+  db.start_shuffle(1);
+  db.start_join(2);
+
+  // Tenant 3: KV store client.
+  apps::DisaggKv::Config kcfg;
+  apps::DisaggKv kv(bed, kcfg);
+  for (std::uint64_t k = 0; k < 64; ++k) kv.load(k, {1, 2, 3});
+  apps::DisaggKv::Client kvc(kv, 3);
+
+  // Tenants 4/5: bursty ambient noise.
+  revng::AmbientFlow::Config ac4;
+  ac4.client_idx = 4;
+  revng::AmbientFlow amb4(bed, ac4);
+  amb4.start(bed.sched().now() + sim::ms(1));
+  revng::AmbientFlow::Config ac5;
+  ac5.client_idx = 5;
+  ac5.intensity = 2.0;
+  revng::AmbientFlow amb5(bed, ac5);
+  amb5.start(bed.sched().now() + sim::ms(1));
+
+  // Drive everything; interleave KV gets on tenant 3.
+  for (int i = 0; i < 32; ++i) {
+    const auto v = kvc.get((static_cast<std::uint64_t>(i) * 7) % 64);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->size(), 3u);
+  }
+  bed.sched().run_while([&] { return !(f0.finished() && f1.finished()); });
+  bed.sched().run_until_idle();
+
+  // Everyone made progress.
+  EXPECT_GT(f0.ops_completed(), 100u);
+  EXPECT_GT(f1.ops_completed(), 100u);
+  EXPECT_TRUE(db.done());
+  EXPECT_EQ(db.join_matches(), db.expected_join_matches());
+  EXPECT_GT(amb4.ops(), 0u);
+
+  // Conservation: the server saw exactly the requests the clients sent.
+  std::uint64_t client_tx_msgs = 0;
+  for (std::size_t c = 0; c < bed.client_count(); ++c) {
+    client_tx_msgs += bed.client(c).device().counters().tx_msgs_total;
+  }
+  EXPECT_EQ(bed.server().device().counters().rx_msgs_total, client_tx_msgs);
+}
+
+TEST(Stress, LongRunDeterminism) {
+  // Two identical seeded runs produce byte-identical outcomes.
+  auto run_once = [] {
+    revng::Testbed bed(rnic::DeviceModel::kCX4, 202, 3);
+    revng::FlowSpec s;
+    s.opcode = verbs::WrOpcode::kRdmaRead;
+    s.msg_size = 512;
+    s.qp_num = 2;
+    s.depth_per_qp = 8;
+    s.duration = sim::ms(1);
+    revng::Flow f0(bed, 0, s);
+    s.opcode = verbs::WrOpcode::kRdmaWrite;
+    revng::Flow f1(bed, 1, s);
+    revng::AmbientFlow::Config ac;
+    ac.client_idx = 2;
+    revng::AmbientFlow amb(bed, ac);
+    amb.start(bed.sched().now() + sim::ms(1));
+    bed.sched().run_while([&] { return !(f0.finished() && f1.finished()); });
+    bed.sched().run_until_idle();
+    return std::tuple{f0.bytes_completed(), f1.bytes_completed(), amb.ops(),
+                      bed.server().device().counters().rx_bytes_total(),
+                      bed.sched().events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Stress, DifferentSeedsDiffer) {
+  auto run_once = [](std::uint64_t seed) {
+    revng::Testbed bed(rnic::DeviceModel::kCX4, seed, 1);
+    revng::UliProbe::Spec spec;
+    revng::UliProbe probe(bed, 0, spec);
+    return probe.sample(200).mean();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST(Stress, ManyQpsManyMrs) {
+  // Grain-III scale: 32 QPs and 32 MRs on one connection stay correct.
+  revng::Testbed bed(rnic::DeviceModel::kCX6, 203, 1);
+  auto conn = bed.connect(0, /*qp_count=*/32, /*max_send_wr=*/4, 0);
+  std::vector<std::unique_ptr<verbs::MemoryRegion>> mrs;
+  for (int i = 0; i < 32; ++i) {
+    mrs.push_back(conn.server_pd->register_mr(1 << 16));
+  }
+  std::uint64_t posted = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int q = 0; q < 32; ++q) {
+      verbs::SendWr wr;
+      wr.opcode = verbs::WrOpcode::kRdmaRead;
+      wr.local_addr = conn.client_mr->addr();
+      wr.length = 64;
+      wr.remote_addr = mrs[static_cast<std::size_t>(q)]->addr();
+      wr.rkey = mrs[static_cast<std::size_t>(q)]->rkey();
+      ASSERT_EQ(conn.qp(static_cast<std::size_t>(q)).post_send(wr),
+                verbs::PostResult::kOk);
+      ++posted;
+    }
+  }
+  ASSERT_TRUE(conn.cq().run_until_available(posted));
+  verbs::Wc wc;
+  std::uint64_t ok = 0;
+  while (conn.cq().poll_one(&wc)) ok += (wc.status == rnic::WcStatus::kSuccess);
+  EXPECT_EQ(ok, posted);
+}
+
+}  // namespace
+}  // namespace ragnar

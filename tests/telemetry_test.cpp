@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "revng/flow.hpp"
+#include "revng/testbed.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ragnar::telemetry {
+namespace {
+
+TEST(CounterSampler, SamplesAtInterval) {
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 71, 1);
+  CounterSampler sampler(bed.sched(), bed.server().device(), sim::us(100));
+  sampler.start();
+  revng::FlowSpec spec;
+  spec.opcode = verbs::WrOpcode::kRdmaWrite;
+  spec.msg_size = 1024;
+  spec.qp_num = 1;
+  spec.depth_per_qp = 8;
+  spec.duration = sim::ms(1);
+  revng::Flow f(bed, 0, spec);
+  bed.sched().run_while([&] { return !f.finished(); });
+  sampler.stop();
+  bed.sched().run_until_idle();
+
+  ASSERT_GE(sampler.samples().size(), 9u);
+  // Interval timestamps are spaced by the configured interval.
+  const auto& s = sampler.samples();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].at - s[i - 1].at, sim::us(100));
+  }
+}
+
+TEST(CounterSampler, RatesMatchFlowThroughput) {
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 72, 1);
+  CounterSampler sampler(bed.sched(), bed.server().device(), sim::us(200));
+  sampler.start();
+  revng::FlowSpec spec;
+  spec.opcode = verbs::WrOpcode::kRdmaWrite;
+  spec.msg_size = 4096;
+  spec.qp_num = 2;
+  spec.depth_per_qp = 16;
+  spec.duration = sim::ms(1);
+  spec.tc = 0;
+  revng::Flow f(bed, 0, spec);
+  bed.sched().run_while([&] { return !f.finished(); });
+  sampler.stop();
+
+  // Middle samples should see roughly the flow's achieved bandwidth on TC0
+  // (counters include headers, so >=).
+  const auto& s = sampler.samples();
+  ASSERT_GE(s.size(), 4u);
+  const auto& mid = s[s.size() / 2];
+  EXPECT_GT(mid.rx_gbps[0], 0.8 * f.achieved_gbps());
+  EXPECT_LT(mid.rx_gbps[0], 1.3 * f.achieved_gbps());
+  EXPECT_GT(mid.rx_pps[0], 0.0);
+  // Opcode-level (Grain-II) rate shows WRITEs only.
+  EXPECT_GT(mid.rx_ops_per_sec[static_cast<int>(rnic::Opcode::kWrite)], 0.0);
+  EXPECT_EQ(mid.rx_ops_per_sec[static_cast<int>(rnic::Opcode::kRead)], 0.0);
+}
+
+TEST(CounterSampler, QuietWhenIdle) {
+  revng::Testbed bed(rnic::DeviceModel::kCX5, 73, 1);
+  CounterSampler sampler(bed.sched(), bed.server().device(), sim::us(100));
+  sampler.start();
+  bed.sched().run_until(sim::ms(1));
+  sampler.stop();
+  for (const auto& d : sampler.samples()) {
+    EXPECT_EQ(d.rx_gbps_total(), 0.0);
+    EXPECT_EQ(d.tx_gbps_total(), 0.0);
+  }
+}
+
+TEST(Qos, SetEtsWeights) {
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 74, 1);
+  std::array<double, rnic::kNumTrafficClasses> w{};
+  w[0] = 70.0;
+  w[1] = 30.0;
+  set_ets_weights(bed.server().device(), w);
+  EXPECT_DOUBLE_EQ(bed.server().device().ets().weight_pct[0], 70.0);
+  EXPECT_DOUBLE_EQ(bed.server().device().ets().weight_pct[1], 30.0);
+  set_ets_50_50(bed.server().device());
+  EXPECT_DOUBLE_EQ(bed.server().device().ets().weight_pct[0], 50.0);
+}
+
+TEST(Qos, EtsPacesCompetingEgressClasses) {
+  // Two READ flows from different clients on different TCs: their responses
+  // share the server egress port, and 50/50 ETS should split it roughly
+  // evenly even though one flow uses much larger messages.
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 75, 2);
+  set_ets_50_50(bed.server().device());
+  revng::FlowSpec a;
+  a.opcode = verbs::WrOpcode::kRdmaRead;
+  a.msg_size = 16384;
+  a.qp_num = 2;
+  a.depth_per_qp = 16;
+  a.duration = sim::ms(1);
+  a.tc = 0;
+  revng::FlowSpec b = a;
+  b.msg_size = 8192;
+  b.tc = 1;
+  revng::Flow fa(bed, 0, a);
+  revng::Flow fb(bed, 1, b);
+  bed.sched().run_while([&] { return !(fa.finished() && fb.finished()); });
+  const double total = fa.achieved_gbps() + fb.achieved_gbps();
+  EXPECT_GT(total, 15.0);  // port is busy
+  // Neither class grabs more than ~70% of the port.
+  EXPECT_LT(fa.achieved_gbps() / total, 0.70);
+  EXPECT_LT(fb.achieved_gbps() / total, 0.70);
+}
+
+}  // namespace
+}  // namespace ragnar::telemetry

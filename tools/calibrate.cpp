@@ -1,0 +1,32 @@
+#include <cstdio>
+#include "revng/sweeps.hpp"
+using namespace ragnar;
+using revng::FlowSpec; using verbs::WrOpcode;
+
+static FlowSpec mk(WrOpcode op, uint32_t size, uint32_t qp) {
+  FlowSpec s; s.opcode=op; s.msg_size=size; s.qp_num=qp; s.depth_per_qp=16;
+  s.duration=sim::us(500); return s;
+}
+
+static void cell(const char* name, rnic::DeviceModel m, FlowSpec a, FlowSpec b) {
+  auto c = revng::run_contention_pair(m, 1234, a, b);
+  std::printf("%-34s soloA=%7.3f duoA=%7.3f (%5.1f%%) | soloB=%7.3f duoB=%7.3f (%5.1f%%) | total/solo=%5.1f%%\n",
+    name, c.solo_a_gbps, c.duo_a_gbps, 100*c.ratio_a(),
+    c.solo_b_gbps, c.duo_b_gbps, 100*c.ratio_b(), 100*c.total_vs_solo());
+}
+
+int main() {
+  auto M = rnic::DeviceModel::kCX4;
+  std::puts("== CX-4 calibration (A vs B) ==");
+  cell("smallW128q2 vs medR1024q2", M, mk(WrOpcode::kRdmaWrite,128,2), mk(WrOpcode::kRdmaRead,1024,2));
+  cell("smallW128q2 vs smallR64q2",  M, mk(WrOpcode::kRdmaWrite,128,2), mk(WrOpcode::kRdmaRead,64,2));
+  cell("smallW128q2 vs bigR16384q2", M, mk(WrOpcode::kRdmaWrite,128,2), mk(WrOpcode::kRdmaRead,16384,2));
+  cell("bulkW4096q2 vs medR1024q2",  M, mk(WrOpcode::kRdmaWrite,4096,2), mk(WrOpcode::kRdmaRead,1024,2));
+  cell("bulkW4096q2 vs smallR64q2",  M, mk(WrOpcode::kRdmaWrite,4096,2), mk(WrOpcode::kRdmaRead,64,2));
+  cell("bulkW4096q2 vs bigR16384q2", M, mk(WrOpcode::kRdmaWrite,4096,2), mk(WrOpcode::kRdmaRead,16384,2));
+  cell("smallW128q1 vs smallW128q1", M, mk(WrOpcode::kRdmaWrite,128,1), mk(WrOpcode::kRdmaWrite,128,1));
+  cell("smallW128q2 vs smallW128q2", M, mk(WrOpcode::kRdmaWrite,128,2), mk(WrOpcode::kRdmaWrite,128,2));
+  cell("atomicq2 vs medR1024q2",     M, mk(WrOpcode::kFetchAdd,8,2), mk(WrOpcode::kRdmaRead,1024,2));
+  cell("bulkW4096q2 vs bulkW4096q2", M, mk(WrOpcode::kRdmaWrite,4096,2), mk(WrOpcode::kRdmaWrite,4096,2));
+  return 0;
+}

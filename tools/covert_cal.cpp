@@ -1,0 +1,40 @@
+#include <cstdio>
+#include "covert/uli_channel.hpp"
+#include "covert/priority_channel.hpp"
+#include "covert/pythia_channel.hpp"
+using namespace ragnar;
+using namespace ragnar::covert;
+
+static const char* mname(rnic::DeviceModel m){ return rnic::device_name(m); }
+
+int main() {
+  sim::Xoshiro256 rng(99);
+  auto payload = random_bits(128, rng);
+
+  for (auto kind : {UliChannelKind::kInterMr, UliChannelKind::kIntraMr}) {
+    for (auto m : {rnic::DeviceModel::kCX4, rnic::DeviceModel::kCX5, rnic::DeviceModel::kCX6}) {
+      auto cfg = UliChannelConfig::best_for(m, kind, 7);
+      UliCovertChannel ch(cfg);
+      auto run = ch.transmit(payload);
+      std::printf("%-8s %-12s bit=%5.1fus  raw=%6.1f Kbps  err=%5.2f%%  eff=%6.1f Kbps\n",
+        kind==UliChannelKind::kInterMr?"interMR":"intraMR", mname(m),
+        sim::to_us(cfg.bit_period), run.raw_bps()/1e3, 100*run.error_rate(), run.effective_bps()/1e3);
+    }
+  }
+  {
+    PythiaConfig pc; pc.model = rnic::DeviceModel::kCX5;
+    PythiaCovertChannel ch(pc);
+    auto run = ch.transmit(payload);
+    std::printf("pythia   CX-5         raw=%6.1f Kbps  err=%5.2f%%  eff=%6.1f Kbps\n",
+      run.raw_bps()/1e3, 100*run.error_rate(), run.effective_bps()/1e3);
+  }
+  for (auto m : {rnic::DeviceModel::kCX4, rnic::DeviceModel::kCX5, rnic::DeviceModel::kCX6}) {
+    PriorityChannelConfig pc; pc.model = m;
+    PriorityCovertChannel ch(pc);
+    auto payload16 = bits_from_string("1101111101010010");
+    auto run = ch.transmit(payload16);
+    std::printf("priority %-12s bits/interval=%4.2f err=%5.2f%%\n",
+      mname(m), ch.bits_per_interval(run), 100*run.error_rate());
+  }
+  return 0;
+}
