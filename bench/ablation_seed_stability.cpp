@@ -1,8 +1,13 @@
 // Statistical validation: the reproduced Table V numbers are not a lucky
 // seed.  Re-runs the inter-MR and intra-MR channels over several seeds and
 // reports mean +/- sd of raw bandwidth and error rate per device.
+//
+// Each (channel, device, seed) run is one harness trial; the per-cell
+// statistics are folded in submission order after the pool drains, so the
+// printed table is byte-identical for any --jobs value.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "covert/uli_channel.hpp"
@@ -18,20 +23,52 @@ int main(int argc, char** argv) {
   const int n_seeds = args.full ? 10 : 5;
   const std::size_t nbits = args.full ? 512 : 192;
 
+  struct CellRun {
+    double kbps = 0;
+    double err_pct = 0;
+  };
+  const covert::UliChannelKind kinds[] = {covert::UliChannelKind::kInterMr,
+                                          covert::UliChannelKind::kIntraMr};
+  std::vector<CellRun> runs(2 * 3 * static_cast<std::size_t>(n_seeds));
+
+  harness::SweepRunner sweep;
+  std::size_t slot = 0;
+  for (auto kind : kinds) {
+    for (auto model : bench::kAllDevices) {
+      for (int s = 0; s < n_seeds; ++s, ++slot) {
+        const std::uint64_t seed = args.seed + 1000 * (s + 1);
+        char label[64];
+        std::snprintf(label, sizeof label, "%s:%s:s%d",
+                      kind == covert::UliChannelKind::kInterMr ? "inter"
+                                                               : "intra",
+                      rnic::device_name(model), s);
+        sweep.add(label,
+                  [&runs, slot, kind, model, seed, nbits](harness::TrialContext&) {
+                    auto cfg = covert::UliChannelConfig::best_for(model, kind, seed);
+                    covert::UliCovertChannel ch(cfg);
+                    sim::Xoshiro256 rng(seed + 7);
+                    const auto run = ch.transmit(covert::random_bits(nbits, rng));
+                    runs[slot].kbps = run.raw_bps() / 1e3;
+                    runs[slot].err_pct = 100 * run.error_rate();
+                    harness::Record rec;
+                    rec.set("kbps", runs[slot].kbps, 3);
+                    rec.set("err_pct", runs[slot].err_pct, 3);
+                    return rec;
+                  });
+      }
+    }
+  }
+  bench::run_sweep(sweep, args, "ablation_seed_stability");
+
   std::printf("\n%-10s %-12s | %-22s | %-18s\n", "channel", "device",
               "raw Kbps (mean+/-sd)", "error %% (mean+/-sd)");
-  for (auto kind :
-       {covert::UliChannelKind::kInterMr, covert::UliChannelKind::kIntraMr}) {
+  slot = 0;
+  for (auto kind : kinds) {
     for (auto model : bench::kAllDevices) {
       sim::RunningStats kbps, err;
-      for (int s = 0; s < n_seeds; ++s) {
-        const std::uint64_t seed = args.seed + 1000 * (s + 1);
-        auto cfg = covert::UliChannelConfig::best_for(model, kind, seed);
-        covert::UliCovertChannel ch(cfg);
-        sim::Xoshiro256 rng(seed + 7);
-        const auto run = ch.transmit(covert::random_bits(nbits, rng));
-        kbps.add(run.raw_bps() / 1e3);
-        err.add(100 * run.error_rate());
+      for (int s = 0; s < n_seeds; ++s, ++slot) {
+        kbps.add(runs[slot].kbps);
+        err.add(runs[slot].err_pct);
       }
       std::printf("%-10s %-12s | %8.1f +/- %-8.2f | %6.2f +/- %-6.2f\n",
                   kind == covert::UliChannelKind::kInterMr ? "inter-MR"

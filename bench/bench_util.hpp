@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/harness.hpp"
 #include "rnic/device_profile.hpp"
 
 // Shared plumbing for the experiment-reproduction binaries in bench/.
@@ -14,12 +15,17 @@
 //   --seed N    experiment seed (default 2024)
 //   --full      paper-scale parameters (default: reduced but shape-complete)
 //   --csv DIR   also dump raw series as CSV files into DIR
+//   --jobs N    worker threads for sweep execution (default: hardware
+//               concurrency; results are bit-identical for any N)
+//   --json F    dump the harness trial report as JSON to file F
 namespace ragnar::bench {
 
 struct Args {
   std::uint64_t seed = 2024;
   bool full = false;
   std::string csv_dir;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string json_path;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -30,12 +36,25 @@ struct Args {
         a.full = true;
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         a.csv_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        a.jobs = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        a.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("usage: %s [--seed N] [--full] [--csv DIR]\n", argv[0]);
+        std::printf(
+            "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F]\n",
+            argv[0]);
         std::exit(0);
       }
     }
     return a;
+  }
+
+  harness::SweepRunner::Options sweep_options() const {
+    harness::SweepRunner::Options o;
+    o.jobs = jobs;
+    o.base_seed = seed;
+    return o;
   }
 };
 
@@ -52,6 +71,34 @@ inline void header(const char* experiment, const char* paper_ref,
               static_cast<unsigned long long>(args.seed),
               args.full ? "full" : "reduced");
   std::printf("================================================================\n");
+}
+
+// Run a populated sweep with the binary's --jobs/--seed, emit the standard
+// timing footer (to stderr, so summary output stays byte-comparable across
+// --jobs values) plus the optional --csv/--json dumps, and hand back the
+// in-order results.
+inline harness::SweepReport run_sweep(harness::SweepRunner& sweep,
+                                      const Args& args, const char* name) {
+  const auto report = sweep.run(args.sweep_options());
+  std::fprintf(stderr,
+               "[harness] %s: %zu trials on %zu jobs, wall %.0f ms "
+               "(serial-equivalent %.0f ms, speedup %.2fx)\n",
+               name, report.trials.size(), report.jobs, report.total_wall_ms,
+               report.serial_wall_ms(),
+               report.total_wall_ms > 0
+                   ? report.serial_wall_ms() / report.total_wall_ms
+                   : 0.0);
+  if (!args.csv_dir.empty()) {
+    const std::string path = report.write_csv(args.csv_dir, name);
+    if (!path.empty()) {
+      std::fprintf(stderr, "[harness] wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "[harness] WARNING: could not write CSV under %s\n",
+                   args.csv_dir.c_str());
+    }
+  }
+  if (!args.json_path.empty()) report.write_json(args.json_path);
+  return report;
 }
 
 }  // namespace ragnar::bench

@@ -2,6 +2,12 @@
 // section VII): a HARMONIC-style Grain-I/II/III monitor catches classic
 // availability attacks but not Ragnar's Grain-III/IV channels; latency
 // noise only helps once it is large enough to hurt benign tenants.
+//
+// Every scenario (each monitored workload, each noise level, each
+// partitioning round, the pacing round) is an independent simulation, so the
+// whole ablation fans out across the harness thread pool; the report prints
+// in fixed scenario order and is byte-identical for any --jobs value.
+// Defense knobs are applied through the declarative rnic::RuntimeConfig API.
 #include <cstdio>
 #include <vector>
 
@@ -30,6 +36,22 @@ bool monitored_flow(rnic::DeviceModel model, std::uint64_t seed,
   return mon.ever_flagged(tenant);
 }
 
+struct FlaggedResult {
+  bool flagged = false;
+  double rate = 0;
+};
+
+struct ChannelResult {
+  bool tx_flagged = false;
+  bool rx_flagged = false;
+  double error = 0;
+};
+
+struct PartitionResult {
+  double channel_error = 0;
+  double benign_mops = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,77 +61,195 @@ int main(int argc, char** argv) {
                 args);
   const auto model = rnic::DeviceModel::kCX4;
 
-  std::printf("\n--- detection matrix -------------------------------------\n");
-  std::printf("%-44s %-10s %-10s\n", "workload", "flagged", "flag rate");
+  // --- build the trial grid ------------------------------------------------
+  harness::SweepRunner sweep;
 
-  {
+  FlaggedResult write_flood, atomic_flood, benign_tenant;
+  sweep.add("monitor:write_flood", [&](harness::TrialContext&) {
     revng::FlowSpec flood;
     flood.opcode = verbs::WrOpcode::kRdmaWrite;
     flood.msg_size = 64;
     flood.qp_num = 4;
     flood.depth_per_qp = 16;
     flood.duration = sim::ms(4);
-    double rate = 0;
-    const bool f = monitored_flow(model, args.seed, flood, &rate);
-    std::printf("%-44s %-10s %.0f%%\n",
-                "Grain-II availability attack (64B write flood)",
-                f ? "YES" : "no", 100 * rate);
-  }
-  {
+    write_flood.flagged =
+        monitored_flow(model, args.seed, flood, &write_flood.rate);
+    harness::Record rec;
+    rec.set("flagged", std::uint64_t{write_flood.flagged});
+    rec.set("flag_rate", write_flood.rate, 4);
+    return rec;
+  });
+  sweep.add("monitor:atomic_flood", [&](harness::TrialContext&) {
     revng::FlowSpec flood;
     flood.opcode = verbs::WrOpcode::kFetchAdd;
     flood.qp_num = 4;
     flood.depth_per_qp = 16;
     flood.duration = sim::ms(4);
-    double rate = 0;
-    const bool f = monitored_flow(model, args.seed + 1, flood, &rate);
-    std::printf("%-44s %-10s %.0f%%\n", "Grain-II atomic flood",
-                f ? "YES" : "no", 100 * rate);
-  }
-  {
+    atomic_flood.flagged =
+        monitored_flow(model, args.seed + 1, flood, &atomic_flood.rate);
+    harness::Record rec;
+    rec.set("flagged", std::uint64_t{atomic_flood.flagged});
+    rec.set("flag_rate", atomic_flood.rate, 4);
+    return rec;
+  });
+  sweep.add("monitor:benign_tenant", [&](harness::TrialContext&) {
     revng::FlowSpec benign;
     benign.opcode = verbs::WrOpcode::kRdmaRead;
     benign.msg_size = 4096;
     benign.qp_num = 1;
     benign.depth_per_qp = 2;
     benign.duration = sim::ms(4);
-    double rate = 0;
-    const bool f = monitored_flow(model, args.seed + 2, benign, &rate);
-    std::printf("%-44s %-10s %.0f%%\n", "benign tenant (4KB reads, ~10Gb/s)",
-                f ? "YES" : "no", 100 * rate);
-  }
+    benign_tenant.flagged =
+        monitored_flow(model, args.seed + 2, benign, &benign_tenant.rate);
+    harness::Record rec;
+    rec.set("flagged", std::uint64_t{benign_tenant.flagged});
+    rec.set("flag_rate", benign_tenant.rate, 4);
+    return rec;
+  });
 
   // Ragnar channels under the same monitor.
-  for (auto kind :
-       {covert::UliChannelKind::kInterMr, covert::UliChannelKind::kIntraMr}) {
-    auto cfg = covert::UliChannelConfig::best_for(model, kind, args.seed);
+  const covert::UliChannelKind kinds[] = {covert::UliChannelKind::kInterMr,
+                                          covert::UliChannelKind::kIntraMr};
+  ChannelResult chan_results[2];
+  for (int k = 0; k < 2; ++k) {
+    sweep.add(k == 0 ? "monitor:ragnar_inter_mr" : "monitor:ragnar_intra_mr",
+              [&, k](harness::TrialContext&) {
+                auto cfg =
+                    covert::UliChannelConfig::best_for(model, kinds[k], args.seed);
+                covert::UliCovertChannel ch(cfg);
+                defense::HarmonicMonitor mon(ch.scheduler(), ch.server_device(),
+                                             sim::ms(1));
+                mon.start();
+                sim::Xoshiro256 rng(args.seed + 3);
+                const auto run = ch.transmit(covert::random_bits(128, rng));
+                chan_results[k].tx_flagged = mon.ever_flagged(ch.tx_node());
+                chan_results[k].rx_flagged = mon.ever_flagged(ch.rx_node());
+                chan_results[k].error = run.error_rate();
+                harness::Record rec;
+                rec.set("err", chan_results[k].error, 4);
+                rec.set("tx_flagged", std::uint64_t{chan_results[k].tx_flagged});
+                rec.set("rx_flagged", std::uint64_t{chan_results[k].rx_flagged});
+                return rec;
+              });
+  }
+
+  // Noise-injection sweep: one trial per level.  sweep_noise_mitigation
+  // derives everything from (model, seed, level), so per-level calls match
+  // the historical batched call bit-for-bit.
+  const std::vector<sim::SimDur> levels{0,            sim::ns(200),
+                                        sim::ns(800), sim::us(2),
+                                        sim::us(8),   sim::us(20)};
+  std::vector<defense::NoisePoint> points(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    char label[48];
+    std::snprintf(label, sizeof label, "noise:%s",
+                  sim::format_duration(levels[i]).c_str());
+    sweep.add(label, [&, i](harness::TrialContext&) {
+      const auto one = defense::sweep_noise_mitigation(
+          model, args.seed + 4, {levels[i]}, args.full ? 256 : 96);
+      points[i] = one.front();
+      harness::Record rec;
+      rec.set("noise_ns", sim::to_ns(points[i].noise_max), 1);
+      rec.set("chan_err", points[i].channel_error, 4);
+      rec.set("chan_eff_kbps", points[i].channel_effective_bps / 1e3, 3);
+      rec.set("benign_mean_ns", points[i].benign_mean_latency_ns, 2);
+      rec.set("benign_p99_ns", points[i].benign_p99_latency_ns, 2);
+      return rec;
+    });
+  }
+
+  // Hardware partitioning (section VII): translation-unit partitioning +
+  // TDM admission slots — the only mitigation that actually kills the
+  // volatile channels, at a price.
+  PartitionResult part_results[2];
+  for (int p = 0; p < 2; ++p) {
+    const bool partitioned = p == 1;
+    sweep.add(partitioned ? "partitioning:on" : "partitioning:off",
+              [&, p, partitioned](harness::TrialContext&) {
+                // Channel viability.
+                auto cfg = covert::UliChannelConfig::best_for(
+                    model, covert::UliChannelKind::kIntraMr, args.seed + 5);
+                cfg.ambient_intensity = 0;
+                covert::UliCovertChannel ch(cfg);
+                rnic::RuntimeConfig dev_cfg =
+                    ch.server_device().runtime_config();
+                dev_cfg.tenant_isolation = partitioned;
+                ch.server_device().configure(dev_cfg);
+                sim::Xoshiro256 rng(args.seed + 6);
+                const auto run = ch.transmit(covert::random_bits(96, rng));
+                part_results[p].channel_error = run.error_rate();
+
+                // Benign cost: a small-READ tenant's throughput.
+                revng::Testbed bed(model, args.seed + 7, 1);
+                rnic::RuntimeConfig bed_cfg =
+                    bed.server().device().runtime_config();
+                bed_cfg.tenant_isolation = partitioned;
+                bed.server().device().configure(bed_cfg);
+                revng::FlowSpec benign;
+                benign.opcode = verbs::WrOpcode::kRdmaRead;
+                benign.msg_size = 64;
+                benign.qp_num = 2;
+                benign.depth_per_qp = 16;
+                benign.duration = sim::us(400);
+                revng::Flow f(bed, 0, benign);
+                bed.sched().run_while([&] { return !f.finished(); });
+                part_results[p].benign_mops =
+                    static_cast<double>(f.ops_completed()) /
+                    sim::to_us(sim::us(400));
+                harness::Record rec;
+                rec.set("chan_err", part_results[p].channel_error, 4);
+                rec.set("benign_mops", part_results[p].benign_mops, 4);
+                return rec;
+              });
+  }
+
+  // Native Grain-I flow control.
+  double pacing_err = 0;
+  sweep.add("grain1:pacing_10g", [&](harness::TrialContext&) {
+    auto cfg = covert::UliChannelConfig::best_for(
+        model, covert::UliChannelKind::kIntraMr, args.seed + 8);
+    cfg.ambient_intensity = 0;
     covert::UliCovertChannel ch(cfg);
-    defense::HarmonicMonitor mon(ch.scheduler(), ch.server_device(),
-                                 sim::ms(1));
-    mon.start();
-    sim::Xoshiro256 rng(args.seed + 3);
-    const auto run = ch.transmit(covert::random_bits(128, rng));
-    const bool tx_f = mon.ever_flagged(ch.tx_node());
-    const bool rx_f = mon.ever_flagged(ch.rx_node());
+    rnic::RuntimeConfig paced = ch.server_device().runtime_config();
+    paced.tenant_pacing_gbps = 10.0;
+    ch.server_device().configure(paced);
+    sim::Xoshiro256 rng(args.seed + 9);
+    pacing_err = ch.transmit(covert::random_bits(96, rng)).error_rate();
+    harness::Record rec;
+    rec.set("chan_err", pacing_err, 4);
+    return rec;
+  });
+
+  // --- execute and report --------------------------------------------------
+  bench::run_sweep(sweep, args, "defense_ablation");
+
+  std::printf("\n--- detection matrix -------------------------------------\n");
+  std::printf("%-44s %-10s %-10s\n", "workload", "flagged", "flag rate");
+  std::printf("%-44s %-10s %.0f%%\n",
+              "Grain-II availability attack (64B write flood)",
+              write_flood.flagged ? "YES" : "no", 100 * write_flood.rate);
+  std::printf("%-44s %-10s %.0f%%\n", "Grain-II atomic flood",
+              atomic_flood.flagged ? "YES" : "no", 100 * atomic_flood.rate);
+  std::printf("%-44s %-10s %.0f%%\n", "benign tenant (4KB reads, ~10Gb/s)",
+              benign_tenant.flagged ? "YES" : "no", 100 * benign_tenant.rate);
+  for (int k = 0; k < 2; ++k) {
     char label[64];
     std::snprintf(label, sizeof label, "Ragnar %s channel (err %.1f%%)",
-                  kind == covert::UliChannelKind::kInterMr ? "inter-MR"
-                                                           : "intra-MR",
-                  100 * run.error_rate());
+                  kinds[k] == covert::UliChannelKind::kInterMr ? "inter-MR"
+                                                               : "intra-MR",
+                  100 * chan_results[k].error);
     std::printf("%-44s %-10s tx=%s rx=%s\n", label,
-                (tx_f || rx_f) ? "YES" : "no", tx_f ? "YES" : "no",
-                rx_f ? "YES" : "no");
+                (chan_results[k].tx_flagged || chan_results[k].rx_flagged)
+                    ? "YES"
+                    : "no",
+                chan_results[k].tx_flagged ? "YES" : "no",
+                chan_results[k].rx_flagged ? "YES" : "no");
   }
 
   std::printf("\npaper: HARMONIC mitigates Grain-II attacks (Zhang/Kong/"
               "HUSKY) but not Ragnar's Grain-III/IV channels.\n");
 
   std::printf("\n--- noise-injection mitigation sweep ---------------------\n");
-  const std::vector<sim::SimDur> levels{0,            sim::ns(200),
-                                        sim::ns(800), sim::us(2),
-                                        sim::us(8),   sim::us(20)};
-  const auto points = defense::sweep_noise_mitigation(
-      model, args.seed + 4, levels, args.full ? 256 : 96);
   std::printf("%-12s %-12s %-14s %-16s %-14s\n", "noise max", "chan err",
               "chan eff Kbps", "benign mean lat", "benign p99 lat");
   for (const auto& p : points) {
@@ -122,35 +262,11 @@ int main(int argc, char** argv) {
               "full masking costs benign tenants microseconds per op.\n");
 
   std::printf("\n--- hardware partitioning (section VII) -------------------\n");
-  // Translation-unit partitioning + TDM admission slots: the only
-  // mitigation that actually kills the volatile channels — at a price.
-  for (const bool partitioned : {false, true}) {
-    // Channel viability.
-    auto cfg = covert::UliChannelConfig::best_for(
-        model, covert::UliChannelKind::kIntraMr, args.seed + 5);
-    cfg.ambient_intensity = 0;
-    covert::UliCovertChannel ch(cfg);
-    ch.server_device().set_tenant_isolation(partitioned);
-    sim::Xoshiro256 rng(args.seed + 6);
-    const auto run = ch.transmit(covert::random_bits(96, rng));
-
-    // Benign cost: a small-READ tenant's throughput.
-    revng::Testbed bed(model, args.seed + 7, 1);
-    bed.server().device().set_tenant_isolation(partitioned);
-    revng::FlowSpec benign;
-    benign.opcode = verbs::WrOpcode::kRdmaRead;
-    benign.msg_size = 64;
-    benign.qp_num = 2;
-    benign.depth_per_qp = 16;
-    benign.duration = sim::us(400);
-    revng::Flow f(bed, 0, benign);
-    bed.sched().run_while([&] { return !f.finished(); });
-
+  for (int p = 0; p < 2; ++p) {
     std::printf("partitioning %-4s: intra-MR channel err %5.1f%%   benign "
                 "64B-READ rate %.2f Mops\n",
-                partitioned ? "ON" : "off", 100 * run.error_rate(),
-                static_cast<double>(f.ops_completed()) /
-                    sim::to_us(sim::us(400)));
+                p == 1 ? "ON" : "off", 100 * part_results[p].channel_error,
+                part_results[p].benign_mops);
   }
   std::printf("reading: partitioning + TDM slotting kills the Grain-IV "
               "channel (err -> ~50%%) but clamps every tenant's small-op "
@@ -158,17 +274,8 @@ int main(int argc, char** argv) {
               "performance\" trade-off of section VII.\n");
 
   std::printf("\n--- native Grain-I flow control ---------------------------\n");
-  {
-    auto cfg = covert::UliChannelConfig::best_for(
-        model, covert::UliChannelKind::kIntraMr, args.seed + 8);
-    cfg.ambient_intensity = 0;
-    covert::UliCovertChannel ch(cfg);
-    ch.server_device().set_tenant_pacing_gbps(10.0);
-    sim::Xoshiro256 rng(args.seed + 9);
-    const auto run = ch.transmit(covert::random_bits(96, rng));
-    std::printf("per-tenant 10 Gb/s pacing: intra-MR channel err %.1f%% — "
-                "the Kbps-scale channel never hits a bandwidth cap.\n",
-                100 * run.error_rate());
-  }
+  std::printf("per-tenant 10 Gb/s pacing: intra-MR channel err %.1f%% — "
+              "the Kbps-scale channel never hits a bandwidth cap.\n",
+              100 * pacing_err);
   return 0;
 }

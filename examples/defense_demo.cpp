@@ -47,7 +47,9 @@ int main() {
   }
   {
     covert::UliCovertChannel ch(base_cfg(3));
-    ch.server_device().set_tenant_pacing_gbps(10.0);
+    rnic::RuntimeConfig paced = ch.server_device().runtime_config();
+    paced.tenant_pacing_gbps = 10.0;
+    ch.server_device().configure(paced);
     std::printf("2) 10G tenant pacing : channel err %4.1f%%  "
                 "-> NOT STOPPED (channel needs only Kbps)\n",
                 100 * run_channel(ch, 4));
@@ -70,7 +72,9 @@ int main() {
   }
   {
     covert::UliCovertChannel ch(base_cfg(9));
-    ch.server_device().set_tenant_isolation(true);
+    rnic::RuntimeConfig partitioned = ch.server_device().runtime_config();
+    partitioned.tenant_isolation = true;
+    ch.server_device().configure(partitioned);
     std::printf("4) partitioning+TDM  : channel err %4.1f%%  "
                 "-> STOPPED, at a hard per-tenant small-op rate cap\n",
                 100 * run_channel(ch, 10));

@@ -1,6 +1,7 @@
 #include "apps/shufflejoin.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace ragnar::apps {
@@ -20,14 +21,14 @@ ShuffleJoin::ShuffleJoin(revng::Testbed& bed, const Config& cfg)
   conn_ = bed_.connect(cfg_.client_idx, /*qp_count=*/2, cfg_.queue_depth,
                        cfg_.tc, /*client_buf_len=*/4u << 20);
   join_cq_ = bed_.client(cfg_.client_idx).create_cq();
-  verbs::QueuePair::Config qcfg;
+  verbs::QpConfig qcfg;
   qcfg.max_send_wr = cfg_.queue_depth;
   qcfg.tc = cfg_.tc;
-  join_qp_ = std::make_unique<verbs::QueuePair>(*conn_.client_pd, *join_cq_,
-                                                qcfg);
-  join_server_qp_ = std::make_unique<verbs::QueuePair>(*conn_.server_pd,
-                                                       *conn_.server_cq, qcfg);
-  join_qp_->connect(*join_server_qp_);
+  join_qp_ = conn_.client_pd->create_qp(*join_cq_, qcfg);
+  join_server_qp_ = conn_.server_pd->create_qp(*conn_.server_cq, qcfg);
+  const verbs::ConnectResult cr = join_qp_->connect(*join_server_qp_);
+  assert(cr == verbs::ConnectResult::kOk);
+  (void)cr;
   const std::uint64_t exchange_len =
       cfg_.partitions * cfg_.rows_per_round * sizeof(Row);
   exchange_mr_ = conn_.server_pd->register_mr(exchange_len);

@@ -21,13 +21,20 @@ void HarmonicMonitor::tick() {
   const double secs = sim::to_sec(window_);
   const auto window_stats = dev_.take_src_window_stats();
 
+  // Enforcement edits accumulate on a RuntimeConfig draft and land in one
+  // atomic configure() at the end of the window — the device never sees a
+  // half-applied set of throttles.
+  rnic::RuntimeConfig cfg = dev_.runtime_config();
+  bool cfg_dirty = false;
+
   // A throttled tenant that sent nothing this window is trivially clean —
   // it gets no stats row, but its throttle must still age out.
   if (enforce_gbps_ > 0) {
     for (auto it = throttled_.begin(); it != throttled_.end();) {
       if (window_stats.count(it->first) == 0 &&
           ++it->second >= clean_to_lift_) {
-        dev_.set_tenant_cap_gbps(it->first, 0);
+        cfg.tenant_caps_gbps.erase(it->first);
+        cfg_dirty = true;
         it = throttled_.erase(it);
       } else {
         ++it;
@@ -74,16 +81,19 @@ void HarmonicMonitor::tick() {
 
     if (enforce_gbps_ > 0) {
       if (v.flagged()) {
-        dev_.set_tenant_cap_gbps(v.src, enforce_gbps_);
+        cfg.tenant_caps_gbps[v.src] = enforce_gbps_;
+        cfg_dirty = true;
         throttled_[v.src] = 0;
       } else if (auto it = throttled_.find(v.src); it != throttled_.end()) {
         if (++it->second >= clean_to_lift_) {
-          dev_.set_tenant_cap_gbps(v.src, 0);
+          cfg.tenant_caps_gbps.erase(v.src);
+          cfg_dirty = true;
           throttled_.erase(it);
         }
       }
     }
   }
+  if (cfg_dirty) dev_.configure(cfg);
   sched_.after(window_, [this] { tick(); });
 }
 

@@ -28,7 +28,9 @@ std::vector<NoisePoint> sweep_noise_mitigation(
     // Benign side: what the same mitigation does to an innocent tenant's
     // unloaded small-READ round-trip latency.
     revng::Testbed bed(model, seed + 17, 1);
-    bed.server().device().set_responder_noise(noise);
+    rnic::RuntimeConfig mitigated = bed.server().device().runtime_config();
+    mitigated.responder_noise = noise;
+    bed.server().device().configure(mitigated);
     revng::UliProbe::Spec spec;
     spec.msg_size = 64;
     spec.queue_depth = 1;

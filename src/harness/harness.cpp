@@ -1,0 +1,205 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace ragnar::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Minimal JSON string escaping for labels / field values.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// CSV fields are quoted only when they contain a delimiter.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  // splitmix64 finalizer over the pair; the golden-ratio stride decorrelates
+  // neighbouring trial indices even for base_seed = 0.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (trial_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Record::set(std::string key, std::string value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+void Record::set(std::string key, double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  set(std::move(key), std::string(buf));
+}
+
+void Record::set(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  set(std::move(key), std::string(buf));
+}
+
+void Record::set(std::string key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  set(std::move(key), std::string(buf));
+}
+
+const std::string* Record::find(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double SweepReport::serial_wall_ms() const {
+  double s = 0;
+  for (const auto& t : trials) s += t.wall_ms;
+  return s;
+}
+
+std::string SweepReport::write_csv(const std::string& dir,
+                                   const std::string& name) const {
+  if (dir.empty() || trials.empty()) return {};
+  const std::string path = dir + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return {};
+  std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
+  for (const auto& [k, v] : trials.front().record.fields()) {
+    std::fprintf(f, ",%s", csv_escape(k).c_str());
+  }
+  std::fprintf(f, "\n");
+  for (const auto& t : trials) {
+    std::fprintf(f, "%s,%zu,%" PRIu64 ",%.3f,%.0f", csv_escape(t.label).c_str(),
+                 t.index, t.seed, t.wall_ms, sim::to_ns(t.sim_end));
+    for (const auto& [k, v] : trials.front().record.fields()) {
+      const std::string* mine = t.record.find(k);
+      std::fprintf(f, ",%s", mine != nullptr ? csv_escape(*mine).c_str() : "");
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return path;
+}
+
+void SweepReport::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& t = trials[i];
+    std::fprintf(f,
+                 "  {\"label\": \"%s\", \"index\": %zu, \"seed\": %" PRIu64
+                 ", \"wall_ms\": %.3f, \"sim_end_ns\": %.0f",
+                 json_escape(t.label).c_str(), t.index, t.seed, t.wall_ms,
+                 sim::to_ns(t.sim_end));
+    for (const auto& [k, v] : t.record.fields()) {
+      std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),
+                   json_escape(v).c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < trials.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t SweepRunner::add(std::string label, TrialFn fn) {
+  trials_.push_back(PendingTrial{std::move(label), std::move(fn)});
+  return trials_.size() - 1;
+}
+
+SweepReport SweepRunner::run(const Options& opts) {
+  SweepReport report;
+  report.jobs = resolve_jobs(opts.jobs);
+  report.trials.resize(trials_.size());
+  const auto run_start = Clock::now();
+
+  auto execute = [&](std::size_t index) {
+    PendingTrial& pt = trials_[index];
+    TrialContext ctx;
+    ctx.index = index;
+    ctx.seed = derive_seed(opts.base_seed, index);
+    const auto t0 = Clock::now();
+    Record rec = pt.fn(ctx);
+    const auto t1 = Clock::now();
+    TrialResult& out = report.trials[index];  // slot keyed by index
+    out.label = std::move(pt.label);
+    out.index = index;
+    out.seed = ctx.seed;
+    out.record = std::move(rec);
+    out.wall_ms = ms_between(t0, t1);
+    out.sim_end = ctx.sim_end;
+    pt.fn = nullptr;  // release the closure's captures eagerly
+  };
+
+  const std::size_t jobs =
+      std::min(report.jobs, trials_.empty() ? std::size_t{1} : trials_.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < trials_.size(); ++i) execute(i);
+  } else {
+    const std::size_t cap =
+        opts.queue_capacity != 0 ? opts.queue_capacity : 2 * jobs;
+    BoundedQueue<std::size_t> queue(cap);
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&queue, &execute] {
+        std::size_t index = 0;
+        while (queue.pop(&index)) execute(index);
+      });
+    }
+    for (std::size_t i = 0; i < trials_.size(); ++i) queue.push(i);
+    queue.close();
+    for (auto& w : workers) w.join();
+  }
+
+  report.total_wall_ms = ms_between(run_start, Clock::now());
+  trials_.clear();
+  return report;
+}
+
+}  // namespace ragnar::harness

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Parallel sweep-execution engine.  Every reproduction binary runs a grid of
+// *independent* simulation trials (each trial owns its own sim::Scheduler and
+// Testbed), so the sweep is embarrassingly parallel.  The SweepRunner farms
+// trials across a std::thread pool while keeping the results bit-identical
+// to a serial run:
+//
+//   * Determinism contract — a trial may draw randomness only from
+//     TrialContext::seed (derived as f(base_seed, trial_index) via a
+//     splitmix64 mix, never from thread identity, wall time, or submission
+//     order), and may touch only trial-local state.  Results are collected
+//     into a slot keyed by trial index and reported in index order, so the
+//     aggregate output is byte-identical for any --jobs value.
+//   * Bounded dispatch — trial descriptors flow through a bounded
+//     work queue, so a million-cell grid never materializes a million queued
+//     closures ahead of the workers.
+//   * Accounting — per-trial wall-clock time is measured by the runner;
+//     trials report their simulated end time through the context, giving a
+//     wall-vs-simulated speed picture per cell.
+//
+// Aggregation plugs into the bench `--csv DIR` convention: each trial
+// returns a Record (ordered field -> printed value), and the report writes
+// one CSV row per trial plus an optional JSON dump.
+namespace ragnar::harness {
+
+// Deterministic per-trial seed: a splitmix64 finalizer over (base, index).
+// Stable across platforms and library versions — tests pin its values.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t trial_index);
+
+// An ordered list of named, pre-formatted values.  Formatting happens inside
+// the trial (with an explicit precision) so that aggregate output cannot
+// depend on locale or accumulated float state.
+class Record {
+ public:
+  void set(std::string key, std::string value);
+  void set(std::string key, double value, int precision = 6);
+  void set(std::string key, std::uint64_t value);
+  void set(std::string key, std::int64_t value);
+
+  const std::string* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+  bool operator==(const Record& o) const { return fields_ == o.fields_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Handed to each trial closure.
+struct TrialContext {
+  std::size_t index = 0;       // position in the sweep grid
+  std::uint64_t seed = 0;      // derive_seed(base_seed, index)
+  // Trial-reported simulated end time (e.g. sched.now() after the run).
+  // Mutable through the pointer held by the closure.
+  sim::SimTime sim_end = 0;
+
+  void note_sim_time(sim::SimTime t) { sim_end = t; }
+};
+
+// Completed-trial bookkeeping, reported in submission order.
+struct TrialResult {
+  std::string label;
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  Record record;
+  double wall_ms = 0;        // host wall-clock spent inside the trial
+  sim::SimTime sim_end = 0;  // simulated clock when the trial finished
+};
+
+struct SweepReport {
+  std::vector<TrialResult> trials;  // always in submission (index) order
+  double total_wall_ms = 0;         // wall clock of the whole run() call
+  std::size_t jobs = 1;             // worker count actually used
+
+  // Sum of per-trial wall time: the serial-equivalent cost, so
+  // speedup ~= serial_wall_ms() / total_wall_ms.
+  double serial_wall_ms() const;
+
+  // Write one CSV row per trial (columns: label, index, seed, wall_ms,
+  // sim_end_ns, then every record field of the first trial) into
+  // `<dir>/<name>.csv`.  No-op when dir is empty.  Returns the path written.
+  std::string write_csv(const std::string& dir, const std::string& name) const;
+  // Same rows as a JSON array of objects, written to `path`.
+  void write_json(const std::string& path) const;
+};
+
+// Single-producer bounded queue used for dispatch.  Kept public for tests.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return items_.size() < capacity_; });
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+class SweepRunner {
+ public:
+  struct Options {
+    // Worker threads; 0 = std::thread::hardware_concurrency().  1 runs
+    // every trial inline on the calling thread (no pool).
+    std::size_t jobs = 0;
+    std::uint64_t base_seed = 2024;
+    // Dispatch-queue capacity; 0 = 2 * jobs.
+    std::size_t queue_capacity = 0;
+  };
+
+  // A trial builds its whole world (testbed, channel, ...) from ctx.seed,
+  // runs it, and returns the measured record.
+  using TrialFn = std::function<Record(TrialContext& ctx)>;
+
+  // Enqueue one trial; returns its index within the sweep.
+  std::size_t add(std::string label, TrialFn fn);
+  std::size_t size() const { return trials_.size(); }
+
+  // Execute every added trial and return results in submission order.
+  // May be called once per runner.
+  SweepReport run(const Options& opts);
+
+ private:
+  struct PendingTrial {
+    std::string label;
+    TrialFn fn;
+  };
+  std::vector<PendingTrial> trials_;
+};
+
+// Resolve a --jobs argument: 0 means hardware concurrency (min 1).
+std::size_t resolve_jobs(std::size_t requested);
+
+}  // namespace ragnar::harness

@@ -1,6 +1,7 @@
 #include "revng/flow.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ragnar::revng {
 
@@ -22,14 +23,14 @@ Flow::Flow(Testbed& bed, std::size_t client_idx, const FlowSpec& spec)
   next_offset_.assign(spec.qp_num, 0);
   for (std::uint32_t q = 0; q < spec.qp_num; ++q) {
     per_qp_cq_.push_back(cl.create_cq());
-    verbs::QueuePair::Config cfg;
+    verbs::QpConfig cfg;
     cfg.max_send_wr = spec.depth_per_qp;
     cfg.tc = spec.tc;
-    qps_.push_back(std::make_unique<verbs::QueuePair>(*conn_.client_pd,
-                                                      *per_qp_cq_.back(), cfg));
-    server_qps_.push_back(std::make_unique<verbs::QueuePair>(
-        *conn_.server_pd, *conn_.server_cq, cfg));
-    qps_.back()->connect(*server_qps_.back());
+    qps_.push_back(conn_.client_pd->create_qp(*per_qp_cq_.back(), cfg));
+    server_qps_.push_back(conn_.server_pd->create_qp(*conn_.server_cq, cfg));
+    const verbs::ConnectResult cr = qps_.back()->connect(*server_qps_.back());
+    assert(cr == verbs::ConnectResult::kOk);
+    (void)cr;
   }
   live_qps_ = spec.qp_num;
   for (std::uint32_t q = 0; q < spec.qp_num; ++q) {

@@ -1,5 +1,7 @@
 #include "revng/testbed.hpp"
 
+#include <cassert>
+
 namespace ragnar::revng {
 
 Testbed::Testbed(rnic::DeviceModel model, std::uint64_t seed,
@@ -31,14 +33,15 @@ Testbed::Connection Testbed::connect(std::size_t client_idx,
   c.server_cq = server_->create_cq();
   c.client_mr = c.client_pd->register_mr(client_buf_len);
   for (std::size_t q = 0; q < qp_count; ++q) {
-    verbs::QueuePair::Config cfg;
+    verbs::QpConfig cfg;
     cfg.max_send_wr = max_send_wr;
     cfg.tc = tc;
-    c.client_qps.push_back(
-        std::make_unique<verbs::QueuePair>(*c.client_pd, *c.client_cq, cfg));
-    c.server_qps.push_back(
-        std::make_unique<verbs::QueuePair>(*c.server_pd, *c.server_cq, cfg));
-    c.client_qps.back()->connect(*c.server_qps.back());
+    c.client_qps.push_back(c.client_pd->create_qp(*c.client_cq, cfg));
+    c.server_qps.push_back(c.server_pd->create_qp(*c.server_cq, cfg));
+    const verbs::ConnectResult cr =
+        c.client_qps.back()->connect(*c.server_qps.back());
+    assert(cr == verbs::ConnectResult::kOk);
+    (void)cr;
   }
   return c;
 }

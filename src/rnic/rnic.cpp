@@ -40,12 +40,57 @@ Rnic::Rnic(sim::Scheduler& sched, DeviceProfile profile, NodeId node,
   }
 }
 
-void Rnic::set_tenant_cap_gbps(NodeId src, double gbps_cap) {
-  if (gbps_cap <= 0) {
-    tenant_caps_.erase(src);
-  } else {
-    tenant_caps_[src] = gbps_cap;
+void Rnic::configure(const RuntimeConfig& cfg) {
+  mitigation_noise_ = cfg.responder_noise;
+  xlate_.set_partitioned(cfg.tenant_isolation);
+  tenant_pacing_gbps_ = cfg.tenant_pacing_gbps;
+  tenant_caps_.clear();
+  for (const auto& [src, cap] : cfg.tenant_caps_gbps) {
+    if (cap > 0) tenant_caps_[src] = cap;
   }
+  ets_ = cfg.ets;
+  for (std::size_t t = 0; t < kNumTrafficClasses; ++t) {
+    const double share = std::max(ets_.weight_pct[t], 1.0) / 100.0;
+    tc_pacer_[t].configure(prof_.link_gbps * share, 0);
+  }
+}
+
+RuntimeConfig Rnic::runtime_config() const {
+  RuntimeConfig cfg;
+  cfg.responder_noise = mitigation_noise_;
+  cfg.tenant_isolation = xlate_.partitioned();
+  cfg.tenant_pacing_gbps = tenant_pacing_gbps_;
+  cfg.tenant_caps_gbps = tenant_caps_;
+  cfg.ets = ets_;
+  return cfg;
+}
+
+void Rnic::set_responder_noise(sim::SimDur max_noise) {
+  RuntimeConfig cfg = runtime_config();
+  cfg.responder_noise = max_noise;
+  configure(cfg);
+}
+
+void Rnic::set_tenant_isolation(bool on) {
+  RuntimeConfig cfg = runtime_config();
+  cfg.tenant_isolation = on;
+  configure(cfg);
+}
+
+void Rnic::set_tenant_pacing_gbps(double gbps_cap) {
+  RuntimeConfig cfg = runtime_config();
+  cfg.tenant_pacing_gbps = gbps_cap;
+  configure(cfg);
+}
+
+void Rnic::set_tenant_cap_gbps(NodeId src, double gbps_cap) {
+  RuntimeConfig cfg = runtime_config();
+  if (gbps_cap <= 0) {
+    cfg.tenant_caps_gbps.erase(src);
+  } else {
+    cfg.tenant_caps_gbps[src] = gbps_cap;
+  }
+  configure(cfg);
 }
 
 std::uint32_t Rnic::packet_count(std::uint64_t payload, std::uint32_t mtu) {

@@ -115,6 +115,29 @@ struct SrcWindowStats {
   }
 };
 
+// Declarative runtime-tuning state: every mitigation / pacing / QoS knob the
+// device exposes, gathered into one value that is applied atomically via
+// Rnic::configure().  Field-for-field round-trippable through
+// Rnic::runtime_config() and the legacy getters; the historical set_*
+// setters survive as thin shims over configure().
+struct RuntimeConfig {
+  // Section VII noise mitigation: uniform [0, max] added to every READ
+  // translation on the responder path (0 disables).
+  sim::SimDur responder_noise = 0;
+  // Section VII "hardware partitioning": per-tenant isolation of the
+  // translation unit's speculative state + TDM admission slots.
+  bool tenant_isolation = false;
+  // Native Grain-I flow control: global per-tenant ingress pacing cap in
+  // Gb/s (0 disables).
+  double tenant_pacing_gbps = 0;
+  // Targeted per-tenant throttles (HARMONIC-style enforcement).  A tenant's
+  // entry overrides the global pacing cap; entries <= 0 are dropped on
+  // apply (equivalent to lifting the throttle).
+  std::unordered_map<NodeId, double> tenant_caps_gbps;
+  // ETS per-TC bandwidth shares (the mlnx_qos equivalent).
+  EtsConfig ets;
+};
+
 class Rnic {
  public:
   using DeliveryFn =
@@ -158,22 +181,27 @@ class Rnic {
     return out;
   }
 
-  // Section VII mitigation: add uniform noise in [0, max] to every READ
-  // translation on the responder path (0 disables).
-  void set_responder_noise(sim::SimDur max_noise) { mitigation_noise_ = max_noise; }
+  // Apply the whole runtime-tuning state in one shot.  Atomic with respect
+  // to simulated time: no message processed after this call sees a mix of
+  // old and new knobs.
+  void configure(const RuntimeConfig& cfg);
+  // Snapshot of the currently applied state; configure(runtime_config())
+  // is a no-op.
+  RuntimeConfig runtime_config() const;
+
+  // Legacy single-knob setters, kept as thin shims over configure().
+  void set_responder_noise(sim::SimDur max_noise);
   sim::SimDur responder_noise() const { return mitigation_noise_; }
 
-  // Section VII "hardware partitioning" mitigation: per-tenant isolation of
-  // the translation unit's speculative state (kills the Grain-III/IV
-  // volatile channels, costs capacity + time-slicing overhead).
-  void set_tenant_isolation(bool on) { xlate_.set_partitioned(on); }
+  // (See RuntimeConfig::tenant_isolation — kills the Grain-III/IV volatile
+  // channels, costs capacity + time-slicing overhead.)
+  void set_tenant_isolation(bool on);
   bool tenant_isolation() const { return xlate_.partitioned(); }
 
-  // Native Grain-I flow control: per-tenant ingress pacing at `gbps_cap`
-  // (0 disables).  This is what modern RNICs already ship; it contains pure
-  // bandwidth floods but cannot see — let alone stop — the Kbps-scale
-  // Ragnar channels.
-  void set_tenant_pacing_gbps(double gbps_cap) { tenant_pacing_gbps_ = gbps_cap; }
+  // (See RuntimeConfig::tenant_pacing_gbps — what modern RNICs already
+  // ship; it contains pure bandwidth floods but cannot see — let alone
+  // stop — the Kbps-scale Ragnar channels.)
+  void set_tenant_pacing_gbps(double gbps_cap);
   double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
 
   // Targeted throttle for one tenant (HARMONIC-style enforcement; 0 lifts

@@ -47,9 +47,9 @@ void CounterSampler::snapshot() {
 
 void set_ets_weights(rnic::Rnic& dev,
                      const std::array<double, rnic::kNumTrafficClasses>& pct) {
-  for (std::size_t t = 0; t < rnic::kNumTrafficClasses; ++t) {
-    dev.ets().weight_pct[t] = pct[t];
-  }
+  rnic::RuntimeConfig cfg = dev.runtime_config();
+  cfg.ets.weight_pct = pct;
+  dev.configure(cfg);
 }
 
 void set_ets_50_50(rnic::Rnic& dev) {

@@ -26,12 +26,24 @@ Context::Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name)
 Context::~Context() = default;
 
 std::unique_ptr<ProtectionDomain> Context::alloc_pd() {
-  static std::uint32_t next_pdn = 1;
-  return std::make_unique<ProtectionDomain>(*this, next_pdn++);
+  // PDNs are per-context (a process-wide counter would be both a data race
+  // and a determinism leak when independent trials run on harness threads).
+  return std::make_unique<ProtectionDomain>(*this, next_pdn_++);
 }
 
 std::unique_ptr<CompletionQueue> Context::create_cq(std::uint32_t depth) {
   return std::make_unique<CompletionQueue>(*this, depth);
+}
+
+std::unique_ptr<QueuePair> Context::create_qp(ProtectionDomain& pd,
+                                              CompletionQueue& cq,
+                                              QpConfig cfg) {
+  return std::make_unique<QueuePair>(pd, cq, cfg);
+}
+
+std::unique_ptr<QueuePair> ProtectionDomain::create_qp(CompletionQueue& cq,
+                                                       QpConfig cfg) {
+  return ctx_.create_qp(*this, cq, cfg);
 }
 
 std::uint64_t Context::allocate_va(std::uint64_t len) {
@@ -196,13 +208,16 @@ bool QueuePair::consume_recv(const std::uint8_t* data, std::uint32_t len,
   return true;
 }
 
-void QueuePair::connect(QueuePair& peer) {
+ConnectResult QueuePair::connect(QueuePair& peer) {
+  if (&peer == this) return ConnectResult::kSelfConnect;
+  if (connected_ || peer.connected_) return ConnectResult::kAlreadyConnected;
   connected_ = true;
   peer_node_ = peer.ctx_.device().node();
   peer_qpn_ = peer.qpn_;
   peer.connected_ = true;
   peer.peer_node_ = ctx_.device().node();
   peer.peer_qpn_ = qpn_;
+  return ConnectResult::kOk;
 }
 
 PostResult QueuePair::post_send(const SendWr& wr) {

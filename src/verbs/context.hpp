@@ -26,6 +26,14 @@ class MemoryRegion;
 class CompletionQueue;
 class QueuePair;
 
+// Queue-pair creation parameters (hoisted out of QueuePair so the factory
+// methods on Context/ProtectionDomain can name it before QueuePair is
+// defined; QueuePair::Config aliases it for existing call sites).
+struct QpConfig {
+  std::uint32_t max_send_wr = 64;   // the paper's "max send queue size"
+  rnic::TrafficClass tc = 0;
+};
+
 // One host endpoint: owns a device attachment, the local virtual address
 // space, and all verbs objects created on it.
 class Context {
@@ -42,6 +50,11 @@ class Context {
 
   std::unique_ptr<ProtectionDomain> alloc_pd();
   std::unique_ptr<CompletionQueue> create_cq(std::uint32_t depth = 4096);
+  // Canonical QP factory (ibv_create_qp equivalent): callers never construct
+  // QueuePair directly.  The PD and CQ must belong to this context.
+  std::unique_ptr<QueuePair> create_qp(ProtectionDomain& pd,
+                                       CompletionQueue& cq,
+                                       QpConfig cfg = {});
 
   // Resolve a local VA to backing storage (nullptr when unmapped).
   std::uint8_t* resolve_local(std::uint64_t addr, std::uint32_t len);
@@ -71,6 +84,7 @@ class Context {
   rnic::Rnic* device_;
   std::string name_;
   std::uint64_t next_va_;
+  std::uint32_t next_pdn_ = 1;
   std::uint32_t next_qpn_ = 1;
   std::uint32_t next_mr_id_ = 1;
   rnic::Rkey next_rkey_;
@@ -94,6 +108,9 @@ class ProtectionDomain {
   std::unique_ptr<MemoryRegion> register_mr(std::uint64_t len,
                                             Access access = Access::full(),
                                             bool huge_pages = true);
+
+  // Convenience QP factory scoped to this PD (delegates to the context).
+  std::unique_ptr<QueuePair> create_qp(CompletionQueue& cq, QpConfig cfg = {});
 
  private:
   Context& ctx_;
@@ -173,19 +190,20 @@ class CompletionQueue {
   std::vector<Waiter> waiters_;
 };
 
-// Reliable-connected queue pair.
+// Reliable-connected queue pair.  Created through Context::create_qp /
+// ProtectionDomain::create_qp (the constructor stays public only for the
+// factories and legacy in-tree call sites).
 class QueuePair : public rnic::CompletionSink {
  public:
-  struct Config {
-    std::uint32_t max_send_wr = 64;   // the paper's "max send queue size"
-    rnic::TrafficClass tc = 0;
-  };
+  using Config = QpConfig;
 
   QueuePair(ProtectionDomain& pd, CompletionQueue& cq, Config cfg);
   ~QueuePair() override;
 
   // RC connection wiring (the out-of-band QP exchange of Figure 1).
-  void connect(QueuePair& peer);
+  // Connecting an already-connected QP (either side) or a QP to itself is
+  // rejected and leaves both queue pairs untouched.
+  ConnectResult connect(QueuePair& peer);
   bool connected() const { return connected_; }
 
   PostResult post_send(const SendWr& wr);

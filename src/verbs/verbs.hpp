@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <cstdlib>
 
 #include "rnic/op.hpp"
 #include "sim/time.hpp"
@@ -26,8 +28,12 @@ inline rnic::Opcode to_wire(WrOpcode op) {
     case WrOpcode::kSend: return rnic::Opcode::kSend;
     case WrOpcode::kFetchAdd: return rnic::Opcode::kFetchAdd;
     case WrOpcode::kCmpSwap: return rnic::Opcode::kCmpSwap;
+    case WrOpcode::kRecv: break;
   }
-  return rnic::Opcode::kRead;
+  // kRecv is a completion-side pseudo-opcode; mapping it to a wire opcode
+  // would silently masquerade as a READ, so posting it is a hard error.
+  assert(false && "to_wire(kRecv): receive WQEs never hit the wire");
+  std::abort();
 }
 
 // MR access permissions (IBV_ACCESS_* equivalent).
@@ -78,6 +84,24 @@ struct Wc {
     return sim::to_ns(latency()) / static_cast<double>(queue_ahead + 1);
   }
 };
+
+// Outcome of QueuePair::connect().  A QP transitions to connected exactly
+// once; re-wiring an already-connected QP (either end) is reported, never
+// silently absorbed.
+enum class ConnectResult : std::uint8_t {
+  kOk,
+  kAlreadyConnected,  // this QP or the peer already has a connection
+  kSelfConnect,       // qp.connect(qp) makes no sense on an RC pair
+};
+
+inline const char* connect_result_name(ConnectResult r) {
+  switch (r) {
+    case ConnectResult::kOk: return "OK";
+    case ConnectResult::kAlreadyConnected: return "ALREADY_CONNECTED";
+    case ConnectResult::kSelfConnect: return "SELF_CONNECT";
+  }
+  return "?";
+}
 
 enum class PostResult : std::uint8_t {
   kOk,

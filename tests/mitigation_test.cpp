@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "covert/uli_channel.hpp"
 #include "revng/flow.hpp"
 #include "revng/testbed.hpp"
@@ -175,6 +178,46 @@ TEST(TenantPacing, FairShareRestoresTheVictim) {
   const double unprotected = victim_bw_under_flood(0);
   const double protected_bw = victim_bw_under_flood(10.0);
   EXPECT_GT(protected_bw, 1.3 * unprotected);
+}
+
+TEST(TenantPacing, PerTenantCapOverridesGlobalPacing) {
+  // Two tenants flood the server under a 10 Gb/s global pacing cap; tenant 0
+  // additionally carries a targeted 2 Gb/s HARMONIC-style throttle.  The
+  // per-tenant cap must take precedence for that tenant only, while the
+  // other tenant stays on the global cap.
+  auto run_floods = [](double cap0_gbps, double* bw0, double* bw1) {
+    revng::Testbed bed(rnic::DeviceModel::kCX4, 90, 2);
+    rnic::Rnic& dev = bed.server().device();
+    dev.set_tenant_pacing_gbps(10.0);
+    if (cap0_gbps > 0) {
+      dev.set_tenant_cap_gbps(bed.client(0).device().node(), cap0_gbps);
+    }
+    revng::FlowSpec flood;
+    flood.opcode = verbs::WrOpcode::kRdmaWrite;
+    flood.msg_size = 16384;
+    flood.qp_num = 4;
+    flood.depth_per_qp = 16;
+    flood.duration = sim::ms(1);
+    revng::Flow f0(bed, 0, flood);
+    revng::Flow f1(bed, 1, flood);
+    bed.sched().run_while([&] { return !(f0.finished() && f1.finished()); });
+    *bw0 = f0.achieved_gbps();
+    *bw1 = f1.achieved_gbps();
+  };
+
+  double capped0 = 0, capped1 = 0;
+  run_floods(2.0, &capped0, &capped1);
+  EXPECT_LT(capped0, 3.0);  // throttled tenant pinned near its 2 Gb/s cap
+  EXPECT_GT(capped1, 6.0);  // the other tenant still gets its global share
+  EXPECT_LT(capped1, 11.0);
+  EXPECT_GT(capped1, 2.0 * capped0);
+
+  // Lifting the targeted throttle (cap <= 0) returns tenant 0 to the
+  // global-pacing regime: both tenants look alike again.
+  double lifted0 = 0, lifted1 = 0;
+  run_floods(0.0, &lifted0, &lifted1);
+  EXPECT_GT(lifted0, 2.0 * capped0);
+  EXPECT_LT(std::abs(lifted0 - lifted1), 0.35 * std::max(lifted0, lifted1));
 }
 
 TEST(TenantPacing, DoesNotStopTheCovertChannel) {

@@ -290,11 +290,12 @@ TEST(Property, CqDropsOldestOnOverrun) {
   auto server_pd = bed.server().alloc_pd();
   auto mr = server_pd->register_mr(1 << 16);
   auto local = pd->register_mr(1 << 12);
-  verbs::QueuePair::Config cfg;
+  verbs::QpConfig cfg;
   cfg.max_send_wr = 8;
-  verbs::QueuePair qp(*pd, *cq, cfg);
-  verbs::QueuePair sqp(*server_pd, *cq, cfg);  // server side (unused sink)
-  qp.connect(sqp);
+  auto qp_ptr = pd->create_qp(*cq, cfg);
+  auto sqp = server_pd->create_qp(*cq, cfg);  // server side (unused sink)
+  verbs::QueuePair& qp = *qp_ptr;
+  ASSERT_EQ(qp.connect(*sqp), verbs::ConnectResult::kOk);
 
   verbs::SendWr wr;
   wr.opcode = verbs::WrOpcode::kRdmaRead;

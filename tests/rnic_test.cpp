@@ -7,6 +7,7 @@
 #include "rnic/memory_table.hpp"
 #include "rnic/rnic.hpp"
 #include "rnic/translation.hpp"
+#include "sim/coro.hpp"
 #include "sim/random.hpp"
 
 namespace ragnar::rnic {
@@ -273,6 +274,78 @@ TEST(Counters, Accumulate) {
   EXPECT_EQ(c.tx_msgs_total, 1u);  // raw replies are not new operations
   EXPECT_EQ(c.rx_bytes_total(), 500u);
   EXPECT_EQ(c.tx_bytes_total(), 1078u);
+}
+
+// --- RuntimeConfig: declarative tuning API -------------------------------
+
+struct RnicFixture {
+  sim::Scheduler sched;
+  Rnic dev{sched, make_profile(DeviceModel::kCX5), /*node=*/1,
+           sim::Xoshiro256(99)};
+};
+
+TEST(RuntimeConfigTest, ConfigureRoundTripsThroughLegacyGetters) {
+  RnicFixture fx;
+  RuntimeConfig cfg;
+  cfg.responder_noise = sim::ns(120);
+  cfg.tenant_isolation = true;
+  cfg.tenant_pacing_gbps = 25.0;
+  cfg.tenant_caps_gbps[2] = 5.0;
+  cfg.tenant_caps_gbps[7] = 0.5;
+  cfg.tenant_caps_gbps[9] = 0.0;  // <= 0 entries are dropped on apply
+  cfg.ets.weight_pct.fill(0.0);
+  cfg.ets.weight_pct[0] = 70.0;
+  cfg.ets.weight_pct[1] = 30.0;
+  fx.dev.configure(cfg);
+
+  // Field-for-field through the legacy getters.
+  EXPECT_EQ(fx.dev.responder_noise(), sim::ns(120));
+  EXPECT_TRUE(fx.dev.tenant_isolation());
+  EXPECT_DOUBLE_EQ(fx.dev.tenant_pacing_gbps(), 25.0);
+  EXPECT_DOUBLE_EQ(fx.dev.tenant_cap_gbps(2), 5.0);
+  EXPECT_DOUBLE_EQ(fx.dev.tenant_cap_gbps(7), 0.5);
+  EXPECT_DOUBLE_EQ(fx.dev.tenant_cap_gbps(9), 0.0);
+  EXPECT_DOUBLE_EQ(fx.dev.ets().weight_pct[0], 70.0);
+  EXPECT_DOUBLE_EQ(fx.dev.ets().weight_pct[1], 30.0);
+
+  // And through the snapshot: configure(runtime_config()) is a no-op.
+  const RuntimeConfig snap = fx.dev.runtime_config();
+  EXPECT_EQ(snap.responder_noise, cfg.responder_noise);
+  EXPECT_EQ(snap.tenant_isolation, cfg.tenant_isolation);
+  EXPECT_DOUBLE_EQ(snap.tenant_pacing_gbps, cfg.tenant_pacing_gbps);
+  ASSERT_EQ(snap.tenant_caps_gbps.size(), 2u);  // the 0.0 entry was dropped
+  EXPECT_DOUBLE_EQ(snap.tenant_caps_gbps.at(2), 5.0);
+  EXPECT_DOUBLE_EQ(snap.tenant_caps_gbps.at(7), 0.5);
+  EXPECT_EQ(snap.ets.weight_pct, cfg.ets.weight_pct);
+  fx.dev.configure(snap);
+  const RuntimeConfig again = fx.dev.runtime_config();
+  EXPECT_EQ(again.responder_noise, snap.responder_noise);
+  EXPECT_EQ(again.tenant_caps_gbps, snap.tenant_caps_gbps);
+}
+
+TEST(RuntimeConfigTest, LegacySettersAreShimsOverConfigure) {
+  RnicFixture fx;
+  fx.dev.set_responder_noise(sim::ns(40));
+  fx.dev.set_tenant_isolation(true);
+  fx.dev.set_tenant_pacing_gbps(10.0);
+  fx.dev.set_tenant_cap_gbps(4, 2.5);
+
+  RuntimeConfig snap = fx.dev.runtime_config();
+  EXPECT_EQ(snap.responder_noise, sim::ns(40));
+  EXPECT_TRUE(snap.tenant_isolation);
+  EXPECT_DOUBLE_EQ(snap.tenant_pacing_gbps, 10.0);
+  ASSERT_EQ(snap.tenant_caps_gbps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.tenant_caps_gbps.at(4), 2.5);
+
+  // A setter touches only its own knob (read-modify-write of the config).
+  fx.dev.set_tenant_pacing_gbps(0.0);
+  EXPECT_EQ(fx.dev.responder_noise(), sim::ns(40));
+  EXPECT_TRUE(fx.dev.tenant_isolation());
+  EXPECT_DOUBLE_EQ(fx.dev.tenant_cap_gbps(4), 2.5);
+
+  // cap <= 0 lifts the throttle.
+  fx.dev.set_tenant_cap_gbps(4, 0.0);
+  EXPECT_TRUE(fx.dev.runtime_config().tenant_caps_gbps.empty());
 }
 
 TEST(DecayedUtilTest, RisesAndDecays) {

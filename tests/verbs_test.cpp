@@ -185,13 +185,27 @@ TEST_F(VerbsFixture, BadLocalAddressRejected) {
 }
 
 TEST_F(VerbsFixture, NotConnectedRejected) {
-  QueuePair::Config cfg;
-  QueuePair lone(*conn.client_pd, *conn.client_cq, cfg);
+  auto lone = conn.client_pd->create_qp(*conn.client_cq);
   SendWr r;
   r.opcode = WrOpcode::kRdmaRead;
   r.local_addr = conn.client_mr->addr();
   r.length = 64;
-  EXPECT_EQ(lone.post_send(r), PostResult::kNotConnected);
+  EXPECT_EQ(lone->post_send(r), PostResult::kNotConnected);
+}
+
+TEST_F(VerbsFixture, ConnectReportsStatus) {
+  auto a = conn.client_pd->create_qp(*conn.client_cq);
+  auto b = conn.server_pd->create_qp(*conn.server_cq);
+  EXPECT_EQ(a->connect(*a), ConnectResult::kSelfConnect);
+  EXPECT_FALSE(a->connected());
+  EXPECT_EQ(a->connect(*b), ConnectResult::kOk);
+  EXPECT_TRUE(a->connected());
+  EXPECT_TRUE(b->connected());
+  // Re-wiring either end is rejected and leaves the pair untouched.
+  auto c = conn.server_pd->create_qp(*conn.server_cq);
+  EXPECT_EQ(a->connect(*c), ConnectResult::kAlreadyConnected);
+  EXPECT_EQ(c->connect(*b), ConnectResult::kAlreadyConnected);
+  EXPECT_FALSE(c->connected());
 }
 
 TEST_F(VerbsFixture, QueueAheadTracksOccupancy) {
