@@ -20,6 +20,22 @@
 //   --json F    dump the harness trial report as JSON to file F
 namespace ragnar::bench {
 
+// Strict unsigned-decimal parse for flag values.  Rejects empty strings,
+// signs, non-digit characters, and overflow — "--jobs=-2" or "--trials=abc"
+// must fail loudly, not silently become 0 or huge.
+inline bool parse_u64_strict(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::uint64_t v = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
 struct Args {
   std::uint64_t seed = 2024;
   bool full = false;
@@ -29,22 +45,55 @@ struct Args {
 
   static Args parse(int argc, char** argv) {
     Args a;
+    auto die = [&](const std::string& why) {
+      std::fprintf(stderr, "%s: error: %s\n", argv[0], why.c_str());
+      std::fprintf(
+          stderr,
+          "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F]\n",
+          argv[0]);
+      std::exit(2);
+    };
+    // Accepts both "--flag value" and "--flag=value" spellings; numeric
+    // values go through parse_u64_strict.
+    auto value_of = [&](int* i, const char* flag) -> const char* {
+      const char* arg = argv[*i];
+      const std::size_t flag_len = std::strlen(flag);
+      if (arg[flag_len] == '=') return arg + flag_len + 1;
+      if (*i + 1 >= argc) die(std::string(flag) + " requires a value");
+      return argv[++*i];
+    };
+    auto matches = [](const char* arg, const char* flag) {
+      const std::size_t n = std::strlen(flag);
+      return std::strncmp(arg, flag, n) == 0 &&
+             (arg[n] == '\0' || arg[n] == '=');
+    };
+    auto numeric = [&](int* i, const char* flag) {
+      const char* text = value_of(i, flag);
+      std::uint64_t v = 0;
+      if (!parse_u64_strict(text, &v)) {
+        die(std::string(flag) + " expects a non-negative integer, got '" +
+            text + "'");
+      }
+      return v;
+    };
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        a.seed = std::strtoull(argv[++i], nullptr, 10);
+      if (matches(argv[i], "--seed")) {
+        a.seed = numeric(&i, "--seed");
       } else if (std::strcmp(argv[i], "--full") == 0) {
         a.full = true;
-      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-        a.csv_dir = argv[++i];
-      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        a.jobs = std::strtoull(argv[++i], nullptr, 10);
-      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        a.json_path = argv[++i];
+      } else if (matches(argv[i], "--csv")) {
+        a.csv_dir = value_of(&i, "--csv");
+      } else if (matches(argv[i], "--jobs")) {
+        a.jobs = static_cast<std::size_t>(numeric(&i, "--jobs"));
+      } else if (matches(argv[i], "--json")) {
+        a.json_path = value_of(&i, "--json");
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F]\n",
             argv[0]);
         std::exit(0);
+      } else {
+        die(std::string("unknown argument '") + argv[i] + "'");
       }
     }
     return a;

@@ -1,0 +1,168 @@
+// Fault sweep: priority covert-channel goodput and residual error versus
+// injected burst loss (Gilbert-Elliott chain on every fabric link), raw
+// decoding vs fault-tolerant framing (per-segment resync preamble +
+// interleaved Hamming(7,4) — covert/framing.hpp).  The channel's QPs run
+// with the transport retry timer armed, so injected drops surface as
+// retransmissions (visible in the per-trial harness accounting) rather
+// than stranded WQEs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "covert/framing.hpp"
+#include "covert/priority_channel.hpp"
+#include "faults/faults.hpp"
+#include "harness/harness.hpp"
+
+using namespace ragnar;
+
+namespace {
+
+struct Cell {
+  double loss;  // Gilbert-Elliott long-run loss target
+  bool framed;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::header(
+      "fault sweep: covert goodput vs injected loss",
+      "Gilbert-Elliott burst loss on the fabric; QP transport retry keeps "
+      "the flows alive; framed = resync preamble + Hamming x interleave",
+      args);
+
+  const std::vector<double> loss_grid =
+      args.full ? std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05, 0.10}
+                : std::vector<double>{0.0, 0.01, 0.02, 0.05};
+  // Whole 28-bit segments (7 Hamming codewords, the codeword-aligned
+  // interleave geometry of FrameConfig's defaults).
+  const std::size_t data_bits = args.full ? 112 : 56;
+  // Mean burst duration: a quarter of a counter interval, so a bad-state
+  // excursion corrupts one bit window or two (the contiguous-run regime the
+  // codeword-aligned interleaver is sized for) without blanking the run.
+  const sim::SimDur mean_burst = sim::us(500);
+  // Full mode runs each cell at several seeds and reports the median
+  // residual: a single Gilbert-Elliott trajectory can concentrate its
+  // outage budget on one unlucky stretch, and one draw says little at
+  // paper scale.
+  const std::size_t trials_per_cell = args.full ? 3 : 1;
+
+  std::vector<Cell> cells;
+  for (double loss : loss_grid) {
+    cells.push_back({loss, false});
+    cells.push_back({loss, true});
+  }
+
+  harness::SweepRunner sweep;
+  for (const Cell& cell : cells) {
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      char label[64];
+      if (trials_per_cell > 1) {
+        std::snprintf(label, sizeof label, "%s@%.2f%%/t%zu",
+                      cell.framed ? "framed" : "raw", 100 * cell.loss, t);
+      } else {
+        std::snprintf(label, sizeof label, "%s@%.2f%%",
+                      cell.framed ? "framed" : "raw", 100 * cell.loss);
+      }
+      sweep.add(label, [cell, data_bits,
+                        mean_burst](harness::TrialContext& ctx) {
+      covert::PriorityChannelConfig cfg;
+      cfg.model = rnic::DeviceModel::kCX5;
+      cfg.seed = ctx.seed;
+      if (cell.loss > 0) {
+        cfg.fault_plan = faults::FaultPlan::bursty_loss(
+            cell.loss, mean_burst, ctx.seed ^ 0xfa017ull);
+        cfg.qp_timeout = sim::us(500);
+        cfg.qp_retry_cnt = 7;
+      }
+      covert::PriorityCovertChannel ch(cfg);
+
+      sim::Xoshiro256 payload_rng(ctx.seed);
+      const std::vector<int> data = covert::random_bits(data_bits, payload_rng);
+
+      double residual = 0;
+      double goodput = 0;
+      std::uint64_t corrected = 0;
+      if (cell.framed) {
+        const covert::FramedRun run = covert::transmit_framed(
+            [&ch](const std::vector<int>& bits) { return ch.transmit(bits); },
+            data);
+        residual = run.residual_error();
+        goodput = run.goodput_bps();
+        corrected = run.codewords_corrected;
+      } else {
+        const covert::ChannelRun run = ch.transmit(data);
+        residual = run.error_rate();
+        goodput = run.raw_bps();
+      }
+
+      const faults::FaultStats fs = ch.fault_stats();
+      const verbs::QpReliabilityStats rs = ch.reliability_stats();
+      harness::FaultAccounting fa;
+      fa.delivered = fs.delivered;
+      fa.injected_drops = fs.total_lost();
+      fa.retransmits = rs.retransmits;
+      fa.rnr_retries = rs.rnr_retries;
+      ctx.note_faults(fa);
+      ctx.note_sim_time(ch.testbed().sched().now());
+
+      harness::Record rec;
+      rec.set("mode", std::string(cell.framed ? "framed" : "raw"));
+      rec.set("target_loss", cell.loss, 4);
+      rec.set("outage_frac", fs.outage_fraction(), 4);
+      rec.set("msg_loss", fs.loss_rate(), 4);
+      rec.set("residual_error", residual, 4);
+      rec.set("goodput_bps", goodput, 1);
+      rec.set("codewords_corrected", corrected);
+      return rec;
+      });
+    }
+  }
+
+  const auto report = bench::run_sweep(sweep, args, "fault_sweep");
+
+  // Aggregate the per-seed trials back into one row per cell (median
+  // residual, mean of the fault accounting).  With one trial per cell this
+  // is the identity.
+  std::printf("\n%-14s %12s %12s %10s %15s %13s %12s %12s\n", "cell",
+              "target_loss", "outage_frac", "msg_loss", "res_err_med",
+              "goodput_bps", "retransmits", "drops");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    std::vector<double> residuals;
+    double outage = 0, msg_loss = 0, goodput = 0;
+    double retx = 0, drops = 0;
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      const auto& tr = report.trials[c * trials_per_cell + t];
+      residuals.push_back(std::atof(tr.record.find("residual_error")->c_str()));
+      outage += std::atof(tr.record.find("outage_frac")->c_str());
+      msg_loss += std::atof(tr.record.find("msg_loss")->c_str());
+      goodput += std::atof(tr.record.find("goodput_bps")->c_str());
+      retx += static_cast<double>(tr.faults.retransmits);
+      drops += static_cast<double>(tr.faults.injected_drops);
+    }
+    const double n = static_cast<double>(trials_per_cell);
+    std::sort(residuals.begin(), residuals.end());
+    const double res_med = residuals[residuals.size() / 2];
+    char label[64];
+    std::snprintf(label, sizeof label, "%s@%.2f%%",
+                  cell.framed ? "framed" : "raw", 100 * cell.loss);
+    std::printf("%-14s %12.4f %12.4f %10.4f %15.4f %13.1f %12.0f %12.0f\n",
+                label, cell.loss, outage / n, msg_loss / n, res_med,
+                goodput / n, retx / n, drops / n);
+  }
+  std::printf(
+      "\ntakeaway: raw decoding degrades with burst loss while the framed "
+      "path holds residual error near zero until the fabric spends more "
+      "time bursting than carrying; goodput pays the fixed preamble+code "
+      "overhead (%.0f%% of wire bits for the default frame).\n",
+      100.0 * (1.0 - static_cast<double>(data_bits) /
+                         static_cast<double>(covert::framed_wire_bits(
+                             data_bits, covert::FrameConfig{}))));
+  return 0;
+}

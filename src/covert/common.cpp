@@ -1,5 +1,6 @@
 #include "covert/common.hpp"
 #include <algorithm>
+#include <cmath>
 
 namespace ragnar::covert {
 
@@ -35,7 +36,7 @@ double median_of(std::vector<double> v, double fallback) {
 std::vector<int> ThresholdDecoder::decode(
     const std::vector<double>& window_means,
     const std::vector<int>& calibration, double* threshold_out,
-    bool* one_is_high_out) {
+    bool* one_is_high_out, double* separation_out) {
   // Learn the two levels from the known calibration windows.  Medians, not
   // means: bystander traffic bursts are impulse noise that would otherwise
   // drag the learned levels around.
@@ -50,6 +51,7 @@ std::vector<int> ThresholdDecoder::decode(
   const bool one_is_high = level1 >= level0;
   if (threshold_out != nullptr) *threshold_out = threshold;
   if (one_is_high_out != nullptr) *one_is_high_out = one_is_high;
+  if (separation_out != nullptr) *separation_out = std::abs(level1 - level0);
 
   std::vector<int> out;
   out.reserve(window_means.size() - ncal);

@@ -23,6 +23,8 @@ struct ChannelRun {
   sim::SimDur elapsed = 0;          // time spent on payload bits
   std::vector<double> rx_metric;    // per-bit receiver observable (for plots)
   double threshold = 0;             // decoder threshold after calibration
+  bool one_is_high = true;          // learned polarity (channels may invert)
+  double cal_separation = 0;        // |level1 - level0| from calibration
 
   double error_rate() const {
     if (sent.empty()) return 1.0;
@@ -51,7 +53,8 @@ struct ThresholdDecoder {
   static std::vector<int> decode(const std::vector<double>& window_means,
                                  const std::vector<int>& calibration,
                                  double* threshold_out = nullptr,
-                                 bool* one_is_high_out = nullptr);
+                                 bool* one_is_high_out = nullptr,
+                                 double* separation_out = nullptr);
 };
 
 }  // namespace ragnar::covert

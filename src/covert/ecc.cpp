@@ -60,6 +60,72 @@ std::vector<int> hamming74_decode(const std::vector<int>& coded,
   return out;
 }
 
+namespace {
+
+// Syndrome of one 7-bit codeword; 0 = valid codeword.
+int syndrome_of(const int c[8]) {
+  const int s1 = c[1] ^ c[3] ^ c[5] ^ c[7];
+  const int s2 = c[2] ^ c[3] ^ c[6] ^ c[7];
+  const int s3 = c[4] ^ c[5] ^ c[6] ^ c[7];
+  return s1 + 2 * s2 + 4 * s3;
+}
+
+}  // namespace
+
+std::vector<int> hamming74_decode_erasures(const std::vector<int>& coded,
+                                           const std::vector<int>& erased,
+                                           std::size_t* corrected_out) {
+  std::vector<int> out;
+  out.reserve(coded.size() / 7 * 4);
+  std::size_t corrected = 0;
+  for (std::size_t i = 0; i + 7 <= coded.size(); i += 7) {
+    int pos[7];
+    int npos = 0;
+    for (int j = 0; j < 7; ++j) {
+      const std::size_t k = i + static_cast<std::size_t>(j);
+      if (k < erased.size() && erased[k] != 0) pos[npos++] = j;
+    }
+    int c[8] = {0};
+    for (int j = 0; j < 7; ++j) c[j + 1] = coded[i + static_cast<std::size_t>(j)];
+    if (npos == 0 || npos > 3) {
+      // No erasures (plain decode) or too many to disambiguate (best
+      // effort: trust the demodulated bits as-is).
+      int syn = syndrome_of(c);
+      if (syn != 0) {
+        c[syn] ^= 1;
+        ++corrected;
+      }
+    } else {
+      // Try every fill of the erased positions; the true fill yields a
+      // valid codeword (syndrome 0) whenever the non-erased bits are clean,
+      // and is unique for <= 2 erasures (minimum distance 3).  Prefer fills
+      // needing no additional single-bit correction.
+      int best_fill = 0, best_cost = 8;
+      for (int fill = 0; fill < (1 << npos); ++fill) {
+        int t[8];
+        for (int j = 0; j < 8; ++j) t[j] = c[j];
+        for (int j = 0; j < npos; ++j) t[pos[j] + 1] = (fill >> j) & 1;
+        const int cost = syndrome_of(t) == 0 ? 0 : 1;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_fill = fill;
+          if (cost == 0) break;
+        }
+      }
+      for (int j = 0; j < npos; ++j) c[pos[j] + 1] = (best_fill >> j) & 1;
+      int syn = syndrome_of(c);
+      if (syn != 0) c[syn] ^= 1;
+      ++corrected;  // an erasure fill is always a correction event
+    }
+    out.push_back(c[3]);
+    out.push_back(c[5]);
+    out.push_back(c[6]);
+    out.push_back(c[7]);
+  }
+  if (corrected_out != nullptr) *corrected_out = corrected;
+  return out;
+}
+
 std::vector<int> interleave(const std::vector<int>& bits, std::size_t depth) {
   if (depth <= 1) return bits;
   const std::size_t cols = (bits.size() + depth - 1) / depth;

@@ -29,6 +29,19 @@ std::vector<int> hamming74_encode(const std::vector<int>& data);
 std::vector<int> hamming74_decode(const std::vector<int>& coded,
                                   std::size_t* corrected_out = nullptr);
 
+// Erasure-aware decode: `erased[i] != 0` marks coded bit i as an erasure —
+// the demodulator knows the symbol was destroyed (e.g. the bit window fell
+// inside a fabric outage and the observable collapsed below both signal
+// levels) but not what it was.  With minimum distance 3, Hamming(7,4)
+// corrects 2 erasures, or 1 erasure + 0 errors, or 1 plain error per
+// codeword; each codeword brute-forces its erased positions (<= 2^e fills)
+// and keeps the fill needing the fewest additional corrections.  Falls back
+// to best-effort for >3 erasures in one codeword.  `erased` may be shorter
+// than `coded`; missing entries mean "not erased".
+std::vector<int> hamming74_decode_erasures(
+    const std::vector<int>& coded, const std::vector<int>& erased,
+    std::size_t* corrected_out = nullptr);
+
 // Row-column block interleaver of the given depth (rows).  Pads with zeros
 // to a full block; deinterleave returns exactly the padded length.
 std::vector<int> interleave(const std::vector<int>& bits, std::size_t depth);

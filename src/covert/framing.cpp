@@ -1,0 +1,171 @@
+#include "covert/framing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "covert/ecc.hpp"
+
+namespace ragnar::covert {
+
+namespace {
+
+std::vector<int> alternating(std::size_t n) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i & 1);
+  return v;
+}
+
+// Coded+interleaved length of one segment (interleave pads to a full
+// depth x cols block, so this is deterministic given the config).
+std::size_t segment_wire_bits(const FrameConfig& cfg) {
+  const std::size_t coded = (cfg.segment_data_bits + 3) / 4 * 7;
+  if (cfg.interleave_depth <= 1) return coded;
+  const std::size_t cols =
+      (coded + cfg.interleave_depth - 1) / cfg.interleave_depth;
+  return cfg.interleave_depth * cols;
+}
+
+}  // namespace
+
+std::size_t framed_wire_bits(std::size_t data_bits, const FrameConfig& cfg) {
+  const std::size_t nseg =
+      (data_bits + cfg.segment_data_bits - 1) / cfg.segment_data_bits;
+  return nseg * (cfg.preamble_bits + segment_wire_bits(cfg));
+}
+
+FramedRun transmit_framed(
+    const std::function<ChannelRun(const std::vector<int>&)>& transmit,
+    const std::vector<int>& data, const FrameConfig& cfg) {
+  FramedRun out;
+  out.data_sent = data;
+  if (data.empty() || cfg.segment_data_bits == 0) return out;
+
+  const std::size_t nseg =
+      (data.size() + cfg.segment_data_bits - 1) / cfg.segment_data_bits;
+  const std::vector<int> preamble = alternating(cfg.preamble_bits);
+  const std::size_t seg_coded = segment_wire_bits(cfg);
+
+  std::vector<int> wire;
+  wire.reserve(nseg * (preamble.size() + seg_coded));
+  for (std::size_t s = 0; s < nseg; ++s) {
+    std::vector<int> segment(cfg.segment_data_bits, 0);
+    for (std::size_t i = 0; i < cfg.segment_data_bits; ++i) {
+      const std::size_t src = s * cfg.segment_data_bits + i;
+      if (src < data.size()) segment[i] = data[src];
+    }
+    const std::vector<int> coded =
+        interleave(hamming74_encode(segment), cfg.interleave_depth);
+    wire.insert(wire.end(), preamble.begin(), preamble.end());
+    wire.insert(wire.end(), coded.begin(), coded.end());
+  }
+
+  out.raw = transmit(wire);
+  out.segments = nseg;
+
+  // Per-window analog means for the payload bits; a run that ended early
+  // reads missing windows as dead air (0.0).
+  std::vector<double> metric = out.raw.rx_metric;
+  metric.resize(wire.size(), 0.0);
+
+  const std::size_t seg_total = preamble.size() + seg_coded;
+
+  // Robust whole-run reference levels.  The channel's own calibration prefix
+  // is only a handful of windows — one burst landing there poisons every
+  // decision downstream.  Outages only ever pull window readings *down*, and
+  // the payload is roughly level-balanced (alternating preambles, coded
+  // payload), so the clean high/low clusters survive at stable quantiles of
+  // the whole run's window distribution: the 85th percentile sits inside the
+  // high cluster and the 40th inside the low cluster even with ~15% of
+  // windows dipped by bursts.
+  std::vector<double> sorted(metric);
+  std::sort(sorted.begin(), sorted.end());
+  const double g_hi = sorted[sorted.size() * 85 / 100];
+  const double g_lo = sorted[sorted.size() * 40 / 100];
+  double g_thr = (g_hi + g_lo) / 2;
+  double g_sep = g_hi - g_lo;
+  if (g_sep <= 0) {  // degenerate run: fall back to the channel calibration
+    g_thr = out.raw.threshold;
+    g_sep = out.raw.cal_separation;
+  }
+  // Polarity by majority vote over every known preamble window: individual
+  // windows may be burst-corrupted, but most of the nseg * preamble_bits
+  // votes land on clean windows.
+  std::size_t pol_votes = 0, pol_total = 0;
+  for (std::size_t s = 0; s < nseg; ++s) {
+    for (std::size_t i = 0; i < preamble.size(); ++i) {
+      const double v = metric[s * seg_total + i];
+      ++pol_total;
+      pol_votes += ((v >= g_thr) == (preamble[i] == 1)) ? 1u : 0u;
+    }
+  }
+  const bool g_pol = pol_total == 0 ? out.raw.one_is_high
+                                    : pol_votes * 2 >= pol_total;
+  out.data_recovered.reserve(data.size());
+  for (std::size_t s = 0; s < nseg; ++s) {
+    const auto begin =
+        metric.begin() + static_cast<std::ptrdiff_t>(s * seg_total);
+    const std::vector<double> slice(
+        begin, begin + static_cast<std::ptrdiff_t>(seg_total));
+    // Resync: the decoder threshold (and polarity) is re-learned from this
+    // segment's own preamble, so baseline drift or an outage in an earlier
+    // segment cannot poison later ones.
+    double seg_thr = 0, seg_sep = 0;
+    bool seg_pol = true;
+    std::vector<int> coded_rx =
+        ThresholdDecoder::decode(slice, preamble, &seg_thr, &seg_pol, &seg_sep);
+    // A burst landing on the preamble itself leaves a degenerate threshold:
+    // collapsed level separation, flipped polarity, or — when an outage
+    // blanks whole preamble windows to zero — levels dragged far below the
+    // channel's real operating point (which can *inflate* the apparent
+    // separation).  Trusting it would trash the entire segment; fall back
+    // to the robust whole-run reference whenever the preamble estimate
+    // strays more than one level-separation from it, and let the ECC absorb
+    // the burst.  Genuine baseline drift within one separation still gets
+    // the per-segment resync.
+    const bool fell_back =
+        g_sep > 0 &&
+        (seg_pol != g_pol || seg_sep < 0.5 * g_sep || seg_sep > 2.0 * g_sep ||
+         std::fabs(seg_thr - g_thr) > g_sep);
+    if (fell_back) {
+      coded_rx.clear();
+      for (std::size_t i = preamble.size(); i < slice.size(); ++i) {
+        const bool high = slice[i] >= g_thr;
+        coded_rx.push_back(high == g_pol ? 1 : 0);
+      }
+    }
+    // Outage detection: the two signal levels are tight (ambient noise is
+    // small next to the level separation), so a window whose reading sits
+    // far from *both* levels was hit by a fabric outage mid-window — the
+    // observable collapsed for part or all of it.  Such windows carry no
+    // clean symbol; marking them as erasures (rather than letting them
+    // demodulate as whichever level they fell nearest) doubles the
+    // per-codeword budget the Hamming layer can absorb: distance-3 code,
+    // so 2 erasures vs 1 undetected error.
+    const double use_thr = fell_back ? g_thr : seg_thr;
+    const double use_sep = fell_back ? g_sep : seg_sep;
+    std::vector<int> erased(coded_rx.size(), 0);
+    if (use_sep > 0) {
+      const double level_hi = use_thr + use_sep / 2;
+      const double level_lo = use_thr - use_sep / 2;
+      const double tol = use_sep / 4;
+      for (std::size_t i = 0; i < coded_rx.size(); ++i) {
+        const double v = slice[preamble.size() + i];
+        if (std::min(std::fabs(v - level_hi), std::fabs(v - level_lo)) > tol)
+          erased[i] = 1;
+      }
+    }
+    std::size_t corrected = 0;
+    std::vector<int> decoded = hamming74_decode_erasures(
+        deinterleave(coded_rx, cfg.interleave_depth),
+        deinterleave(erased, cfg.interleave_depth), &corrected);
+    out.codewords_corrected += corrected;
+    decoded.resize(cfg.segment_data_bits, 0);
+    const std::size_t want =
+        std::min(cfg.segment_data_bits, data.size() - s * cfg.segment_data_bits);
+    out.data_recovered.insert(out.data_recovered.end(), decoded.begin(),
+                              decoded.begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  return out;
+}
+
+}  // namespace ragnar::covert

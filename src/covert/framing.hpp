@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "covert/common.hpp"
+
+// Fault-tolerant covert framing: segments with resync preambles on top of
+// the Hamming(7,4) + interleaving stack from covert/ecc.
+//
+// Plain ECC framing assumes the decoder threshold learned from the initial
+// calibration prefix stays valid for the whole transmission.  On a lossy
+// fabric that assumption breaks: injected drops trigger transport retries
+// that depress the receiver's monitored bandwidth for whole bit windows,
+// and a burst (Gilbert-Elliott bad state, link flap) can shift the channel
+// baseline mid-run.  The framed transmitter therefore:
+//
+//   * splits the payload into fixed-size segments,
+//   * prefixes each segment's coded bits with a known alternating preamble,
+//   * re-learns the 0/1 threshold *per segment* from that preamble (resync),
+//     falling back to the channel's whole-run calibration when the preamble
+//     itself was hit by a burst (tiny level separation or flipped polarity
+//     are the tells),
+//   * interleaves each segment's Hamming codewords so a burst of <= depth
+//     corrupted windows lands as one bit error per codeword — correctable.
+//
+// The default geometry is codeword-aligned: segment_data_bits / 4 codewords
+// of 7 bits each, interleaved at depth = codeword count, so every row of
+// the interleaver block is exactly one codeword and any contiguous run of
+// <= depth corrupted windows contributes at most one error per codeword.
+// A misaligned depth (e.g. depth 7 over 4 codewords) silently puts
+// wire-adjacent windows into the *same* codeword and forfeits the burst
+// guarantee.
+//
+// The receiver path consumes ChannelRun::rx_metric (per-window analog
+// means), not the globally-thresholded ChannelRun::received bits.
+namespace ragnar::covert {
+
+struct FrameConfig {
+  std::size_t segment_data_bits = 28;  // payload bits per segment (7 cw)
+  std::size_t interleave_depth = 7;    // = codewords per segment (aligned)
+  std::size_t preamble_bits = 6;       // alternating resync prefix length
+};
+
+// Result of a framed transmission.
+struct FramedRun {
+  ChannelRun raw;  // the single underlying channel run (all wire bits)
+  std::vector<int> data_sent;
+  std::vector<int> data_recovered;
+  std::size_t segments = 0;
+  std::size_t codewords_corrected = 0;
+
+  double residual_error() const {
+    if (data_sent.empty()) return 1.0;
+    std::size_t err = 0;
+    for (std::size_t i = 0; i < data_sent.size(); ++i) {
+      if (i >= data_recovered.size() || data_sent[i] != data_recovered[i])
+        ++err;
+    }
+    return static_cast<double>(err) / static_cast<double>(data_sent.size());
+  }
+  // Data bits per second delivered (preamble + coding overhead included).
+  double goodput_bps() const {
+    return raw.elapsed ? static_cast<double>(data_sent.size()) /
+                             sim::to_sec(raw.elapsed)
+                       : 0.0;
+  }
+};
+
+// Number of wire bits the framed encoding of `data_bits` occupies (useful
+// for sizing a transmission before running it).
+std::size_t framed_wire_bits(std::size_t data_bits, const FrameConfig& cfg);
+
+// Transmit `data` over any channel exposed as a transmit-callable.  The
+// callable must fill ChannelRun::rx_metric with one receiver-observable
+// mean per payload bit window (both in-tree covert channels do).
+FramedRun transmit_framed(
+    const std::function<ChannelRun(const std::vector<int>&)>& transmit,
+    const std::vector<int>& data, const FrameConfig& cfg = {});
+
+}  // namespace ragnar::covert

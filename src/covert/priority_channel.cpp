@@ -8,12 +8,29 @@ namespace ragnar::covert {
 
 PriorityCovertChannel::PriorityCovertChannel(const PriorityChannelConfig& cfg)
     : cfg_(cfg), bed_(cfg.model, cfg.seed, /*clients=*/2) {
-  tx_conn_ = bed_.connect(0, cfg_.tx_qp_num, cfg_.tx_depth, /*tc=*/0,
+  bed_.fabric().set_fault_plan(cfg_.fault_plan);
+  verbs::QpConfig tx_qp;
+  tx_qp.max_send_wr = cfg_.tx_depth;
+  tx_qp.tc = 0;
+  tx_qp.timeout = cfg_.qp_timeout;
+  tx_qp.retry_cnt = cfg_.qp_retry_cnt;
+  tx_qp.rnr_retry = cfg_.qp_rnr_retry;
+  tx_conn_ = bed_.connect(0, cfg_.tx_qp_num, tx_qp,
                           /*client_buf_len=*/1u << 16);
   tx_mr_ = tx_conn_.server_pd->register_mr(1u << 20);
-  rx_conn_ = bed_.connect(1, /*qp_count=*/2, cfg_.rx_depth, /*tc=*/1);
+  verbs::QpConfig rx_qp = tx_qp;
+  rx_qp.max_send_wr = cfg_.rx_depth;
+  rx_qp.tc = 1;
+  rx_conn_ = bed_.connect(1, /*qp_count=*/2, rx_qp);
   rx_mr_ = rx_conn_.server_pd->register_mr(1u << 20);
   telemetry::set_ets_50_50(bed_.server().device());
+}
+
+verbs::QpReliabilityStats PriorityCovertChannel::reliability_stats() const {
+  verbs::QpReliabilityStats total;
+  for (const auto& qp : tx_conn_.client_qps) total += qp->reliability();
+  for (const auto& qp : rx_conn_.client_qps) total += qp->reliability();
+  return total;
 }
 
 int PriorityCovertChannel::current_bit(sim::SimTime t) const {
@@ -103,7 +120,8 @@ ChannelRun PriorityCovertChannel::transmit(const std::vector<int>& payload) {
   ChannelRun run;
   run.sent = payload;
   run.received = ThresholdDecoder::decode(rx_bw_series_, calibration,
-                                          &run.threshold, nullptr);
+                                          &run.threshold, &run.one_is_high,
+                                          &run.cal_separation);
   run.elapsed = cfg_.counter_interval * payload.size();
   run.rx_metric.assign(
       rx_bw_series_.begin() + static_cast<std::ptrdiff_t>(calibration.size()),

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "covert/common.hpp"
+#include "faults/faults.hpp"
 #include "revng/testbed.hpp"
 #include "sim/coro.hpp"
 #include "sim/trace.hpp"
@@ -37,6 +38,16 @@ struct PriorityChannelConfig {
   // either way).
   sim::SimDur counter_interval = sim::ms(2);
   std::size_t calibration_bits = 6;
+
+  // Fault injection on the underlying fabric.  The default (disabled) plan
+  // arms nothing, so fault-free runs stay byte-identical.
+  faults::FaultPlan fault_plan;
+  // QP reliability for the covert flows when the fabric is lossy: a nonzero
+  // timeout arms the transport retry timer so dropped WRITEs/READs are
+  // retransmitted instead of silently stranding their WQE slots.
+  sim::SimDur qp_timeout = 0;
+  std::uint8_t qp_retry_cnt = 7;
+  std::uint8_t qp_rnr_retry = 0;
 };
 
 class PriorityCovertChannel {
@@ -59,6 +70,12 @@ class PriorityCovertChannel {
   const std::vector<double>& rx_bandwidth_series() const {
     return rx_bw_series_;
   }
+
+  revng::Testbed& testbed() { return bed_; }
+  // Injected-fault accounting for the run so far (zero when no plan armed).
+  faults::FaultStats fault_stats() { return bed_.fabric().fault_stats(); }
+  // Aggregate retry/RNR accounting across the channel's client-side QPs.
+  verbs::QpReliabilityStats reliability_stats() const;
 
  private:
   sim::Task tx_actor();

@@ -20,15 +20,27 @@ rnic::Rnic* Fabric::add_device(rnic::DeviceProfile profile,
   return dev;
 }
 
+void Fabric::set_fault_plan(const faults::FaultPlan& plan) {
+  injector_ =
+      plan.active() ? std::make_unique<faults::FaultInjector>(plan) : nullptr;
+}
+
 void Fabric::route(const rnic::InFlightMsg& msg, sim::SimTime depart,
                    sim::SimDur wire_lat) {
   // Requests travel to the target node; every reply kind returns to the
   // requester.
-  const rnic::NodeId dst = msg.kind == rnic::InFlightMsg::Kind::kRequest
-                               ? msg.op.dst_node
-                               : msg.op.src_node;
+  const bool is_req = msg.kind == rnic::InFlightMsg::Kind::kRequest;
+  const rnic::NodeId dst = is_req ? msg.op.dst_node : msg.op.src_node;
+  sim::SimDur extra = 0;
+  if (injector_ != nullptr) {
+    const rnic::NodeId src = is_req ? msg.op.src_node : msg.op.dst_node;
+    const faults::Decision d =
+        injector_->decide(src, dst, msg.op.src_node, depart);
+    if (d.verdict != faults::Verdict::kDeliver) return;  // lost on the wire
+    extra = d.extra_delay;
+  }
   rnic::Rnic* target = devices_.at(dst).get();
-  sched_.at(depart + wire_lat, [target, msg] { target->deliver(msg); });
+  sched_.at(depart + wire_lat + extra, [target, msg] { target->deliver(msg); });
 }
 
 }  // namespace ragnar::fabric

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "rnic/device_profile.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/random.hpp"
@@ -11,6 +12,13 @@
 // The simulated network: a set of RNICs joined by an ideal switch.  Each
 // endpoint's port serialization is modeled inside its Rnic; the fabric adds
 // propagation/switching latency and routes replies back to the requester.
+//
+// An armed faults::FaultPlan makes the switch lossy: the plan's injector is
+// consulted on *every* delivery (requests and replies alike) and may drop,
+// corrupt-discard, or delay the message.  With no plan armed the fabric
+// takes the exact pre-fault path — no injector is constructed, no RNG is
+// drawn, and event ordering is untouched, so fault-off runs stay
+// byte-identical.
 namespace ragnar::fabric {
 
 class Fabric {
@@ -28,12 +36,22 @@ class Fabric {
   std::size_t size() const { return devices_.size(); }
   sim::Scheduler& scheduler() { return sched_; }
 
+  // Arm (or, with a disabled plan, disarm) fault injection.  Messages
+  // already scheduled for delivery are not recalled.
+  void set_fault_plan(const faults::FaultPlan& plan);
+  bool faults_active() const { return injector_ != nullptr; }
+  // Zero stats when no plan is armed.
+  faults::FaultStats fault_stats() const {
+    return injector_ ? injector_->stats() : faults::FaultStats{};
+  }
+
  private:
   void route(const rnic::InFlightMsg& msg, sim::SimTime depart,
              sim::SimDur wire_lat);
 
   sim::Scheduler& sched_;
   std::vector<std::unique_ptr<rnic::Rnic>> devices_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 }  // namespace ragnar::fabric

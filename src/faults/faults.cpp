@@ -1,0 +1,155 @@
+#include "faults/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ragnar::faults {
+
+FaultPlan FaultPlan::uniform_loss(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.drop_p = p;
+  return plan;
+}
+
+FaultPlan FaultPlan::bursty_loss(double target_loss, sim::SimDur mean_burst,
+                                 std::uint64_t seed) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.gilbert = true;
+  plan.ge_loss_bad = 1.0;
+  plan.ge_loss_good = 0.0;
+  // Stationary bad-state probability pi_b = p_gb / (p_gb + p_bg); with
+  // loss_bad = 1 the long-run loss fraction equals pi_b, so solve for p_gb.
+  const double burst_steps =
+      std::max(1.0, static_cast<double>(mean_burst) /
+                        static_cast<double>(plan.ge_step));
+  plan.ge_p_bad_to_good = 1.0 / burst_steps;
+  const double x = std::clamp(target_loss, 0.0, 0.99);
+  plan.ge_p_good_to_bad = plan.ge_p_bad_to_good * x / (1.0 - x);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::in_scope(rnic::NodeId requester) const {
+  if (plan_.scoped_tenants.empty()) return true;
+  return std::find(plan_.scoped_tenants.begin(), plan_.scoped_tenants.end(),
+                   requester) != plan_.scoped_tenants.end();
+}
+
+void FaultInjector::ge_advance(GeState& st, sim::SimTime now) {
+  // Same-step or out-of-order wire times reuse the current state (route()
+  // computes departure times per message; they are not globally sorted).
+  if (now <= st.last) return;
+  std::uint64_t steps =
+      static_cast<std::uint64_t>((now - st.last) / plan_.ge_step);
+  st.last += static_cast<sim::SimDur>(steps) * plan_.ge_step;
+  const auto spend = [&](std::uint64_t n) {
+    stats_.ge_steps += n;
+    if (st.bad) stats_.ge_bad_steps += n;
+  };
+  while (steps > 0) {
+    const double p_leave =
+        st.bad ? plan_.ge_p_bad_to_good : plan_.ge_p_good_to_bad;
+    if (p_leave <= 0.0) {  // absorbing state
+      spend(steps);
+      return;
+    }
+    if (p_leave >= 1.0) {
+      spend(1);
+      st.bad = !st.bad;
+      --steps;
+      continue;
+    }
+    // Sample the geometric sojourn (steps spent in the current state before
+    // the next transition) directly — O(transitions), not O(steps).
+    const double u = rng_.uniform();
+    const double raw = std::log1p(-u) / std::log1p(-p_leave);
+    const std::uint64_t sojourn =
+        1 + static_cast<std::uint64_t>(std::min(raw, 1e18));
+    // Memoryless: if the sojourn outlasts the elapsed steps the chain is
+    // still in this state at `now`, and re-sampling next time is exact.
+    if (sojourn > steps) {
+      spend(steps);
+      return;
+    }
+    spend(sojourn);
+    steps -= sojourn;
+    st.bad = !st.bad;
+  }
+}
+
+bool FaultInjector::in_flap(sim::SimTime on_wire) const {
+  for (const LinkFlap& f : plan_.flaps) {
+    if (on_wire >= f.start && on_wire < f.end) return true;
+  }
+  return false;
+}
+
+Decision FaultInjector::decide(rnic::NodeId src, rnic::NodeId dst,
+                               rnic::NodeId requester, sim::SimTime on_wire) {
+  Decision d;
+  if (!plan_.enabled || !in_scope(requester)) {
+    ++stats_.delivered;
+    return d;
+  }
+
+  // Flap windows are deterministic (no RNG draw): a dead link drops
+  // everything on the wire inside the window.
+  if (in_flap(on_wire)) {
+    ++stats_.flap_dropped;
+    d.verdict = Verdict::kFlapDrop;
+    return d;
+  }
+
+  // Gilbert-Elliott chain: advance this link's chain to the message's wire
+  // time, then apply the current state's loss probability.
+  if (plan_.gilbert && plan_.ge_step > 0) {
+    const std::uint32_t key =
+        (static_cast<std::uint32_t>(src) << 16) | static_cast<std::uint32_t>(dst);
+    GeState& st = ge_[key];
+    ge_advance(st, on_wire);
+    if (rng_.bernoulli(st.bad ? plan_.ge_loss_bad : plan_.ge_loss_good)) {
+      ++stats_.dropped;
+      d.verdict = Verdict::kDrop;
+      return d;
+    }
+  }
+
+  double drop_p = plan_.drop_p;
+  double corrupt_p = plan_.corrupt_p;
+  double reorder_p = plan_.reorder_p;
+  for (const LinkOverride& o : plan_.link_overrides) {
+    if (o.src == src && o.dst == dst) {
+      drop_p = o.drop_p;
+      corrupt_p = o.corrupt_p;
+      reorder_p = o.reorder_p;
+      break;
+    }
+  }
+
+  if (drop_p > 0 && rng_.bernoulli(drop_p)) {
+    ++stats_.dropped;
+    d.verdict = Verdict::kDrop;
+    return d;
+  }
+  if (corrupt_p > 0 && rng_.bernoulli(corrupt_p)) {
+    // ICRC failure: the receiving NIC discards the packet.
+    ++stats_.corrupted;
+    d.verdict = Verdict::kCorrupt;
+    return d;
+  }
+  if (reorder_p > 0 && rng_.bernoulli(reorder_p)) {
+    ++stats_.reordered;
+    d.extra_delay = static_cast<sim::SimDur>(
+        rng_.uniform() * static_cast<double>(plan_.reorder_delay_max));
+  }
+  ++stats_.delivered;
+  return d;
+}
+
+}  // namespace ragnar::faults

@@ -102,7 +102,13 @@ std::string SweepReport::write_csv(const std::string& dir,
   const std::string path = dir + "/" + name + ".csv";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return {};
+  const bool any_faults =
+      std::any_of(trials.begin(), trials.end(),
+                  [](const TrialResult& t) { return t.faults_noted; });
   std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
+  if (any_faults) {
+    std::fprintf(f, ",delivered,injected_drops,retransmits,rnr_retries");
+  }
   for (const auto& [k, v] : trials.front().record.fields()) {
     std::fprintf(f, ",%s", csv_escape(k).c_str());
   }
@@ -110,6 +116,11 @@ std::string SweepReport::write_csv(const std::string& dir,
   for (const auto& t : trials) {
     std::fprintf(f, "%s,%zu,%" PRIu64 ",%.3f,%.0f", csv_escape(t.label).c_str(),
                  t.index, t.seed, t.wall_ms, sim::to_ns(t.sim_end));
+    if (any_faults) {
+      std::fprintf(f, ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
+                   t.faults.delivered, t.faults.injected_drops,
+                   t.faults.retransmits, t.faults.rnr_retries);
+    }
     for (const auto& [k, v] : trials.front().record.fields()) {
       const std::string* mine = t.record.find(k);
       std::fprintf(f, ",%s", mine != nullptr ? csv_escape(*mine).c_str() : "");
@@ -131,6 +142,13 @@ void SweepReport::write_json(const std::string& path) const {
                  ", \"wall_ms\": %.3f, \"sim_end_ns\": %.0f",
                  json_escape(t.label).c_str(), t.index, t.seed, t.wall_ms,
                  sim::to_ns(t.sim_end));
+    if (t.faults_noted) {
+      std::fprintf(f,
+                   ", \"delivered\": %" PRIu64 ", \"injected_drops\": %" PRIu64
+                   ", \"retransmits\": %" PRIu64 ", \"rnr_retries\": %" PRIu64,
+                   t.faults.delivered, t.faults.injected_drops,
+                   t.faults.retransmits, t.faults.rnr_retries);
+    }
     for (const auto& [k, v] : t.record.fields()) {
       std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),
                    json_escape(v).c_str());
@@ -173,6 +191,8 @@ SweepReport SweepRunner::run(const Options& opts) {
     out.record = std::move(rec);
     out.wall_ms = ms_between(t0, t1);
     out.sim_end = ctx.sim_end;
+    out.faults = ctx.faults;
+    out.faults_noted = ctx.faults_noted;
     pt.fn = nullptr;  // release the closure's captures eagerly
   };
 

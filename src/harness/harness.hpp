@@ -59,6 +59,17 @@ class Record {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+// Per-trial fault/retry accounting for sweeps that arm a faults::FaultPlan.
+// Reported through TrialContext::note_faults; the CSV/JSON writers add the
+// fault columns only when at least one trial noted accounting, so fault-free
+// sweeps keep their exact pre-fault schema.
+struct FaultAccounting {
+  std::uint64_t delivered = 0;       // messages the fabric delivered
+  std::uint64_t injected_drops = 0;  // drops + corrupt-discards + flap losses
+  std::uint64_t retransmits = 0;     // transport-timer re-posts by trial QPs
+  std::uint64_t rnr_retries = 0;     // RNR backoff re-posts by trial QPs
+};
+
 // Handed to each trial closure.
 struct TrialContext {
   std::size_t index = 0;       // position in the sweep grid
@@ -66,8 +77,14 @@ struct TrialContext {
   // Trial-reported simulated end time (e.g. sched.now() after the run).
   // Mutable through the pointer held by the closure.
   sim::SimTime sim_end = 0;
+  FaultAccounting faults;
+  bool faults_noted = false;
 
   void note_sim_time(sim::SimTime t) { sim_end = t; }
+  void note_faults(const FaultAccounting& f) {
+    faults = f;
+    faults_noted = true;
+  }
 };
 
 // Completed-trial bookkeeping, reported in submission order.
@@ -78,6 +95,8 @@ struct TrialResult {
   Record record;
   double wall_ms = 0;        // host wall-clock spent inside the trial
   sim::SimTime sim_end = 0;  // simulated clock when the trial finished
+  FaultAccounting faults;
+  bool faults_noted = false;
 };
 
 struct SweepReport {

@@ -25,6 +25,16 @@ Testbed::Connection Testbed::connect(std::size_t client_idx,
                                      std::uint32_t max_send_wr,
                                      rnic::TrafficClass tc,
                                      std::uint64_t client_buf_len) {
+  verbs::QpConfig cfg;
+  cfg.max_send_wr = max_send_wr;
+  cfg.tc = tc;
+  return connect(client_idx, qp_count, cfg, client_buf_len);
+}
+
+Testbed::Connection Testbed::connect(std::size_t client_idx,
+                                     std::size_t qp_count,
+                                     const verbs::QpConfig& qp_cfg,
+                                     std::uint64_t client_buf_len) {
   Connection c;
   verbs::Context& cl = client(client_idx);
   c.client_pd = cl.alloc_pd();
@@ -33,11 +43,8 @@ Testbed::Connection Testbed::connect(std::size_t client_idx,
   c.server_cq = server_->create_cq();
   c.client_mr = c.client_pd->register_mr(client_buf_len);
   for (std::size_t q = 0; q < qp_count; ++q) {
-    verbs::QpConfig cfg;
-    cfg.max_send_wr = max_send_wr;
-    cfg.tc = tc;
-    c.client_qps.push_back(c.client_pd->create_qp(*c.client_cq, cfg));
-    c.server_qps.push_back(c.server_pd->create_qp(*c.server_cq, cfg));
+    c.client_qps.push_back(c.client_pd->create_qp(*c.client_cq, qp_cfg));
+    c.server_qps.push_back(c.server_pd->create_qp(*c.server_cq, qp_cfg));
     const verbs::ConnectResult cr =
         c.client_qps.back()->connect(*c.server_qps.back());
     assert(cr == verbs::ConnectResult::kOk);

@@ -61,6 +61,11 @@ class Testbed {
   Connection connect(std::size_t client_idx, std::size_t qp_count,
                      std::uint32_t max_send_wr, rnic::TrafficClass tc,
                      std::uint64_t client_buf_len = 1u << 20);
+  // Full-config variant: callers that need the reliability knobs (timeout /
+  // retry_cnt / rnr_retry) pass a complete QpConfig, applied to both ends.
+  Connection connect(std::size_t client_idx, std::size_t qp_count,
+                     const verbs::QpConfig& qp_cfg,
+                     std::uint64_t client_buf_len = 1u << 20);
 
  private:
   rnic::DeviceModel model_;

@@ -58,6 +58,13 @@ enum class WcStatus : std::uint8_t {
   kSuccess,
   kRemoteAccessError,   // rkey/bounds/permission failure at the responder
   kRemoteInvalidRequest,
+  // Wire-level receiver-not-ready NAK.  Never surfaced in a user Wc: the
+  // verbs layer converts it into an RNR backoff-retry or, once rnr_retry is
+  // exhausted, into kRnrRetryExcError.
+  kRnrNak,
+  kRetryExcError,       // transport retries exhausted (IBV_WC_RETRY_EXC_ERR)
+  kRnrRetryExcError,    // RNR retries exhausted (IBV_WC_RNR_RETRY_EXC_ERR)
+  kWrFlushErr,          // flushed: QP left RTS (IBV_WC_WR_FLUSH_ERR)
 };
 
 inline const char* wc_status_name(WcStatus s) {
@@ -65,6 +72,10 @@ inline const char* wc_status_name(WcStatus s) {
     case WcStatus::kSuccess: return "SUCCESS";
     case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
     case WcStatus::kRemoteInvalidRequest: return "REMOTE_INVALID_REQUEST";
+    case WcStatus::kRnrNak: return "RNR_NAK";
+    case WcStatus::kRetryExcError: return "RETRY_EXC_ERR";
+    case WcStatus::kRnrRetryExcError: return "RNR_RETRY_EXC_ERR";
+    case WcStatus::kWrFlushErr: return "WR_FLUSH_ERR";
   }
   return "?";
 }

@@ -383,8 +383,11 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
             send_handler_(op.dst_qpn, msg.requester_local, op.size, t);
       }
       if (!consumed) {
-        reply.kind = InFlightMsg::Kind::kNak;
-        reply.status = WcStatus::kRemoteInvalidRequest;
+        // Receiver not ready: no recv WQE posted (or the QP is in error).
+        // An RNR NAK rides the control lane back; the requester's verbs
+        // layer decides between backoff-retry and RNR_RETRY_EXC_ERR.
+        reply.kind = InFlightMsg::Kind::kRnrNak;
+        reply.status = WcStatus::kRnrNak;
         t = resp_gen_.reserve(t, jitter(prof_.resp_gen_small));
         const std::uint64_t bytes = prof_.ack_bytes + prof_.pkt_header_bytes;
         t = control_egress(t, bytes);

@@ -51,7 +51,8 @@ struct InFlightMsg {
     kReadResponse,
     kAck,           // WRITE/SEND acknowledgment
     kAtomicResponse,
-    kNak,           // protection/validation failure
+    kNak,           // protection/validation failure (terminal)
+    kRnrNak,        // receiver-not-ready: requester backs off and retries
   };
   WireOp op;
   Kind kind = Kind::kRequest;

@@ -22,6 +22,10 @@ EventQueue::Callback EventQueue::pop(SimTime* at) {
 
 void EventQueue::clear() {
   heap_.clear();
+  // Reset the FIFO tie-break counter too: a cleared queue must behave like a
+  // freshly constructed one, or post-clear runs order same-time events
+  // differently from a fresh simulation.
+  next_seq_ = 0;
 }
 
 }  // namespace ragnar::sim

@@ -162,6 +162,9 @@ QueuePair::~QueuePair() {
 }
 
 PostResult QueuePair::post_recv(const RecvWr& wr) {
+  // SQE leaves the receive side live (IB SQ-error semantics); only a full
+  // ERR transition refuses receive work.
+  if (state_ == QpState::kErr) return PostResult::kQpError;
   if (ctx_.resolve_local(wr.local_addr, wr.length) == nullptr) {
     return PostResult::kBadLocalAddr;
   }
@@ -171,6 +174,7 @@ PostResult QueuePair::post_recv(const RecvWr& wr) {
 
 bool QueuePair::consume_recv(const std::uint8_t* data, std::uint32_t len,
                              sim::SimTime at) {
+  if (state_ == QpState::kErr) return false;  // responder RNR-NAKs the SEND
   if (recv_queue_.empty()) return false;
   const RecvWr rwr = recv_queue_.front();
   recv_queue_.pop_front();
@@ -217,10 +221,15 @@ ConnectResult QueuePair::connect(QueuePair& peer) {
   peer.connected_ = true;
   peer.peer_node_ = ctx_.device().node();
   peer.peer_qpn_ = qpn_;
+  state_ = QpState::kRts;
+  peer.state_ = QpState::kRts;
   return ConnectResult::kOk;
 }
 
 PostResult QueuePair::post_send(const SendWr& wr) {
+  if (state_ == QpState::kSqe || state_ == QpState::kErr) {
+    return PostResult::kQpError;
+  }
   if (!connected_) return PostResult::kNotConnected;
   if (outstanding_ >= cfg_.max_send_wr) return PostResult::kSqFull;
   std::uint8_t* local = nullptr;
@@ -241,8 +250,10 @@ PostResult QueuePair::post_send(const SendWr& wr) {
   p.length = wr.length;
   p.posted_at = ctx_.scheduler().now();
   p.queue_ahead = outstanding_;
-  pending_[internal_id] = p;
-  ++outstanding_;
+  p.local = local;
+  p.retries_left = cfg_.retry_cnt;
+  p.rnr_left = cfg_.rnr_retry;
+  p.cur_timeout = cfg_.timeout;
 
   rnic::WireOp op;
   op.op = to_wire(wr.opcode);
@@ -262,24 +273,155 @@ PostResult QueuePair::post_send(const SendWr& wr) {
       wr.opcode == WrOpcode::kCmpSwap ? wr.swap : wr.compare_add;
   op.atomic_compare = wr.compare_add;
 
+  p.op = op;
+  pending_[internal_id] = p;
+  ++outstanding_;
+
   ctx_.device().post(op, this, local);
+  arm_timer(internal_id);
   return PostResult::kOk;
+}
+
+void QueuePair::arm_timer(std::uint64_t id) {
+  if (cfg_.timeout == 0) return;  // reliability timer disabled
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const std::uint32_t attempt = it->second.attempt;
+  // Resolve the QP through the context registry at fire time: a timer that
+  // outlives its QP must be inert.
+  Context* ctx = &ctx_;
+  const std::uint32_t qpn = qpn_;
+  ctx_.scheduler().at(ctx_.scheduler().now() + it->second.cur_timeout,
+                      [ctx, qpn, id, attempt] {
+                        QueuePair* qp = ctx->find_qp(qpn);
+                        if (qp != nullptr) qp->on_transport_timeout(id, attempt);
+                      });
+}
+
+void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
+  if (state_ != QpState::kRts) return;
+  ++stats_.timeouts;
+  Pending& p = it->second;
+  if (p.retries_left == 0) {
+    fail_wqe(id, rnic::WcStatus::kRetryExcError, ctx_.scheduler().now());
+    return;
+  }
+  --p.retries_left;
+  ++p.attempt;          // invalidates the late ACK of the lost transmission
+  p.cur_timeout *= 2;   // exponential backoff
+  ++stats_.retransmits;
+  ctx_.device().post(p.op, this, p.local);
+  arm_timer(id);
+}
+
+void QueuePair::repost_after_rnr(std::uint64_t id, std::uint32_t attempt) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
+  if (state_ != QpState::kRts) return;  // flushed while backing off
+  ++stats_.rnr_retries;
+  ctx_.device().post(it->second.op, this, it->second.local);
+  arm_timer(id);
+}
+
+void QueuePair::fail_wqe(std::uint64_t id, rnic::WcStatus status,
+                         sim::SimTime at) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Wc wc;
+  wc.wr_id = it->second.user_wr_id;
+  wc.opcode = it->second.opcode;
+  wc.byte_len = it->second.length;
+  wc.posted_at = it->second.posted_at;
+  wc.queue_ahead = it->second.queue_ahead;
+  wc.status = status;
+  wc.completed_at = at;
+  pending_.erase(it);
+  if (outstanding_ > 0) --outstanding_;
+  cq_.push(wc);
+  // IB SQ-error semantics: the failing WQE carries its own status; every
+  // other outstanding send flushes and the SQ stops accepting work.
+  if (state_ == QpState::kRts) state_ = QpState::kSqe;
+  flush_sends(at);
+}
+
+void QueuePair::flush_sends(sim::SimTime at) {
+  // pending_ is keyed by monotonic internal id, so iteration = post order.
+  for (const auto& [id, p] : pending_) {
+    Wc wc;
+    wc.wr_id = p.user_wr_id;
+    wc.opcode = p.opcode;
+    wc.byte_len = p.length;
+    wc.posted_at = p.posted_at;
+    wc.queue_ahead = p.queue_ahead;
+    wc.status = rnic::WcStatus::kWrFlushErr;
+    wc.completed_at = at;
+    ++stats_.flushed;
+    cq_.push(wc);
+  }
+  pending_.clear();
+  outstanding_ = 0;
+}
+
+void QueuePair::modify_to_error() {
+  if (state_ == QpState::kErr) return;
+  state_ = QpState::kErr;
+  const sim::SimTime now = ctx_.scheduler().now();
+  flush_sends(now);
+  while (!recv_queue_.empty()) {
+    const RecvWr rwr = recv_queue_.front();
+    recv_queue_.pop_front();
+    Wc wc;
+    wc.wr_id = rwr.wr_id;
+    wc.opcode = WrOpcode::kRecv;
+    wc.status = rnic::WcStatus::kWrFlushErr;
+    wc.posted_at = now;
+    wc.completed_at = now;
+    ++stats_.flushed;
+    cq_.push(wc);
+  }
 }
 
 void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
                               sim::SimTime at, std::uint64_t /*atomic_result*/) {
   auto it = pending_.find(wr_id);
+  // Unknown id: a duplicate response after retransmission, or a WQE already
+  // flushed/failed.  The spec answer is to drop it, not fabricate a Wc.
+  if (it == pending_.end()) return;
+
+  if (status == rnic::WcStatus::kRnrNak) {
+    ++stats_.rnr_naks;
+    Pending& p = it->second;
+    if (p.rnr_left == 0) {
+      fail_wqe(wr_id, rnic::WcStatus::kRnrRetryExcError, at);
+      return;
+    }
+    --p.rnr_left;
+    ++p.attempt;  // cancels any transport timer armed for the NAKed attempt
+    // min_rnr_timer doubles per RNR already spent on this WQE.
+    const std::uint32_t used =
+        static_cast<std::uint32_t>(cfg_.rnr_retry - p.rnr_left);
+    const sim::SimDur backoff = cfg_.min_rnr_timer * (1ll << (used - 1));
+    Context* ctx = &ctx_;
+    const std::uint32_t qpn = qpn_;
+    const std::uint32_t attempt = p.attempt;
+    ctx_.scheduler().at(at + backoff, [ctx, qpn, wr_id, attempt] {
+      QueuePair* qp = ctx->find_qp(qpn);
+      if (qp != nullptr) qp->repost_after_rnr(wr_id, attempt);
+    });
+    return;
+  }
+
   Wc wc;
   wc.status = status;
   wc.completed_at = at;
-  if (it != pending_.end()) {
-    wc.wr_id = it->second.user_wr_id;
-    wc.opcode = it->second.opcode;
-    wc.byte_len = it->second.length;
-    wc.posted_at = it->second.posted_at;
-    wc.queue_ahead = it->second.queue_ahead;
-    pending_.erase(it);
-  }
+  wc.wr_id = it->second.user_wr_id;
+  wc.opcode = it->second.opcode;
+  wc.byte_len = it->second.length;
+  wc.posted_at = it->second.posted_at;
+  wc.queue_ahead = it->second.queue_ahead;
+  pending_.erase(it);
   if (outstanding_ > 0) --outstanding_;
   cq_.push(wc);
 }

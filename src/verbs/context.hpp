@@ -32,6 +32,14 @@ class QueuePair;
 struct QpConfig {
   std::uint32_t max_send_wr = 64;   // the paper's "max send queue size"
   rnic::TrafficClass tc = 0;
+
+  // IB CM reliability attributes.  `timeout` is the initial transport retry
+  // timer; 0 keeps the timer unarmed so fault-free runs schedule exactly the
+  // same events as before reliability existed (byte-identical figures).
+  sim::SimDur timeout = 0;
+  std::uint8_t retry_cnt = 7;       // transport retries before RETRY_EXC_ERR
+  std::uint8_t rnr_retry = 0;       // RNR retries before RNR_RETRY_EXC_ERR
+  sim::SimDur min_rnr_timer = sim::us(10);  // first RNR backoff (doubles)
 };
 
 // One host endpoint: owns a device attachment, the local virtual address
@@ -71,9 +79,15 @@ class Context {
   void note_qp_created() { ++active_qps_; }
   void note_qp_destroyed() { --active_qps_; }
 
-  // Internal: QP registry for inbound SEND delivery.
+  // Internal: QP registry for inbound SEND delivery and timer callbacks
+  // (timers resolve the QP through the registry so a fired timer whose QP
+  // has been destroyed is a no-op, never a use-after-free).
   void register_qp(std::uint32_t qpn, QueuePair* qp) { qp_registry_[qpn] = qp; }
   void unregister_qp(std::uint32_t qpn) { qp_registry_.erase(qpn); }
+  QueuePair* find_qp(std::uint32_t qpn) {
+    auto it = qp_registry_.find(qpn);
+    return it == qp_registry_.end() ? nullptr : it->second;
+  }
 
  private:
   struct LocalMap {
@@ -224,6 +238,12 @@ class QueuePair : public rnic::CompletionSink {
   void set_tc(rnic::TrafficClass tc) { cfg_.tc = tc; }
   std::uint32_t pdn() const { return pdn_; }
 
+  QpState state() const { return state_; }
+  const QpReliabilityStats& reliability() const { return stats_; }
+  // ibv_modify_qp(..., IBV_QPS_ERR): flush both queues, refuse new work,
+  // RNR-NAK inbound SENDs.
+  void modify_to_error();
+
   // rnic::CompletionSink
   void on_completion(std::uint64_t wr_id, rnic::WcStatus status,
                      sim::SimTime at, std::uint64_t atomic_result) override;
@@ -235,7 +255,25 @@ class QueuePair : public rnic::CompletionSink {
     std::uint32_t length;
     sim::SimTime posted_at;
     std::uint32_t queue_ahead;
+    // Retransmission state: the wire op and resolved local buffer let the
+    // QP replay the WQE through the full device pipeline.
+    rnic::WireOp op;
+    std::uint8_t* local = nullptr;
+    std::uint8_t retries_left = 0;
+    std::uint8_t rnr_left = 0;
+    // Bumped on every (re)transmission; timers and deferred reposts carry
+    // the attempt they were armed for and no-op on mismatch, so a late ACK
+    // for attempt N cannot race a timer armed for attempt N-1.
+    std::uint32_t attempt = 0;
+    sim::SimDur cur_timeout = 0;  // doubles per transport retry
   };
+
+  void arm_timer(std::uint64_t id);
+  void on_transport_timeout(std::uint64_t id, std::uint32_t attempt);
+  void repost_after_rnr(std::uint64_t id, std::uint32_t attempt);
+  // Complete WQE `id` with `status`, then SQE-transition and flush the rest.
+  void fail_wqe(std::uint64_t id, rnic::WcStatus status, sim::SimTime at);
+  void flush_sends(sim::SimTime at);
 
   Context& ctx_;
   CompletionQueue& cq_;
@@ -249,6 +287,8 @@ class QueuePair : public rnic::CompletionSink {
   std::uint64_t next_internal_id_ = 1;  // users may reuse wr_id freely
   std::map<std::uint64_t, Pending> pending_;  // internal id -> bookkeeping
   std::deque<RecvWr> recv_queue_;
+  QpState state_ = QpState::kInit;
+  QpReliabilityStats stats_;
 };
 
 }  // namespace ragnar::verbs

@@ -108,6 +108,7 @@ enum class PostResult : std::uint8_t {
   kSqFull,        // max_send_wr outstanding WQEs already posted
   kBadLocalAddr,  // local buffer not covered by a registered MR
   kNotConnected,
+  kQpError,       // QP is in SQE/ERR: flush-only, no new work accepted
 };
 
 inline const char* post_result_name(PostResult r) {
@@ -116,8 +117,46 @@ inline const char* post_result_name(PostResult r) {
     case PostResult::kSqFull: return "SQ_FULL";
     case PostResult::kBadLocalAddr: return "BAD_LOCAL_ADDR";
     case PostResult::kNotConnected: return "NOT_CONNECTED";
+    case PostResult::kQpError: return "QP_ERROR";
   }
   return "?";
 }
+
+// IB-style QP state machine (subset of ibv_qp_state).  A fresh QP is kInit;
+// connect() takes it to kRts.  A terminal send-side error (transport or RNR
+// retries exhausted) drops it to kSqe: the failing WQE completes with its
+// error status, every other outstanding send flushes with kWrFlushErr, and
+// new sends are refused — but the receive side keeps working, matching the
+// IB spec's SQ-error semantics.  modify_to_error() forces kErr, which also
+// flushes the receive queue and RNR-NAKs inbound SENDs.
+enum class QpState : std::uint8_t { kInit, kRts, kSqe, kErr };
+
+inline const char* qp_state_name(QpState s) {
+  switch (s) {
+    case QpState::kInit: return "INIT";
+    case QpState::kRts: return "RTS";
+    case QpState::kSqe: return "SQE";
+    case QpState::kErr: return "ERR";
+  }
+  return "?";
+}
+
+// Per-QP reliability accounting (surfaced per trial by the sweep harness).
+struct QpReliabilityStats {
+  std::uint64_t timeouts = 0;      // transport-timer expirations
+  std::uint64_t retransmits = 0;   // WQEs re-posted after a timeout
+  std::uint64_t rnr_naks = 0;      // RNR NAKs received
+  std::uint64_t rnr_retries = 0;   // WQEs re-posted after RNR backoff
+  std::uint64_t flushed = 0;       // WQEs completed with kWrFlushErr
+
+  QpReliabilityStats& operator+=(const QpReliabilityStats& o) {
+    timeouts += o.timeouts;
+    retransmits += o.retransmits;
+    rnr_naks += o.rnr_naks;
+    rnr_retries += o.rnr_retries;
+    flushed += o.flushed;
+    return *this;
+  }
+};
 
 }  // namespace ragnar::verbs

@@ -136,6 +136,98 @@ TEST(EccTransmit, BurstBeyondDepthLeavesResidual) {
   EXPECT_GT(run.residual_error(), 0.0);
 }
 
+TEST(Interleaver, RoundTripAtNonDividingDepths) {
+  // Depths that do not divide the bit count force a padded block; the
+  // payload prefix must still round-trip exactly and the padding must be
+  // zeros (framing relies on both).
+  sim::Xoshiro256 rng(8);
+  for (std::size_t depth : {3u, 5u, 6u, 9u, 11u}) {
+    for (std::size_t n : {7u, 20u, 29u}) {
+      const auto bits = random_bits(n, rng);
+      const auto inter = interleave(bits, depth);
+      const std::size_t cols = (n + depth - 1) / depth;
+      ASSERT_EQ(inter.size(), depth * cols)
+          << "depth " << depth << " n " << n;
+      const auto de = deinterleave(inter, depth);
+      ASSERT_EQ(de.size(), inter.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(de[i], bits[i]) << "depth " << depth << " n " << n;
+      }
+      for (std::size_t i = n; i < de.size(); ++i) {
+        EXPECT_EQ(de[i], 0) << "pad at " << i;
+      }
+    }
+  }
+}
+
+TEST(EccTransmit, CodewordAlignedDepthAbsorbsAFullColumnBurst) {
+  // 28 data bits -> 7 codewords; depth 7 makes wire position j of column c
+  // belong to codeword j, so ANY 7 contiguous wire flips hit 7 distinct
+  // codewords: one correctable error each, zero residual.  This is the
+  // alignment FrameConfig's defaults are built on.
+  sim::Xoshiro256 rng(9);
+  const auto data = random_bits(28, rng);
+  const std::size_t wire_bits = 49;
+  for (std::size_t at = 0; at + 7 <= wire_bits; ++at) {
+    const auto run = transmit_with_ecc(
+        [at](const std::vector<int>& w) { return burst_channel(w, at, 7); },
+        data, /*interleave_depth=*/7);
+    EXPECT_EQ(run.residual_error(), 0.0) << "burst at wire offset " << at;
+    EXPECT_EQ(run.codewords_corrected, 7u) << "burst at wire offset " << at;
+  }
+}
+
+TEST(Hamming74Erasures, RecoversTwoErasuresPerCodeword) {
+  // Distance 3 corrects 2 erasures where plain decoding corrects only 1
+  // error.  Blank every pair of positions in turn and demand exact
+  // recovery.
+  sim::Xoshiro256 rng(10);
+  const auto data = random_bits(4, rng);
+  const auto coded = hamming74_encode(data);
+  for (std::size_t a = 0; a < 7; ++a) {
+    for (std::size_t b = a + 1; b < 7; ++b) {
+      auto corrupted = coded;
+      corrupted[a] ^= 1;  // worst case: the erased bits really are wrong
+      corrupted[b] ^= 1;
+      std::vector<int> erased(7, 0);
+      erased[a] = erased[b] = 1;
+      std::size_t corrected = 0;
+      const auto decoded =
+          hamming74_decode_erasures(corrupted, erased, &corrected);
+      EXPECT_EQ(corrected, 1u);
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(decoded[i], data[i]) << "erasures at " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Hamming74Erasures, NoErasuresFallsBackToPlainDecode) {
+  sim::Xoshiro256 rng(11);
+  const auto data = random_bits(8, rng);
+  auto coded = hamming74_encode(data);
+  coded[2] ^= 1;  // single hard error, no erasure marks
+  std::size_t corrected = 0;
+  const auto decoded =
+      hamming74_decode_erasures(coded, /*erased=*/{}, &corrected);
+  EXPECT_EQ(corrected, 1u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(decoded[i], data[i]);
+  }
+}
+
+TEST(Hamming74Erasures, ErasureMarksOnCorrectBitsAreHarmless) {
+  // The demodulator may flag a window as an outage even when the nearest
+  // level happened to be right; the erasure fill must reconstruct it.
+  sim::Xoshiro256 rng(12);
+  const auto data = random_bits(4, rng);
+  const auto coded = hamming74_encode(data);
+  std::vector<int> erased(7, 0);
+  erased[1] = erased[4] = 1;  // marked but NOT flipped
+  const auto decoded = hamming74_decode_erasures(coded, erased);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(decoded[i], data[i]);
+}
+
 TEST(EccTransmit, GoodputAccountsForCodeRate) {
   sim::Xoshiro256 rng(7);
   const auto data = random_bits(56, rng);

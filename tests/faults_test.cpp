@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "covert/framing.hpp"
+#include "covert/priority_channel.hpp"
+#include "faults/faults.hpp"
+#include "revng/testbed.hpp"
+#include "verbs/context.hpp"
+
+namespace ragnar::faults {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DisabledPlanDeliversEverything) {
+  FaultInjector inj{FaultPlan{}};
+  for (int i = 0; i < 100; ++i) {
+    const Decision d = inj.decide(0, 1, 0, sim::us(i));
+    EXPECT_EQ(d.verdict, Verdict::kDeliver);
+    EXPECT_EQ(d.extra_delay, 0);
+  }
+  EXPECT_EQ(inj.stats().delivered, 100u);
+  EXPECT_EQ(inj.stats().total_lost(), 0u);
+}
+
+TEST(FaultInjector, SameSeedYieldsSameVerdicts) {
+  const FaultPlan plan = FaultPlan::bursty_loss(0.10, sim::us(500), 42);
+  FaultInjector a{plan}, b{plan};
+  for (int i = 0; i < 5000; ++i) {
+    const sim::SimTime t = sim::us(i);
+    EXPECT_EQ(static_cast<int>(a.decide(0, 1, 0, t).verdict),
+              static_cast<int>(b.decide(0, 1, 0, t).verdict))
+        << "diverged at message " << i;
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().ge_bad_steps, b.stats().ge_bad_steps);
+}
+
+TEST(FaultInjector, UniformLossHitsConfiguredRate) {
+  FaultInjector inj{FaultPlan::uniform_loss(0.3, 7)};
+  for (int i = 0; i < 10000; ++i) inj.decide(0, 1, 0, sim::us(i));
+  EXPECT_NEAR(inj.stats().loss_rate(), 0.3, 0.03);
+}
+
+TEST(FaultInjector, GilbertElliottLossComesInBursts) {
+  // Same long-run loss, two shapes: independent drops vs a burst chain.
+  // The burst chain must produce long consecutive-drop runs; independent
+  // drops at 10% essentially never run 50 deep.
+  const int kMsgs = 50000;
+  auto max_drop_run = [&](FaultInjector& inj) {
+    int run = 0, best = 0;
+    for (int i = 0; i < kMsgs; ++i) {
+      if (inj.decide(0, 1, 0, sim::us(i)).verdict != Verdict::kDeliver) {
+        best = std::max(best, ++run);
+      } else {
+        run = 0;
+      }
+    }
+    return best;
+  };
+  FaultInjector bursty{FaultPlan::bursty_loss(0.10, sim::us(500), 11)};
+  FaultInjector uniform{FaultPlan::uniform_loss(0.10, 11)};
+  EXPECT_GE(max_drop_run(bursty), 50);
+  EXPECT_LT(max_drop_run(uniform), 50);
+  // Dwell accounting: the chain spent roughly the target fraction of time
+  // in the bad state (loose bounds; one trajectory, not an ensemble).
+  EXPECT_GT(bursty.stats().outage_fraction(), 0.03);
+  EXPECT_LT(bursty.stats().outage_fraction(), 0.30);
+}
+
+TEST(FaultInjector, FlapWindowIsDeterministic) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.flaps.push_back({sim::us(10), sim::us(20)});
+  FaultInjector inj{plan};
+  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(5)).verdict, Verdict::kDeliver);
+  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(10)).verdict, Verdict::kFlapDrop);
+  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(15)).verdict, Verdict::kFlapDrop);
+  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(20)).verdict, Verdict::kDeliver);
+  EXPECT_EQ(inj.stats().flap_dropped, 2u);
+}
+
+TEST(FaultInjector, TenantScopingSparesBystanders) {
+  FaultPlan plan = FaultPlan::uniform_loss(1.0, 3);
+  plan.scoped_tenants = {3};
+  FaultInjector inj{plan};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(inj.decide(0, 1, /*requester=*/3, sim::us(i)).verdict,
+              Verdict::kDrop);
+    EXPECT_EQ(inj.decide(0, 1, /*requester=*/2, sim::us(i)).verdict,
+              Verdict::kDeliver);
+  }
+  EXPECT_EQ(inj.stats().dropped, 20u);
+  EXPECT_EQ(inj.stats().delivered, 20u);
+}
+
+TEST(FaultInjector, CorruptionIsCountedSeparately) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.corrupt_p = 1.0;
+  FaultInjector inj{plan};
+  EXPECT_EQ(inj.decide(0, 1, 0, 0).verdict, Verdict::kCorrupt);
+  EXPECT_EQ(inj.stats().corrupted, 1u);
+  EXPECT_EQ(inj.stats().dropped, 0u);
+  EXPECT_EQ(inj.stats().total_lost(), 1u);
+}
+
+TEST(FaultInjector, ReorderDelaysButDelivers) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.reorder_p = 1.0;
+  plan.reorder_delay_max = sim::us(5);
+  FaultInjector inj{plan};
+  for (int i = 0; i < 50; ++i) {
+    const Decision d = inj.decide(0, 1, 0, sim::us(i));
+    EXPECT_EQ(d.verdict, Verdict::kDeliver);
+    EXPECT_LE(d.extra_delay, sim::us(5));
+  }
+  EXPECT_EQ(inj.stats().reordered, 50u);
+  EXPECT_EQ(inj.stats().delivered, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric + verbs reliability integration
+// ---------------------------------------------------------------------------
+
+struct FaultFixture : public ::testing::Test {
+  revng::Testbed bed{rnic::DeviceModel::kCX5, 901, 1};
+
+  revng::Testbed::Connection connect_with(const verbs::QpConfig& cfg) {
+    return bed.connect(0, 1, cfg, 1u << 16);
+  }
+
+  static verbs::SendWr write_wr(const revng::Testbed::Connection& conn,
+                                const verbs::MemoryRegion& server_mr,
+                                std::uint64_t wr_id) {
+    verbs::SendWr w;
+    w.wr_id = wr_id;
+    w.opcode = verbs::WrOpcode::kRdmaWrite;
+    w.local_addr = conn.client_mr->addr();
+    w.length = 256;
+    w.remote_addr = server_mr.addr();
+    w.rkey = server_mr.rkey();
+    return w;
+  }
+};
+
+TEST_F(FaultFixture, LossyFabricStrandsWqeWithoutRetry) {
+  // timeout = 0 keeps the transport timer unarmed: a dropped request means
+  // the WQE never completes (the pre-reliability failure mode).
+  faults::FaultPlan plan = FaultPlan::uniform_loss(1.0, 5);
+  bed.fabric().set_fault_plan(plan);
+  auto conn = connect_with(verbs::QpConfig{});
+  auto server_mr = conn.server_pd->register_mr(1 << 16);
+
+  ASSERT_EQ(conn.qp().post_send(write_wr(conn, *server_mr, 1)),
+            verbs::PostResult::kOk);
+  bed.sched().run_until_idle();
+  verbs::Wc wc;
+  EXPECT_FALSE(conn.cq().poll_one(&wc));
+  EXPECT_GE(bed.fabric().fault_stats().dropped, 1u);
+
+  // modify_to_error recovers the stranded WQE as a flush completion.
+  conn.qp().modify_to_error();
+  ASSERT_TRUE(conn.cq().poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kWrFlushErr);
+  EXPECT_EQ(conn.qp().state(), verbs::QpState::kErr);
+}
+
+TEST_F(FaultFixture, DroppedRequestIsRetriedToSuccess) {
+  // A link flap swallows the first transmission; the transport retry timer
+  // fires after the flap has cleared and the retransmission succeeds.
+  faults::FaultPlan plan;
+  plan.enabled = true;
+  plan.flaps.push_back({0, sim::us(20)});
+  bed.fabric().set_fault_plan(plan);
+
+  verbs::QpConfig cfg;
+  cfg.timeout = sim::us(50);
+  cfg.retry_cnt = 7;
+  auto conn = connect_with(cfg);
+  auto server_mr = conn.server_pd->register_mr(1 << 16);
+  std::memset(conn.client_mr->data(), 0xab, 256);
+
+  ASSERT_EQ(conn.qp().post_send(write_wr(conn, *server_mr, 9)),
+            verbs::PostResult::kOk);
+  ASSERT_TRUE(conn.cq().run_until_available(1));
+  verbs::Wc wc;
+  ASSERT_TRUE(conn.cq().poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(wc.wr_id, 9u);
+  EXPECT_EQ(server_mr->data()[0], 0xab);
+
+  const verbs::QpReliabilityStats& rs = conn.qp().reliability();
+  EXPECT_EQ(rs.timeouts, 1u);
+  EXPECT_EQ(rs.retransmits, 1u);
+  EXPECT_GE(bed.fabric().fault_stats().flap_dropped, 1u);
+  EXPECT_EQ(conn.qp().state(), verbs::QpState::kRts);
+}
+
+TEST_F(FaultFixture, RetryExhaustionFailsWqeAndFlushesQueue) {
+  // The link never comes back: retry_cnt retransmissions burn down, the
+  // failing WQE completes with RETRY_EXC_ERR, the QP drops to SQE, and the
+  // rest of the send queue flushes.
+  faults::FaultPlan plan;
+  plan.enabled = true;
+  plan.flaps.push_back({0, sim::ms(100)});
+  bed.fabric().set_fault_plan(plan);
+
+  verbs::QpConfig cfg;
+  cfg.timeout = sim::us(10);
+  cfg.retry_cnt = 2;
+  auto conn = connect_with(cfg);
+  auto server_mr = conn.server_pd->register_mr(1 << 16);
+
+  ASSERT_EQ(conn.qp().post_send(write_wr(conn, *server_mr, 1)),
+            verbs::PostResult::kOk);
+  ASSERT_EQ(conn.qp().post_send(write_wr(conn, *server_mr, 2)),
+            verbs::PostResult::kOk);
+  ASSERT_TRUE(conn.cq().run_until_available(2));
+
+  verbs::Wc first, second;
+  ASSERT_TRUE(conn.cq().poll_one(&first));
+  ASSERT_TRUE(conn.cq().poll_one(&second));
+  EXPECT_EQ(first.wr_id, 1u);
+  EXPECT_EQ(first.status, rnic::WcStatus::kRetryExcError);
+  EXPECT_EQ(second.wr_id, 2u);
+  EXPECT_EQ(second.status, rnic::WcStatus::kWrFlushErr);
+
+  EXPECT_EQ(conn.qp().state(), verbs::QpState::kSqe);
+  const verbs::QpReliabilityStats& rs = conn.qp().reliability();
+  // retry_cnt exhausted on the first WQE; the second may also have burned
+  // retries while in flight before the flush caught it.
+  EXPECT_GE(rs.retransmits, 2u);
+  EXPECT_GE(rs.flushed, 1u);
+
+  // SQE rejects further sends until the QP is reset (not modeled) ...
+  EXPECT_EQ(conn.qp().post_send(write_wr(conn, *server_mr, 3)),
+            verbs::PostResult::kQpError);
+  // ... but the receive side of SQE stays usable per the IB spec split
+  // between SQE and ERR.
+  verbs::RecvWr rwr;
+  rwr.local_addr = conn.client_mr->addr();
+  rwr.length = 64;
+  EXPECT_EQ(conn.qp().post_recv(rwr), verbs::PostResult::kOk);
+}
+
+TEST_F(FaultFixture, RnrNakRetriesAfterBackoffAndSucceeds) {
+  // SEND into a bare receive queue draws an RNR NAK; the responder posts a
+  // buffer during the backoff window and the RNR retry lands.
+  verbs::QpConfig cfg;
+  cfg.rnr_retry = 3;
+  cfg.min_rnr_timer = sim::us(10);
+  auto conn = connect_with(cfg);
+  auto server_buf = conn.server_pd->register_mr(1 << 16);
+  verbs::QueuePair& server_qp = *conn.server_qps.at(0);
+
+  const char msg[] = "retry me";
+  std::memcpy(conn.client_mr->data(), msg, sizeof msg);
+  verbs::SendWr swr;
+  swr.wr_id = 4;
+  swr.opcode = verbs::WrOpcode::kSend;
+  swr.local_addr = conn.client_mr->addr();
+  swr.length = sizeof msg;
+  ASSERT_EQ(conn.qp().post_send(swr), verbs::PostResult::kOk);
+
+  bed.sched().after(sim::us(15), [&] {
+    verbs::RecvWr rwr;
+    rwr.wr_id = 70;
+    rwr.local_addr = server_buf->addr();
+    rwr.length = 256;
+    ASSERT_EQ(server_qp.post_recv(rwr), verbs::PostResult::kOk);
+  });
+
+  ASSERT_TRUE(conn.cq().run_until_available(1));
+  verbs::Wc wc;
+  ASSERT_TRUE(conn.cq().poll_one(&wc));
+  EXPECT_EQ(wc.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(conn.qp().state(), verbs::QpState::kRts);
+
+  const verbs::QpReliabilityStats& rs = conn.qp().reliability();
+  EXPECT_GE(rs.rnr_naks, 1u);
+  EXPECT_GE(rs.rnr_retries, 1u);
+
+  bed.sched().run_until_idle();
+  verbs::Wc rwc;
+  ASSERT_TRUE(conn.server_cq->poll_one(&rwc));
+  EXPECT_EQ(rwc.status, rnic::WcStatus::kSuccess);
+  EXPECT_STREQ(reinterpret_cast<const char*>(server_buf->data()), msg);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant covert framing vs raw decoding on the same lossy fabric
+// ---------------------------------------------------------------------------
+
+TEST(FramedCovert, FramingBeatsRawDecodingAtTwoPercentLoss) {
+  // Deterministic ~2% loss: a 300 us link flap every 15 ms, stepped so the
+  // outages drift across bit-window phases.  Raw decoding accumulates
+  // residual bit errors above 1%; the framed path (per-segment resync +
+  // outage erasures + interleaved Hamming) recovers the payload below 1%.
+  auto flap_plan = [] {
+    faults::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 77;
+    for (sim::SimTime t = sim::ms(5); t < sim::ms(450); t += sim::ms(15)) {
+      plan.flaps.push_back({t, t + sim::us(300)});
+    }
+    return plan;
+  };
+  auto make_channel = [&] {
+    covert::PriorityChannelConfig cfg;
+    cfg.model = rnic::DeviceModel::kCX5;
+    cfg.seed = 33;
+    cfg.fault_plan = flap_plan();
+    cfg.qp_timeout = sim::us(500);
+    cfg.qp_retry_cnt = 7;
+    return cfg;
+  };
+  sim::Xoshiro256 rng(33);
+  const std::vector<int> data = covert::random_bits(56, rng);
+
+  covert::PriorityCovertChannel raw_ch(make_channel());
+  const covert::ChannelRun raw = raw_ch.transmit(data);
+
+  covert::PriorityCovertChannel framed_ch(make_channel());
+  const covert::FramedRun framed = covert::transmit_framed(
+      [&framed_ch](const std::vector<int>& bits) {
+        return framed_ch.transmit(bits);
+      },
+      data);
+
+  EXPECT_GT(raw.error_rate(), 0.01);
+  EXPECT_LT(framed.residual_error(), 0.01);
+  EXPECT_GT(framed.codewords_corrected, 0u);
+  // Both runs actually suffered injected loss and recovered via retries.
+  EXPECT_GE(raw_ch.fault_stats().flap_dropped, 1u);
+  EXPECT_GE(framed_ch.fault_stats().flap_dropped, 1u);
+  EXPECT_GE(framed_ch.reliability_stats().retransmits, 1u);
+}
+
+}  // namespace
+}  // namespace ragnar::faults

@@ -57,7 +57,10 @@ TEST_F(SendRecvFixture, SendDeliversIntoPostedRecv) {
   EXPECT_EQ(server_qp().recv_outstanding(), 0u);
 }
 
-TEST_F(SendRecvFixture, SendWithoutRecvIsNaked) {
+TEST_F(SendRecvFixture, SendWithoutRecvExhaustsRnrRetries) {
+  // With the default rnr_retry = 0, the first RNR NAK is terminal: the WQE
+  // completes RNR_RETRY_EXC_ERR (never the raw wire-level RNR_NAK) and the
+  // QP drops to SQE.
   SendWr swr;
   swr.opcode = WrOpcode::kSend;
   swr.local_addr = conn.client_mr->addr();
@@ -66,7 +69,11 @@ TEST_F(SendRecvFixture, SendWithoutRecvIsNaked) {
   ASSERT_TRUE(conn.cq().run_until_available(1));
   Wc wc;
   ASSERT_TRUE(conn.cq().poll_one(&wc));
-  EXPECT_EQ(wc.status, rnic::WcStatus::kRemoteInvalidRequest);
+  EXPECT_EQ(wc.status, rnic::WcStatus::kRnrRetryExcError);
+  EXPECT_EQ(client_qp().state(), QpState::kSqe);
+  EXPECT_EQ(client_qp().reliability().rnr_naks, 1u);
+  // SQE refuses new sends until the QP is torn down / reset.
+  EXPECT_EQ(client_qp().post_send(swr), PostResult::kQpError);
 }
 
 TEST_F(SendRecvFixture, RecvsConsumeInFifoOrder) {

@@ -241,6 +241,34 @@ TEST(EventQueue, FifoTieBreak) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, ClearResetsToFreshState) {
+  // clear() must reset the FIFO tie-break sequence along with the heap: a
+  // cleared queue has to order same-time events exactly like a fresh one
+  // (a stale sequence counter would still order correctly but would break
+  // determinism against a run that started from a new queue).
+  EventQueue used;
+  for (int i = 0; i < 10; ++i) used.push(5, [] {});
+  used.pop(nullptr);
+  used.clear();
+  EXPECT_TRUE(used.empty());
+  EXPECT_EQ(used.size(), 0u);
+
+  EventQueue fresh;
+  std::vector<int> used_order, fresh_order;
+  for (int i = 0; i < 10; ++i) {
+    used.push(7, [&used_order, i] { used_order.push_back(i); });
+    fresh.push(7, [&fresh_order, i] { fresh_order.push_back(i); });
+  }
+  while (!used.empty()) {
+    SimTime tu = 0, tf = 0;
+    used.pop(&tu)();
+    fresh.pop(&tf)();
+    EXPECT_EQ(tu, tf);
+  }
+  EXPECT_EQ(used_order, fresh_order);
+  EXPECT_EQ(fresh_order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
 TEST(Scheduler, AdvancesClock) {
   Scheduler s;
   SimTime seen = 0;
