@@ -11,7 +11,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("covert channel vs bystander count",
                 "error / effective bandwidth as the server gets crowded",
                 args);

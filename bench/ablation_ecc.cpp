@@ -14,7 +14,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ECC framing over the Grain-IV channel",
                 "Hamming(7,4) + interleaving vs the raw channel", args);
 

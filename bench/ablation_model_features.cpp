@@ -120,7 +120,7 @@ Kf1aResult kf1a(const rnic::DeviceProfile& prof, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("model-feature ablation",
                 "remove one mechanism, watch its finding collapse", args);
   const auto base = rnic::make_profile(rnic::DeviceModel::kCX4);

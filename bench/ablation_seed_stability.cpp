@@ -16,7 +16,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("seed stability of the covert-channel results",
                 "Table V cells across independent seeds", args);
 

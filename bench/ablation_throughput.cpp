@@ -32,7 +32,7 @@ double run_flow(rnic::DeviceModel model, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("throughput scaling (model validation)",
                 "msg-size and QP-count curves per device", args);
 

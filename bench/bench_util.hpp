@@ -5,19 +5,25 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/harness.hpp"
+#include "obs/obs.hpp"
 #include "rnic/device_profile.hpp"
 
 // Shared plumbing for the experiment-reproduction binaries in bench/.
-// Every binary accepts:
+// Every binary accepts one flag set, parsed into one BenchOptions struct:
 //   --seed N    experiment seed (default 2024)
 //   --full      paper-scale parameters (default: reduced but shape-complete)
 //   --csv DIR   also dump raw series as CSV files into DIR
 //   --jobs N    worker threads for sweep execution (default: hardware
 //               concurrency; results are bit-identical for any N)
 //   --json F    dump the harness trial report as JSON to file F
+//   --trace F   arm the observability subsystem and write a Chrome
+//               trace_event JSON (chrome://tracing / ui.perfetto.dev) to F.
+//               Without it no obs::Hub exists anywhere, so stdout/CSV output
+//               is byte-identical to a build without the obs subsystem.
 namespace ragnar::bench {
 
 // Strict unsigned-decimal parse for flag values.  Rejects empty strings,
@@ -36,21 +42,76 @@ inline bool parse_u64_strict(const char* text, std::uint64_t* out) {
   return true;
 }
 
-struct Args {
+namespace detail {
+
+// Process-wide trace state for --trace: a hub installed on the main thread
+// (pid 0 in the merged trace) plus the per-trial events drained from every
+// run_sweep() call (pid = running trial number).  Written once at exit.
+struct ProcessTrace {
+  obs::Hub* hub = nullptr;
+  std::string path;
+  std::vector<obs::TraceEvent> sweep_events;
+  std::uint64_t sweep_dropped = 0;
+  std::uint32_t next_pid = 1;  // pid assignment across successive sweeps
+};
+
+inline ProcessTrace& process_trace() {
+  static ProcessTrace t;
+  return t;
+}
+
+inline void write_process_trace() {
+  ProcessTrace& pt = process_trace();
+  std::vector<obs::TraceEvent> all;
+  std::uint64_t dropped = pt.sweep_dropped;
+  if (pt.hub != nullptr && pt.hub->tracer() != nullptr) {
+    dropped += pt.hub->tracer()->dropped();
+    all = pt.hub->tracer()->take();  // main-thread events keep pid 0
+  }
+  all.insert(all.end(), pt.sweep_events.begin(), pt.sweep_events.end());
+  if (obs::write_chrome_trace(pt.path, all, dropped)) {
+    std::fprintf(stderr, "[obs] wrote Chrome trace %s (%zu events, %llu dropped)\n",
+                 pt.path.c_str(), all.size(),
+                 static_cast<unsigned long long>(dropped));
+  } else {
+    std::fprintf(stderr, "[obs] WARNING: could not write Chrome trace %s\n",
+                 pt.path.c_str());
+  }
+}
+
+// Install the process-wide hub (main thread) and register the exit-time
+// trace writer.  Idempotent; called by BenchOptions::parse for --trace.
+inline void arm_process_trace(const std::string& path) {
+  ProcessTrace& pt = process_trace();
+  if (pt.hub != nullptr) return;
+  pt.path = path;
+  obs::Hub::Config cfg;
+  cfg.tracing = true;
+  cfg.trace_capacity = 1 << 16;
+  pt.hub = new obs::Hub(cfg);
+  obs::install(pt.hub);
+  std::atexit([] { write_process_trace(); });
+}
+
+}  // namespace detail
+
+struct BenchOptions {
   std::uint64_t seed = 2024;
   bool full = false;
   std::string csv_dir;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string json_path;
+  std::string trace_path;  // non-empty = observability armed
 
-  static Args parse(int argc, char** argv) {
-    Args a;
+  static constexpr const char* kUsage =
+      "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F] "
+      "[--trace F]\n";
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions a;
     auto die = [&](const std::string& why) {
       std::fprintf(stderr, "%s: error: %s\n", argv[0], why.c_str());
-      std::fprintf(
-          stderr,
-          "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F]\n",
-          argv[0]);
+      std::fprintf(stderr, kUsage, argv[0]);
       std::exit(2);
     };
     // Accepts both "--flag value" and "--flag=value" spellings; numeric
@@ -87,15 +148,16 @@ struct Args {
         a.jobs = static_cast<std::size_t>(numeric(&i, "--jobs"));
       } else if (matches(argv[i], "--json")) {
         a.json_path = value_of(&i, "--json");
+      } else if (matches(argv[i], "--trace")) {
+        a.trace_path = value_of(&i, "--trace");
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--seed N] [--full] [--csv DIR] [--jobs N] [--json F]\n",
-            argv[0]);
+        std::printf(kUsage, argv[0]);
         std::exit(0);
       } else {
         die(std::string("unknown argument '") + argv[i] + "'");
       }
     }
+    if (!a.trace_path.empty()) detail::arm_process_trace(a.trace_path);
     return a;
   }
 
@@ -103,16 +165,23 @@ struct Args {
     harness::SweepRunner::Options o;
     o.jobs = jobs;
     o.base_seed = seed;
+    // --trace arms the full observability stack per trial; off by default
+    // so the trial closures schedule the exact pre-obs event sequence.
+    o.obs = !trace_path.empty();
+    o.trace = o.obs;
     return o;
   }
 };
+
+// The PR 1 name; BenchOptions is the PR 3 spelling.  Kept for one PR.
+using Args = BenchOptions;
 
 inline const rnic::DeviceModel kAllDevices[] = {rnic::DeviceModel::kCX4,
                                                 rnic::DeviceModel::kCX5,
                                                 rnic::DeviceModel::kCX6};
 
 inline void header(const char* experiment, const char* paper_ref,
-                   const Args& args) {
+                   const BenchOptions& args) {
   std::printf("================================================================\n");
   std::printf("RAGNAR reproduction | %s\n", experiment);
   std::printf("paper reference     | %s\n", paper_ref);
@@ -127,8 +196,22 @@ inline void header(const char* experiment, const char* paper_ref,
 // --jobs values) plus the optional --csv/--json dumps, and hand back the
 // in-order results.
 inline harness::SweepReport run_sweep(harness::SweepRunner& sweep,
-                                      const Args& args, const char* name) {
+                                      const BenchOptions& args,
+                                      const char* name) {
   const auto report = sweep.run(args.sweep_options());
+  if (!args.trace_path.empty()) {
+    // Fold this sweep's per-trial events into the process trace, one
+    // Chrome-trace pid per trial, numbered across successive sweeps.
+    detail::ProcessTrace& pt = detail::process_trace();
+    for (const auto& t : report.trials) {
+      pt.sweep_dropped += t.trace_dropped;
+      for (obs::TraceEvent ev : t.trace) {
+        ev.pid = pt.next_pid + static_cast<std::uint32_t>(t.index);
+        pt.sweep_events.push_back(std::move(ev));
+      }
+    }
+    pt.next_pid += static_cast<std::uint32_t>(report.trials.size());
+  }
   std::fprintf(stderr,
                "[harness] %s: %zu trials on %zu jobs, wall %.0f ms "
                "(serial-equivalent %.0f ms, speedup %.2fx)\n",

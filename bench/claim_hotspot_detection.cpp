@@ -13,7 +13,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("KV-store hotspot detection (section VI motivation)",
                 "Zipfian victim; attacker recovers the hot record", args);
 

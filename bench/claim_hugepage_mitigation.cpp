@@ -14,7 +14,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("huge-page mitigation: Pythia vs Ragnar (Table I)",
                 "page-granular persistent attack dies, offset-granular "
                 "volatile attack does not",

@@ -82,7 +82,7 @@ CoarseResult run_coarse_observer(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("coarse PCIe-contention baseline (Kim, Table I)",
                 "activity windows vs Ragnar's 64 B address recovery", args);
 

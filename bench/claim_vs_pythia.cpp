@@ -11,7 +11,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("Ragnar vs Pythia covert bandwidth (CX-5)",
                 "paper: 63.6 Kbps vs 20 Kbps => 3.2x", args);
 

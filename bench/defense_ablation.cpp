@@ -55,7 +55,7 @@ struct PartitionResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("defense ablation (Table I / section VII)",
                 "HARMONIC-style Grain-I/II/III monitor + noise mitigation",
                 args);

@@ -29,7 +29,7 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header(
       "fault sweep: covert goodput vs injected loss",
       "Gilbert-Elliott burst loss on the fabric; QP transport retry keeps "

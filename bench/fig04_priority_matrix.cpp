@@ -56,7 +56,7 @@ std::string flow_name(const FlowSpec& f) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("traffic-priority contention matrix (Fig 4)",
                 "pairwise flow contention, CX-4, ETS 50/50", args);
 

@@ -12,7 +12,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ULI vs same/different remote MR vs message size (Fig 5)",
                 "alternating 0@MR#0 with 1024@MR#0 / 1024@MR#1, CX-4 READs",
                 args);

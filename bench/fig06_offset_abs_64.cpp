@@ -12,7 +12,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ULI vs absolute offset, 64 B READs (Fig 6)",
                 "CX-4, same MR, single swept target", args);
 

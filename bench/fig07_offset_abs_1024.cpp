@@ -11,7 +11,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ULI vs absolute offset, 1024 B READs (Fig 7)",
                 "CX-4, same MR, single swept target", args);
 

@@ -12,7 +12,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ULI vs relative offset, 64 B READs (Fig 8)",
                 "CX-4, same MR, alternating base and base+delta", args);
 

@@ -15,7 +15,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("priority-based covert channel (Fig 9 / Table V col 1)",
                 "Tx: 128 B (bit 1) vs 2048 B (bit 0) WRITEs; Rx: monitored "
                 "small-READ bandwidth",

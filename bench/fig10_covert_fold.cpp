@@ -11,7 +11,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("folded ULI of the inter-MR channel (Fig 10)",
                 "1024 B READ, max send queue 256, CX-4, alternating bits",
                 args);

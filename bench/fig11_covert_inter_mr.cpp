@@ -11,7 +11,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("inter-MR resource-based channel (Fig 11)",
                 "best params per device (footnote 10); folded two-bit period",
                 args);

@@ -36,7 +36,7 @@ std::vector<double> record(rnic::DeviceModel model, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("shuffle/join fingerprint (Fig 12, Algorithm 1)",
                 "attacker-monitored bandwidth under DB operators, CX-4",
                 args);

@@ -15,7 +15,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("disaggregated-memory address snoop (Fig 13)",
                 "17 candidates x 257-point ULI traces; classifier accuracy "
                 "(paper: 95.6%)",

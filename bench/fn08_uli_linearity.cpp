@@ -10,7 +10,7 @@
 using namespace ragnar;
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("ULI linearity (footnote 8)",
                 "Lat_total vs send-queue occupancy; Pearson ~= 0.9998", args);
 

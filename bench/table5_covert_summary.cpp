@@ -28,7 +28,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::Args::parse(argc, argv);
+  const auto args = bench::BenchOptions::parse(argc, argv);
   bench::header("covert-channel evaluation matrix (Table V)",
                 "3 channels x CX-4/5/6: bandwidth / error / effective", args);
 

@@ -77,7 +77,10 @@ UliCovertChannel::UliCovertChannel(const UliChannelConfig& cfg)
   tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
   tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
   rx_conn_ = bed_.connect(1, /*qp_count=*/2, cfg_.rx_queue_depth, /*tc=*/1);
-  bed_.server().device().set_responder_noise(cfg_.responder_noise);
+  rnic::Rnic& dev = bed_.server().device();
+  rnic::RuntimeConfig rt = dev.runtime_config();
+  rt.responder_noise = cfg_.responder_noise;
+  dev.configure(rt);
   if (cfg_.ambient_intensity > 0) {
     for (std::size_t i = 0; i < cfg_.ambient_clients; ++i) {
       revng::AmbientFlow::Config ac;

@@ -1,6 +1,26 @@
 #include "fabric/fabric.hpp"
 
+#include <string>
+
+#include "obs/obs.hpp"
+
 namespace ragnar::fabric {
+
+namespace {
+
+// PR 3 observability: per-verdict fault accounting and wire spans.  Ambient
+// hub or nothing — one thread-local read when observability is off.
+const char* verdict_name(faults::Verdict v) {
+  switch (v) {
+    case faults::Verdict::kDeliver: return "deliver";
+    case faults::Verdict::kDrop: return "drop";
+    case faults::Verdict::kCorrupt: return "corrupt";
+    case faults::Verdict::kFlapDrop: return "flap_drop";
+  }
+  return "?";
+}
+
+}  // namespace
 
 rnic::Rnic* Fabric::add_device(rnic::DeviceModel model, sim::Xoshiro256 rng) {
   return add_device(rnic::make_profile(model), rng);
@@ -36,11 +56,35 @@ void Fabric::route(const rnic::InFlightMsg& msg, sim::SimTime depart,
     const rnic::NodeId src = is_req ? msg.op.src_node : msg.op.dst_node;
     const faults::Decision d =
         injector_->decide(src, dst, msg.op.src_node, depart);
-    if (d.verdict != faults::Verdict::kDeliver) return;  // lost on the wire
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("fabric.verdicts",
+                   obs::LabelSet{{"verdict", verdict_name(d.verdict)}})
+          .add();
+    }
+    if (d.verdict != faults::Verdict::kDeliver) {
+      if (obs::Tracer* tr = obs::tracer()) {
+        tr->instant("faults", verdict_name(d.verdict), depart,
+                    {{"src", std::to_string(src)},
+                     {"dst", std::to_string(dst)}});
+      }
+      return;  // lost on the wire
+    }
     extra = d.extra_delay;
   }
   rnic::Rnic* target = devices_.at(dst).get();
-  sched_.at(depart + wire_lat + extra, [target, msg] { target->deliver(msg); });
+  const sim::SimTime arrive = depart + wire_lat + extra;
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("fabric.delivered").add();
+    reg->counter("fabric.wire_bytes").add(msg.wire_bytes);
+  }
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->complete("fabric", is_req ? "wire.req" : "wire.resp", depart, arrive,
+                 {{"src", std::to_string(is_req ? msg.op.src_node
+                                                : msg.op.dst_node)},
+                  {"dst", std::to_string(dst)},
+                  {"bytes", std::to_string(msg.wire_bytes)}});
+  }
+  sched_.at(arrive, [target, msg] { target->deliver(msg); });
 }
 
 }  // namespace ragnar::fabric

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 namespace ragnar::harness {
@@ -96,6 +97,18 @@ double SweepReport::serial_wall_ms() const {
   return s;
 }
 
+std::vector<std::string> SweepReport::metric_columns() const {
+  std::vector<std::string> cols;
+  for (const auto& t : trials) {
+    for (const auto& cell : t.metrics.cells) {
+      if (std::find(cols.begin(), cols.end(), cell.column) == cols.end()) {
+        cols.push_back(cell.column);
+      }
+    }
+  }
+  return cols;
+}
+
 std::string SweepReport::write_csv(const std::string& dir,
                                    const std::string& name) const {
   if (dir.empty() || trials.empty()) return {};
@@ -105,6 +118,7 @@ std::string SweepReport::write_csv(const std::string& dir,
   const bool any_faults =
       std::any_of(trials.begin(), trials.end(),
                   [](const TrialResult& t) { return t.faults_noted; });
+  const std::vector<std::string> mcols = metric_columns();
   std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
   if (any_faults) {
     std::fprintf(f, ",delivered,injected_drops,retransmits,rnr_retries");
@@ -112,6 +126,7 @@ std::string SweepReport::write_csv(const std::string& dir,
   for (const auto& [k, v] : trials.front().record.fields()) {
     std::fprintf(f, ",%s", csv_escape(k).c_str());
   }
+  for (const auto& c : mcols) std::fprintf(f, ",%s", csv_escape(c).c_str());
   std::fprintf(f, "\n");
   for (const auto& t : trials) {
     std::fprintf(f, "%s,%zu,%" PRIu64 ",%.3f,%.0f", csv_escape(t.label).c_str(),
@@ -124,6 +139,10 @@ std::string SweepReport::write_csv(const std::string& dir,
     for (const auto& [k, v] : trials.front().record.fields()) {
       const std::string* mine = t.record.find(k);
       std::fprintf(f, ",%s", mine != nullptr ? csv_escape(*mine).c_str() : "");
+    }
+    for (const auto& c : mcols) {
+      const std::string* cell = t.metrics.find(c);
+      std::fprintf(f, ",%s", cell != nullptr ? csv_escape(*cell).c_str() : "");
     }
     std::fprintf(f, "\n");
   }
@@ -153,10 +172,31 @@ void SweepReport::write_json(const std::string& path) const {
       std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),
                    json_escape(v).c_str());
     }
+    if (!t.metrics.empty()) {
+      std::fprintf(f, ", \"metrics\": {");
+      for (std::size_t c = 0; c < t.metrics.cells.size(); ++c) {
+        const auto& cell = t.metrics.cells[c];
+        std::fprintf(f, "%s\"%s\": \"%s\"", c ? ", " : "",
+                     json_escape(cell.column).c_str(),
+                     json_escape(cell.value).c_str());
+      }
+      std::fprintf(f, "}");
+    }
     std::fprintf(f, "}%s\n", i + 1 < trials.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
+}
+
+bool SweepReport::write_chrome_trace(const std::string& path) const {
+  std::vector<obs::TraceEvent> all;
+  std::uint64_t dropped = 0;
+  for (const auto& t : trials) {
+    all.insert(all.end(), t.trace.begin(), t.trace.end());
+    dropped += t.trace_dropped;
+  }
+  if (all.empty()) return false;
+  return obs::write_chrome_trace(path, all, dropped);
 }
 
 std::size_t resolve_jobs(std::size_t requested) {
@@ -181,8 +221,23 @@ SweepReport SweepRunner::run(const Options& opts) {
     TrialContext ctx;
     ctx.index = index;
     ctx.seed = derive_seed(opts.base_seed, index);
+    // Trial-local observability: the hub lives on this worker's stack and is
+    // ambient only while the trial runs, so metrics/spans recorded by model
+    // hooks are attributed to exactly one trial regardless of --jobs.
+    std::unique_ptr<obs::Hub> hub;
+    if (opts.obs) {
+      obs::Hub::Config hcfg;
+      hcfg.tracing = opts.trace;
+      hcfg.trace_capacity = opts.trace_capacity;
+      hub = std::make_unique<obs::Hub>(hcfg);
+      ctx.obs = hub.get();
+    }
     const auto t0 = Clock::now();
-    Record rec = pt.fn(ctx);
+    Record rec;
+    {
+      obs::ScopedHub ambient(hub.get());
+      rec = pt.fn(ctx);
+    }
     const auto t1 = Clock::now();
     TrialResult& out = report.trials[index];  // slot keyed by index
     out.label = std::move(pt.label);
@@ -193,6 +248,16 @@ SweepReport SweepRunner::run(const Options& opts) {
     out.sim_end = ctx.sim_end;
     out.faults = ctx.faults;
     out.faults_noted = ctx.faults_noted;
+    if (hub != nullptr) {
+      out.metrics = hub->metrics().snapshot();
+      if (obs::Tracer* tr = hub->tracer()) {
+        out.trace_dropped = tr->dropped();
+        out.trace = tr->take();
+        for (obs::TraceEvent& ev : out.trace) {
+          ev.pid = static_cast<std::uint32_t>(index + 1);
+        }
+      }
+    }
     pt.fn = nullptr;  // release the closure's captures eagerly
   };
 

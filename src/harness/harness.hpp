@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/time.hpp"
 
 // Parallel sweep-execution engine.  Every reproduction binary runs a grid of
@@ -79,6 +80,12 @@ struct TrialContext {
   sim::SimTime sim_end = 0;
   FaultAccounting faults;
   bool faults_noted = false;
+  // Trial-local observability hub, installed as the ambient obs::current()
+  // for the trial's duration when Options::obs is set; nullptr otherwise.
+  // The runner snapshots its registry (and drains its tracer) after the
+  // trial returns, so recorded metrics land in the CSV/JSON aggregation
+  // without any per-bench plumbing.
+  obs::Hub* obs = nullptr;
 
   void note_sim_time(sim::SimTime t) { sim_end = t; }
   void note_faults(const FaultAccounting& f) {
@@ -97,6 +104,12 @@ struct TrialResult {
   sim::SimTime sim_end = 0;  // simulated clock when the trial finished
   FaultAccounting faults;
   bool faults_noted = false;
+  // Registry snapshot and drained trace events from the trial's hub (empty
+  // when Options::obs was off).  Trace events carry pid = index + 1 so a
+  // merged Chrome trace shows one process row per trial.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> trace;
+  std::uint64_t trace_dropped = 0;
 };
 
 struct SweepReport {
@@ -109,11 +122,21 @@ struct SweepReport {
   double serial_wall_ms() const;
 
   // Write one CSV row per trial (columns: label, index, seed, wall_ms,
-  // sim_end_ns, then every record field of the first trial) into
+  // sim_end_ns, then every record field of the first trial, then — when any
+  // trial carries a registry snapshot — one column per metric cell, in
+  // first-appearance order over trials in index order) into
   // `<dir>/<name>.csv`.  No-op when dir is empty.  Returns the path written.
   std::string write_csv(const std::string& dir, const std::string& name) const;
   // Same rows as a JSON array of objects, written to `path`.
   void write_json(const std::string& path) const;
+  // Merge every trial's span events into one Chrome trace_event JSON file.
+  // Returns false when no events were captured or the file cannot be
+  // written.
+  bool write_chrome_trace(const std::string& path) const;
+
+  // Union of metric columns across trials, in first-appearance order
+  // (deterministic: trials are always in index order).
+  std::vector<std::string> metric_columns() const;
 };
 
 // Single-producer bounded queue used for dispatch.  Kept public for tests.
@@ -165,6 +188,14 @@ class SweepRunner {
     std::uint64_t base_seed = 2024;
     // Dispatch-queue capacity; 0 = 2 * jobs.
     std::size_t queue_capacity = 0;
+    // Observability: when set, each trial runs under its own obs::Hub
+    // (ambient obs::current()), and its registry snapshot is appended to
+    // the CSV/JSON aggregation.  `trace` additionally arms span tracing
+    // with a per-trial ring of `trace_capacity` events.  Off by default:
+    // fault-free, obs-free runs schedule the exact pre-obs event sequence.
+    bool obs = false;
+    bool trace = false;
+    std::size_t trace_capacity = 4096;
   };
 
   // A trial builds its whole world (testbed, channel, ...) from ctx.seed,

@@ -1,0 +1,17 @@
+#include "obs/obs.hpp"
+
+namespace ragnar::obs {
+
+namespace {
+thread_local Hub* t_current = nullptr;
+}  // namespace
+
+Hub* current() { return t_current; }
+
+Hub* install(Hub* hub) {
+  Hub* prev = t_current;
+  t_current = hub;
+  return prev;
+}
+
+}  // namespace ragnar::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ragnar::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Simulated picoseconds onto the trace_event microsecond axis.
+double to_trace_us(sim::SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace
+
+void Tracer::record(TraceEvent ev) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::complete(std::string_view cat, std::string_view name,
+                      sim::SimTime start, sim::SimTime end, TraceArgs args) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Phase::kComplete;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts = start;
+  ev.dur = end >= start ? end - start : 0;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void Tracer::instant(std::string_view cat, std::string_view name,
+                     sim::SimTime at, TraceArgs args) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Phase::kInstant;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts = at;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void Tracer::counter(std::string_view cat, std::string_view name,
+                     sim::SimTime at, double value) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Phase::kCounter;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts = at;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  ev.args.emplace_back("value", buf);
+  record(std::move(ev));
+}
+
+void Tracer::begin(std::string_view cat, std::string_view name,
+                   sim::SimTime at) {
+  stack_.push_back(OpenSpan{std::string(cat), std::string(name), at});
+}
+
+void Tracer::end(sim::SimTime at, TraceArgs args) {
+  if (stack_.empty()) return;  // unmatched end: drop, never crash a trial
+  OpenSpan span = std::move(stack_.back());
+  stack_.pop_back();
+  TraceEvent ev;
+  ev.ph = TraceEvent::Phase::kComplete;
+  ev.tid = static_cast<std::uint32_t>(stack_.size());  // nesting depth
+  ev.cat = std::move(span.cat);
+  ev.name = std::move(span.name);
+  ev.ts = span.start;
+  ev.dur = at >= span.start ? at - span.start : 0;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::take() {
+  std::vector<TraceEvent> out = events();
+  ring_.clear();
+  next_ = 0;
+  stack_.clear();
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events,
+                        std::uint64_t dropped) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::fprintf(f,
+                 "  {\"ph\": \"%c\", \"pid\": %" PRIu32 ", \"tid\": %" PRIu32
+                 ", \"cat\": \"%s\", \"name\": \"%s\", \"ts\": %.6f",
+                 static_cast<char>(ev.ph), ev.pid, ev.tid,
+                 json_escape(ev.cat).c_str(), json_escape(ev.name).c_str(),
+                 to_trace_us(ev.ts));
+    if (ev.ph == TraceEvent::Phase::kComplete) {
+      std::fprintf(f, ", \"dur\": %.6f", to_trace_us(ev.dur));
+    }
+    if (ev.ph == TraceEvent::Phase::kInstant) {
+      std::fprintf(f, ", \"s\": \"t\"");  // thread-scoped instant
+    }
+    if (!ev.args.empty()) {
+      std::fprintf(f, ", \"args\": {");
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", a ? ", " : "",
+                     json_escape(ev.args[a].first).c_str(),
+                     json_escape(ev.args[a].second).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "],\n\"displayTimeUnit\": \"ns\",\n"
+               "\"otherData\": {\"clock\": \"simulated (1 us = 1 us sim)\", "
+               "\"dropped_events\": \"%" PRIu64 "\"}}\n",
+               dropped);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ragnar::obs

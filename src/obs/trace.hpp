@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Structured span tracing over *simulated* time.
+//
+// Spans mark intervals on the simulated clock (a verbs op from post to CQE,
+// a message's wire traversal), instants mark points (an arbiter grant, a
+// fault verdict), and counter events carry sampled values (the telemetry
+// gbps track).  Events accumulate in a bounded ring buffer — a multi-second
+// simulation emits millions of events, so the tracer keeps the most recent
+// `capacity` and counts what it evicted — and export as Chrome trace_event
+// JSON (chrome://tracing / https://ui.perfetto.dev), with the simulated
+// picosecond clock mapped onto the viewer's microsecond axis.
+namespace ragnar::obs {
+
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  enum class Phase : char {
+    kComplete = 'X',  // ts + dur span
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+  Phase ph = Phase::kInstant;
+  std::uint32_t pid = 0;  // trial index + 1 in sweeps; 0 = main thread
+  std::uint32_t tid = 0;  // span nesting depth for 'X' events
+  std::string cat;
+  std::string name;
+  sim::SimTime ts = 0;
+  sim::SimDur dur = 0;
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // A span known only once it is over (the common case in a latency-
+  // arithmetic simulator: completion times are computed, not awaited).
+  void complete(std::string_view cat, std::string_view name,
+                sim::SimTime start, sim::SimTime end, TraceArgs args = {});
+  void instant(std::string_view cat, std::string_view name, sim::SimTime at,
+               TraceArgs args = {});
+  void counter(std::string_view cat, std::string_view name, sim::SimTime at,
+               double value);
+
+  // Nested spans for driver code: begin/end maintain a stack, and the
+  // recorded event's tid is the nesting depth so the viewer stacks them.
+  void begin(std::string_view cat, std::string_view name, sim::SimTime at);
+  void end(sim::SimTime at, TraceArgs args = {});
+  std::size_t open_spans() const { return stack_.size(); }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Events oldest-first (un-rotating the ring); leaves the tracer intact.
+  std::vector<TraceEvent> events() const;
+  // Events oldest-first, clearing the tracer.
+  std::vector<TraceEvent> take();
+
+ private:
+  void record(TraceEvent ev);
+
+  struct OpenSpan {
+    std::string cat;
+    std::string name;
+    sim::SimTime start;
+  };
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // overwrite position once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<OpenSpan> stack_;
+};
+
+// Serialize events as Chrome trace_event JSON:
+//   {"traceEvents": [...], "displayTimeUnit": "ns", ...}
+// ts/dur are emitted in microseconds (the trace_event unit) at picosecond
+// precision (%.6f).  Returns false when the file cannot be opened.
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events,
+                        std::uint64_t dropped = 0);
+
+}  // namespace ragnar::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace ragnar::rnic {
 
@@ -14,6 +17,18 @@ std::uint64_t load_u64(const std::uint8_t* p) {
   return v;
 }
 void store_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+// PR 3 observability: count per-TC/opcode traffic into the ambient registry.
+// One thread-local read + branch when observability is off.
+void count_traffic(const char* name, TrafficClass tc, Opcode op,
+                   std::uint64_t bytes) {
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    const obs::LabelSet lbl{{"tc", std::to_string(tc)},
+                            {"op", opcode_name(op)}};
+    reg->counter(name, lbl).add();
+    reg->counter(std::string(name) + "_bytes", lbl).add(bytes);
+  }
+}
 
 }  // namespace
 
@@ -63,34 +78,6 @@ RuntimeConfig Rnic::runtime_config() const {
   cfg.tenant_caps_gbps = tenant_caps_;
   cfg.ets = ets_;
   return cfg;
-}
-
-void Rnic::set_responder_noise(sim::SimDur max_noise) {
-  RuntimeConfig cfg = runtime_config();
-  cfg.responder_noise = max_noise;
-  configure(cfg);
-}
-
-void Rnic::set_tenant_isolation(bool on) {
-  RuntimeConfig cfg = runtime_config();
-  cfg.tenant_isolation = on;
-  configure(cfg);
-}
-
-void Rnic::set_tenant_pacing_gbps(double gbps_cap) {
-  RuntimeConfig cfg = runtime_config();
-  cfg.tenant_pacing_gbps = gbps_cap;
-  configure(cfg);
-}
-
-void Rnic::set_tenant_cap_gbps(NodeId src, double gbps_cap) {
-  RuntimeConfig cfg = runtime_config();
-  if (gbps_cap <= 0) {
-    cfg.tenant_caps_gbps.erase(src);
-  } else {
-    cfg.tenant_caps_gbps[src] = gbps_cap;
-  }
-  configure(cfg);
 }
 
 std::uint32_t Rnic::packet_count(std::uint64_t payload, std::uint32_t mtu) {
@@ -155,6 +142,11 @@ void Rnic::post(WireOp op, CompletionSink* sink, std::uint8_t* local_ptr) {
     cycle_scale = prof_.bulk_write_cycle_factor;
   t = tx_arb_.reserve(t, jitter(static_cast<sim::SimDur>(
                              static_cast<double>(prof_.tx_arb_cycle) * cycle_scale)));
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->instant("rnic", "tx_arb.grant", t,
+                {{"tc", std::to_string(op.tc)},
+                 {"qp", std::to_string(op.src_qpn)}});
+  }
 
   // Tx processing unit.
   t = tx_pu_.reserve(t, jitter(pu_time(is_payload_out ? op.size : 0)));
@@ -179,6 +171,13 @@ void Rnic::post(WireOp op, CompletionSink* sink, std::uint8_t* local_ptr) {
       payload + static_cast<std::uint64_t>(pkts) * prof_.pkt_header_bytes;
   t = egress_reserve(t, op.tc, wire_bytes, pkts);
   counters_.count_tx(op.tc, op.op, wire_bytes, pkts);
+  count_traffic("rnic.tx", op.tc, op.op, wire_bytes);
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->complete("rnic", opcode_name(op.op), sched_.now(), t,
+                 {{"tc", std::to_string(op.tc)},
+                  {"bytes", std::to_string(wire_bytes)},
+                  {"dir", "tx"}});
+  }
 
   InFlightMsg msg;
   msg.op = op;
@@ -195,6 +194,7 @@ void Rnic::deliver(const InFlightMsg& msg) {
   sim::SimTime t = ingress_link_.reserve(now, msg.wire_bytes);
   if (msg.kind == InFlightMsg::Kind::kRequest) {
     counters_.count_rx(msg.op.tc, msg.op.op, msg.wire_bytes, msg.wire_pkts);
+    count_traffic("rnic.rx", msg.op.tc, msg.op.op, msg.wire_bytes);
     handle_request(msg, t);
   } else {
     counters_.count_rx_raw(msg.op.tc, msg.wire_bytes, msg.wire_pkts);
@@ -248,6 +248,16 @@ void Rnic::handle_request(InFlightMsg msg, sim::SimTime t) {
                                 now, prof_.xl_tdm_slot));
   }
   if (admit > now) {
+    if (obs::Tracer* tr = obs::tracer()) {
+      tr->complete("rnic", "admission.defer", now, admit,
+                   {{"src", std::to_string(op.src_node)},
+                    {"tc", std::to_string(op.tc)}});
+    }
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("rnic.admission_deferred",
+                   obs::LabelSet{{"src", std::to_string(op.src_node)}})
+          .add();
+    }
     sched_.at(admit, [this, msg, t, admit] {
       handle_request_admitted(msg, std::max(t, admit));
     });

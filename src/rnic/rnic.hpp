@@ -190,24 +190,17 @@ class Rnic {
   // is a no-op.
   RuntimeConfig runtime_config() const;
 
-  // Legacy single-knob setters, kept as thin shims over configure().
-  void set_responder_noise(sim::SimDur max_noise);
+  // Read-side accessors for the applied tuning state.  (The PR 1 single-knob
+  // setter shims were removed in PR 3 — mutate through configure().)
   sim::SimDur responder_noise() const { return mitigation_noise_; }
-
   // (See RuntimeConfig::tenant_isolation — kills the Grain-III/IV volatile
   // channels, costs capacity + time-slicing overhead.)
-  void set_tenant_isolation(bool on);
   bool tenant_isolation() const { return xlate_.partitioned(); }
-
   // (See RuntimeConfig::tenant_pacing_gbps — what modern RNICs already
   // ship; it contains pure bandwidth floods but cannot see — let alone
   // stop — the Kbps-scale Ragnar channels.)
-  void set_tenant_pacing_gbps(double gbps_cap);
   double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
-
-  // Targeted throttle for one tenant (HARMONIC-style enforcement; 0 lifts
-  // it).  Overrides the global pacing cap for that tenant.
-  void set_tenant_cap_gbps(NodeId src, double gbps_cap);
+  // Per-tenant targeted throttle (HARMONIC-style enforcement; 0 = unset).
   double tenant_cap_gbps(NodeId src) const {
     auto it = tenant_caps_.find(src);
     return it == tenant_caps_.end() ? 0.0 : it->second;

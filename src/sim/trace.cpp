@@ -8,51 +8,6 @@
 
 namespace ragnar::sim {
 
-std::vector<double> TimeSeries::values_in(SimTime from, SimTime to) const {
-  std::vector<double> out;
-  for (const auto& p : points_) {
-    if (p.t >= from && p.t < to) out.push_back(p.value);
-  }
-  return out;
-}
-
-std::vector<double> TimeSeries::values() const {
-  std::vector<double> out;
-  out.reserve(points_.size());
-  for (const auto& p : points_) out.push_back(p.value);
-  return out;
-}
-
-void RateSampler::record(SimTime t, std::uint64_t bytes) {
-  const std::size_t bin = static_cast<std::size_t>(t / bin_);
-  if (bin >= bytes_per_bin_.size()) {
-    bytes_per_bin_.resize(bin + 1, 0);
-    ops_per_bin_.resize(bin + 1, 0);
-  }
-  bytes_per_bin_[bin] += bytes;
-  ops_per_bin_[bin] += 1;
-}
-
-std::vector<double> RateSampler::gbps_series() const {
-  std::vector<double> out;
-  out.reserve(bytes_per_bin_.size());
-  const double secs = to_sec(bin_);
-  for (auto b : bytes_per_bin_) {
-    out.push_back(static_cast<double>(b) * 8.0 / 1e9 / secs);
-  }
-  return out;
-}
-
-std::vector<double> RateSampler::ops_series() const {
-  std::vector<double> out;
-  out.reserve(ops_per_bin_.size());
-  const double secs = to_sec(bin_);
-  for (auto c : ops_per_bin_) {
-    out.push_back(static_cast<double>(c) / secs);
-  }
-  return out;
-}
-
 std::string ascii_plot(std::span<const double> ys, int width, int height,
                        const std::string& title) {
   std::ostringstream os;

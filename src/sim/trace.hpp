@@ -1,57 +1,23 @@
 #pragma once
 
-#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
-// Time-series recording for figures: bandwidth traces (Fig 9, Fig 12) and
-// ULI traces (Figs 5-8, 10, 11, 13) are collected through these helpers and
-// rendered by the bench harnesses as CSV + ASCII plots.
+// Figure-trace recording moved to the unified observability layer in PR 3:
+// obs::TimeSeries / obs::RateSampler are the real types (and can live inside
+// an obs::MetricsRegistry next to counters and histograms).  The sim::
+// names survive as aliases for one PR; new code should include
+// "obs/metrics.hpp" directly.  The ASCII/CSV renderers below are figure
+// output helpers, not recording, and stay here.
 namespace ragnar::sim {
 
-struct TracePoint {
-  SimTime t;
-  double value;
-};
-
-// Append-only (time, value) series with window queries.
-class TimeSeries {
- public:
-  void add(SimTime t, double v) { points_.push_back({t, v}); }
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
-  std::span<const TracePoint> points() const { return points_; }
-  // Values with t in [from, to).
-  std::vector<double> values_in(SimTime from, SimTime to) const;
-  std::vector<double> values() const;
-  void clear() { points_.clear(); }
-
- private:
-  std::vector<TracePoint> points_;
-};
-
-// Accumulates byte counts into fixed-width bins and reports a bandwidth
-// series in Gb/s — the simulated equivalent of watching ethtool bps counters.
-class RateSampler {
- public:
-  explicit RateSampler(SimDur bin_width = kMillisecond) : bin_(bin_width) {}
-
-  void record(SimTime t, std::uint64_t bytes);
-  SimDur bin_width() const { return bin_; }
-
-  // Gb/s per bin, from bin 0 up to and including the last recorded bin.
-  std::vector<double> gbps_series() const;
-  // Operations per second per bin.
-  std::vector<double> ops_series() const;
-
- private:
-  SimDur bin_;
-  std::vector<std::uint64_t> bytes_per_bin_;
-  std::vector<std::uint64_t> ops_per_bin_;
-};
+using TracePoint = obs::TracePoint;
+using TimeSeries = obs::TimeSeries;
+using RateSampler = obs::RateSampler;
 
 // Render a numeric series as a compact ASCII sparkline/plot block for the
 // bench harness output.  `width` columns; series is binned by averaging.

@@ -1,5 +1,9 @@
 #include "telemetry/telemetry.hpp"
 
+#include <string>
+
+#include "obs/obs.hpp"
+
 namespace ragnar::telemetry {
 
 CounterSampler::CounterSampler(sim::Scheduler& sched, const rnic::Rnic& dev,
@@ -9,14 +13,21 @@ CounterSampler::CounterSampler(sim::Scheduler& sched, const rnic::Rnic& dev,
 void CounterSampler::start() {
   if (running_) return;
   running_ = true;
+  ++epoch_;
   last_ = dev_.counters();
-  sched_.after(interval_, [this] { tick(); });
+  const std::uint64_t epoch = epoch_;
+  sched_.after(interval_, [this, epoch] { tick(epoch); });
 }
 
-void CounterSampler::tick() {
-  if (!running_) return;
+void CounterSampler::stop() {
+  running_ = false;
+  ++epoch_;  // orphan any tick already scheduled under the old epoch
+}
+
+void CounterSampler::tick(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
   snapshot();
-  sched_.after(interval_, [this] { tick(); });
+  sched_.after(interval_, [this, epoch] { tick(epoch); });
 }
 
 void CounterSampler::snapshot() {
@@ -43,6 +54,18 @@ void CounterSampler::snapshot() {
   }
   samples_.push_back(d);
   last_ = now;
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("ethtool.samples").add();
+    for (std::size_t t = 0; t < rnic::kNumTrafficClasses; ++t) {
+      const obs::LabelSet lbl{{"tc", std::to_string(t)}};
+      reg->series("ethtool.tx_gbps", lbl).add(d.at, d.tx_gbps[t]);
+      reg->series("ethtool.rx_gbps", lbl).add(d.at, d.rx_gbps[t]);
+    }
+  }
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->counter("telemetry", "ethtool.rx_gbps", d.at, d.rx_gbps_total());
+    tr->counter("telemetry", "ethtool.tx_gbps", d.at, d.tx_gbps_total());
+  }
 }
 
 void set_ets_weights(rnic::Rnic& dev,

@@ -44,24 +44,35 @@ struct CounterDelta {
 
 // Samples one device's counters every `interval` of simulated time until
 // stop() — the ethtool-watch equivalent.
+//
+// Since PR 3 each snapshot is also published to the ambient observability
+// hub (obs::current()): per-TC gbps land in registry time series under
+// `ethtool.{tx,rx}_gbps{tc=N}` and the totals are emitted as Chrome-trace
+// counter events, so `--trace` shows the exact bandwidth track an attacker
+// watching ethtool would see.  The `samples()` vector stays the primary
+// API.
 class CounterSampler {
  public:
   CounterSampler(sim::Scheduler& sched, const rnic::Rnic& dev,
                  sim::SimDur interval);
 
   void start();
-  void stop() { running_ = false; }
+  void stop();
   sim::SimDur interval() const { return interval_; }
   const std::vector<CounterDelta>& samples() const { return samples_; }
 
  private:
-  void tick();
+  void tick(std::uint64_t epoch);
   void snapshot();
 
   sim::Scheduler& sched_;
   const rnic::Rnic& dev_;
   sim::SimDur interval_;
   bool running_ = false;
+  // Bumped by start() and stop().  A scheduled tick carries the epoch it was
+  // armed under and no-ops on mismatch, so a stop() issued while a tick is
+  // pending cannot record an extra interval after a later restart.
+  std::uint64_t epoch_ = 0;
   rnic::PortCounters last_{};
   std::vector<CounterDelta> samples_;
 };

@@ -2,9 +2,56 @@
 
 #include <cstring>
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace ragnar::verbs {
+
+namespace {
+
+// PR 3 observability hooks.  Each is one thread-local read + branch when no
+// hub is installed, so the uninstrumented event sequence is untouched.
+void count_qp_event(const char* name, std::uint32_t qpn,
+                    std::uint64_t n = 1) {
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter(name, obs::LabelSet{{"qp", std::to_string(qpn)}}).add(n);
+  }
+}
+
+void note_qp_transition(std::uint32_t qpn, QpState from, QpState to,
+                        sim::SimTime at) {
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->instant("qp", qp_state_name(to), at,
+                {{"qp", std::to_string(qpn)}, {"from", qp_state_name(from)}});
+  }
+}
+
+void note_completion(std::uint32_t qpn, const Wc& wc) {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg != nullptr) {
+    const obs::LabelSet op{{"op", wr_opcode_name(wc.opcode)}};
+    reg->counter("verbs.completions", op).add();
+    if (wc.status == rnic::WcStatus::kSuccess) {
+      reg->histogram("verbs.op_ns", op)
+          .record(sim::to_ns(wc.latency()));
+    } else {
+      reg->counter("verbs.errors",
+                   obs::LabelSet{{"status", rnic::wc_status_name(wc.status)}})
+          .add();
+    }
+  }
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->complete("verbs", wr_opcode_name(wc.opcode), wc.posted_at,
+                 wc.completed_at,
+                 {{"qp", std::to_string(qpn)},
+                  {"status", rnic::wc_status_name(wc.status)},
+                  {"bytes", std::to_string(wc.byte_len)}});
+  }
+}
+
+}  // namespace
 
 Context::Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name)
     : fabric_(fabric),
@@ -207,6 +254,7 @@ bool QueuePair::consume_recv(const std::uint8_t* data, std::uint32_t len,
             std::memcpy(dst, payload.data(), payload.size());
           }
         }
+        note_completion(qpn_, wc);
         cq_.push(wc);
       });
   return true;
@@ -223,6 +271,9 @@ ConnectResult QueuePair::connect(QueuePair& peer) {
   peer.peer_qpn_ = qpn_;
   state_ = QpState::kRts;
   peer.state_ = QpState::kRts;
+  const sim::SimTime now = ctx_.scheduler().now();
+  note_qp_transition(qpn_, QpState::kInit, QpState::kRts, now);
+  note_qp_transition(peer.qpn_, QpState::kInit, QpState::kRts, now);
   return ConnectResult::kOk;
 }
 
@@ -303,6 +354,7 @@ void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
   if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
   if (state_ != QpState::kRts) return;
   ++stats_.timeouts;
+  count_qp_event("qp.timeouts", qpn_);
   Pending& p = it->second;
   if (p.retries_left == 0) {
     fail_wqe(id, rnic::WcStatus::kRetryExcError, ctx_.scheduler().now());
@@ -312,6 +364,11 @@ void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
   ++p.attempt;          // invalidates the late ACK of the lost transmission
   p.cur_timeout *= 2;   // exponential backoff
   ++stats_.retransmits;
+  count_qp_event("qp.retransmits", qpn_);
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->instant("qp", "retransmit", ctx_.scheduler().now(),
+                {{"qp", std::to_string(qpn_)}});
+  }
   ctx_.device().post(p.op, this, p.local);
   arm_timer(id);
 }
@@ -321,6 +378,7 @@ void QueuePair::repost_after_rnr(std::uint64_t id, std::uint32_t attempt) {
   if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
   if (state_ != QpState::kRts) return;  // flushed while backing off
   ++stats_.rnr_retries;
+  count_qp_event("qp.rnr_retries", qpn_);
   ctx_.device().post(it->second.op, this, it->second.local);
   arm_timer(id);
 }
@@ -339,10 +397,14 @@ void QueuePair::fail_wqe(std::uint64_t id, rnic::WcStatus status,
   wc.completed_at = at;
   pending_.erase(it);
   if (outstanding_ > 0) --outstanding_;
+  note_completion(qpn_, wc);
   cq_.push(wc);
   // IB SQ-error semantics: the failing WQE carries its own status; every
   // other outstanding send flushes and the SQ stops accepting work.
-  if (state_ == QpState::kRts) state_ = QpState::kSqe;
+  if (state_ == QpState::kRts) {
+    state_ = QpState::kSqe;
+    note_qp_transition(qpn_, QpState::kRts, QpState::kSqe, at);
+  }
   flush_sends(at);
 }
 
@@ -358,6 +420,7 @@ void QueuePair::flush_sends(sim::SimTime at) {
     wc.status = rnic::WcStatus::kWrFlushErr;
     wc.completed_at = at;
     ++stats_.flushed;
+    count_qp_event("qp.flushed", qpn_);
     cq_.push(wc);
   }
   pending_.clear();
@@ -366,8 +429,10 @@ void QueuePair::flush_sends(sim::SimTime at) {
 
 void QueuePair::modify_to_error() {
   if (state_ == QpState::kErr) return;
+  const QpState prev = state_;
   state_ = QpState::kErr;
   const sim::SimTime now = ctx_.scheduler().now();
+  note_qp_transition(qpn_, prev, QpState::kErr, now);
   flush_sends(now);
   while (!recv_queue_.empty()) {
     const RecvWr rwr = recv_queue_.front();
@@ -379,6 +444,7 @@ void QueuePair::modify_to_error() {
     wc.posted_at = now;
     wc.completed_at = now;
     ++stats_.flushed;
+    count_qp_event("qp.flushed", qpn_);
     cq_.push(wc);
   }
 }
@@ -392,6 +458,7 @@ void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
 
   if (status == rnic::WcStatus::kRnrNak) {
     ++stats_.rnr_naks;
+    count_qp_event("qp.rnr_naks", qpn_);
     Pending& p = it->second;
     if (p.rnr_left == 0) {
       fail_wqe(wr_id, rnic::WcStatus::kRnrRetryExcError, at);
@@ -423,6 +490,7 @@ void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
   wc.queue_ahead = it->second.queue_ahead;
   pending_.erase(it);
   if (outstanding_ > 0) --outstanding_;
+  note_completion(qpn_, wc);
   cq_.push(wc);
 }
 

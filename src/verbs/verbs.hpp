@@ -36,6 +36,18 @@ inline rnic::Opcode to_wire(WrOpcode op) {
   std::abort();
 }
 
+inline const char* wr_opcode_name(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kRdmaRead: return "READ";
+    case WrOpcode::kRdmaWrite: return "WRITE";
+    case WrOpcode::kSend: return "SEND";
+    case WrOpcode::kFetchAdd: return "FETCH_ADD";
+    case WrOpcode::kCmpSwap: return "CMP_SWAP";
+    case WrOpcode::kRecv: return "RECV";
+  }
+  return "?";
+}
+
 // MR access permissions (IBV_ACCESS_* equivalent).
 struct Access {
   bool remote_read = true;

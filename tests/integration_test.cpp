@@ -108,11 +108,17 @@ TEST(Integration, PartitioningProtectsWhileServiceStaysUp) {
   const auto before = ch.transmit(covert::random_bits(64, rng));
   EXPECT_LT(before.error_rate(), 0.05);
 
-  ch.server_device().set_tenant_isolation(true);
+  auto set_isolation = [&](bool on) {
+    rnic::Rnic& dev = ch.server_device();
+    rnic::RuntimeConfig rt = dev.runtime_config();
+    rt.tenant_isolation = on;
+    dev.configure(rt);
+  };
+  set_isolation(true);
   const auto after = ch.transmit(covert::random_bits(64, rng));
   EXPECT_GT(after.error_rate(), 0.25);
 
-  ch.server_device().set_tenant_isolation(false);
+  set_isolation(false);
   const auto restored = ch.transmit(covert::random_bits(64, rng));
   EXPECT_LT(restored.error_rate(), 0.05);
 }

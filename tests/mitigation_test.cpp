@@ -7,6 +7,7 @@
 #include "revng/flow.hpp"
 #include "revng/testbed.hpp"
 #include "revng/uli.hpp"
+#include "rnic/rnic.hpp"
 #include "rnic/translation.hpp"
 #include "side/snoop.hpp"
 
@@ -14,6 +15,30 @@
 // native Grain-I tenant pacing.
 namespace ragnar {
 namespace {
+
+// Tuning goes through the RuntimeConfig snapshot (the PR 1 single-knob
+// setters were removed in PR 3).
+void set_isolation(rnic::Rnic& dev, bool on) {
+  rnic::RuntimeConfig cfg = dev.runtime_config();
+  cfg.tenant_isolation = on;
+  dev.configure(cfg);
+}
+
+void set_pacing(rnic::Rnic& dev, double gbps) {
+  rnic::RuntimeConfig cfg = dev.runtime_config();
+  cfg.tenant_pacing_gbps = gbps;
+  dev.configure(cfg);
+}
+
+void set_cap(rnic::Rnic& dev, rnic::NodeId src, double gbps) {
+  rnic::RuntimeConfig cfg = dev.runtime_config();
+  if (gbps <= 0) {
+    cfg.tenant_caps_gbps.erase(src);
+  } else {
+    cfg.tenant_caps_gbps[src] = gbps;
+  }
+  dev.configure(cfg);
+}
 
 // --- translation-unit partitioning, unit level -----------------------------
 
@@ -102,7 +127,7 @@ TEST(PartitioningEndToEnd, IntraMrChannelDies) {
       rnic::DeviceModel::kCX4, covert::UliChannelKind::kIntraMr, 81);
   cfg.ambient_intensity = 0;
   covert::UliCovertChannel ch(cfg);
-  ch.server_device().set_tenant_isolation(true);
+  set_isolation(ch.server_device(), true);
   sim::Xoshiro256 rng(82);
   const auto run = ch.transmit(covert::random_bits(96, rng));
   EXPECT_GT(run.error_rate(), 0.25);  // ~chance
@@ -113,7 +138,7 @@ TEST(PartitioningEndToEnd, InterMrChannelDies) {
       rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr, 83);
   cfg.ambient_intensity = 0;
   covert::UliCovertChannel ch(cfg);
-  ch.server_device().set_tenant_isolation(true);
+  set_isolation(ch.server_device(), true);
   sim::Xoshiro256 rng(84);
   const auto run = ch.transmit(covert::random_bits(96, rng));
   EXPECT_GT(run.error_rate(), 0.25);
@@ -127,7 +152,7 @@ TEST(PartitioningEndToEnd, SnoopArgminDropsToChance) {
   // Partition the memory server's translation unit.
   // (The attack holds its own testbed; reach the server through a fresh
   // capture after toggling.)
-  attack.server_device().set_tenant_isolation(true);
+  set_isolation(attack.server_device(), true);
   std::size_t hits = 0, total = 0;
   for (std::size_t victim : {std::size_t{2}, std::size_t{7}, std::size_t{12}}) {
     hits += side::SnoopAttack::argmin_candidate(cfg,
@@ -142,7 +167,7 @@ TEST(PartitioningEndToEnd, SnoopArgminDropsToChance) {
 
 TEST(TenantPacing, ContainsABandwidthFlood) {
   revng::Testbed bed(rnic::DeviceModel::kCX4, 86, 2);
-  bed.server().device().set_tenant_pacing_gbps(8.0);
+  set_pacing(bed.server().device(), 8.0);
   revng::FlowSpec flood;
   flood.opcode = verbs::WrOpcode::kRdmaWrite;
   flood.msg_size = 16384;
@@ -158,7 +183,7 @@ TEST(TenantPacing, FairShareRestoresTheVictim) {
   auto victim_bw_under_flood = [](double pacing_gbps) {
     revng::Testbed bed(rnic::DeviceModel::kCX4, 87, 2);
     if (pacing_gbps > 0)
-      bed.server().device().set_tenant_pacing_gbps(pacing_gbps);
+      set_pacing(bed.server().device(), pacing_gbps);
     revng::FlowSpec flood;
     flood.opcode = verbs::WrOpcode::kRdmaWrite;
     flood.msg_size = 16384;
@@ -188,9 +213,9 @@ TEST(TenantPacing, PerTenantCapOverridesGlobalPacing) {
   auto run_floods = [](double cap0_gbps, double* bw0, double* bw1) {
     revng::Testbed bed(rnic::DeviceModel::kCX4, 90, 2);
     rnic::Rnic& dev = bed.server().device();
-    dev.set_tenant_pacing_gbps(10.0);
+    set_pacing(dev, 10.0);
     if (cap0_gbps > 0) {
-      dev.set_tenant_cap_gbps(bed.client(0).device().node(), cap0_gbps);
+      set_cap(dev, bed.client(0).device().node(), cap0_gbps);
     }
     revng::FlowSpec flood;
     flood.opcode = verbs::WrOpcode::kRdmaWrite;
@@ -227,7 +252,7 @@ TEST(TenantPacing, DoesNotStopTheCovertChannel) {
       rnic::DeviceModel::kCX4, covert::UliChannelKind::kIntraMr, 88);
   cfg.ambient_intensity = 0;
   covert::UliCovertChannel ch(cfg);
-  ch.server_device().set_tenant_pacing_gbps(10.0);
+  set_pacing(ch.server_device(), 10.0);
   sim::Xoshiro256 rng(89);
   const auto run = ch.transmit(covert::random_bits(96, rng));
   EXPECT_LT(run.error_rate(), 0.05);

@@ -117,7 +117,10 @@ TEST(RnicMech, MitigationNoiseRaisesLatencyLinearly) {
   // Mean unloaded READ latency grows by ~noise/2 (uniform [0, x]).
   auto measure = [](sim::SimDur noise) {
     revng::Testbed bed(rnic::DeviceModel::kCX4, 606, 1);
-    bed.server().device().set_responder_noise(noise);
+    rnic::Rnic& dev = bed.server().device();
+    rnic::RuntimeConfig cfg = dev.runtime_config();
+    cfg.responder_noise = noise;
+    dev.configure(cfg);
     revng::UliProbe::Spec spec;
     spec.queue_depth = 1;
     spec.qp_count = 1;
@@ -133,7 +136,10 @@ TEST(RnicMech, TdmSlotCapsSmallOpRate) {
   // Partitioned mode clamps a tenant's READ rate near 1/xl_tdm_slot.
   const auto prof = rnic::make_profile(rnic::DeviceModel::kCX4);
   revng::Testbed bed(prof, 607, 1);
-  bed.server().device().set_tenant_isolation(true);
+  rnic::Rnic& dev = bed.server().device();
+  rnic::RuntimeConfig cfg = dev.runtime_config();
+  cfg.tenant_isolation = true;
+  dev.configure(cfg);
   revng::FlowSpec s;
   s.opcode = verbs::WrOpcode::kRdmaRead;
   s.msg_size = 64;

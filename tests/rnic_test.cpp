@@ -323,12 +323,14 @@ TEST(RuntimeConfigTest, ConfigureRoundTripsThroughLegacyGetters) {
   EXPECT_EQ(again.tenant_caps_gbps, snap.tenant_caps_gbps);
 }
 
-TEST(RuntimeConfigTest, LegacySettersAreShimsOverConfigure) {
+TEST(RuntimeConfigTest, ReadModifyWriteTouchesOnlyChangedKnobs) {
   RnicFixture fx;
-  fx.dev.set_responder_noise(sim::ns(40));
-  fx.dev.set_tenant_isolation(true);
-  fx.dev.set_tenant_pacing_gbps(10.0);
-  fx.dev.set_tenant_cap_gbps(4, 2.5);
+  RuntimeConfig cfg = fx.dev.runtime_config();
+  cfg.responder_noise = sim::ns(40);
+  cfg.tenant_isolation = true;
+  cfg.tenant_pacing_gbps = 10.0;
+  cfg.tenant_caps_gbps[4] = 2.5;
+  fx.dev.configure(cfg);
 
   RuntimeConfig snap = fx.dev.runtime_config();
   EXPECT_EQ(snap.responder_noise, sim::ns(40));
@@ -337,14 +339,17 @@ TEST(RuntimeConfigTest, LegacySettersAreShimsOverConfigure) {
   ASSERT_EQ(snap.tenant_caps_gbps.size(), 1u);
   EXPECT_DOUBLE_EQ(snap.tenant_caps_gbps.at(4), 2.5);
 
-  // A setter touches only its own knob (read-modify-write of the config).
-  fx.dev.set_tenant_pacing_gbps(0.0);
+  // Read-modify-write of the snapshot touches only the changed knob.
+  snap.tenant_pacing_gbps = 0.0;
+  fx.dev.configure(snap);
   EXPECT_EQ(fx.dev.responder_noise(), sim::ns(40));
   EXPECT_TRUE(fx.dev.tenant_isolation());
   EXPECT_DOUBLE_EQ(fx.dev.tenant_cap_gbps(4), 2.5);
 
   // cap <= 0 lifts the throttle.
-  fx.dev.set_tenant_cap_gbps(4, 0.0);
+  snap = fx.dev.runtime_config();
+  snap.tenant_caps_gbps[4] = 0.0;
+  fx.dev.configure(snap);
   EXPECT_TRUE(fx.dev.runtime_config().tenant_caps_gbps.empty());
 }
 

@@ -70,6 +70,30 @@ TEST(CounterSampler, QuietWhenIdle) {
   }
 }
 
+TEST(CounterSampler, StopDuringPendingTickDoesNotRecordExtraInterval) {
+  // stop() while a tick is already on the event queue, then an immediate
+  // restart: the orphaned tick must not fire as an extra, mis-phased
+  // interval.  (Regression: stop() used to clear running_ only, so the
+  // stale tick saw running_ == true again after restart and recorded a
+  // sample on the *old* phase.)
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 76, 1);
+  CounterSampler sampler(bed.sched(), bed.server().device(), sim::us(100));
+  sampler.start();
+  bed.sched().run_until(sim::us(250));  // samples at 100us, 200us; tick pending at 300us
+  sampler.stop();
+  sampler.start();  // restart mid-interval: next sample due at 350us
+  bed.sched().run_until(sim::us(400));
+  sampler.stop();
+  bed.sched().run_until_idle();
+
+  const auto& s = sampler.samples();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].at, sim::us(100));
+  EXPECT_EQ(s[1].at, sim::us(200));
+  // Not 300us: the pending tick was orphaned by stop().
+  EXPECT_EQ(s[2].at, sim::us(350));
+}
+
 TEST(Qos, SetEtsWeights) {
   revng::Testbed bed(rnic::DeviceModel::kCX4, 74, 1);
   std::array<double, rnic::kNumTrafficClasses> w{};
