@@ -4,20 +4,21 @@
 // bandwidth, and what the ECC framing recovers at each crowd size.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/ecc.hpp"
 #include "covert/uli_channel.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("covert channel vs bystander count",
-                "error / effective bandwidth as the server gets crowded",
-                args);
+RAGNAR_SCENARIO(ablation_bystanders, "extension",
+                "covert error / effective bandwidth vs bystander client count",
+                "192-bit payload, 0-4 bystanders",
+                "512-bit payload, 0-4 bystanders") {
+  ctx.header("covert channel vs bystander count",
+                "error / effective bandwidth as the server gets crowded");
 
-  sim::Xoshiro256 rng(args.seed);
-  const auto payload = covert::random_bits(args.full ? 512 : 192, rng);
+  sim::Xoshiro256 rng(ctx.seed);
+  const auto payload = covert::random_bits(ctx.full ? 512 : 192, rng);
 
   for (auto kind :
        {covert::UliChannelKind::kInterMr, covert::UliChannelKind::kIntraMr}) {
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
     for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
                           std::size_t{4}}) {
       auto cfg = covert::UliChannelConfig::best_for(rnic::DeviceModel::kCX5,
-                                                    kind, args.seed);
+                                                    kind, ctx.seed);
       cfg.ambient_clients = n;
       if (n == 0) cfg.ambient_intensity = 0;
       covert::UliCovertChannel ch(cfg);

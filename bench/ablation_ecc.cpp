@@ -7,26 +7,28 @@
 // errors).
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/ecc.hpp"
 #include "covert/uli_channel.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ECC framing over the Grain-IV channel",
-                "Hamming(7,4) + interleaving vs the raw channel", args);
+RAGNAR_SCENARIO(ablation_ecc, "extension",
+                "Hamming(7,4) + interleave framing vs the raw Grain-IV channel",
+                "384 data bits, all devices",
+                "1024 data bits, all devices") {
+  ctx.header("ECC framing over the Grain-IV channel",
+                "Hamming(7,4) + interleaving vs the raw channel");
 
-  sim::Xoshiro256 rng(args.seed);
-  const std::size_t ndata = args.full ? 1024 : 384;
+  sim::Xoshiro256 rng(ctx.seed);
+  const std::size_t ndata = ctx.full ? 1024 : 384;
   const auto data = covert::random_bits(ndata, rng);
 
   std::printf("\n%-12s %-10s %-12s %-12s %-12s %-12s\n", "device",
               "raw err", "raw eff", "ECC resid", "ECC goodput", "corrected");
-  for (auto model : bench::kAllDevices) {
+  for (auto model : scenario::kAllDevices) {
     auto cfg = covert::UliChannelConfig::best_for(
-        model, covert::UliChannelKind::kIntraMr, args.seed);
+        model, covert::UliChannelKind::kIntraMr, ctx.seed);
 
     // Raw channel reference.
     covert::UliCovertChannel raw_ch(cfg);

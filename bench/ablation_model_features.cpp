@@ -13,7 +13,7 @@
 //   egress-over-ingress pressure   -> KF1a write loss vanishes
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/uli_channel.hpp"
 #include "revng/sweeps.hpp"
 #include "side/snoop.hpp"
@@ -119,10 +119,12 @@ Kf1aResult kf1a(const rnic::DeviceProfile& prof, std::uint64_t seed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("model-feature ablation",
-                "remove one mechanism, watch its finding collapse", args);
+RAGNAR_SCENARIO(ablation_model_features, "design",
+                "remove one modeled mechanism, watch its paper finding collapse",
+                "6 mechanism ablations on CX-4",
+                "6 mechanism ablations on CX-4") {
+  ctx.header("model-feature ablation",
+                "remove one mechanism, watch its finding collapse");
   const auto base = rnic::make_profile(rnic::DeviceModel::kCX4);
 
   std::printf("\n%-34s %-22s %-12s %-12s\n", "variant", "observable",
@@ -133,8 +135,8 @@ int main(int argc, char** argv) {
     p.xl_line_hit_bonus = 0;
     p.xl_line_cache_entries = 1;
     std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no shared line cache",
-                "snoop argmin acc (%)", 100 * snoop_argmin_accuracy(base, args.seed),
-                100 * snoop_argmin_accuracy(p, args.seed));
+                "snoop argmin acc (%)", 100 * snoop_argmin_accuracy(base, ctx.seed),
+                100 * snoop_argmin_accuracy(p, ctx.seed));
   }
   {
     auto p = base;
@@ -142,9 +144,9 @@ int main(int argc, char** argv) {
     std::printf("%-34s %-22s %-12.1f %-12.1f\n", "no MR context register",
                 "inter-MR chan err (%)",
                 100 * channel_error(base, covert::UliChannelKind::kInterMr,
-                                    args.seed),
+                                    ctx.seed),
                 100 * channel_error(p, covert::UliChannelKind::kInterMr,
-                                    args.seed));
+                                    ctx.seed));
   }
   {
     // The intra-MR channel rides the whole offset-effect family: word/line
@@ -162,22 +164,22 @@ int main(int argc, char** argv) {
     std::printf("%-34s %-22s %-12.1f %-12.1f\n", "no offset effects (KF4)",
                 "intra-MR chan err (%)",
                 100 * channel_error(base, covert::UliChannelKind::kIntraMr,
-                                    args.seed),
+                                    ctx.seed),
                 100 * channel_error(p, covert::UliChannelKind::kIntraMr,
-                                    args.seed));
+                                    ctx.seed));
   }
   {
     auto p = base;
     p.rx_dispatch_lanes = 1;
     std::printf("%-34s %-22s %-12.0f %-12.0f\n", "single dispatch lane",
-                "KF2 total/solo (%)", 100 * kf2_total(base, args.seed),
-                100 * kf2_total(p, args.seed));
+                "KF2 total/solo (%)", 100 * kf2_total(base, ctx.seed),
+                100 * kf2_total(p, ctx.seed));
   }
   {
     auto p = base;
     p.staging_pressure = 0;
-    const auto b = kf1a(base, args.seed);
-    const auto a = kf1a(p, args.seed);
+    const auto b = kf1a(base, ctx.seed);
+    const auto a = kf1a(p, ctx.seed);
     std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no staging-port pressure",
                 "KF1a medR keep (%)", 100 * b.med_read_keep,
                 100 * a.med_read_keep);
@@ -185,8 +187,8 @@ int main(int argc, char** argv) {
   {
     auto p = base;
     p.tx_over_rx_pressure = 0;
-    const auto b = kf1a(base, args.seed);
-    const auto a = kf1a(p, args.seed);
+    const auto b = kf1a(base, ctx.seed);
+    const auto a = kf1a(p, ctx.seed);
     std::printf("%-34s %-22s %-12.0f %-12.0f\n", "no egress-over-ingress",
                 "KF1a write keep (%)", 100 * b.write_keep,
                 100 * a.write_keep);

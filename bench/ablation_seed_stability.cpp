@@ -9,19 +9,21 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/uli_channel.hpp"
 #include "sim/stats.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("seed stability of the covert-channel results",
-                "Table V cells across independent seeds", args);
+RAGNAR_SCENARIO(ablation_seed_stability, "Table V",
+                "Table V cells re-run across independent seeds: mean +/- sd",
+                "5 seeds x 192 bits",
+                "10 seeds x 512 bits") {
+  ctx.header("seed stability of the covert-channel results",
+                "Table V cells across independent seeds");
 
-  const int n_seeds = args.full ? 10 : 5;
-  const std::size_t nbits = args.full ? 512 : 192;
+  const int n_seeds = ctx.full ? 10 : 5;
+  const std::size_t nbits = ctx.full ? 512 : 192;
 
   struct CellRun {
     double kbps = 0;
@@ -34,9 +36,9 @@ int main(int argc, char** argv) {
   harness::SweepRunner sweep;
   std::size_t slot = 0;
   for (auto kind : kinds) {
-    for (auto model : bench::kAllDevices) {
+    for (auto model : scenario::kAllDevices) {
       for (int s = 0; s < n_seeds; ++s, ++slot) {
-        const std::uint64_t seed = args.seed + 1000 * (s + 1);
+        const std::uint64_t seed = ctx.seed + 1000 * (s + 1);
         char label[64];
         std::snprintf(label, sizeof label, "%s:%s:s%d",
                       kind == covert::UliChannelKind::kInterMr ? "inter"
@@ -58,13 +60,13 @@ int main(int argc, char** argv) {
       }
     }
   }
-  bench::run_sweep(sweep, args, "ablation_seed_stability");
+  ctx.run_sweep(sweep, "ablation_seed_stability");
 
   std::printf("\n%-10s %-12s | %-22s | %-18s\n", "channel", "device",
               "raw Kbps (mean+/-sd)", "error %% (mean+/-sd)");
   slot = 0;
   for (auto kind : kinds) {
-    for (auto model : bench::kAllDevices) {
+    for (auto model : scenario::kAllDevices) {
       sim::RunningStats kbps, err;
       for (int s = 0; s < n_seeds; ++s, ++slot) {
         kbps.add(runs[slot].kbps);

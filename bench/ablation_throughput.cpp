@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/flow.hpp"
 #include "revng/testbed.hpp"
 
@@ -31,21 +31,23 @@ double run_flow(rnic::DeviceModel model, std::uint64_t seed,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("throughput scaling (model validation)",
-                "msg-size and QP-count curves per device", args);
+RAGNAR_SCENARIO(ablation_throughput, "Table III",
+                "throughput vs message size / QP count per device (validation)",
+                "6 sizes, 5 QP counts, all devices",
+                "6 sizes, 5 QP counts, all devices") {
+  ctx.header("throughput scaling (model validation)",
+                "msg-size and QP-count curves per device");
 
   const std::vector<std::uint32_t> sizes{64,   256,  1024, 4096,
                                          16384, 65536};
   std::printf("\nREAD throughput (Gb/s) vs message size (2 QPs):\n%-10s",
               "size");
-  for (auto m : bench::kAllDevices) std::printf(" %12s", rnic::device_name(m));
+  for (auto m : scenario::kAllDevices) std::printf(" %12s", rnic::device_name(m));
   std::printf("   link caps: 25/100/200, PCIe: 50/50/200\n");
   for (auto size : sizes) {
     std::printf("%-10u", size);
-    for (auto m : bench::kAllDevices) {
-      std::printf(" %12.2f", run_flow(m, args.seed, verbs::WrOpcode::kRdmaRead,
+    for (auto m : scenario::kAllDevices) {
+      std::printf(" %12.2f", run_flow(m, ctx.seed, verbs::WrOpcode::kRdmaRead,
                                       size, 2));
     }
     std::printf("\n");
@@ -53,12 +55,12 @@ int main(int argc, char** argv) {
 
   std::printf("\nWRITE throughput (Gb/s) vs message size (2 QPs):\n%-10s",
               "size");
-  for (auto m : bench::kAllDevices) std::printf(" %12s", rnic::device_name(m));
+  for (auto m : scenario::kAllDevices) std::printf(" %12s", rnic::device_name(m));
   std::printf("\n");
   for (auto size : sizes) {
     std::printf("%-10u", size);
-    for (auto m : bench::kAllDevices) {
-      std::printf(" %12.2f", run_flow(m, args.seed + 1,
+    for (auto m : scenario::kAllDevices) {
+      std::printf(" %12.2f", run_flow(m, ctx.seed + 1,
                                       verbs::WrOpcode::kRdmaWrite, size, 2));
     }
     std::printf("\n");
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
               "qps", "Mops");
   for (std::uint32_t q : {1u, 2u, 4u, 8u, 16u}) {
     const double gbps =
-        run_flow(rnic::DeviceModel::kCX5, args.seed + 2,
+        run_flow(rnic::DeviceModel::kCX5, ctx.seed + 2,
                  verbs::WrOpcode::kRdmaRead, 64, q);
     std::printf("%-10u %.2f\n", q, gbps * 1e9 / 8.0 / 64.0 / 1e6);
   }

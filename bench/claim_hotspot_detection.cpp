@@ -7,19 +7,21 @@
 #include <cstdio>
 
 #include "apps/workload.hpp"
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "side/snoop.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("KV-store hotspot detection (section VI motivation)",
-                "Zipfian victim; attacker recovers the hot record", args);
+RAGNAR_SCENARIO(claim_hotspot_detection, "sec VI",
+                "Zipfian KV-store victim; attacker recovers the hottest record",
+                "24 sweeps per trace",
+                "48 sweeps per trace") {
+  ctx.header("KV-store hotspot detection (section VI motivation)",
+                "Zipfian victim; attacker recovers the hot record");
 
   // Show the skew profile first.
   {
-    apps::ZipfianGenerator gen(17, 0.99, sim::Xoshiro256(args.seed));
+    apps::ZipfianGenerator gen(17, 0.99, sim::Xoshiro256(ctx.seed));
     const auto hist = apps::sample_histogram(gen, 100000);
     std::printf("\nZipfian(theta=0.99) over 17 records, 100k draws: "
                 "rank0=%zu rank1=%zu rank2=%zu rank8=%zu rank16=%zu "
@@ -34,12 +36,12 @@ int main(int argc, char** argv) {
   for (double theta : {0.99, 0.8, 0.6}) {
     side::SnoopConfig cfg;
     cfg.model = rnic::DeviceModel::kCX4;
-    cfg.seed = args.seed;
+    cfg.seed = ctx.seed;
     cfg.victim_zipf_theta = theta;
     // The diluted victim needs a longer observation than the fixed-address
     // attack of Fig 13 (only ~29% of its accesses hit the hot record at
     // theta 0.99).
-    cfg.sweeps_per_trace = args.full ? 48 : 24;
+    cfg.sweeps_per_trace = ctx.full ? 48 : 24;
     side::SnoopAttack attack(cfg);
     std::size_t ok = 0;
     for (std::size_t hot : hotspots) {

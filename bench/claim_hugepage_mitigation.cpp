@@ -6,25 +6,26 @@
 // pages (Table IV).
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "defense/harmonic.hpp"
 #include "side/pythia_snoop.hpp"
 #include "side/snoop.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("huge-page mitigation: Pythia vs Ragnar (Table I)",
+RAGNAR_SCENARIO(claim_hugepage_mitigation, "Table I",
+                "huge pages kill the Pythia page snoop, not the Ragnar offset snoop",
+                "3 victims per attack",
+                "3 victims per attack") {
+  ctx.header("huge-page mitigation: Pythia vs Ragnar (Table I)",
                 "page-granular persistent attack dies, offset-granular "
-                "volatile attack does not",
-                args);
+                "volatile attack does not");
 
   // Pythia page snoop, 4 KB pages vs 2 MB huge pages.
   for (const bool huge : {false, true}) {
     side::PythiaSnoopConfig cfg;
     cfg.model = rnic::DeviceModel::kCX5;
-    cfg.seed = args.seed;
+    cfg.seed = ctx.seed;
     cfg.huge_pages = huge;
     side::PythiaPageSnoop snoop(cfg);
     std::size_t ok = 0, total = 0;
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   {
     side::SnoopConfig cfg;
     cfg.model = rnic::DeviceModel::kCX5;
-    cfg.seed = args.seed;
+    cfg.seed = ctx.seed;
     side::SnoopAttack attack(cfg);
     std::size_t ok = 0, total = 0;
     for (std::size_t victim : {std::size_t{2}, std::size_t{7}, std::size_t{12}}) {
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
   {
     side::PythiaSnoopConfig cfg;
     cfg.model = rnic::DeviceModel::kCX5;
-    cfg.seed = args.seed + 1;
+    cfg.seed = ctx.seed + 1;
     side::PythiaPageSnoop snoop(cfg);
     (void)snoop.attack_scores(2);
     const auto stats = snoop.server_device().take_src_window_stats();

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/flow.hpp"
 #include "revng/testbed.hpp"
 #include "side/snoop.hpp"
@@ -81,12 +81,14 @@ CoarseResult run_coarse_observer(std::uint64_t seed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("coarse PCIe-contention baseline (Kim, Table I)",
-                "activity windows vs Ragnar's 64 B address recovery", args);
+RAGNAR_SCENARIO(claim_pcie_coarse_baseline, "fn 4",
+                "Kim-style coarse PCIe observer vs Ragnar 64 B address recovery",
+                "16 windows + 3 victims",
+                "16 windows + 3 victims") {
+  ctx.header("coarse PCIe-contention baseline (Kim, Table I)",
+                "activity windows vs Ragnar's 64 B address recovery");
 
-  const CoarseResult res = run_coarse_observer(args.seed);
+  const CoarseResult res = run_coarse_observer(ctx.seed);
   double on = 0, off = 0;
   int n_on = 0, n_off = 0;
   std::printf("\nobserver READ latency per 60 us window (victim "
@@ -113,7 +115,7 @@ int main(int argc, char** argv) {
   // Ragnar granularity on the same device class.
   side::SnoopConfig cfg;
   cfg.model = rnic::DeviceModel::kCX5;
-  cfg.seed = args.seed;
+  cfg.seed = ctx.seed;
   side::SnoopAttack attack(cfg);
   std::size_t ok = 0;
   for (std::size_t victim : {std::size_t{3}, std::size_t{9}, std::size_t{14}}) {

@@ -4,28 +4,30 @@
 // a 3.2x advantage.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/pythia_channel.hpp"
 #include "covert/uli_channel.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("Ragnar vs Pythia covert bandwidth (CX-5)",
-                "paper: 63.6 Kbps vs 20 Kbps => 3.2x", args);
+RAGNAR_SCENARIO(claim_vs_pythia, "sec I+V",
+                "Ragnar inter-MR vs Pythia persistent channel on CX-5 (3.2x claim)",
+                "192-bit payload",
+                "512-bit payload") {
+  ctx.header("Ragnar vs Pythia covert bandwidth (CX-5)",
+                "paper: 63.6 Kbps vs 20 Kbps => 3.2x");
 
-  sim::Xoshiro256 rng(args.seed);
-  const auto payload = covert::random_bits(args.full ? 512 : 192, rng);
+  sim::Xoshiro256 rng(ctx.seed);
+  const auto payload = covert::random_bits(ctx.full ? 512 : 192, rng);
 
   covert::PythiaConfig pc;
   pc.model = rnic::DeviceModel::kCX5;
-  pc.seed = args.seed;
+  pc.seed = ctx.seed;
   covert::PythiaCovertChannel pythia(pc);
   const auto prun = pythia.transmit(payload);
 
   auto rc = covert::UliChannelConfig::best_for(
-      rnic::DeviceModel::kCX5, covert::UliChannelKind::kInterMr, args.seed);
+      rnic::DeviceModel::kCX5, covert::UliChannelKind::kInterMr, ctx.seed);
   covert::UliCovertChannel ragnar(rc);
   const auto rrun = ragnar.transmit(payload);
 

@@ -1,0 +1,18 @@
+// Thin back-compat wrapper (built under RAGNAR_BUILD_COMPAT_BENCHES): gives
+// one registered scenario back its historical binary name and flag set, so
+//   ./fig06_offset_abs_64 --seed 7 --csv out/
+// behaves exactly like
+//   ./ragnar run fig06_offset_abs_64 --seed 7 --csv-dir out/
+#include "scenario/cli.hpp"
+
+#ifndef RAGNAR_COMPAT_SCENARIO
+#error "compat_main.cpp requires -DRAGNAR_COMPAT_SCENARIO=<scenario name>"
+#endif
+
+#define RAGNAR_STR2(x) #x
+#define RAGNAR_STR(x) RAGNAR_STR2(x)
+
+int main(int argc, char** argv) {
+  return ragnar::scenario::run_compat(RAGNAR_STR(RAGNAR_COMPAT_SCENARIO),
+                                      argc, argv);
+}

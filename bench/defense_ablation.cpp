@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/uli_channel.hpp"
 #include "defense/harmonic.hpp"
 #include "defense/mitigation.hpp"
@@ -54,11 +54,12 @@ struct PartitionResult {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("defense ablation (Table I / section VII)",
-                "HARMONIC-style Grain-I/II/III monitor + noise mitigation",
-                args);
+RAGNAR_SCENARIO(defense_ablation, "Table I",
+                "HARMONIC-style monitor + noise/partitioning/pacing mitigations",
+                "96-bit noise-sweep probes",
+                "256-bit noise-sweep probes") {
+  ctx.header("defense ablation (Table I / section VII)",
+                "HARMONIC-style Grain-I/II/III monitor + noise mitigation");
   const auto model = rnic::DeviceModel::kCX4;
 
   // --- build the trial grid ------------------------------------------------
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
     flood.depth_per_qp = 16;
     flood.duration = sim::ms(4);
     write_flood.flagged =
-        monitored_flow(model, args.seed, flood, &write_flood.rate);
+        monitored_flow(model, ctx.seed, flood, &write_flood.rate);
     harness::Record rec;
     rec.set("flagged", std::uint64_t{write_flood.flagged});
     rec.set("flag_rate", write_flood.rate, 4);
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
     flood.depth_per_qp = 16;
     flood.duration = sim::ms(4);
     atomic_flood.flagged =
-        monitored_flow(model, args.seed + 1, flood, &atomic_flood.rate);
+        monitored_flow(model, ctx.seed + 1, flood, &atomic_flood.rate);
     harness::Record rec;
     rec.set("flagged", std::uint64_t{atomic_flood.flagged});
     rec.set("flag_rate", atomic_flood.rate, 4);
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
     benign.depth_per_qp = 2;
     benign.duration = sim::ms(4);
     benign_tenant.flagged =
-        monitored_flow(model, args.seed + 2, benign, &benign_tenant.rate);
+        monitored_flow(model, ctx.seed + 2, benign, &benign_tenant.rate);
     harness::Record rec;
     rec.set("flagged", std::uint64_t{benign_tenant.flagged});
     rec.set("flag_rate", benign_tenant.rate, 4);
@@ -115,12 +116,12 @@ int main(int argc, char** argv) {
     sweep.add(k == 0 ? "monitor:ragnar_inter_mr" : "monitor:ragnar_intra_mr",
               [&, k](harness::TrialContext&) {
                 auto cfg =
-                    covert::UliChannelConfig::best_for(model, kinds[k], args.seed);
+                    covert::UliChannelConfig::best_for(model, kinds[k], ctx.seed);
                 covert::UliCovertChannel ch(cfg);
                 defense::HarmonicMonitor mon(ch.scheduler(), ch.server_device(),
                                              sim::ms(1));
                 mon.start();
-                sim::Xoshiro256 rng(args.seed + 3);
+                sim::Xoshiro256 rng(ctx.seed + 3);
                 const auto run = ch.transmit(covert::random_bits(128, rng));
                 chan_results[k].tx_flagged = mon.ever_flagged(ch.tx_node());
                 chan_results[k].rx_flagged = mon.ever_flagged(ch.rx_node());
@@ -146,7 +147,7 @@ int main(int argc, char** argv) {
                   sim::format_duration(levels[i]).c_str());
     sweep.add(label, [&, i](harness::TrialContext&) {
       const auto one = defense::sweep_noise_mitigation(
-          model, args.seed + 4, {levels[i]}, args.full ? 256 : 96);
+          model, ctx.seed + 4, {levels[i]}, ctx.full ? 256 : 96);
       points[i] = one.front();
       harness::Record rec;
       rec.set("noise_ns", sim::to_ns(points[i].noise_max), 1);
@@ -168,19 +169,19 @@ int main(int argc, char** argv) {
               [&, p, partitioned](harness::TrialContext&) {
                 // Channel viability.
                 auto cfg = covert::UliChannelConfig::best_for(
-                    model, covert::UliChannelKind::kIntraMr, args.seed + 5);
+                    model, covert::UliChannelKind::kIntraMr, ctx.seed + 5);
                 cfg.ambient_intensity = 0;
                 covert::UliCovertChannel ch(cfg);
                 rnic::RuntimeConfig dev_cfg =
                     ch.server_device().runtime_config();
                 dev_cfg.tenant_isolation = partitioned;
                 ch.server_device().configure(dev_cfg);
-                sim::Xoshiro256 rng(args.seed + 6);
+                sim::Xoshiro256 rng(ctx.seed + 6);
                 const auto run = ch.transmit(covert::random_bits(96, rng));
                 part_results[p].channel_error = run.error_rate();
 
                 // Benign cost: a small-READ tenant's throughput.
-                revng::Testbed bed(model, args.seed + 7, 1);
+                revng::Testbed bed(model, ctx.seed + 7, 1);
                 rnic::RuntimeConfig bed_cfg =
                     bed.server().device().runtime_config();
                 bed_cfg.tenant_isolation = partitioned;
@@ -207,13 +208,13 @@ int main(int argc, char** argv) {
   double pacing_err = 0;
   sweep.add("grain1:pacing_10g", [&](harness::TrialContext&) {
     auto cfg = covert::UliChannelConfig::best_for(
-        model, covert::UliChannelKind::kIntraMr, args.seed + 8);
+        model, covert::UliChannelKind::kIntraMr, ctx.seed + 8);
     cfg.ambient_intensity = 0;
     covert::UliCovertChannel ch(cfg);
     rnic::RuntimeConfig paced = ch.server_device().runtime_config();
     paced.tenant_pacing_gbps = 10.0;
     ch.server_device().configure(paced);
-    sim::Xoshiro256 rng(args.seed + 9);
+    sim::Xoshiro256 rng(ctx.seed + 9);
     pacing_err = ch.transmit(covert::random_bits(96, rng)).error_rate();
     harness::Record rec;
     rec.set("chan_err", pacing_err, 4);
@@ -221,7 +222,7 @@ int main(int argc, char** argv) {
   });
 
   // --- execute and report --------------------------------------------------
-  bench::run_sweep(sweep, args, "defense_ablation");
+  ctx.run_sweep(sweep, "defense_ablation");
 
   std::printf("\n--- detection matrix -------------------------------------\n");
   std::printf("%-44s %-10s %-10s\n", "workload", "flagged", "flag rate");

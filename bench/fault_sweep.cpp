@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/framing.hpp"
 #include "covert/priority_channel.hpp"
 #include "faults/faults.hpp"
@@ -28,20 +28,21 @@ struct Cell {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header(
+RAGNAR_SCENARIO(fault_sweep, "robustness",
+                "covert goodput vs injected burst loss, raw vs framed decoding",
+                "4 loss points x 1 trial, 56 bits",
+                "6 loss points x 3 trials, 112 bits") {
+  ctx.header(
       "fault sweep: covert goodput vs injected loss",
       "Gilbert-Elliott burst loss on the fabric; QP transport retry keeps "
-      "the flows alive; framed = resync preamble + Hamming x interleave",
-      args);
+      "the flows alive; framed = resync preamble + Hamming x interleave");
 
   const std::vector<double> loss_grid =
-      args.full ? std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05, 0.10}
+      ctx.full ? std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05, 0.10}
                 : std::vector<double>{0.0, 0.01, 0.02, 0.05};
   // Whole 28-bit segments (7 Hamming codewords, the codeword-aligned
   // interleave geometry of FrameConfig's defaults).
-  const std::size_t data_bits = args.full ? 112 : 56;
+  const std::size_t data_bits = ctx.full ? 112 : 56;
   // Mean burst duration: a quarter of a counter interval, so a bad-state
   // excursion corrupts one bit window or two (the contiguous-run regime the
   // codeword-aligned interleaver is sized for) without blanking the run.
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   // residual: a single Gilbert-Elliott trajectory can concentrate its
   // outage budget on one unlucky stretch, and one draw says little at
   // paper scale.
-  const std::size_t trials_per_cell = args.full ? 3 : 1;
+  const std::size_t trials_per_cell = ctx.full ? 3 : 1;
 
   std::vector<Cell> cells;
   for (double loss : loss_grid) {
@@ -124,7 +125,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto report = bench::run_sweep(sweep, args, "fault_sweep");
+  const auto report = ctx.run_sweep(sweep, "fault_sweep");
 
   // Aggregate the per-seed trials back into one row per cell (median
   // residual, mean of the fault accounting).  With one trial per cell this

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 
 using namespace ragnar;
@@ -55,10 +55,12 @@ std::string flow_name(const FlowSpec& f) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("traffic-priority contention matrix (Fig 4)",
-                "pairwise flow contention, CX-4, ETS 50/50", args);
+RAGNAR_SCENARIO(fig04_priority_matrix, "Fig 4",
+                "pairwise traffic-priority contention matrix + Key Finding checks",
+                "19 contention cells, 3 sims each",
+                "6000+-combination grid (sizes x QPs x depths)") {
+  ctx.header("traffic-priority contention matrix (Fig 4)",
+                "pairwise flow contention, CX-4, ETS 50/50");
 
   // Reduced mode keeps a representative subset; --full sweeps the paper's
   // "over 6000 parameter combinations" regime by also varying queue depth
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> rsizes{64, 1024, 16384};
   std::vector<std::uint32_t> qps{2};
   std::vector<std::uint32_t> depths{16};
-  if (args.full) {
+  if (ctx.full) {
     wsizes = {64, 128, 256, 512, 1024, 2048, 4096, 16384};
     rsizes = {64, 256, 512, 1024, 4096, 16384, 65536};
     qps = {1, 2, 4, 8};
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
           a.depth_per_qp = b.depth_per_qp = d;
           pairs.emplace_back(a, b);
         }
-        if (args.full) {
+        if (ctx.full) {
           // read vs read of mixed sizes (full-grid completeness)
           for (auto rs : rsizes) {
             auto ra = make_flow(WrOpcode::kRdmaRead, ws, q);
@@ -120,7 +122,7 @@ int main(int argc, char** argv) {
               "B, duo)\n",
               pairs.size());
 
-  // Dispatch one trial per cell.  The cell seed stays args.seed (the grid
+  // Dispatch one trial per cell.  The cell seed stays ctx.seed (the grid
   // position is the experiment parameter, not the seed), so the numbers
   // match the serial reproduction exactly.
   std::vector<ContentionCell> cells(pairs.size());
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto& [a, b] = pairs[i];
     sweep.add(flow_name(a) + " vs " + flow_name(b),
-              [&cells, i, &pairs, seed = args.seed](harness::TrialContext&) {
+              [&cells, i, &pairs, seed = ctx.seed](harness::TrialContext&) {
                 const auto& [fa, fb] = pairs[i];
                 const ContentionCell c = revng::run_contention_pair(
                     rnic::DeviceModel::kCX4, seed, fa, fb);
@@ -141,7 +143,7 @@ int main(int argc, char** argv) {
                 return rec;
               });
   }
-  bench::run_sweep(sweep, args, "fig04_priority_matrix");
+  ctx.run_sweep(sweep, "fig04_priority_matrix");
 
   std::printf("\n%-14s %-14s | %8s %8s %6s | %8s %8s %6s | %7s\n", "flow A",
               "flow B", "soloA", "duoA", "catA", "soloB", "duoB", "catB",

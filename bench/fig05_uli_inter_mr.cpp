@@ -5,25 +5,26 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ULI vs same/different remote MR vs message size (Fig 5)",
-                "alternating 0@MR#0 with 1024@MR#0 / 1024@MR#1, CX-4 READs",
-                args);
+RAGNAR_SCENARIO(fig05_uli_inter_mr, "Fig 5",
+                "ULI same-MR vs cross-MR alternation across READ sizes",
+                "8 sizes x 1200 samples",
+                "8 sizes x 4000 samples") {
+  ctx.header("ULI vs same/different remote MR vs message size (Fig 5)",
+                "alternating 0@MR#0 with 1024@MR#0 / 1024@MR#1, CX-4 READs");
 
   const std::vector<std::uint32_t> sizes{64,  128,  256,  512,
                                          1024, 2048, 4096, 8192};
-  const std::size_t samples = args.full ? 4000 : 1200;
+  const std::size_t samples = ctx.full ? 4000 : 1200;
 
-  const auto same = revng::sweep_inter_mr(rnic::DeviceModel::kCX4, args.seed,
+  const auto same = revng::sweep_inter_mr(rnic::DeviceModel::kCX4, ctx.seed,
                                           false, sizes, samples);
-  const auto diff = revng::sweep_inter_mr(rnic::DeviceModel::kCX4, args.seed,
+  const auto diff = revng::sweep_inter_mr(rnic::DeviceModel::kCX4, ctx.seed,
                                           true, sizes, samples);
 
   std::printf("\n%-8s | %-28s | %-28s | ratio\n", "size", "same MR (p10/mean/p90)",
@@ -36,14 +37,14 @@ int main(int argc, char** argv) {
   std::printf("\npaper shape: different-MR ULI > same-MR ULI at every size "
               "(MR context switch), gap narrows as payload time dominates.\n");
 
-  if (!args.csv_dir.empty()) {
+  if (!ctx.csv_dir.empty()) {
     std::vector<std::vector<double>> cols(3);
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       cols[0].push_back(sizes[i]);
       cols[1].push_back(same[i].mean);
       cols[2].push_back(diff[i].mean);
     }
-    sim::write_csv(args.csv_dir + "/fig05.csv", "size,same_mr_uli,diff_mr_uli",
+    sim::write_csv(ctx.csv_dir + "/fig05.csv", "size,same_mr_uli,diff_mr_uli",
                    cols);
   }
   return 0;

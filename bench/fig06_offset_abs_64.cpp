@@ -5,23 +5,25 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ULI vs absolute offset, 64 B READs (Fig 6)",
-                "CX-4, same MR, single swept target", args);
+RAGNAR_SCENARIO(fig06_offset_abs_64, "Fig 6",
+                "ULI vs absolute offset, 64 B READs (KF4 periodicity)",
+                "offsets 0..2304 step 4, 300 samples",
+                "offsets 0..4096 step 1, 600 samples") {
+  ctx.header("ULI vs absolute offset, 64 B READs (Fig 6)",
+                "CX-4, same MR, single swept target");
 
-  const std::uint64_t max_offset = args.full ? 4096 : 2304;
-  const std::uint64_t step = args.full ? 1 : 4;
-  const std::size_t samples = args.full ? 600 : 300;
+  const std::uint64_t max_offset = ctx.full ? 4096 : 2304;
+  const std::uint64_t step = ctx.full ? 1 : 4;
+  const std::size_t samples = ctx.full ? 600 : 300;
 
   const auto curve = revng::sweep_abs_offset(rnic::DeviceModel::kCX4,
-                                             args.seed, 64, max_offset, step,
+                                             ctx.seed, 64, max_offset, step,
                                              samples);
 
   std::vector<double> means;
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
   std::printf("paper shape: drops at 8 B alignment, bigger drops at 64 B "
               "multiples, 2048 B sawtooth period.\n");
 
-  if (!args.csv_dir.empty()) {
+  if (!ctx.csv_dir.empty()) {
     std::vector<std::vector<double>> cols(4);
     for (const auto& p : curve) {
       cols[0].push_back(p.x);
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
       cols[2].push_back(p.p10);
       cols[3].push_back(p.p90);
     }
-    sim::write_csv(args.csv_dir + "/fig06.csv", "offset,mean,p10,p90", cols);
+    sim::write_csv(ctx.csv_dir + "/fig06.csv", "offset,mean,p10,p90", cols);
   }
   return 0;
 }

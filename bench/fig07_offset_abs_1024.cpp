@@ -4,24 +4,26 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ULI vs absolute offset, 1024 B READs (Fig 7)",
-                "CX-4, same MR, single swept target", args);
+RAGNAR_SCENARIO(fig07_offset_abs_1024, "Fig 7",
+                "ULI vs absolute offset, 1024 B READs (amplitude shrinks)",
+                "offsets 0..2304 step 8, 300 samples",
+                "offsets 0..4096 step 2, 600 samples") {
+  ctx.header("ULI vs absolute offset, 1024 B READs (Fig 7)",
+                "CX-4, same MR, single swept target");
 
-  const std::uint64_t max_offset = args.full ? 4096 : 2304;
-  const std::uint64_t step = args.full ? 2 : 8;
-  const std::size_t samples = args.full ? 600 : 300;
+  const std::uint64_t max_offset = ctx.full ? 4096 : 2304;
+  const std::uint64_t step = ctx.full ? 2 : 8;
+  const std::size_t samples = ctx.full ? 600 : 300;
 
-  const auto c64 = revng::sweep_abs_offset(rnic::DeviceModel::kCX4, args.seed,
+  const auto c64 = revng::sweep_abs_offset(rnic::DeviceModel::kCX4, ctx.seed,
                                            64, max_offset, step, samples);
-  const auto c1k = revng::sweep_abs_offset(rnic::DeviceModel::kCX4, args.seed,
+  const auto c1k = revng::sweep_abs_offset(rnic::DeviceModel::kCX4, ctx.seed,
                                            1024, max_offset, step, samples);
 
   std::vector<double> means;
@@ -46,13 +48,13 @@ int main(int argc, char** argv) {
   std::printf("paper shape: same 2's-power periodicity, smaller relative "
               "amplitude at 1 KB.\n");
 
-  if (!args.csv_dir.empty()) {
+  if (!ctx.csv_dir.empty()) {
     std::vector<std::vector<double>> cols(2);
     for (const auto& p : c1k) {
       cols[0].push_back(p.x);
       cols[1].push_back(p.mean);
     }
-    sim::write_csv(args.csv_dir + "/fig07.csv", "offset,mean_uli_1024B", cols);
+    sim::write_csv(ctx.csv_dir + "/fig07.csv", "offset,mean_uli_1024B", cols);
   }
   return 0;
 }

@@ -5,24 +5,26 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ULI vs relative offset, 64 B READs (Fig 8)",
-                "CX-4, same MR, alternating base and base+delta", args);
+RAGNAR_SCENARIO(fig08_offset_rel_64, "Fig 8",
+                "ULI vs relative offset (delta) between consecutive READs",
+                "deltas 0..2304 step 4, 300 samples",
+                "deltas 0..4096 step 1, 600 samples") {
+  ctx.header("ULI vs relative offset, 64 B READs (Fig 8)",
+                "CX-4, same MR, alternating base and base+delta");
 
   const std::uint64_t base = 64 * 1024;  // far from the MR head
-  const std::uint64_t max_delta = args.full ? 4096 : 2304;
-  const std::uint64_t step = args.full ? 1 : 4;
-  const std::size_t samples = args.full ? 600 : 300;
+  const std::uint64_t max_delta = ctx.full ? 4096 : 2304;
+  const std::uint64_t step = ctx.full ? 1 : 4;
+  const std::size_t samples = ctx.full ? 600 : 300;
 
   const auto curve = revng::sweep_rel_offset(
-      rnic::DeviceModel::kCX4, args.seed, 64, base, max_delta, step, samples);
+      rnic::DeviceModel::kCX4, ctx.seed, 64, base, max_delta, step, samples);
 
   std::vector<double> means;
   for (const auto& p : curve) means.push_back(p.mean);
@@ -56,13 +58,13 @@ int main(int argc, char** argv) {
   std::printf("paper shape: drops at 8 B-aligned deltas, stronger at 64 B "
               "multiples, penalty when the delta leaves the 2048 B block.\n");
 
-  if (!args.csv_dir.empty()) {
+  if (!ctx.csv_dir.empty()) {
     std::vector<std::vector<double>> cols(2);
     for (const auto& p : curve) {
       cols[0].push_back(p.x);
       cols[1].push_back(p.mean);
     }
-    sim::write_csv(args.csv_dir + "/fig08.csv", "delta,mean_uli", cols);
+    sim::write_csv(ctx.csv_dir + "/fig08.csv", "delta,mean_uli", cols);
   }
   return 0;
 }

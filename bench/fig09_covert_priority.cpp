@@ -8,25 +8,26 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/priority_channel.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("priority-based covert channel (Fig 9 / Table V col 1)",
+RAGNAR_SCENARIO(fig09_covert_priority, "Fig 9",
+                "priority covert channel sending the paper bitstream on CX-4/5/6",
+                "16-bit paper bitstream, all devices",
+                "16-bit paper bitstream, all devices") {
+  ctx.header("priority-based covert channel (Fig 9 / Table V col 1)",
                 "Tx: 128 B (bit 1) vs 2048 B (bit 0) WRITEs; Rx: monitored "
-                "small-READ bandwidth",
-                args);
+                "small-READ bandwidth");
 
   const auto payload = covert::bits_from_string("1101111101010010");
 
-  for (auto model : bench::kAllDevices) {
+  for (auto model : scenario::kAllDevices) {
     covert::PriorityChannelConfig cfg;
     cfg.model = model;
-    cfg.seed = args.seed;
+    cfg.seed = ctx.seed;
     covert::PriorityCovertChannel ch(cfg);
     const auto run = ch.transmit(payload);
 

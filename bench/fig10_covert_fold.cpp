@@ -4,20 +4,21 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/uli_channel.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("folded ULI of the inter-MR channel (Fig 10)",
-                "1024 B READ, max send queue 256, CX-4, alternating bits",
-                args);
+RAGNAR_SCENARIO(fig10_covert_fold, "Fig 10",
+                "folded ULI levels of the inter-MR channel under alternating bits",
+                "32 alternating bits",
+                "64 alternating bits") {
+  ctx.header("folded ULI of the inter-MR channel (Fig 10)",
+                "1024 B READ, max send queue 256, CX-4, alternating bits");
 
   covert::UliChannelConfig cfg = covert::UliChannelConfig::best_for(
-      rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr, args.seed);
+      rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr, ctx.seed);
   cfg.rx_read_size = 1024;
   cfg.tx_read_size = 1024;
   cfg.tx_queue_depth = 256;  // the figure's "Max Send Queue Length = 256"
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   covert::UliCovertChannel ch(cfg);
   // Periodic switching bitstream, as in the figure.
   std::vector<int> payload;
-  for (int i = 0; i < (args.full ? 64 : 32); ++i) payload.push_back(i % 2);
+  for (int i = 0; i < (ctx.full ? 64 : 32); ++i) payload.push_back(i % 2);
   const auto run = ch.transmit(payload);
 
   // Fold consecutive (0,1) windows.

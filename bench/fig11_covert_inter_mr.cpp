@@ -4,24 +4,25 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/uli_channel.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("inter-MR resource-based channel (Fig 11)",
-                "best params per device (footnote 10); folded two-bit period",
-                args);
+RAGNAR_SCENARIO(fig11_covert_inter_mr, "Fig 11",
+                "inter-MR channel normalized folded ULI on CX-4/5/6",
+                "96 alternating bits per device",
+                "256 alternating bits per device") {
+  ctx.header("inter-MR resource-based channel (Fig 11)",
+                "best params per device (footnote 10); folded two-bit period");
 
-  for (auto model : bench::kAllDevices) {
+  for (auto model : scenario::kAllDevices) {
     auto cfg = covert::UliChannelConfig::best_for(
-        model, covert::UliChannelKind::kInterMr, args.seed);
+        model, covert::UliChannelKind::kInterMr, ctx.seed);
     covert::UliCovertChannel ch(cfg);
     std::vector<int> payload;
-    for (int i = 0; i < (args.full ? 256 : 96); ++i) payload.push_back(i % 2);
+    for (int i = 0; i < (ctx.full ? 256 : 96); ++i) payload.push_back(i % 2);
     const auto run = ch.transmit(payload);
 
     // Normalized folded levels (the figure's y-axis is normalized ULI).

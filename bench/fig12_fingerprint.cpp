@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "apps/shufflejoin.hpp"
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "side/fingerprint.hpp"
 #include "sim/trace.hpp"
 
@@ -35,18 +35,19 @@ std::vector<double> record(rnic::DeviceModel model, std::uint64_t seed,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("shuffle/join fingerprint (Fig 12, Algorithm 1)",
-                "attacker-monitored bandwidth under DB operators, CX-4",
-                args);
+RAGNAR_SCENARIO(fig12_fingerprint, "Fig 12",
+                "DB shuffle/join fingerprinting + Algorithm 1 detector",
+                "5 ms captures, 12 detection probes",
+                "10 ms captures, 24 detection probes") {
+  ctx.header("shuffle/join fingerprint (Fig 12, Algorithm 1)",
+                "attacker-monitored bandwidth under DB operators, CX-4");
   const auto model = rnic::DeviceModel::kCX4;
-  const sim::SimDur span = args.full ? sim::ms(10) : sim::ms(5);
+  const sim::SimDur span = ctx.full ? sim::ms(10) : sim::ms(5);
 
-  const auto shuffle_trace = record(model, args.seed, DbOp::kShuffle, span);
-  const auto join_trace = record(model, args.seed + 1, DbOp::kJoin, span);
-  const auto scan_trace = record(model, args.seed + 3, DbOp::kScan, span);
-  const auto idle_trace = record(model, args.seed + 2, DbOp::kIdle, span);
+  const auto shuffle_trace = record(model, ctx.seed, DbOp::kShuffle, span);
+  const auto join_trace = record(model, ctx.seed + 1, DbOp::kJoin, span);
+  const auto scan_trace = record(model, ctx.seed + 3, DbOp::kScan, span);
+  const auto idle_trace = record(model, ctx.seed + 2, DbOp::kIdle, span);
 
   std::printf("\n%s", sim::ascii_plot(shuffle_trace, 96, 10,
                                       "monitored BW during SHUFFLE (plateau)")
@@ -70,10 +71,10 @@ int main(int argc, char** argv) {
 
   int correct = 0, total = 0;
   std::printf("\n%-10s %-10s %-12s\n", "truth", "detected", "correlation");
-  for (int trial = 0; trial < (args.full ? 8 : 4); ++trial) {
+  for (int trial = 0; trial < (ctx.full ? 8 : 4); ++trial) {
     for (DbOp op : {DbOp::kShuffle, DbOp::kJoin, DbOp::kScan}) {
       const auto probe =
-          record(model, args.seed + 100 + trial * 7 + static_cast<int>(op),
+          record(model, ctx.seed + 100 + trial * 7 + static_cast<int>(op),
                  op, span);
       const auto d = det.classify(probe);
       std::printf("%-10s %-10s %-12.3f\n", side::db_op_name(op),

@@ -8,22 +8,23 @@
 #include <vector>
 
 #include "analysis/mlp.hpp"
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "side/snoop.hpp"
 #include "sim/trace.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("disaggregated-memory address snoop (Fig 13)",
+RAGNAR_SCENARIO(fig13_snoop_classifier, "Fig 13",
+                "address snoop on disaggregated memory: MLP/centroid/argmin",
+                "120 training traces per class",
+                "396 traces per class (paper-scale 6732)") {
+  ctx.header("disaggregated-memory address snoop (Fig 13)",
                 "17 candidates x 257-point ULI traces; classifier accuracy "
-                "(paper: 95.6%)",
-                args);
+                "(paper: 95.6%)");
 
   side::SnoopConfig cfg;
   cfg.model = rnic::DeviceModel::kCX4;
-  cfg.seed = args.seed;
+  cfg.seed = ctx.seed;
 
   side::SnoopAttack attack(cfg);
 
@@ -42,8 +43,8 @@ int main(int argc, char** argv) {
   // mode matches the paper's dataset size (17 x 396 = 6732 training
   // traces); reduced mode uses 120/class.  The test set is captured
   // separately.
-  const std::size_t base = args.full ? 396 : 120;
-  const std::size_t test_per_class = args.full ? 50 : 25;
+  const std::size_t base = ctx.full ? 396 : 120;
+  const std::size_t test_per_class = ctx.full ? 50 : 25;
   std::printf("\n(b) building training set: %zu classes x %zu simulated "
               "traces = %zu; test set: %zu fresh traces/class\n",
               cfg.candidates, base, cfg.candidates * base, test_per_class);
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
                  static_cast<int>(cfg.candidates)};
   mcfg.epochs = 30;
   mcfg.weight_decay = 0.002;
-  mcfg.seed = args.seed + 6;
+  mcfg.seed = ctx.seed + 6;
   analysis::Mlp mlp(mcfg);
   mlp.fit(train);
   analysis::ConfusionMatrix mlp_cm(cfg.candidates);

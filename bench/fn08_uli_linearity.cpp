@@ -4,22 +4,24 @@
 #include <array>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "revng/sweeps.hpp"
 
 using namespace ragnar;
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("ULI linearity (footnote 8)",
-                "Lat_total vs send-queue occupancy; Pearson ~= 0.9998", args);
+RAGNAR_SCENARIO(fn08_uli_linearity, "fn 7/8",
+                "Lat_total linearity in queue depth validates the ULI observable",
+                "8 depths x 500 samples, all devices",
+                "8 depths x 2000 samples, all devices") {
+  ctx.header("ULI linearity (footnote 8)",
+                "Lat_total vs send-queue occupancy; Pearson ~= 0.9998");
 
   const std::array<std::uint32_t, 8> depths{8, 16, 32, 48, 64, 96, 128, 192};
-  const std::size_t samples = args.full ? 2000 : 500;
+  const std::size_t samples = ctx.full ? 2000 : 500;
 
-  for (auto model : bench::kAllDevices) {
+  for (auto model : scenario::kAllDevices) {
     const revng::LinearityResult r =
-        revng::uli_linearity(model, args.seed, 64, depths, samples);
+        revng::uli_linearity(model, ctx.seed, 64, depths, samples);
     std::printf("\n%s: Lat_total(ns) vs queue depth\n",
                 rnic::device_name(model));
     std::printf("  %-8s %-12s\n", "depth", "mean Lat_total");

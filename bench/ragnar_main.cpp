@@ -1,0 +1,12 @@
+// The one experiment binary: every reproduced figure/table/claim/ablation
+// in bench/ registers itself with the scenario registry (scenario/
+// scenario.hpp) and runs through this CLI.
+//
+//   ragnar list
+//   ragnar run fig04_priority_matrix table5_covert_summary --jobs 8
+//   ragnar run-all --full --csv-dir out/ --trace repro.trace.json
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return ragnar::scenario::run_cli(argc, argv);
+}

@@ -4,6 +4,10 @@
 // build issues millions of simulated READs).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
 #include "revng/testbed.hpp"
 #include "rnic/translation.hpp"
 #include "sim/event_queue.hpp"
@@ -103,4 +107,23 @@ static void BM_PipelinedReads(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedReads);
 
-BENCHMARK_MAIN();
+// Timing output is inherently host-dependent, so this scenario is
+// registered as non-deterministic: `ragnar run-all` still executes it, but
+// the byte-identical-stdout contract does not apply.  Full mode matches the
+// methodology used for before/after comparisons in perf-sensitive PRs
+// (3 repetitions, aggregates only); quick mode is a single pass.
+RAGNAR_SCENARIO_NONDET(sim_microbench, "perf",
+                       "google-benchmark microbench of the simulator core",
+                       "single pass per benchmark",
+                       "3 repetitions, aggregates only") {
+  std::vector<const char*> argv = {"sim_microbench"};
+  if (ctx.full) {
+    argv.push_back("--benchmark_repetitions=3");
+    argv.push_back("--benchmark_report_aggregates_only=true");
+  }
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, const_cast<char**>(argv.data()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

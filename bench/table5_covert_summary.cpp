@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "scenario/scenario.hpp"
 #include "covert/priority_channel.hpp"
 #include "covert/uli_channel.hpp"
 
@@ -27,13 +27,15 @@ struct Row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = bench::BenchOptions::parse(argc, argv);
-  bench::header("covert-channel evaluation matrix (Table V)",
-                "3 channels x CX-4/5/6: bandwidth / error / effective", args);
+RAGNAR_SCENARIO(table5_covert_summary, "Table V",
+                "3 covert channels x CX-4/5/6: bandwidth/error/effective matrix",
+                "256-bit payloads",
+                "768-bit payloads") {
+  ctx.header("covert-channel evaluation matrix (Table V)",
+                "3 channels x CX-4/5/6: bandwidth / error / effective");
 
-  sim::Xoshiro256 rng(args.seed);
-  const std::size_t nbits = args.full ? 768 : 256;
+  sim::Xoshiro256 rng(ctx.seed);
+  const std::size_t nbits = ctx.full ? 768 : 256;
   const auto payload = covert::random_bits(nbits, rng);
   // Per-device priority-channel payloads, drawn in serial device order.
   std::vector<std::vector<int>> prio_payloads;
@@ -45,11 +47,11 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep;
   for (int d = 0; d < 3; ++d) {
-    const auto model = bench::kAllDevices[d];
+    const auto model = scenario::kAllDevices[d];
     const std::string dev = rnic::device_name(model);
     sweep.add("inter_mr:" + dev, [&, d, model](harness::TrialContext&) {
       auto cfg = covert::UliChannelConfig::best_for(
-          model, covert::UliChannelKind::kInterMr, args.seed);
+          model, covert::UliChannelKind::kInterMr, ctx.seed);
       covert::UliCovertChannel ch(cfg);
       const auto run = ch.transmit(payload);
       inter.kbps[d] = run.raw_bps() / 1e3;
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
     });
     sweep.add("intra_mr:" + dev, [&, d, model](harness::TrialContext&) {
       auto cfg = covert::UliChannelConfig::best_for(
-          model, covert::UliChannelKind::kIntraMr, args.seed);
+          model, covert::UliChannelKind::kIntraMr, ctx.seed);
       covert::UliCovertChannel ch(cfg);
       const auto run = ch.transmit(payload);
       intra.kbps[d] = run.raw_bps() / 1e3;
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     sweep.add("priority:" + dev, [&, d, model](harness::TrialContext&) {
       covert::PriorityChannelConfig cfg;
       cfg.model = model;
-      cfg.seed = args.seed;
+      cfg.seed = ctx.seed;
       covert::PriorityCovertChannel ch(cfg);
       const auto run = ch.transmit(prio_payloads[static_cast<std::size_t>(d)]);
       prio.kbps[d] = ch.bits_per_interval(run);  // bits per counter interval
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
       return rec;
     });
   }
-  bench::run_sweep(sweep, args, "table5_covert_summary");
+  ctx.run_sweep(sweep, "table5_covert_summary");
 
   auto print_row = [](const char* metric, const Row& r, const char* unit) {
     std::printf("%-28s %-12s | %8.2f | %8.2f | %8.2f | %s\n", r.label, metric,

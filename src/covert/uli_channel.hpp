@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "covert/common.hpp"
+#include "obs/metrics.hpp"
 #include "revng/ambient.hpp"
 #include "revng/testbed.hpp"
 #include "sim/coro.hpp"
@@ -95,7 +96,7 @@ class UliCovertChannel {
   rnic::NodeId rx_node() { return bed_.client(1).device().node(); }
 
   // Raw receiver trace of the last run (time, ULI ns) — Figs 10/11.
-  const sim::TimeSeries& rx_trace() const { return rx_trace_; }
+  const obs::TimeSeries& rx_trace() const { return rx_trace_; }
   // Bit-window means of the last run, calibration included.
   const std::vector<double>& window_means() const { return window_means_; }
 
@@ -131,7 +132,7 @@ class UliCovertChannel {
   bool rx_done_ = false;
   std::size_t tx_alternator_ = 0;
   std::size_t rx_alternator_ = 0;
-  sim::TimeSeries rx_trace_;
+  obs::TimeSeries rx_trace_;
   std::vector<double> window_means_;
 };
 

@@ -112,7 +112,7 @@ struct TracePoint {
 
 // Append-only (time, value) series with window queries.  Lives here (not in
 // sim/) since PR 3: figure traces are observability, and the registry can
-// own named series next to counters.  sim::TimeSeries aliases this type.
+// own named series next to counters.
 class TimeSeries {
  public:
   void add(sim::SimTime t, double v) { points_.push_back({t, v}); }
@@ -130,7 +130,7 @@ class TimeSeries {
 
 // Accumulates byte counts into fixed-width bins and reports a bandwidth
 // series in Gb/s — the simulated equivalent of watching ethtool bps
-// counters.  sim::RateSampler aliases this type.
+// counters.
 class RateSampler {
  public:
   explicit RateSampler(sim::SimDur bin_width = sim::kMillisecond)

@@ -4,9 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "revng/testbed.hpp"
 #include "sim/coro.hpp"
-#include "sim/trace.hpp"
 #include "verbs/context.hpp"
 
 // Closed-loop traffic flows: each flow keeps `depth_per_qp` work requests
@@ -45,7 +45,7 @@ class Flow {
   std::uint64_t ops_completed() const { return ops_; }
   double achieved_gbps() const;
   // Per-millisecond-bin achieved bandwidth within the window.
-  const sim::RateSampler& rate() const { return rate_; }
+  const obs::RateSampler& rate() const { return rate_; }
   bool finished() const { return finished_; }
 
  private:
@@ -62,7 +62,7 @@ class Flow {
   std::vector<std::uint64_t> next_offset_;
   std::uint64_t bytes_ = 0;
   std::uint64_t ops_ = 0;
-  sim::RateSampler rate_{sim::us(100)};
+  obs::RateSampler rate_{sim::us(100)};
   std::size_t live_qps_ = 0;
   bool finished_ = false;
 };

@@ -75,7 +75,7 @@ RuntimeConfig Rnic::runtime_config() const {
   cfg.responder_noise = mitigation_noise_;
   cfg.tenant_isolation = xlate_.partitioned();
   cfg.tenant_pacing_gbps = tenant_pacing_gbps_;
-  cfg.tenant_caps_gbps = tenant_caps_;
+  for (const auto& [src, cap] : tenant_caps_) cfg.tenant_caps_gbps[src] = cap;
   cfg.ets = ets_;
   return cfg;
 }
@@ -228,16 +228,15 @@ void Rnic::handle_request(InFlightMsg msg, sim::SimTime t) {
   // earlier-ready requests of other tenants (a head-of-line artifact the
   // real hardware does not have).
   sim::SimTime admit = now;
-  const auto cap_it = tenant_caps_.find(op.src_node);
-  const double cap = cap_it != tenant_caps_.end() && cap_it->second > 0
-                         ? cap_it->second
-                         : tenant_pacing_gbps_;
+  const double* cap_p = tenant_caps_.find(op.src_node);
+  const double cap =
+      cap_p != nullptr && *cap_p > 0 ? *cap_p : tenant_pacing_gbps_;
   if (cap > 0) {
     // Grain-I per-tenant ingress pacing (native flow control or a targeted
     // HARMONIC enforcement throttle).
-    auto [it, fresh] = tenant_pacer_.try_emplace(op.src_node);
-    if (fresh || it->second.gbps() != cap) it->second.configure(cap, 0);
-    admit = std::max(admit, it->second.reserve(now, msg.wire_bytes));
+    auto [pacer, fresh] = tenant_pacer_.try_emplace(op.src_node);
+    if (fresh || pacer->gbps() != cap) pacer->configure(cap, 0);
+    admit = std::max(admit, pacer->reserve(now, msg.wire_bytes));
   }
   if (xlate_.partitioned()) {
     // Section VII partitioning: fixed TDM admission slots per tenant make
@@ -494,10 +493,9 @@ void Rnic::finish_ack(InFlightMsg reply, TrafficClass tc, Qpn src_qpn) {
   // ACKs coalesce per QP: one full response generation per coalesce window,
   // piggybacked otherwise.  Bulk writes ride the coalesced path by
   // construction (their windows overlap).
-  auto [it, fresh] = last_ack_at_.try_emplace(src_qpn, 0);
-  const bool coalesced =
-      !fresh && it->second + prof_.ack_coalesce_window > now;
-  it->second = now;
+  auto [last, fresh] = last_ack_at_.try_emplace(src_qpn, 0);
+  const bool coalesced = !fresh && *last + prof_.ack_coalesce_window > now;
+  *last = now;
   const sim::SimDur gen =
       coalesced ? prof_.resp_gen_ack / 8 : prof_.resp_gen_ack;
   sim::SimTime t = resp_gen_.reserve(now, jitter(gen));

@@ -12,6 +12,7 @@
 #include "rnic/memory_table.hpp"
 #include "rnic/op.hpp"
 #include "rnic/translation.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
@@ -177,7 +178,9 @@ class Rnic {
   // the previous call and resets the window (how a HARMONIC-style monitor
   // polls the device).
   std::unordered_map<NodeId, SrcWindowStats> take_src_window_stats() {
-    auto out = std::move(src_stats_);
+    std::unordered_map<NodeId, SrcWindowStats> out;
+    out.reserve(src_stats_.size());
+    for (auto& [src, stats] : src_stats_) out.emplace(src, std::move(stats));
     src_stats_.clear();
     return out;
   }
@@ -202,8 +205,8 @@ class Rnic {
   double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
   // Per-tenant targeted throttle (HARMONIC-style enforcement; 0 = unset).
   double tenant_cap_gbps(NodeId src) const {
-    auto it = tenant_caps_.find(src);
-    return it == tenant_caps_.end() ? 0.0 : it->second;
+    const double* cap = tenant_caps_.find(src);
+    return cap == nullptr ? 0.0 : *cap;
   }
 
  private:
@@ -268,17 +271,21 @@ class Rnic {
   TranslationUnit xlate_;
   sim::FifoServer atomic_lock_;
   sim::FifoServer resp_gen_;
-  std::unordered_map<Qpn, sim::SimTime> last_ack_at_;
+  sim::FlatMap<Qpn, sim::SimTime> last_ack_at_;
   sim::BandwidthServer egress_link_;
   sim::BandwidthServer ingress_link_;
   std::vector<sim::BandwidthServer> tc_pacer_;
   std::vector<sim::SimTime> tc_last_active_;
   DecayedUtil egress_util_;    // payload egress (KF3 pressure source)
   DecayedUtil fastpath_util_;  // ingress cut-through load (staging pressure)
-  std::unordered_map<NodeId, SrcWindowStats> src_stats_;
-  std::unordered_map<NodeId, sim::BandwidthServer> tenant_pacer_;
-  std::unordered_map<NodeId, double> tenant_caps_;
-  std::unordered_map<NodeId, sim::FifoServer> tdm_admission_;
+  // Per-tenant / per-QP hot-path state: touched on every message, so flat
+  // sorted-vector maps rather than node-based hash maps (see
+  // sim/flat_map.hpp).  Only the public interfaces above speak
+  // std::unordered_map.
+  sim::FlatMap<NodeId, SrcWindowStats> src_stats_;
+  sim::FlatMap<NodeId, sim::BandwidthServer> tenant_pacer_;
+  sim::FlatMap<NodeId, double> tenant_caps_;
+  sim::FlatMap<NodeId, sim::FifoServer> tdm_admission_;
   double tenant_pacing_gbps_ = 0;
   sim::SimDur mitigation_noise_ = 0;
 };

@@ -1,0 +1,18 @@
+#pragma once
+
+// The unified `ragnar` experiment CLI (see scenario.hpp for the registry it
+// drives).  Split from main() so tests can drive the exact CLI paths
+// in-process and assert on exit codes and captured output.
+namespace ragnar::scenario {
+
+// `ragnar list | run <scenario...> | run-all` with the uniform option set.
+// Returns the process exit code (0 success, 2 usage/unknown-name errors,
+// otherwise the max of the scenario return codes).
+int run_cli(int argc, char** argv);
+
+// Back-compat entry point for the thin per-binary wrappers: behaves like the
+// historical `<scenario_name> [--seed N] [--full] [--csv DIR] [--jobs N]
+// [--json F] [--trace F]` bench main.
+int run_compat(const char* scenario_name, int argc, char** argv);
+
+}  // namespace ragnar::scenario

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ragnar::sim {
+
+// Sorted-vector map for small, integer-keyed hot-path state (per-tenant
+// pacers, per-QP ACK timestamps, ...).  The simulated fabrics have a
+// handful of nodes and at most a few hundred QPs, so a contiguous sorted
+// vector beats std::unordered_map on every per-message lookup: no hashing,
+// no pointer chase, and the whole table usually sits in one or two cache
+// lines.  Lookups return pointers (nullptr when absent) instead of
+// iterators; insertion invalidates them, as with any vector.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  V* find(const K& key) {
+    auto it = lower(key);
+    return (it != items_.end() && it->first == key) ? &it->second : nullptr;
+  }
+  const V* find(const K& key) const {
+    auto it = lower(key);
+    return (it != items_.end() && it->first == key) ? &it->second : nullptr;
+  }
+
+  // Insert a value-initialized (or constructed-from-args) entry unless the
+  // key exists.  Returns {slot, inserted}.
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    auto it = lower(key);
+    if (it != items_.end() && it->first == key) return {&it->second, false};
+    it = items_.emplace(it, std::piecewise_construct,
+                        std::forward_as_tuple(key),
+                        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {&it->second, true};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  // Iteration is in ascending key order (unlike std::unordered_map).
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+ private:
+  typename std::vector<value_type>::iterator lower(const K& key) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& a, const K& b) { return a.first < b; });
+  }
+  typename std::vector<value_type>::const_iterator lower(const K& key) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& a, const K& b) { return a.first < b; });
+  }
+
+  std::vector<value_type> items_;
+};
+
+}  // namespace ragnar::sim

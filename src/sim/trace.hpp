@@ -4,20 +4,12 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics.hpp"
-#include "sim/time.hpp"
-
-// Figure-trace recording moved to the unified observability layer in PR 3:
-// obs::TimeSeries / obs::RateSampler are the real types (and can live inside
-// an obs::MetricsRegistry next to counters and histograms).  The sim::
-// names survive as aliases for one PR; new code should include
-// "obs/metrics.hpp" directly.  The ASCII/CSV renderers below are figure
-// output helpers, not recording, and stay here.
+// Figure-trace recording lives in the unified observability layer:
+// obs::TimeSeries / obs::RateSampler in "obs/metrics.hpp" (they can live
+// inside an obs::MetricsRegistry next to counters and histograms).  The
+// ASCII/CSV renderers below are figure output helpers, not recording, and
+// stay here.
 namespace ragnar::sim {
-
-using TracePoint = obs::TracePoint;
-using TimeSeries = obs::TimeSeries;
-using RateSampler = obs::RateSampler;
 
 // Render a numeric series as a compact ASCII sparkline/plot block for the
 // bench harness output.  `width` columns; series is binned by averaging.

@@ -103,17 +103,6 @@ TEST(MetricsRegistry, SnapshotFlattensInKeyOrder) {
   EXPECT_EQ(snap.find("missing"), nullptr);
 }
 
-// --- compatibility aliases --------------------------------------------------
-
-TEST(SimTraceAliases, PointAtObsTypes) {
-  static_assert(std::is_same_v<sim::TimeSeries, obs::TimeSeries>);
-  static_assert(std::is_same_v<sim::RateSampler, obs::RateSampler>);
-  static_assert(std::is_same_v<sim::TracePoint, obs::TracePoint>);
-  sim::TimeSeries ts;
-  ts.add(sim::us(1), 3.0);
-  EXPECT_EQ(ts.size(), 1u);
-}
-
 // --- tracer -----------------------------------------------------------------
 
 TEST(Tracer, NestedSpansCarryDepthAsTid) {

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.hpp"
+#include "scenario/scenario.hpp"
+
+// The scenario registry + ragnar CLI contract (see docs/SCENARIOS.md):
+// every former bench binary is a registered scenario, unknown names fail
+// with the available-names list, and a scenario run through the CLI emits
+// stdout byte-identical to what its pre-registry binary printed.
+namespace ragnar::scenario {
+namespace {
+
+int cli(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv = {"ragnar"};
+  argv.insert(argv.end(), argv_tail);
+  return run_cli(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+// Every binary that existed before the registry refactor, plus nothing
+// else unexpected-shaped: this is the completeness contract for `run-all`.
+const char* const kFormerBinaries[] = {
+    "fig04_priority_matrix",
+    "fig05_uli_inter_mr",
+    "fig06_offset_abs_64",
+    "fig07_offset_abs_1024",
+    "fig08_offset_rel_64",
+    "fn08_uli_linearity",
+    "fig09_covert_priority",
+    "fig10_covert_fold",
+    "fig11_covert_inter_mr",
+    "table5_covert_summary",
+    "claim_vs_pythia",
+    "fig12_fingerprint",
+    "fig13_snoop_classifier",
+    "defense_ablation",
+    "ablation_model_features",
+    "ablation_throughput",
+    "ablation_ecc",
+    "claim_hugepage_mitigation",
+    "ablation_bystanders",
+    "claim_hotspot_detection",
+    "claim_pcie_coarse_baseline",
+    "ablation_seed_stability",
+    "fault_sweep",
+    "sim_microbench",
+};
+
+TEST(Registry, EveryFormerBinaryIsRegistered) {
+  for (const char* name : kFormerBinaries) {
+    const Scenario* s = Registry::instance().find(name);
+    ASSERT_NE(s, nullptr) << "former binary not registered: " << name;
+    EXPECT_STREQ(s->name, name);
+    EXPECT_NE(s->tag, nullptr);
+    EXPECT_GT(std::string(s->description).size(), 0u) << name;
+    EXPECT_NE(s->run, nullptr) << name;
+  }
+  EXPECT_EQ(Registry::instance().size(), std::size(kFormerBinaries));
+}
+
+TEST(Registry, AllIsSortedByName) {
+  const auto all = Registry::instance().all();
+  ASSERT_EQ(all.size(), std::size(kFormerBinaries));
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                             [](const Scenario* a, const Scenario* b) {
+                               return std::string(a->name) < b->name;
+                             }));
+}
+
+TEST(Registry, OnlySimMicrobenchIsNondeterministic) {
+  for (const Scenario* s : Registry::instance().all()) {
+    EXPECT_EQ(s->deterministic_output,
+              std::string(s->name) != "sim_microbench")
+        << s->name;
+  }
+}
+
+TEST(Cli, ListShowsEveryScenario) {
+  testing::internal::CaptureStdout();
+  const int rc = cli({"list"});
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  for (const char* name : kFormerBinaries) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(out.find("(24 scenarios)"), std::string::npos);
+}
+
+TEST(Cli, UnknownScenarioFailsNonZeroAndListsNames) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "definitely_not_a_scenario"});
+  testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(err.find("unknown scenario 'definitely_not_a_scenario'"),
+            std::string::npos);
+  // The error message must offer the available names.
+  EXPECT_NE(err.find("available scenarios"), std::string::npos);
+  EXPECT_NE(err.find("fig04_priority_matrix"), std::string::npos);
+  EXPECT_NE(err.find("table5_covert_summary"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFailsNonZero) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "fig05_uli_inter_mr", "--frobnicate"});
+  testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_NE(rc, 0);
+}
+
+// Quick-mode stdout of the pre-refactor fig05_uli_inter_mr binary
+// (default seed 2024), captured before the registry migration.  `ragnar
+// run fig05_uli_inter_mr` must reproduce it byte for byte: progress
+// banners and harness timing footers belong on stderr, and scenario
+// output may not depend on how the scenario is launched.
+const char kFig05QuickGolden[] = R"golden(================================================================
+RAGNAR reproduction | ULI vs same/different remote MR vs message size (Fig 5)
+paper reference     | alternating 0@MR#0 with 1024@MR#0 / 1024@MR#1, CX-4 READs
+seed=2024  mode=reduced
+================================================================
+
+size     | same MR (p10/mean/p90)       | different MR (p10/mean/p90)  | ratio
+64       |   465.9 /   469.8 /   473.5 |   704.0 /   709.7 /   715.5 | 1.511
+128      |   465.3 /   469.6 /   473.7 |   702.7 /   709.4 /   715.9 | 1.511
+256      |   466.0 /   469.9 /   474.2 |   704.2 /   709.8 /   716.4 | 1.511
+512      |   506.8 /   511.5 /   516.1 |   703.3 /   709.8 /   716.2 | 1.388
+1024     |   697.0 /   697.6 /   698.2 |   703.7 /   710.4 /   716.7 | 1.018
+2048     |  1352.4 /  1353.0 /  1353.5 |  1352.4 /  1353.0 /  1353.5 | 1.000
+4096     |  2663.1 /  2663.7 /  2664.2 |  2663.1 /  2663.7 /  2664.2 | 1.000
+8192     |  5326.8 /  5327.4 /  5327.9 |  5326.8 /  5327.4 /  5327.9 | 1.000
+
+paper shape: different-MR ULI > same-MR ULI at every size (MR context switch), gap narrows as payload time dominates.
+)golden";
+
+TEST(Cli, RunMatchesPreRefactorGoldenByteForByte) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "fig05_uli_inter_mr"});
+  const std::string out = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out, kFig05QuickGolden);
+}
+
+TEST(Cli, SeedChangesOutput) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "fig05_uli_inter_mr", "--seed", "7"});
+  const std::string out = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out, kFig05QuickGolden);
+  EXPECT_NE(out.find("seed=7  mode=reduced"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ragnar::scenario

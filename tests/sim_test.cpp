@@ -3,8 +3,10 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
@@ -401,8 +403,31 @@ TEST(Resource, PoolServerParallelism) {
   EXPECT_EQ(p.earliest_free(), 100u);  // the other unit is still free at 100
 }
 
+TEST(FlatMap, SortedLookupAndTryEmplace) {
+  FlatMap<std::uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7u), nullptr);
+  auto [a, fresh_a] = m.try_emplace(7u, 70);
+  EXPECT_TRUE(fresh_a);
+  EXPECT_EQ(*a, 70);
+  auto [b, fresh_b] = m.try_emplace(7u, 99);
+  EXPECT_FALSE(fresh_b);
+  EXPECT_EQ(*b, 70);
+  m[3u] = 30;
+  m[11u] = 110;
+  ASSERT_EQ(m.size(), 3u);
+  // Iteration is in ascending key order.
+  std::vector<std::uint32_t> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{3, 7, 11}));
+  ASSERT_NE(m.find(3u), nullptr);
+  EXPECT_EQ(*m.find(3u), 30);
+  m.clear();
+  EXPECT_EQ(m.find(3u), nullptr);
+}
+
 TEST(Trace, RateSamplerBins) {
-  RateSampler rs(ms(1));
+  obs::RateSampler rs(ms(1));
   rs.record(us(100), 125000);   // bin 0: 1 Gb/s
   rs.record(us(1500), 250000);  // bin 1: 2 Gb/s
   const auto g = rs.gbps_series();
@@ -412,7 +437,7 @@ TEST(Trace, RateSamplerBins) {
 }
 
 TEST(Trace, TimeSeriesWindow) {
-  TimeSeries ts;
+  obs::TimeSeries ts;
   for (int i = 0; i < 10; ++i) ts.add(us(i), i);
   const auto v = ts.values_in(us(3), us(7));
   EXPECT_EQ(v, (std::vector<double>{3, 4, 5, 6}));
