@@ -31,7 +31,7 @@ void HarmonicMonitor::tick() {
   // it gets no stats row, but its throttle must still age out.
   if (enforce_gbps_ > 0) {
     for (auto it = throttled_.begin(); it != throttled_.end();) {
-      if (window_stats.count(it->first) == 0 &&
+      if (window_stats.find(it->first) == nullptr &&
           ++it->second >= clean_to_lift_) {
         cfg.tenant_caps_gbps.erase(it->first);
         cfg_dirty = true;

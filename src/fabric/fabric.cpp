@@ -29,15 +29,20 @@ rnic::Rnic* Fabric::add_device(rnic::DeviceModel model, sim::Xoshiro256 rng) {
 rnic::Rnic* Fabric::add_device(rnic::DeviceProfile profile,
                                sim::Xoshiro256 rng) {
   const auto id = static_cast<rnic::NodeId>(devices_.size());
-  const sim::SimDur wire_lat = profile.wire_lat;
+  wire_lat_.push_back(profile.wire_lat);
   devices_.push_back(
       std::make_unique<rnic::Rnic>(sched_, std::move(profile), id, rng));
   rnic::Rnic* dev = devices_.back().get();
-  dev->set_delivery([this, wire_lat](const rnic::InFlightMsg& msg,
-                                     sim::SimTime depart) {
-    route(msg, depart, wire_lat);
-  });
+  dev->attach_fabric(this);
   return dev;
+}
+
+void Fabric::transmit(const rnic::InFlightMsg& msg, sim::SimTime depart) {
+  // Requests leave the requester's port; replies leave the responder's.
+  const rnic::NodeId sender = msg.kind == rnic::InFlightMsg::Kind::kRequest
+                                  ? msg.op.src_node
+                                  : msg.op.dst_node;
+  route(msg, depart, wire_lat_.at(sender));
 }
 
 void Fabric::set_fault_plan(const faults::FaultPlan& plan) {

@@ -21,11 +21,17 @@
 // byte-identical.
 namespace ragnar::fabric {
 
-class Fabric {
+// The fabric IS the devices' FabricPort: add_device() attaches `this`, and
+// every Rnic egress lands in transmit() — a devirtualizable single-impl
+// interface instead of the per-device std::function delivery hook of PR 1-4.
+class Fabric final : public rnic::FabricPort {
  public:
   explicit Fabric(sim::Scheduler& sched) : sched_(sched) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  // rnic::FabricPort: a device puts a message on the wire at `depart`.
+  void transmit(const rnic::InFlightMsg& msg, sim::SimTime depart) override;
 
   // Create an RNIC of the given model attached to this fabric.  The fabric
   // owns the device; the returned pointer stays valid for the fabric's life.
@@ -51,6 +57,10 @@ class Fabric {
 
   sim::Scheduler& sched_;
   std::vector<std::unique_ptr<rnic::Rnic>> devices_;
+  // Per-device wire latency (captured at add_device time), indexed by the
+  // *sending* node — requests are stamped with the requester's latency,
+  // replies with the responder's, matching the pre-port delivery hook.
+  std::vector<sim::SimDur> wire_lat_;
   std::unique_ptr<faults::FaultInjector> injector_;
 };
 

@@ -2,15 +2,9 @@
 
 namespace ragnar::obs {
 
-namespace {
-thread_local Hub* t_current = nullptr;
-}  // namespace
-
-Hub* current() { return t_current; }
-
 Hub* install(Hub* hub) {
-  Hub* prev = t_current;
-  t_current = hub;
+  Hub* prev = detail::t_current;
+  detail::t_current = hub;
   return prev;
 }
 

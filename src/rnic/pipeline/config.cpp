@@ -1,0 +1,68 @@
+#include "rnic/pipeline/config.hpp"
+
+namespace ragnar::rnic::pipeline {
+
+PipelineConfig make_pipeline_config(const DeviceProfile& prof) {
+  PipelineConfig cfg;
+
+  cfg.pcie.gbps = prof.pcie_gbps;
+  cfg.pcie.lat = prof.pcie_lat;
+  cfg.pcie.txn_overhead = prof.pcie_txn_overhead;
+
+  cfg.jitter.frac = prof.jitter_frac;
+  cfg.jitter.floor = prof.jitter_floor;
+
+  cfg.doorbell.mmio_doorbell_lat = prof.mmio_doorbell_lat;
+  cfg.doorbell.inline_max = prof.inline_max;
+  cfg.doorbell.wqe_bytes = prof.wqe_bytes;
+
+  cfg.tx_arbiter.tx_arb_cycle = prof.tx_arb_cycle;
+  cfg.tx_arbiter.write_bulk_cutoff = prof.write_bulk_cutoff;
+  cfg.tx_arbiter.bulk_write_cycle_factor = prof.bulk_write_cycle_factor;
+  cfg.tx_arbiter.tx_pu_count = prof.tx_pu_count;
+  cfg.tx_arbiter.pu_base = prof.pu_base;
+  cfg.tx_arbiter.pu_per_kib = prof.pu_per_kib;
+
+  cfg.egress.link_gbps = prof.link_gbps;
+  cfg.egress.mtu = prof.mtu;
+  cfg.egress.pkt_header_bytes = prof.pkt_header_bytes;
+  cfg.egress.read_req_bytes = prof.read_req_bytes;
+
+  cfg.admission.fastpath_max_bytes = prof.fastpath_max_bytes;
+  cfg.admission.mtu = prof.mtu;
+  cfg.admission.xl_tdm_slot = prof.xl_tdm_slot;
+
+  cfg.dispatch.rx_dispatch_lanes = prof.rx_dispatch_lanes;
+  cfg.dispatch.rx_dispatch_cycle = prof.rx_dispatch_cycle;
+  cfg.dispatch.fastpath_cycle_factor = prof.fastpath_cycle_factor;
+  cfg.dispatch.noc_dual_lane_boost = prof.noc_dual_lane_boost;
+  cfg.dispatch.request_dispatch_factor = prof.request_dispatch_factor;
+  cfg.dispatch.tx_over_rx_pressure = prof.tx_over_rx_pressure;
+  cfg.dispatch.fastpath_max_bytes = prof.fastpath_max_bytes;
+  cfg.dispatch.mtu = prof.mtu;
+  cfg.dispatch.medium_pass_factor = prof.medium_pass_factor;
+  cfg.dispatch.rx_pu_count = prof.rx_pu_count;
+  cfg.dispatch.pu_base = prof.pu_base;
+  cfg.dispatch.pu_per_kib = prof.pu_per_kib;
+  cfg.dispatch.read_req_bytes = prof.read_req_bytes;
+
+  cfg.translation.unit = TranslationConfig::from_profile(prof);
+  cfg.translation.atomic_lock_time = prof.atomic_lock_time;
+  cfg.translation.posted_write_base = prof.xl_base / 2;
+
+  cfg.response.resp_gen_small = prof.resp_gen_small;
+  cfg.response.resp_gen_staged = prof.resp_gen_staged;
+  cfg.response.resp_gen_ack = prof.resp_gen_ack;
+  cfg.response.ack_coalesce_window = prof.ack_coalesce_window;
+  cfg.response.staging_pressure = prof.staging_pressure;
+  cfg.response.fastpath_max_bytes = prof.fastpath_max_bytes;
+  cfg.response.mtu = prof.mtu;
+  cfg.response.pkt_header_bytes = prof.pkt_header_bytes;
+  cfg.response.ack_bytes = prof.ack_bytes;
+
+  cfg.completion.pu_base = prof.pu_base;
+
+  return cfg;
+}
+
+}  // namespace ragnar::rnic::pipeline

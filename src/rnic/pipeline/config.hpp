@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rnic/device_profile.hpp"
+#include "rnic/translation.hpp"
+#include "sim/time.hpp"
+
+// Per-stage configuration slices of DeviceProfile.
+//
+// DeviceProfile stays the calibration surface (one flat struct per device,
+// Table III of the paper); each pipeline stage owns only the knobs it
+// consumes, copied out once at construction by make_pipeline_config().  A
+// knob appearing in two slices (e.g. fastpath_max_bytes, which classifies
+// messages at admission, dispatch and response generation) is copied into
+// each — the stages share no config storage at runtime.
+namespace ragnar::rnic::pipeline {
+
+// Shared host-interface bus (full duplex: rd and wr are independent).
+struct PcieConfig {
+  double gbps = 50.0;
+  sim::SimDur lat = 0;            // one-way DMA latency (read completions)
+  sim::SimDur txn_overhead = 0;   // per-TLP fixed cost
+};
+
+struct DoorbellFetchConfig {
+  sim::SimDur mmio_doorbell_lat = 0;
+  std::uint32_t inline_max = 220;
+  std::uint32_t wqe_bytes = 64;
+};
+
+struct TxArbiterConfig {
+  sim::SimDur tx_arb_cycle = 0;
+  std::uint32_t write_bulk_cutoff = 512;
+  double bulk_write_cycle_factor = 0.35;
+  std::uint32_t tx_pu_count = 2;
+  sim::SimDur pu_base = 0;
+  sim::SimDur pu_per_kib = 0;
+};
+
+struct WireEgressConfig {
+  double link_gbps = 25.0;
+  std::uint32_t mtu = 4096;
+  std::uint32_t pkt_header_bytes = 66;
+  std::uint32_t read_req_bytes = 28;
+};
+
+struct RxAdmissionConfig {
+  std::uint32_t fastpath_max_bytes = 256;
+  std::uint32_t mtu = 4096;
+  sim::SimDur xl_tdm_slot = 0;
+};
+
+struct RxDispatchConfig {
+  std::uint32_t rx_dispatch_lanes = 2;
+  sim::SimDur rx_dispatch_cycle = 0;
+  double fastpath_cycle_factor = 0.8;
+  double noc_dual_lane_boost = 0.8;
+  double request_dispatch_factor = 0.5;
+  double tx_over_rx_pressure = 0.9;
+  std::uint32_t fastpath_max_bytes = 256;
+  std::uint32_t mtu = 4096;
+  double medium_pass_factor = 2.2;
+  std::uint32_t rx_pu_count = 2;
+  sim::SimDur pu_base = 0;
+  sim::SimDur pu_per_kib = 0;
+  std::uint32_t read_req_bytes = 28;
+};
+
+struct TranslationStageConfig {
+  TranslationConfig unit;
+  sim::SimDur atomic_lock_time = 0;
+  // Posted writes use a dedicated, fully pipelined write-TPT context with a
+  // fixed (address-independent) latency — paper footnote 9.
+  sim::SimDur posted_write_base = 0;
+};
+
+struct ResponseGenConfig {
+  sim::SimDur resp_gen_small = 0;
+  sim::SimDur resp_gen_staged = 0;
+  sim::SimDur resp_gen_ack = 0;
+  sim::SimDur ack_coalesce_window = 0;
+  double staging_pressure = 2.0;
+  std::uint32_t fastpath_max_bytes = 256;
+  std::uint32_t mtu = 4096;
+  std::uint32_t pkt_header_bytes = 66;
+  std::uint32_t ack_bytes = 12;
+};
+
+struct CompletionConfig {
+  sim::SimDur pu_base = 0;
+};
+
+struct JitterConfig {
+  double frac = 0.03;
+  sim::SimDur floor = 0;
+};
+
+struct PipelineConfig {
+  PcieConfig pcie;
+  JitterConfig jitter;
+  DoorbellFetchConfig doorbell;
+  TxArbiterConfig tx_arbiter;
+  WireEgressConfig egress;
+  RxAdmissionConfig admission;
+  RxDispatchConfig dispatch;
+  TranslationStageConfig translation;
+  ResponseGenConfig response;
+  CompletionConfig completion;
+};
+
+// Slice a calibrated DeviceProfile into the per-stage configs.
+PipelineConfig make_pipeline_config(const DeviceProfile& prof);
+
+}  // namespace ragnar::rnic::pipeline

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "rnic/op.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+// Per-message pipeline context and the shared helpers every stage leans on.
+namespace ragnar::rnic::pipeline {
+
+// The state a message carries through the stage chain.  `now` is the
+// simulated time at event entry (constant while one event runs); `t` is the
+// running pipeline horizon each stage advances.  The wire image fields are
+// filled by WireEgress / ResponseGen and copied onto the InFlightMsg by the
+// orchestrator.
+struct PipelineCtx {
+  WireOp& op;
+  sim::SimTime now = 0;
+  sim::SimTime t = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint32_t wire_pkts = 1;
+};
+
+// WRITE and SEND carry their payload outbound; READ/atomics are header-only
+// requests whose payload flows back in the response.
+inline bool is_payload_out(Opcode op) {
+  return op == Opcode::kWrite || op == Opcode::kSend;
+}
+
+// Per-message engine time of a processing-unit pass.
+inline sim::SimDur pu_time(sim::SimDur base, sim::SimDur per_kib,
+                           std::uint32_t bytes) {
+  return base + static_cast<sim::SimDur>(static_cast<double>(per_kib) *
+                                         static_cast<double>(bytes) / 1024.0);
+}
+
+inline std::uint32_t packet_count(std::uint64_t payload, std::uint32_t mtu) {
+  if (payload == 0) return 1;
+  return static_cast<std::uint32_t>((payload + mtu - 1) / mtu);
+}
+
+// 64-bit little-endian load/store for atomic execution and READ-response
+// materialization.
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline void store_u64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+// The device's service-time jitter source.  All stages draw from this one
+// seeded stream, in message-processing order — the determinism contract
+// (docs/SCENARIOS.md) hangs on that draw order, so stages must never cache
+// or reorder draws.
+class JitterRng {
+ public:
+  JitterRng(sim::Xoshiro256 rng, double frac, sim::SimDur floor)
+      : rng_(rng), frac_(frac), floor_(floor) {}
+
+  // Split off an independent stream (used once, for the translation unit).
+  sim::Xoshiro256 fork() { return rng_.fork(); }
+
+  double uniform() { return rng_.uniform(); }
+
+  // Clamped-normal service-time jitter around `base`.
+  sim::SimDur jitter(sim::SimDur base) {
+    const double sd = std::max<double>(static_cast<double>(floor_),
+                                       static_cast<double>(base) * frac_);
+    return static_cast<sim::SimDur>(
+        std::max(1.0, rng_.clamped_normal(static_cast<double>(base), sd)));
+  }
+
+ private:
+  sim::Xoshiro256 rng_;
+  double frac_;
+  sim::SimDur floor_;
+};
+
+// Leaky-bucket utilization estimator: `value()` is busy-fraction over a
+// sliding window, used for the egress-over-ingress pressure (KF3) and the
+// staging-SRAM pressure (KF1).
+class DecayedUtil {
+ public:
+  explicit DecayedUtil(sim::SimDur window = sim::us(10)) : window_(window) {}
+  void add(sim::SimTime now, sim::SimDur busy) {
+    decay(now);
+    acc_ += static_cast<double>(busy);
+    if (acc_ > static_cast<double>(window_)) acc_ = static_cast<double>(window_);
+  }
+  double value(sim::SimTime now) {
+    decay(now);
+    return acc_ / static_cast<double>(window_);
+  }
+
+ private:
+  void decay(sim::SimTime now) {
+    if (now > last_) {
+      acc_ -= static_cast<double>(now - last_);
+      if (acc_ < 0) acc_ = 0;
+      last_ = now;
+    }
+  }
+  sim::SimDur window_;
+  double acc_ = 0;
+  sim::SimTime last_ = 0;
+};
+
+}  // namespace ragnar::rnic::pipeline

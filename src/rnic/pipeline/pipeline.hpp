@@ -1,0 +1,78 @@
+#pragma once
+
+#include "rnic/pipeline/config.hpp"
+#include "rnic/pipeline/stages.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+// The per-device stage chain.  Construction order defines the RNG contract:
+// the JitterRng is seeded with the device stream, the translation unit gets
+// the single fork() drawn from it (exactly as the pre-pipeline monolith
+// did), and every subsequent jitter/noise draw comes from the shared stream
+// in message-processing order — which keeps quick-mode scenario output
+// byte-identical to the monolithic model.
+namespace ragnar::rnic::pipeline {
+
+class Pipeline {
+ public:
+  Pipeline(sim::Scheduler& sched, const PipelineConfig& cfg,
+           PortCounters& counters, sim::Xoshiro256 rng)
+      : rng_(rng, cfg.jitter.frac, cfg.jitter.floor),
+        pcie_(cfg.pcie),
+        doorbell_(cfg.doorbell, pcie_),
+        tx_arbiter_(cfg.tx_arbiter, rng_),
+        egress_(cfg.egress, counters),
+        admission_(cfg.admission),
+        dispatch_(cfg.dispatch, egress_, rng_),
+        translation_(cfg.translation, rng_, rng_.fork()),
+        noise_(translation_, rng_),
+        dma_(pcie_),
+        response_(cfg.response, egress_, dispatch_, rng_),
+        completion_(cfg.completion, pcie_, dispatch_.rx_pu(), sched, rng_) {}
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // Requester path: doorbell/fetch -> Tx arbiter grant + PU -> wire egress.
+  // The stages are named (final) members, so the chain devirtualizes — the
+  // Stage interface stays the composition contract without putting virtual
+  // dispatch on the per-WQE hot path.
+  void run_requester(PipelineCtx& ctx) {
+    doorbell_.process(ctx);
+    tx_arbiter_.process(ctx);
+    egress_.process(ctx);
+  }
+
+  DoorbellFetch& doorbell() { return doorbell_; }
+  TxArbiter& tx_arbiter() { return tx_arbiter_; }
+  WireEgress& egress() { return egress_; }
+  RxAdmission& admission() { return admission_; }
+  const RxAdmission& admission() const { return admission_; }
+  RxDispatch& dispatch() { return dispatch_; }
+  TranslationStage& translation() { return translation_; }
+  const TranslationStage& translation() const { return translation_; }
+  PayloadDma& dma() { return dma_; }
+  ResponseGen& response() { return response_; }
+  CompletionStage& completion() { return completion_; }
+
+  // The decorated READ translation path (mitigation noise wraps the unit).
+  TranslationPath& read_translation() { return noise_; }
+  NoiseDecorator& noise() { return noise_; }
+  const NoiseDecorator& noise() const { return noise_; }
+
+ private:
+  JitterRng rng_;
+  PcieBus pcie_;
+  DoorbellFetch doorbell_;
+  TxArbiter tx_arbiter_;
+  WireEgress egress_;
+  RxAdmission admission_;
+  RxDispatch dispatch_;
+  TranslationStage translation_;
+  NoiseDecorator noise_;
+  PayloadDma dma_;
+  ResponseGen response_;
+  CompletionStage completion_;
+};
+
+}  // namespace ragnar::rnic::pipeline

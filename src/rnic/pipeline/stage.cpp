@@ -1,0 +1,23 @@
+#include "rnic/pipeline/stage.hpp"
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace ragnar::rnic::pipeline {
+
+void Stage::note_slow(const PipelineCtx& ctx, sim::SimTime entered) const {
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    const obs::LabelSet lbl{{"stage", name()}};
+    reg->counter("rnic.stage.msgs", lbl).add();
+    reg->histogram("rnic.stage.dwell_ns", lbl)
+        .record(sim::to_ns(ctx.t > entered ? ctx.t - entered : 0));
+  }
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->complete("rnic.stage", name(), entered, ctx.t,
+                 {{"op", opcode_name(ctx.op.op)},
+                  {"tc", std::to_string(ctx.op.tc)}});
+  }
+}
+
+}  // namespace ragnar::rnic::pipeline

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rnic/message.hpp"
+#include "sim/time.hpp"
+
+// Typed port interfaces between the device model and its neighbours.
+//
+// Until PR 4 the device called out through two std::function hooks
+// (`Rnic::DeliveryFn`, `Rnic::SendHandler`) that sat on the post/deliver hot
+// path of every simulated message.  Both neighbours are singletons with
+// stable lifetimes (the fabric owns the device; the verbs Context owns the
+// QP registry), so the type erasure bought nothing and cost an allocation,
+// a wider call sequence and an un-devirtualizable call per message.  These
+// interfaces replace them: `fabric::Fabric` implements FabricPort,
+// `verbs::Context` implements RecvSink.
+namespace ragnar::rnic {
+
+// Outbound attachment: the fabric accepts a message leaving the device's
+// egress port at `depart` and routes it (requests toward op.dst_node,
+// replies back to op.src_node).
+class FabricPort {
+ public:
+  virtual ~FabricPort() = default;
+  virtual void transmit(const InFlightMsg& msg, sim::SimTime depart) = 0;
+};
+
+// Two-sided SEND delivery: consume a recv buffer on QP `dst_qpn`, copy
+// `len` bytes from `data`, and report the recv completion at time `at`.
+// Returns false when no recv WQE is posted (receiver-not-ready), which
+// RNR-NAKs the sender.
+class RecvSink {
+ public:
+  virtual ~RecvSink() = default;
+  virtual bool on_inbound_send(Qpn dst_qpn, const std::uint8_t* data,
+                               std::uint32_t len, sim::SimTime at) = 0;
+};
+
+}  // namespace ragnar::rnic

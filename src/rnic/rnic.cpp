@@ -2,261 +2,77 @@
 
 #include <algorithm>
 #include <cstring>
-#include <string>
-
-#include "obs/obs.hpp"
 
 namespace ragnar::rnic {
 
-namespace {
-
-// 64-bit little-endian load/store for atomic execution.
-std::uint64_t load_u64(const std::uint8_t* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof v);
-  return v;
-}
-void store_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
-
-// PR 3 observability: count per-TC/opcode traffic into the ambient registry.
-// One thread-local read + branch when observability is off.
-void count_traffic(const char* name, TrafficClass tc, Opcode op,
-                   std::uint64_t bytes) {
-  if (obs::MetricsRegistry* reg = obs::metrics()) {
-    const obs::LabelSet lbl{{"tc", std::to_string(tc)},
-                            {"op", opcode_name(op)}};
-    reg->counter(name, lbl).add();
-    reg->counter(std::string(name) + "_bytes", lbl).add(bytes);
-  }
-}
-
-}  // namespace
+using pipeline::load_u64;
+using pipeline::store_u64;
 
 Rnic::Rnic(sim::Scheduler& sched, DeviceProfile profile, NodeId node,
            sim::Xoshiro256 rng)
     : sched_(sched),
       prof_(std::move(profile)),
       node_(node),
-      rng_(rng),
-      tx_pu_(prof_.tx_pu_count),
-      rx_dispatch_lanes_(std::max<std::uint32_t>(prof_.rx_dispatch_lanes, 1)),
-      lane_last_active_(rx_dispatch_lanes_.size(), 0),
-      rx_pu_(prof_.rx_pu_count),
-      xlate_(prof_, rng_.fork()),
-      tc_pacer_(kNumTrafficClasses),
-      tc_last_active_(kNumTrafficClasses, 0) {
-  pcie_rd_.configure(prof_.pcie_gbps, prof_.pcie_txn_overhead);
-  pcie_wr_.configure(prof_.pcie_gbps, prof_.pcie_txn_overhead);
-  egress_link_.configure(prof_.link_gbps, 0);
-  ingress_link_.configure(prof_.link_gbps, 0);
-  for (std::size_t t = 0; t < kNumTrafficClasses; ++t) {
-    const double share = std::max(ets_.weight_pct[t], 1.0) / 100.0;
-    tc_pacer_[t].configure(prof_.link_gbps * share, 0);
-  }
-}
+      pipe_(sched, pipeline::make_pipeline_config(prof_), counters_, rng) {}
 
 void Rnic::configure(const RuntimeConfig& cfg) {
-  mitigation_noise_ = cfg.responder_noise;
-  xlate_.set_partitioned(cfg.tenant_isolation);
-  tenant_pacing_gbps_ = cfg.tenant_pacing_gbps;
-  tenant_caps_.clear();
-  for (const auto& [src, cap] : cfg.tenant_caps_gbps) {
-    if (cap > 0) tenant_caps_[src] = cap;
-  }
-  ets_ = cfg.ets;
-  for (std::size_t t = 0; t < kNumTrafficClasses; ++t) {
-    const double share = std::max(ets_.weight_pct[t], 1.0) / 100.0;
-    tc_pacer_[t].configure(prof_.link_gbps * share, 0);
-  }
+  pipe_.noise().set_noise(cfg.responder_noise);
+  pipe_.translation().unit().set_partitioned(cfg.tenant_isolation);
+  pipe_.admission().set_tdm(cfg.tenant_isolation);
+  pipe_.admission().configure_pacing(cfg.tenant_pacing_gbps);
+  pipe_.admission().configure_caps(cfg.tenant_caps_gbps);
+  pipe_.egress().ets() = cfg.ets;
+  pipe_.egress().reconfigure_pacers();
 }
 
 RuntimeConfig Rnic::runtime_config() const {
   RuntimeConfig cfg;
-  cfg.responder_noise = mitigation_noise_;
-  cfg.tenant_isolation = xlate_.partitioned();
-  cfg.tenant_pacing_gbps = tenant_pacing_gbps_;
-  for (const auto& [src, cap] : tenant_caps_) cfg.tenant_caps_gbps[src] = cap;
-  cfg.ets = ets_;
+  cfg.responder_noise = pipe_.noise().noise();
+  cfg.tenant_isolation = pipe_.translation().unit().partitioned();
+  const pipeline::RxAdmission& adm =
+      const_cast<Rnic*>(this)->pipe_.admission();
+  cfg.tenant_pacing_gbps = adm.tenant_pacing_gbps();
+  for (const auto& [src, cap] : adm.tenant_caps()) {
+    cfg.tenant_caps_gbps[src] = cap;
+  }
+  cfg.ets = const_cast<Rnic*>(this)->pipe_.egress().ets();
   return cfg;
 }
 
-std::uint32_t Rnic::packet_count(std::uint64_t payload, std::uint32_t mtu) {
-  if (payload == 0) return 1;
-  return static_cast<std::uint32_t>((payload + mtu - 1) / mtu);
-}
-
-sim::SimDur Rnic::pu_time(std::uint32_t bytes) const {
-  return prof_.pu_base +
-         static_cast<sim::SimDur>(static_cast<double>(prof_.pu_per_kib) *
-                                  static_cast<double>(bytes) / 1024.0);
-}
-
-sim::SimDur Rnic::jitter(sim::SimDur base) {
-  const double sd =
-      std::max<double>(static_cast<double>(prof_.jitter_floor),
-                       static_cast<double>(base) * prof_.jitter_frac);
-  return static_cast<sim::SimDur>(
-      std::max(1.0, rng_.clamped_normal(static_cast<double>(base), sd)));
-}
-
-sim::SimTime Rnic::egress_reserve(sim::SimTime t, TrafficClass tc,
-                                  std::uint64_t bytes, std::uint32_t pkts) {
-  (void)pkts;
-  const sim::SimTime serialized = egress_link_.reserve(t, bytes);
-  egress_util_.add(sched_.now(), egress_link_.service_time(bytes));
-
-  // ETS pacing only binds while other traffic classes are recently active.
-  constexpr sim::SimDur kEtsWindow = sim::us(100);
-  const std::size_t cls = tc % kNumTrafficClasses;
-  tc_last_active_[cls] = t;
-  bool others_active = false;
-  for (std::size_t i = 0; i < kNumTrafficClasses; ++i) {
-    if (i != cls && tc_last_active_[i] + kEtsWindow > t &&
-        tc_last_active_[i] != 0) {
-      others_active = true;
-      break;
-    }
-  }
-  if (!others_active) return serialized;
-  const double share = std::max(ets_.weight_pct[cls], 1.0) / 100.0;
-  tc_pacer_[cls].configure(prof_.link_gbps * share, 0);
-  const sim::SimTime paced = tc_pacer_[cls].reserve(t, bytes);
-  return std::max(serialized, paced);
-}
-
 void Rnic::post(WireOp op, CompletionSink* sink, std::uint8_t* local_ptr) {
-  sim::SimTime t = sched_.now() + prof_.mmio_doorbell_lat;
-
-  const bool is_payload_out = op.op == Opcode::kWrite || op.op == Opcode::kSend;
-  op.inlined = is_payload_out && op.size <= prof_.inline_max;
-
-  // WQE fetch (and payload gather for non-inline outbound payloads).
-  std::uint64_t fetch_bytes = prof_.wqe_bytes;
-  if (is_payload_out && !op.inlined) fetch_bytes += op.size;
-  t = pcie_rd_.reserve(t, fetch_bytes) + prof_.pcie_lat;
-
-  // Tx arbiter grant.  Bulk (DMA-gather) writes receive a larger quantum:
-  // fewer scheduling cycles per byte.
-  double cycle_scale = 1.0;
-  if (is_payload_out && op.size >= prof_.write_bulk_cutoff)
-    cycle_scale = prof_.bulk_write_cycle_factor;
-  t = tx_arb_.reserve(t, jitter(static_cast<sim::SimDur>(
-                             static_cast<double>(prof_.tx_arb_cycle) * cycle_scale)));
-  if (obs::Tracer* tr = obs::tracer()) {
-    tr->instant("rnic", "tx_arb.grant", t,
-                {{"tc", std::to_string(op.tc)},
-                 {"qp", std::to_string(op.src_qpn)}});
-  }
-
-  // Tx processing unit.
-  t = tx_pu_.reserve(t, jitter(pu_time(is_payload_out ? op.size : 0)));
-
-  // Wire image.
-  std::uint64_t payload = 0;
-  switch (op.op) {
-    case Opcode::kWrite:
-    case Opcode::kSend:
-      payload = op.size;
-      break;
-    case Opcode::kRead:
-      payload = prof_.read_req_bytes;
-      break;
-    case Opcode::kFetchAdd:
-    case Opcode::kCmpSwap:
-      payload = prof_.read_req_bytes + 16;  // RETH + operands
-      break;
-  }
-  const std::uint32_t pkts = packet_count(payload, prof_.mtu);
-  const std::uint64_t wire_bytes =
-      payload + static_cast<std::uint64_t>(pkts) * prof_.pkt_header_bytes;
-  t = egress_reserve(t, op.tc, wire_bytes, pkts);
-  counters_.count_tx(op.tc, op.op, wire_bytes, pkts);
-  count_traffic("rnic.tx", op.tc, op.op, wire_bytes);
-  if (obs::Tracer* tr = obs::tracer()) {
-    tr->complete("rnic", opcode_name(op.op), sched_.now(), t,
-                 {{"tc", std::to_string(op.tc)},
-                  {"bytes", std::to_string(wire_bytes)},
-                  {"dir", "tx"}});
-  }
+  pipeline::PipelineCtx ctx{op, sched_.now(), sched_.now()};
+  pipe_.run_requester(ctx);
 
   InFlightMsg msg;
   msg.op = op;
   msg.kind = InFlightMsg::Kind::kRequest;
   msg.requester_local = local_ptr;
   msg.sink = sink;
-  msg.wire_bytes = wire_bytes;
-  msg.wire_pkts = pkts;
-  deliver_fn_(msg, t);
+  msg.wire_bytes = ctx.wire_bytes;
+  msg.wire_pkts = ctx.wire_pkts;
+  fabric_->transmit(msg, ctx.t);
 }
 
 void Rnic::deliver(const InFlightMsg& msg) {
-  const sim::SimTime now = sched_.now();
-  sim::SimTime t = ingress_link_.reserve(now, msg.wire_bytes);
-  if (msg.kind == InFlightMsg::Kind::kRequest) {
-    counters_.count_rx(msg.op.tc, msg.op.op, msg.wire_bytes, msg.wire_pkts);
-    count_traffic("rnic.rx", msg.op.tc, msg.op.op, msg.wire_bytes);
-    handle_request(msg, t);
+  InFlightMsg local = msg;
+  pipeline::PipelineCtx ctx{local.op, sched_.now(), sched_.now()};
+  ctx.wire_bytes = local.wire_bytes;
+  ctx.wire_pkts = local.wire_pkts;
+  const bool is_request = local.kind == InFlightMsg::Kind::kRequest;
+  pipe_.egress().accept(ctx, is_request);
+  if (is_request) {
+    handle_request(local, ctx.t);
   } else {
-    counters_.count_rx_raw(msg.op.tc, msg.wire_bytes, msg.wire_pkts);
-    handle_response(msg, t);
+    handle_response(local, ctx.t);
   }
 }
 
 void Rnic::handle_request(InFlightMsg msg, sim::SimTime t) {
   const sim::SimTime now = sched_.now();
-  const WireOp& op = msg.op;
-
-  // Tenant accounting (Grain-I/II/III observables).
-  {
-    SrcWindowStats& s = src_stats_[op.src_node];
-    const auto oi = static_cast<std::size_t>(op.op);
-    s.msgs[oi] += 1;
-    s.bytes[oi] += op.size;
-    if (op.size <= prof_.fastpath_max_bytes)
-      s.tiny_msgs += 1;
-    else if (op.size <= prof_.mtu)
-      s.medium_msgs += 1;
-    else
-      s.large_msgs += 1;
-    if (op.op != Opcode::kSend) s.rkeys_touched.insert(op.rkey);
-    s.qpns_seen.insert(op.src_qpn);
-  }
-
-  // Admission control.  Crucially this *defers* processing through the
-  // event queue rather than pushing `t` forward: reserving shared FIFO
-  // stages at far-future times would block later-arriving but
-  // earlier-ready requests of other tenants (a head-of-line artifact the
-  // real hardware does not have).
-  sim::SimTime admit = now;
-  const double* cap_p = tenant_caps_.find(op.src_node);
-  const double cap =
-      cap_p != nullptr && *cap_p > 0 ? *cap_p : tenant_pacing_gbps_;
-  if (cap > 0) {
-    // Grain-I per-tenant ingress pacing (native flow control or a targeted
-    // HARMONIC enforcement throttle).
-    auto [pacer, fresh] = tenant_pacer_.try_emplace(op.src_node);
-    if (fresh || pacer->gbps() != cap) pacer->configure(cap, 0);
-    admit = std::max(admit, pacer->reserve(now, msg.wire_bytes));
-  }
-  if (xlate_.partitioned()) {
-    // Section VII partitioning: fixed TDM admission slots per tenant make
-    // each tenant's service rate independent of every other tenant's
-    // behaviour (and of address-dependent service times), killing
-    // rate-coupled leakage at a steep small-message cost.
-    admit = std::max(admit, tdm_admission_[op.src_node].reserve(
-                                now, prof_.xl_tdm_slot));
-  }
+  pipe_.admission().account(msg.op);
+  const sim::SimTime admit =
+      pipe_.admission().admit(now, msg.op, msg.wire_bytes);
   if (admit > now) {
-    if (obs::Tracer* tr = obs::tracer()) {
-      tr->complete("rnic", "admission.defer", now, admit,
-                   {{"src", std::to_string(op.src_node)},
-                    {"tc", std::to_string(op.tc)}});
-    }
-    if (obs::MetricsRegistry* reg = obs::metrics()) {
-      reg->counter("rnic.admission_deferred",
-                   obs::LabelSet{{"src", std::to_string(op.src_node)}})
-          .add();
-    }
     sched_.at(admit, [this, msg, t, admit] {
       handle_request_admitted(msg, std::max(t, admit));
     });
@@ -266,55 +82,12 @@ void Rnic::handle_request(InFlightMsg msg, sim::SimTime t) {
 }
 
 void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
-  const sim::SimTime now = sched_.now();
+  pipeline::PipelineCtx ctx{msg.op, sched_.now(), t};
+  ctx.wire_bytes = msg.wire_bytes;
+  ctx.wire_pkts = msg.wire_pkts;
+  pipe_.dispatch().process(ctx);
+
   const WireOp& op = msg.op;
-
-  // Payload size as seen by the ingress pipeline.
-  std::uint64_t inbound_payload = 0;
-  if (op.op == Opcode::kWrite || op.op == Opcode::kSend)
-    inbound_payload = op.size;
-  else
-    inbound_payload = prof_.read_req_bytes;
-  const bool fast = inbound_payload <= prof_.fastpath_max_bytes;
-
-  // Dispatcher.  KF3: egress pressure slows ingress dispatch.  KF2: the
-  // fast path is source-hash laned; dual-lane activity boosts the clock.
-  const double pressure =
-      1.0 + prof_.tx_over_rx_pressure * egress_util_.value(now);
-  if (fast) {
-    const std::size_t lane = op.src_node % rx_dispatch_lanes_.size();
-    lane_last_active_[lane] = now;
-    bool dual = false;
-    constexpr sim::SimDur kLaneWindow = sim::us(20);
-    for (std::size_t i = 0; i < lane_last_active_.size(); ++i) {
-      if (i != lane && lane_last_active_[i] + kLaneWindow > now &&
-          lane_last_active_[i] != 0) {
-        dual = true;
-        break;
-      }
-    }
-    double cyc = static_cast<double>(prof_.rx_dispatch_cycle) *
-                 prof_.fastpath_cycle_factor * pressure;
-    if (op.op == Opcode::kRead || is_atomic(op.op))
-      cyc *= prof_.request_dispatch_factor;
-    if (dual) cyc *= prof_.noc_dual_lane_boost;
-    const auto cyc_j = jitter(static_cast<sim::SimDur>(cyc));
-    t = rx_dispatch_lanes_[lane].reserve(t, cyc_j);
-    fastpath_util_.add(now, cyc_j);
-  } else {
-    const double cyc =
-        static_cast<double>(prof_.rx_dispatch_cycle) * pressure;
-    t = store_forward_.reserve(t, jitter(static_cast<sim::SimDur>(cyc)));
-  }
-
-  // Rx processing unit; medium messages need a second engine pass.
-  double pu_scale = 1.0;
-  if (inbound_payload > prof_.fastpath_max_bytes && inbound_payload <= prof_.mtu)
-    pu_scale = prof_.medium_pass_factor;
-  t = rx_pu_.reserve(t, jitter(static_cast<sim::SimDur>(
-                            static_cast<double>(pu_time(static_cast<std::uint32_t>(
-                                inbound_payload))) *
-                            pu_scale)));
 
   // Protection check (SEND targets a responder-managed mailbox; no rkey).
   const MrEntry* mr = nullptr;
@@ -331,12 +104,9 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
 
   if (status != WcStatus::kSuccess) {
     reply.kind = InFlightMsg::Kind::kNak;
-    t = resp_gen_.reserve(t, jitter(prof_.resp_gen_small));
-    const std::uint64_t bytes = prof_.ack_bytes + prof_.pkt_header_bytes;
-    t = control_egress(t, bytes);
-    counters_.count_tx_raw(op.tc, bytes, 1);
-    reply.wire_bytes = bytes;
-    send_reply(reply, t);
+    pipe_.response().nak(ctx);
+    reply.wire_bytes = ctx.wire_bytes;
+    send_reply(reply, ctx.t);
     return;
   }
 
@@ -349,33 +119,21 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
       xr.is_read = true;
       xr.page_bytes = mr->page_bytes;
       xr.src = op.src_node;
-      t = xlate_.access(t, xr);
-      if (mitigation_noise_ > 0) {
-        t += static_cast<sim::SimDur>(
-            rng_.uniform() * static_cast<double>(mitigation_noise_));
-      }
+      // The decorated path: translation unit walk + mitigation noise.
+      ctx.t = pipe_.noise().translate(ctx.t, xr);
       // DMA-fetch the payload from host memory.
-      t = pcie_rd_.reserve(t, op.size) + prof_.pcie_lat;
+      pipe_.dma().fetch(ctx, op.size);
       reply.kind = InFlightMsg::Kind::kReadResponse;
       reply.responder_data = mr->data + (op.raddr - mr->base);
       // Response generation runs when the DMA delivers, not at arrival.
-      const std::uint32_t size = op.size;
-      const TrafficClass tc = op.tc;
-      defer(t, [this, reply, size, tc] {
-        finish_read_response(reply, size, tc);
-      });
+      defer(ctx.t, [this, reply] { finish_read_response(reply); });
       return;
     }
 
     case Opcode::kWrite: {
-      // Posted writes use a dedicated, fully pipelined write-TPT context:
-      // fixed translation latency, no shared-pipe occupancy and no address
-      // sensitivity (paper footnote 9: WRITE offset variations show no
-      // stable effect) — unlike READs/atomics, which walk the shared
-      // translation unit.
-      t += jitter(prof_.xl_base / 2);
+      pipe_.translation().posted_write(ctx);
       // Posted DMA write into host memory.
-      t = pcie_wr_.reserve(t, op.size);
+      pipe_.dma().store(ctx, op.size);
       if (msg.requester_local != nullptr && op.size > 0) {
         std::memcpy(mr->data + (op.raddr - mr->base), msg.requester_local,
                     op.size);
@@ -386,23 +144,19 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
     case Opcode::kSend: {
       // Two-sided: hand the payload to the verbs layer's recv queue on the
       // destination QP.  No recv WQE posted = receiver-not-ready -> NAK.
-      bool consumed = true;
-      if (send_handler_) {
-        consumed =
-            send_handler_(op.dst_qpn, msg.requester_local, op.size, t);
-      }
+      const bool consumed =
+          recv_ == nullptr ||
+          recv_->on_inbound_send(op.dst_qpn, msg.requester_local, op.size,
+                                 ctx.t);
       if (!consumed) {
         // Receiver not ready: no recv WQE posted (or the QP is in error).
         // An RNR NAK rides the control lane back; the requester's verbs
         // layer decides between backoff-retry and RNR_RETRY_EXC_ERR.
         reply.kind = InFlightMsg::Kind::kRnrNak;
         reply.status = WcStatus::kRnrNak;
-        t = resp_gen_.reserve(t, jitter(prof_.resp_gen_small));
-        const std::uint64_t bytes = prof_.ack_bytes + prof_.pkt_header_bytes;
-        t = control_egress(t, bytes);
-        counters_.count_tx_raw(op.tc, bytes, 1);
-        reply.wire_bytes = bytes;
-        send_reply(reply, t);
+        pipe_.response().nak(ctx);
+        reply.wire_bytes = ctx.wire_bytes;
+        send_reply(reply, ctx.t);
         return;
       }
       break;
@@ -417,11 +171,12 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
       xr.is_read = true;  // atomics walk the read translation path
       xr.page_bytes = mr->page_bytes;
       xr.src = op.src_node;
-      t = xlate_.access(t, xr);
-      t = atomic_lock_.reserve(t, jitter(prof_.atomic_lock_time));
+      // Undecorated walk: the Section VII noise mitigation targets READ
+      // responses only (atomics already serialize on the lock).
+      ctx.t = pipe_.translation().translate(ctx.t, xr);
+      pipe_.translation().lock_atomic(ctx);
       // Read-modify-write round trip on PCIe.
-      t = pcie_rd_.reserve(t, 8) + prof_.pcie_lat;
-      t = pcie_wr_.reserve(t, 8);
+      pipe_.dma().atomic_rmw(ctx);
       std::uint8_t* p = mr->data + (op.raddr - mr->base);
       const std::uint64_t old = load_u64(p);
       if (op.op == Opcode::kFetchAdd) {
@@ -431,110 +186,51 @@ void Rnic::handle_request_admitted(InFlightMsg msg, sim::SimTime t) {
       }
       reply.atomic_result = old;
       reply.kind = InFlightMsg::Kind::kAtomicResponse;
-      const TrafficClass tc = op.tc;
-      defer(t, [this, reply, tc] { finish_atomic_response(reply, tc); });
+      defer(ctx.t, [this, reply] { finish_atomic_response(reply); });
       return;
     }
   }
 
   // WRITE/SEND acknowledgment, generated when the payload has landed.
   reply.kind = InFlightMsg::Kind::kAck;
-  const TrafficClass tc = op.tc;
-  const Qpn src_qpn = op.src_qpn;
-  defer(t, [this, reply, tc, src_qpn] { finish_ack(reply, tc, src_qpn); });
+  defer(ctx.t, [this, reply] { finish_ack(reply); });
 }
 
-void Rnic::finish_read_response(InFlightMsg reply, std::uint32_t size,
-                                TrafficClass tc) {
-  const sim::SimTime now = sched_.now();
-  // Response generation: cut-through for small payloads; a staging pass for
-  // store-and-forward (medium) sizes, whose SRAM write port is shared with
-  // the ingress cut-through path (staging_pressure); and a streaming
-  // DMA-driven path for multi-MTU responses that bypasses the staging port.
-  const std::uint32_t rpkts = packet_count(size, prof_.mtu);
-  sim::SimDur gen;
-  if (size <= prof_.fastpath_max_bytes) {
-    gen = prof_.resp_gen_small;
-  } else if (rpkts == 1) {
-    const double mult =
-        1.0 + prof_.staging_pressure * fastpath_util_.value(now);
-    gen = static_cast<sim::SimDur>(static_cast<double>(prof_.resp_gen_staged) *
-                                   mult);
-  } else {
-    gen = prof_.resp_gen_small * rpkts;
-  }
-  sim::SimTime t = resp_gen_.reserve(now, jitter(gen));
-  egress_util_.add(now, gen);
+void Rnic::finish_read_response(InFlightMsg reply) {
+  pipeline::PipelineCtx ctx{reply.op, sched_.now(), sched_.now()};
+  const std::uint32_t size = reply.op.size;
+  pipe_.response().read_response(ctx, size);
   // Egress through arbiter + Tx PU + port.
-  t = tx_arb_.reserve(t, jitter(prof_.tx_arb_cycle));
-  t = tx_pu_.reserve(t, jitter(pu_time(size)));
-  const std::uint64_t bytes =
-      size + static_cast<std::uint64_t>(rpkts) * prof_.pkt_header_bytes;
-  t = egress_reserve(t, tc, bytes, rpkts);
-  counters_.count_tx_raw(tc, bytes, rpkts);
-  reply.wire_bytes = bytes;
-  reply.wire_pkts = rpkts;
-  send_reply(reply, t);
+  pipe_.tx_arbiter().grant_response(ctx, size);
+  pipe_.egress().respond(ctx, size);
+  reply.wire_bytes = ctx.wire_bytes;
+  reply.wire_pkts = ctx.wire_pkts;
+  send_reply(reply, ctx.t);
 }
 
-void Rnic::finish_atomic_response(InFlightMsg reply, TrafficClass tc) {
-  // Atomic response: 8 bytes on the control lane.
-  sim::SimTime t = resp_gen_.reserve(sched_.now(), jitter(prof_.resp_gen_small));
-  const std::uint64_t bytes = 8 + prof_.pkt_header_bytes;
-  t = control_egress(t, bytes);
-  counters_.count_tx_raw(tc, bytes, 1);
-  reply.wire_bytes = bytes;
-  reply.wire_pkts = 1;
-  send_reply(reply, t);
+void Rnic::finish_atomic_response(InFlightMsg reply) {
+  pipeline::PipelineCtx ctx{reply.op, sched_.now(), sched_.now()};
+  pipe_.response().atomic_response(ctx);
+  reply.wire_bytes = ctx.wire_bytes;
+  reply.wire_pkts = ctx.wire_pkts;
+  send_reply(reply, ctx.t);
 }
 
-void Rnic::finish_ack(InFlightMsg reply, TrafficClass tc, Qpn src_qpn) {
-  const sim::SimTime now = sched_.now();
-  // ACKs coalesce per QP: one full response generation per coalesce window,
-  // piggybacked otherwise.  Bulk writes ride the coalesced path by
-  // construction (their windows overlap).
-  auto [last, fresh] = last_ack_at_.try_emplace(src_qpn, 0);
-  const bool coalesced = !fresh && *last + prof_.ack_coalesce_window > now;
-  *last = now;
-  const sim::SimDur gen =
-      coalesced ? prof_.resp_gen_ack / 8 : prof_.resp_gen_ack;
-  sim::SimTime t = resp_gen_.reserve(now, jitter(gen));
-  const std::uint64_t bytes = prof_.ack_bytes + prof_.pkt_header_bytes;
-  t = control_egress(t, bytes);
-  counters_.count_tx_raw(tc, bytes, 1);
-  reply.wire_bytes = bytes;
-  reply.wire_pkts = 1;
-  send_reply(reply, t);
+void Rnic::finish_ack(InFlightMsg reply) {
+  pipeline::PipelineCtx ctx{reply.op, sched_.now(), sched_.now()};
+  pipe_.response().ack(ctx, reply.op.src_qpn);
+  reply.wire_bytes = ctx.wire_bytes;
+  reply.wire_pkts = ctx.wire_pkts;
+  send_reply(reply, ctx.t);
 }
 
 void Rnic::send_reply(InFlightMsg reply, sim::SimTime t) {
-  deliver_fn_(reply, t);
+  fabric_->transmit(reply, t);
 }
 
 void Rnic::handle_response(InFlightMsg msg, sim::SimTime t) {
-  // Requester-side completion path: Rx engine pass, payload placement for
-  // READ/atomic results, CQE write.
-  t = rx_pu_.reserve(t, jitter(prof_.pu_base / 2));
-  if (msg.kind == InFlightMsg::Kind::kReadResponse) {
-    t = pcie_wr_.reserve(t, msg.op.size);
-  }
-  t = pcie_wr_.reserve(t, 64);  // CQE
-
-  // Materialize data movement and notify the verbs layer at CQE time.
-  const InFlightMsg m = msg;
-  sched_.at(t, [m, t] {
-    if (m.kind == InFlightMsg::Kind::kReadResponse &&
-        m.requester_local != nullptr && m.responder_data != nullptr) {
-      std::memcpy(m.requester_local, m.responder_data, m.op.size);
-    }
-    if (m.kind == InFlightMsg::Kind::kAtomicResponse &&
-        m.requester_local != nullptr) {
-      store_u64(m.requester_local, m.atomic_result);
-    }
-    if (m.sink != nullptr) {
-      m.sink->on_completion(m.op.wr_id, m.status, t, m.atomic_result);
-    }
-  });
+  pipeline::PipelineCtx ctx{msg.op, sched_.now(), t};
+  pipe_.completion().process_response(ctx, msg);
 }
 
 }  // namespace ragnar::rnic

@@ -1,121 +1,46 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "rnic/counters.hpp"
 #include "rnic/device_profile.hpp"
 #include "rnic/memory_table.hpp"
+#include "rnic/message.hpp"
 #include "rnic/op.hpp"
+#include "rnic/pipeline/pipeline.hpp"
+#include "rnic/ports.hpp"
 #include "rnic/translation.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/random.hpp"
-#include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
-// Top-level RNIC pipeline model (paper Fig 3).
+// Top-level RNIC model (paper Fig 3): a thin orchestrator over the explicit
+// pipeline-stage chain in rnic/pipeline/.
 //
-// Requester path (red):  doorbell -> WQE/payload fetch over PCIe ->
-// Tx arbiter grant -> Tx processing unit -> egress serialization (+ETS
-// pacing) -> wire.
+// Requester path (red):  DoorbellFetch (PCIe WQE/payload fetch) ->
+// TxArbiter (grant + Tx PU) -> WireEgress (serialization + ETS pacing) ->
+// wire.
 //
-// Responder path (yellow/green): ingress serialization -> dispatcher
-// (source-hashed fast-path lanes / store-forward path) -> Rx processing
-// unit -> protection check -> translation unit (READ/ATOMIC only; the
-// Grain-IV leak) -> PCIe DMA -> response generation back through the Tx
-// arbiter and egress port.
+// Responder path (yellow/green): WireEgress::accept (ingress serialization)
+// -> RxAdmission (tenant pacing/caps/TDM) -> RxDispatch (source-hashed
+// fast-path lanes / store-forward, Rx PU) -> protection check ->
+// TranslationStage (READ/ATOMIC only; the Grain-IV leak) -> PayloadDma ->
+// ResponseGen back through the TxArbiter and WireEgress.
 //
 // All stages are FIFO/bandwidth servers, so each message's traversal is
 // computed with latency arithmetic inside a handful of events; contention
 // between flows emerges from the shared server state, exactly the
-// "volatile channel" the paper exploits.
+// "volatile channel" the paper exploits.  The Rnic itself owns only the
+// message branching (opcode dispatch, admission deferral, reply
+// construction) and data movement — all timing math lives in the stages.
 namespace ragnar::rnic {
 
-// Callback type used by the verbs layer to receive completions.
-class CompletionSink {
- public:
-  virtual ~CompletionSink() = default;
-  virtual void on_completion(std::uint64_t wr_id, WcStatus status,
-                             sim::SimTime at, std::uint64_t atomic_result) = 0;
-};
-
-// A message traveling the simulated fabric.  Pointers travel with the
-// message (single-process simulation shortcut).
-struct InFlightMsg {
-  enum class Kind : std::uint8_t {
-    kRequest,
-    kReadResponse,
-    kAck,           // WRITE/SEND acknowledgment
-    kAtomicResponse,
-    kNak,           // protection/validation failure (terminal)
-    kRnrNak,        // receiver-not-ready: requester backs off and retries
-  };
-  WireOp op;
-  Kind kind = Kind::kRequest;
-  WcStatus status = WcStatus::kSuccess;
-  std::uint8_t* requester_local = nullptr;  // requester-side buffer
-  const std::uint8_t* responder_data = nullptr;  // source of READ payload
-  CompletionSink* sink = nullptr;
-  std::uint64_t atomic_result = 0;
-  std::uint64_t wire_bytes = 0;  // total bytes incl. headers, all packets
-  std::uint32_t wire_pkts = 1;
-};
-
-// Leaky-bucket utilization estimator: `value()` is busy-fraction over a
-// sliding window, used for the egress-over-ingress pressure (KF3).
-class DecayedUtil {
- public:
-  explicit DecayedUtil(sim::SimDur window = sim::us(10)) : window_(window) {}
-  void add(sim::SimTime now, sim::SimDur busy) {
-    decay(now);
-    acc_ += static_cast<double>(busy);
-    if (acc_ > static_cast<double>(window_)) acc_ = static_cast<double>(window_);
-  }
-  double value(sim::SimTime now) {
-    decay(now);
-    return acc_ / static_cast<double>(window_);
-  }
-
- private:
-  void decay(sim::SimTime now) {
-    if (now > last_) {
-      acc_ -= static_cast<double>(now - last_);
-      if (acc_ < 0) acc_ = 0;
-      last_ = now;
-    }
-  }
-  sim::SimDur window_;
-  double acc_ = 0;
-  sim::SimTime last_ = 0;
-};
-
-// Per-source-node (per-tenant) accounting window — the observables a
-// HARMONIC-class defense (Grain-I/II/III counters) gets to see.
-struct SrcWindowStats {
-  std::array<std::uint64_t, kNumOpcodes> msgs{};
-  std::array<std::uint64_t, kNumOpcodes> bytes{};
-  std::uint64_t tiny_msgs = 0;    // <= fast-path cutoff
-  std::uint64_t medium_msgs = 0;  // <= MTU
-  std::uint64_t large_msgs = 0;   // > MTU
-  std::unordered_set<Rkey> rkeys_touched;  // Grain-III resource footprint
-  std::unordered_set<Qpn> qpns_seen;
-
-  std::uint64_t total_msgs() const {
-    std::uint64_t s = 0;
-    for (auto m : msgs) s += m;
-    return s;
-  }
-  std::uint64_t total_bytes() const {
-    std::uint64_t s = 0;
-    for (auto b : bytes) s += b;
-    return s;
-  }
-};
+// Re-exported pipeline helpers: DecayedUtil moved into the pipeline layer
+// with the stages that use it, but remains part of this header's API.
+using pipeline::DecayedUtil;
 
 // Declarative runtime-tuning state: every mitigation / pacing / QoS knob the
 // device exposes, gathered into one value that is applied atomically via
@@ -142,9 +67,6 @@ struct RuntimeConfig {
 
 class Rnic {
  public:
-  using DeliveryFn =
-      std::function<void(const InFlightMsg&, sim::SimTime depart)>;
-
   Rnic(sim::Scheduler& sched, DeviceProfile profile, NodeId node,
        sim::Xoshiro256 rng);
 
@@ -153,19 +75,18 @@ class Rnic {
   MemoryTable& memory() { return memory_; }
   PortCounters& counters() { return counters_; }
   const PortCounters& counters() const { return counters_; }
-  EtsConfig& ets() { return ets_; }
-  TranslationUnit& translation() { return xlate_; }
+  EtsConfig& ets() { return pipe_.egress().ets(); }
+  TranslationUnit& translation() { return pipe_.translation().unit(); }
+  // Direct stage access (tests, defense interposers).
+  pipeline::Pipeline& pipe() { return pipe_; }
 
-  // Wired up by the Fabric.
-  void set_delivery(DeliveryFn fn) { deliver_fn_ = std::move(fn); }
+  // Wired up by the Fabric (replaces the PR-1..4 std::function delivery
+  // hook; see rnic/ports.hpp).
+  void attach_fabric(FabricPort* port) { fabric_ = port; }
 
-  // Two-sided SEND delivery hook, wired by the verbs layer: consume a recv
-  // buffer on QP `dst_qpn`, copy `len` bytes from `data`, and report the
-  // recv completion at time `at`.  Returns false when no recv WQE is
-  // posted (receiver-not-ready), which NAKs the sender.
-  using SendHandler = std::function<bool(Qpn dst_qpn, const std::uint8_t* data,
-                                         std::uint32_t len, sim::SimTime at)>;
-  void set_send_handler(SendHandler fn) { send_handler_ = std::move(fn); }
+  // Two-sided SEND delivery sink, wired by the verbs layer.
+  void attach_recv_sink(RecvSink* sink) { recv_ = sink; }
+  RecvSink* recv_sink() const { return recv_; }
 
   // Requester entry point: process one WQE.  `local_ptr` is the local
   // buffer backing laddr (source for WRITE/SEND, destination for READ).
@@ -176,13 +97,10 @@ class Rnic {
 
   // Tenant-granularity window counters: returns the stats accumulated since
   // the previous call and resets the window (how a HARMONIC-style monitor
-  // polls the device).
-  std::unordered_map<NodeId, SrcWindowStats> take_src_window_stats() {
-    std::unordered_map<NodeId, SrcWindowStats> out;
-    out.reserve(src_stats_.size());
-    for (auto& [src, stats] : src_stats_) out.emplace(src, std::move(stats));
-    src_stats_.clear();
-    return out;
+  // polls the device).  Sorted-vector map, iterated in ascending NodeId
+  // order — monitors poll this every window, so no per-poll rehashing.
+  sim::FlatMap<NodeId, SrcWindowStats> take_src_window_stats() {
+    return pipe_.admission().take_stats();
   }
 
   // Apply the whole runtime-tuning state in one shot.  Atomic with respect
@@ -195,36 +113,28 @@ class Rnic {
 
   // Read-side accessors for the applied tuning state.  (The PR 1 single-knob
   // setter shims were removed in PR 3 — mutate through configure().)
-  sim::SimDur responder_noise() const { return mitigation_noise_; }
+  sim::SimDur responder_noise() const { return pipe_.noise().noise(); }
   // (See RuntimeConfig::tenant_isolation — kills the Grain-III/IV volatile
   // channels, costs capacity + time-slicing overhead.)
-  bool tenant_isolation() const { return xlate_.partitioned(); }
+  bool tenant_isolation() const {
+    return pipe_.translation().unit().partitioned();
+  }
   // (See RuntimeConfig::tenant_pacing_gbps — what modern RNICs already
   // ship; it contains pure bandwidth floods but cannot see — let alone
   // stop — the Kbps-scale Ragnar channels.)
-  double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
+  double tenant_pacing_gbps() const {
+    return pipe_.admission().tenant_pacing_gbps();
+  }
   // Per-tenant targeted throttle (HARMONIC-style enforcement; 0 = unset).
   double tenant_cap_gbps(NodeId src) const {
-    const double* cap = tenant_caps_.find(src);
-    return cap == nullptr ? 0.0 : *cap;
+    return pipe_.admission().tenant_cap_gbps(src);
   }
 
  private:
-  sim::SimDur pu_time(std::uint32_t bytes) const;
-  sim::SimDur jitter(sim::SimDur base);
-  // Egress port: full-rate serializer plus per-TC ETS pacing when more than
-  // one TC is recently active.
-  sim::SimTime egress_reserve(sim::SimTime t, TrafficClass tc,
-                              std::uint64_t bytes, std::uint32_t pkts);
-  // Control frames (ACK/NAK/atomic responses) ride a per-packet priority
-  // lane: they pay serialization but never queue behind payload responses
-  // and are exempt from ETS accounting and KF3 pressure tracking.
-  sim::SimTime control_egress(sim::SimTime t, std::uint64_t bytes) {
-    return t + egress_link_.service_time(bytes);
-  }
-  // Arrival accounting + admission control (Grain-I pacing, partitioned-
-  // mode TDM slotting).  Deferred admissions re-enter through the event
-  // queue so shared-stage reservations always happen in time order.
+  // Responder-path orchestration.  Admission *defers* through the event
+  // queue rather than pushing `t` forward: reserving shared FIFO stages at
+  // far-future times would block later-arriving but earlier-ready requests
+  // of other tenants (a head-of-line artifact real hardware does not have).
   void handle_request(InFlightMsg msg, sim::SimTime t);
   void handle_request_admitted(InFlightMsg msg, sim::SimTime t);
   void handle_response(InFlightMsg msg, sim::SimTime t);
@@ -232,10 +142,9 @@ class Rnic {
   // at request-arrival time would poison the shared FIFO horizon whenever
   // the upstream DMA has a deep backlog (e.g. pipelined 64 KB READs), making
   // unrelated ACKs queue behind far-future reservations.
-  void finish_read_response(InFlightMsg reply, std::uint32_t size,
-                            TrafficClass tc);
-  void finish_ack(InFlightMsg reply, TrafficClass tc, Qpn src_qpn);
-  void finish_atomic_response(InFlightMsg reply, TrafficClass tc);
+  void finish_read_response(InFlightMsg reply);
+  void finish_ack(InFlightMsg reply);
+  void finish_atomic_response(InFlightMsg reply);
   void defer(sim::SimTime t, std::function<void()> fn) {
     if (t <= sched_.now()) {
       fn();
@@ -244,50 +153,16 @@ class Rnic {
     }
   }
   void send_reply(InFlightMsg reply, sim::SimTime t);
-  static std::uint32_t packet_count(std::uint64_t payload, std::uint32_t mtu);
 
   sim::Scheduler& sched_;
   DeviceProfile prof_;
   NodeId node_;
-  sim::Xoshiro256 rng_;
-  DeliveryFn deliver_fn_;
-  SendHandler send_handler_;
+  FabricPort* fabric_ = nullptr;
+  RecvSink* recv_ = nullptr;
 
   MemoryTable memory_;
   PortCounters counters_;
-  EtsConfig ets_;
-
-  // Shared stages.  PCIe is full duplex: host-to-device reads (WQE fetch,
-  // payload gather, responder DMA-fetch) and device-to-host writes (payload
-  // placement, CQE writes) occupy independent directions.
-  sim::BandwidthServer pcie_rd_;
-  sim::BandwidthServer pcie_wr_;
-  sim::FifoServer tx_arb_;
-  sim::PoolServer tx_pu_;
-  std::vector<sim::FifoServer> rx_dispatch_lanes_;
-  std::vector<sim::SimTime> lane_last_active_;
-  sim::FifoServer store_forward_;
-  sim::PoolServer rx_pu_;
-  TranslationUnit xlate_;
-  sim::FifoServer atomic_lock_;
-  sim::FifoServer resp_gen_;
-  sim::FlatMap<Qpn, sim::SimTime> last_ack_at_;
-  sim::BandwidthServer egress_link_;
-  sim::BandwidthServer ingress_link_;
-  std::vector<sim::BandwidthServer> tc_pacer_;
-  std::vector<sim::SimTime> tc_last_active_;
-  DecayedUtil egress_util_;    // payload egress (KF3 pressure source)
-  DecayedUtil fastpath_util_;  // ingress cut-through load (staging pressure)
-  // Per-tenant / per-QP hot-path state: touched on every message, so flat
-  // sorted-vector maps rather than node-based hash maps (see
-  // sim/flat_map.hpp).  Only the public interfaces above speak
-  // std::unordered_map.
-  sim::FlatMap<NodeId, SrcWindowStats> src_stats_;
-  sim::FlatMap<NodeId, sim::BandwidthServer> tenant_pacer_;
-  sim::FlatMap<NodeId, double> tenant_caps_;
-  sim::FlatMap<NodeId, sim::FifoServer> tdm_admission_;
-  double tenant_pacing_gbps_ = 0;
-  sim::SimDur mitigation_noise_ = 0;
+  pipeline::Pipeline pipe_;
 };
 
 }  // namespace ragnar::rnic

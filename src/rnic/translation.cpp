@@ -4,22 +4,45 @@
 
 namespace ragnar::rnic {
 
-TranslationUnit::TranslationUnit(const DeviceProfile& prof,
-                                 sim::Xoshiro256 rng)
-    : prof_(prof), rng_(rng) {
-  bank_busy_until_.assign(prof_.xl_banks, 0);
-  bank_busy_src_.assign(prof_.xl_banks, 0);
-  mtt_sets_.assign(prof_.mtt_sets, {});
+TranslationConfig TranslationConfig::from_profile(const DeviceProfile& prof) {
+  TranslationConfig cfg;
+  cfg.xl_base = prof.xl_base;
+  cfg.xl_sub8_penalty = prof.xl_sub8_penalty;
+  cfg.xl_line_penalty = prof.xl_line_penalty;
+  cfg.xl_banks = prof.xl_banks;
+  cfg.xl_bank_gradient = prof.xl_bank_gradient;
+  cfg.xl_bank_conflict = prof.xl_bank_conflict;
+  cfg.xl_bank_hold = prof.xl_bank_hold;
+  cfg.xl_line_cache_entries = prof.xl_line_cache_entries;
+  cfg.xl_line_hit_bonus = prof.xl_line_hit_bonus;
+  cfg.xl_mr_switch_penalty = prof.xl_mr_switch_penalty;
+  cfg.xl_rel_sub8_penalty = prof.xl_rel_sub8_penalty;
+  cfg.xl_rel_line_penalty = prof.xl_rel_line_penalty;
+  cfg.xl_rel_page_penalty = prof.xl_rel_page_penalty;
+  cfg.xl_partition_overhead = prof.xl_partition_overhead;
+  cfg.mtt_sets = prof.mtt_sets;
+  cfg.mtt_ways = prof.mtt_ways;
+  cfg.mtt_miss_penalty = prof.mtt_miss_penalty;
+  cfg.jitter_frac = prof.jitter_frac;
+  cfg.jitter_floor = prof.jitter_floor;
+  return cfg;
+}
+
+TranslationUnit::TranslationUnit(TranslationConfig cfg, sim::Xoshiro256 rng)
+    : cfg_(cfg), rng_(rng) {
+  bank_busy_until_.assign(cfg_.xl_banks, 0);
+  bank_busy_src_.assign(cfg_.xl_banks, 0);
+  mtt_sets_.assign(cfg_.mtt_sets, {});
 }
 
 sim::SimDur TranslationUnit::static_read_cost(std::uint64_t offset) const {
-  sim::SimDur t = prof_.xl_base;
-  if (offset % 8 != 0) t += prof_.xl_sub8_penalty;
-  if (offset % 64 != 0) t += prof_.xl_line_penalty;
+  sim::SimDur t = cfg_.xl_base;
+  if (offset % 8 != 0) t += cfg_.xl_sub8_penalty;
+  if (offset % 64 != 0) t += cfg_.xl_line_penalty;
   // Descriptor banks: offsets later in the 2048 B window pay a growing
   // decode cost, producing the sawtooth with 2048 B period.
-  const std::uint64_t bank = (offset / 64) % prof_.xl_banks;
-  t += prof_.xl_bank_gradient * bank / std::max<std::uint32_t>(prof_.xl_banks, 1);
+  const std::uint64_t bank = (offset / 64) % cfg_.xl_banks;
+  t += cfg_.xl_bank_gradient * bank / std::max<std::uint32_t>(cfg_.xl_banks, 1);
   return t;
 }
 
@@ -30,12 +53,12 @@ sim::SimDur TranslationUnit::relative_cost(const SpecState& st,
                                   ? offset - st.prev_offset
                                   : st.prev_offset - offset;
   sim::SimDur t = 0;
-  if (delta % 8 != 0) t += prof_.xl_rel_sub8_penalty;
-  if (delta % 64 != 0) t += prof_.xl_rel_line_penalty;
+  if (delta % 8 != 0) t += cfg_.xl_rel_sub8_penalty;
+  if (delta % 64 != 0) t += cfg_.xl_rel_line_penalty;
   // Crossing into a different 2048 B descriptor block defeats the
   // speculative descriptor reuse.
   if ((offset / 2048) != (st.prev_offset / 2048))
-    t += prof_.xl_rel_page_penalty;
+    t += cfg_.xl_rel_page_penalty;
   return t;
 }
 
@@ -73,7 +96,7 @@ bool TranslationUnit::mtt_touch(std::uint32_t mr_id, std::uint64_t offset,
     }
   }
   set.insert(set.begin(), key);
-  if (set.size() > prof_.mtt_ways) set.pop_back();
+  if (set.size() > cfg_.mtt_ways) set.pop_back();
   return false;
 }
 
@@ -99,15 +122,15 @@ sim::SimTime TranslationUnit::access(sim::SimTime now, const XlRequest& req,
     SpecState& st = state_for(req.src);
     const std::uint32_t cache_cap =
         partitioned_
-            ? std::max<std::uint32_t>(prof_.xl_line_cache_entries / 2, 1)
-            : prof_.xl_line_cache_entries;
+            ? std::max<std::uint32_t>(cfg_.xl_line_cache_entries / 2, 1)
+            : cfg_.xl_line_cache_entries;
 
     t += static_read_cost(req.offset);
     t += relative_cost(st, req.offset);
 
     // MR context register: switching the translated MR swaps the context.
     if (st.have_prev && req.mr_id != st.prev_mr)
-      t += prof_.xl_mr_switch_penalty;
+      t += cfg_.xl_mr_switch_penalty;
 
     // Recent-line cache: a hit (the line was translated recently — by any
     // QP in shared mode, only by this tenant in partitioned mode) is
@@ -115,40 +138,40 @@ sim::SimTime TranslationUnit::access(sim::SimTime now, const XlRequest& req,
     const bool line_hit =
         line_cache_touch(st, req.mr_id, req.offset / 64, cache_cap);
     if (line_hit) {
-      t = t > prof_.xl_line_hit_bonus + prof_.xl_base / 2
-              ? t - prof_.xl_line_hit_bonus
-              : prof_.xl_base / 2;
+      t = t > cfg_.xl_line_hit_bonus + cfg_.xl_base / 2
+              ? t - cfg_.xl_line_hit_bonus
+              : cfg_.xl_base / 2;
     }
 
     // Bank busy window: a concurrent access to the same descriptor bank
     // collides.  In partitioned mode banks are time-sliced per tenant, so
     // only same-tenant accesses conflict (no cross-tenant observable).
-    const std::uint64_t bank = (req.offset / 64) % prof_.xl_banks;
+    const std::uint64_t bank = (req.offset / 64) % cfg_.xl_banks;
     const bool conflicts = bank_busy_until_[bank] > now &&
                            (!partitioned_ || bank_busy_src_[bank] == req.src);
-    if (conflicts) t += prof_.xl_bank_conflict;
-    bank_busy_until_[bank] = now + t + prof_.xl_bank_hold;
+    if (conflicts) t += cfg_.xl_bank_conflict;
+    bank_busy_until_[bank] = now + t + cfg_.xl_bank_hold;
     bank_busy_src_[bank] = req.src;
 
-    if (partitioned_) t += prof_.xl_partition_overhead;
+    if (partitioned_) t += cfg_.xl_partition_overhead;
 
     st.have_prev = true;
     st.prev_mr = req.mr_id;
     st.prev_offset = req.offset;
   } else {
     // Posted WRITE pipeline: address-independent (paper footnote 9).
-    t += prof_.xl_base / 2;
+    t += cfg_.xl_base / 2;
   }
 
   // MTT page walk (both directions need a valid translation entry).
   if (!mtt_touch(req.mr_id, req.offset, req.page_bytes)) {
     ++mtt_misses_;
-    t += prof_.mtt_miss_penalty;
+    t += cfg_.mtt_miss_penalty;
   }
 
   // Service-time jitter.
-  const double sd = std::max<double>(static_cast<double>(prof_.jitter_floor),
-                                     static_cast<double>(t) * prof_.jitter_frac);
+  const double sd = std::max<double>(static_cast<double>(cfg_.jitter_floor),
+                                     static_cast<double>(t) * cfg_.jitter_frac);
   t = static_cast<sim::SimDur>(
       std::max(1.0, rng_.clamped_normal(static_cast<double>(t), sd)));
 

@@ -48,9 +48,39 @@ struct XlRequest {
   NodeId src = 0;             // requesting tenant (for partitioned mode)
 };
 
+// The translation-stage slice of DeviceProfile: the unit stores this by
+// value, so it no longer needs the profile object to outlive it (pipeline
+// stages own their own config — see rnic/pipeline/config.hpp).
+struct TranslationConfig {
+  sim::SimDur xl_base = 0;
+  sim::SimDur xl_sub8_penalty = 0;
+  sim::SimDur xl_line_penalty = 0;
+  std::uint32_t xl_banks = 32;
+  sim::SimDur xl_bank_gradient = 0;
+  sim::SimDur xl_bank_conflict = 0;
+  sim::SimDur xl_bank_hold = 0;
+  std::uint32_t xl_line_cache_entries = 8;
+  sim::SimDur xl_line_hit_bonus = 0;
+  sim::SimDur xl_mr_switch_penalty = 0;
+  sim::SimDur xl_rel_sub8_penalty = 0;
+  sim::SimDur xl_rel_line_penalty = 0;
+  sim::SimDur xl_rel_page_penalty = 0;
+  sim::SimDur xl_partition_overhead = 0;
+  std::uint32_t mtt_sets = 64;
+  std::uint32_t mtt_ways = 16;
+  sim::SimDur mtt_miss_penalty = 0;
+  double jitter_frac = 0.03;
+  sim::SimDur jitter_floor = 0;
+
+  static TranslationConfig from_profile(const DeviceProfile& prof);
+};
+
 class TranslationUnit {
  public:
-  TranslationUnit(const DeviceProfile& prof, sim::Xoshiro256 rng);
+  TranslationUnit(TranslationConfig cfg, sim::Xoshiro256 rng);
+  // Convenience for standalone users (unit tests, microbenchmarks).
+  TranslationUnit(const DeviceProfile& prof, sim::Xoshiro256 rng)
+      : TranslationUnit(TranslationConfig::from_profile(prof), rng) {}
 
   // Reserve the unit at time `now`; returns the completion time.  The
   // variable service time (including all offset effects and MTT result) is
@@ -101,7 +131,7 @@ class TranslationUnit {
                  std::uint32_t page_bytes);
   SpecState& state_for(NodeId src);
 
-  const DeviceProfile& prof_;
+  TranslationConfig cfg_;
   sim::Xoshiro256 rng_;
   sim::FifoServer pipe_;                                // shared mode
   std::unordered_map<NodeId, sim::FifoServer> pipes_;   // partitioned mode

@@ -61,16 +61,22 @@ Context::Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name)
       // is caught immediately.
       next_va_((static_cast<std::uint64_t>(device->node()) + 1) << 40),
       next_rkey_((static_cast<rnic::Rkey>(device->node()) + 1) << 20) {
-  // Inbound SEND delivery: route to the destination QP's receive queue.
-  device_->set_send_handler([this](rnic::Qpn dst_qpn, const std::uint8_t* data,
-                                   std::uint32_t len, sim::SimTime at) {
-    auto it = qp_registry_.find(dst_qpn);
-    if (it == qp_registry_.end()) return false;
-    return it->second->consume_recv(data, len, at);
-  });
+  // Inbound SEND delivery: this context is the device's RecvSink.
+  device_->attach_recv_sink(this);
 }
 
-Context::~Context() = default;
+Context::~Context() {
+  // Detach so a late inbound SEND on a device outliving its context RNR-NAKs
+  // instead of dereferencing a dead sink.
+  if (device_->recv_sink() == this) device_->attach_recv_sink(nullptr);
+}
+
+bool Context::on_inbound_send(rnic::Qpn dst_qpn, const std::uint8_t* data,
+                              std::uint32_t len, sim::SimTime at) {
+  auto it = qp_registry_.find(dst_qpn);
+  if (it == qp_registry_.end()) return false;
+  return it->second->consume_recv(data, len, at);
+}
 
 std::unique_ptr<ProtectionDomain> Context::alloc_pd() {
   // PDNs are per-context (a process-wide counter would be both a data race

@@ -43,13 +43,20 @@ struct QpConfig {
 };
 
 // One host endpoint: owns a device attachment, the local virtual address
-// space, and all verbs objects created on it.
-class Context {
+// space, and all verbs objects created on it.  It is the device's
+// rnic::RecvSink: inbound SENDs land in on_inbound_send(), which routes to
+// the destination QP's receive queue (replacing the PR 1-4 std::function
+// send handler).
+class Context final : public rnic::RecvSink {
  public:
   Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name);
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
-  ~Context();
+  ~Context() override;
+
+  // rnic::RecvSink: inbound SEND targeting `dst_qpn`; false = RNR.
+  bool on_inbound_send(rnic::Qpn dst_qpn, const std::uint8_t* data,
+                       std::uint32_t len, sim::SimTime at) override;
 
   const std::string& name() const { return name_; }
   rnic::Rnic& device() { return *device_; }

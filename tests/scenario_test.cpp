@@ -148,6 +148,98 @@ TEST(Cli, RunMatchesPreRefactorGoldenByteForByte) {
   EXPECT_EQ(out, kFig05QuickGolden);
 }
 
+
+// Two more byte-goldens, captured from the pre-pipeline-refactor binary
+// (default seed 2024, quick mode): the Fig 6 absolute-offset sweep pins the
+// translation stage (8 B / 64 B / 2048 B periodicity end to end), and the
+// Fig 4 contention matrix pins the cross-flow couplings (KF1-KF3) that the
+// stage decomposition must not disturb.
+const char kFig06QuickGolden[] = R"golden(================================================================
+RAGNAR reproduction | ULI vs absolute offset, 64 B READs (Fig 6)
+paper reference     | CX-4, same MR, single swept target
+seed=2024  mode=reduced
+================================================================
+mean ULI (ns) vs offset
+       917.9 |                                                                                 * **           
+             |                                                                           ** **                
+             |                                                                   ** ** *                      
+             |                                                              ** *           *  * *             
+             |                                                      ** * **           * *                     
+             |                                                 * **           * *  *                          
+             |                                         * ** **          *  *                                  
+             |                                   ** **             *  *                                       
+             |                           *  ** *           *  * *                                             
+             |                      ** *  *           * *                                                     
+             |               * * **           * *  *                                                          
+             |         * ** *         * *  *                                                       *        * 
+             |   ** **             *                                                                   * **   
+             | *           *  * *                                                                   **        
+             |     *  * *                                                                                  * *
+       779.6 |* *                                                                                     * *     
+
+alignment-class mean ULI:  64B-aligned 671.2 ns   8B-aligned 812.4 ns   misaligned 896.3 ns
+paper shape: drops at 8 B alignment, bigger drops at 64 B multiples, 2048 B sawtooth period.
+)golden";
+
+TEST(Cli, Fig06OffsetSweepMatchesPreRefactorGolden) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "fig06_offset_abs_64"});
+  const std::string out = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out, kFig06QuickGolden);
+}
+
+const char kFig04QuickGolden[] = R"golden(================================================================
+RAGNAR reproduction | traffic-priority contention matrix (Fig 4)
+paper reference     | pairwise flow contention, CX-4, ETS 50/50
+seed=2024  mode=reduced
+================================================================
+
+sweeping 19 contention cells (x3 runs each: solo A, solo B, duo)
+
+flow A         flow B         |    soloA     duoA   catA |    soloB     duoB   catB |  total%
+W128 q2        R64 q2         |     7.50     9.31  INCR  |     1.64     1.64  none  |  146.0%
+W128 q2        R1024 q2       |     7.50     1.87  MAJOR |    23.24    13.27  MAJOR |   65.2%
+W128 q2        R16384 q2      |     7.50     3.22  MAJOR |    23.59    23.59  none  |  113.6%
+W128 q2        W128 q2        |     7.50     8.21  INCR  |     7.49     8.21  INCR  |  219.0%
+W512 q2        R64 q2         |    22.03    19.88  none  |     1.64     1.64  none  |   97.7%
+W512 q2        R1024 q2       |    22.03     7.84  MAJOR |    23.24    14.77 slight |   97.3%
+W512 q2        R16384 q2      |    22.03     8.17  MAJOR |    23.59    23.59  none  |  134.6%
+W512 q2        W512 q2        |    22.03    11.02  MAJOR |    22.03    11.01  MAJOR |  100.0%
+W2048 q2       R64 q2         |    24.00    22.53  none  |     1.64     1.06 slight |   98.3%
+W2048 q2       R1024 q2       |    24.00    22.61  none  |    23.24    15.95 slight |  160.7%
+W2048 q2       R16384 q2      |    24.00    23.84  none  |    23.59    23.59  none  |  197.6%
+W2048 q2       W2048 q2       |    24.00    12.00  MAJOR |    24.00    12.00  MAJOR |  100.0%
+W16384 q2      R64 q2         |    23.59    22.28  none  |     1.64     0.96  MAJOR |   98.5%
+W16384 q2      R1024 q2       |    23.59    22.28  none  |    23.24    14.46 slight |  155.7%
+W16384 q2      R16384 q2      |    23.59    23.59  none  |    23.59    23.59  none  |  200.0%
+W16384 q2      W16384 q2      |    23.59    11.80  MAJOR |    23.59    11.80  MAJOR |  100.0%
+A8 q2          R1024 q2       |     0.20     0.09  MAJOR |    23.24    10.42  MAJOR |   45.2%
+A8 q2          W2048 q2       |     0.20     0.13 slight |    24.00    22.32  none  |   93.5%
+W512 q2        revR512 q2     |    22.03    11.74  MAJOR |    13.10    10.30 slight |  100.0%
+
+--- Key Finding checks -----------------------------------
+KF1a small-write flows lose >50% vs reads:      PASS (worst keep 25%)
+KF1a medium reads drop under small writes:      PASS (keep 57%)
+KF1a small reads unaffected by small writes:    PASS (keep 100%)
+KF1b bulk writes win, reads drop 30-80%:        PASS (write keep 94%, read keep 58%)
+KF2  small-write pair total > 200% of solo:     PASS
+KF3  Tx (responses) preempt Rx (writes): implied by KF1a write losses while the read flow keeps its responses.
+obs4 write vs reverse-read dynamics differ:    PASS (W-vs-W keeps 50%, W-vs-revR keeps 79%)
+)golden";
+
+TEST(Cli, Fig04PriorityMatrixMatchesPreRefactorGolden) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli({"run", "fig04_priority_matrix"});
+  const std::string out = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out, kFig04QuickGolden);
+}
+
 TEST(Cli, SeedChangesOutput) {
   testing::internal::CaptureStdout();
   testing::internal::CaptureStderr();
