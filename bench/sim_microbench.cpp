@@ -8,6 +8,7 @@
 
 #include "scenario/scenario.hpp"
 
+#include "fabric/topology.hpp"
 #include "revng/testbed.hpp"
 #include "rnic/translation.hpp"
 #include "sim/event_queue.hpp"
@@ -85,6 +86,56 @@ static void BM_EndToEndRead(benchmark::State& state) {
   state.SetLabel("simulated RDMA READ, host-side cost per op");
 }
 BENCHMARK(BM_EndToEndRead)->Arg(64)->Arg(4096);
+
+// The switched-fabric counterpart of BM_EndToEndRead: same READ, but the
+// two hosts sit behind a ToR switch, so every request and reply takes the
+// multi-hop path (routing lookup, per-port egress serializer, shared-pool
+// accounting) instead of the facade's direct-link delivery.  The pair
+// quantifies the topology layer's host-side overhead per hop
+// (BENCH_fabric.json).
+static void BM_SwitchedRead(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Xoshiro256 rng(4);
+  const auto prof = rnic::make_profile(rnic::DeviceModel::kCX5);
+  fabric::Topology::Builder builder(sched);
+  const auto h0 = builder.add_host(prof, rng.fork());
+  const auto h1 = builder.add_host(prof, rng.fork());
+  builder.add_switch({});
+  builder
+      .link(fabric::NodeRef::host(h0), fabric::NodeRef::sw(0),
+            fabric::LinkSpec::symmetric(sim::ns(250)))
+      .link(fabric::NodeRef::host(h1), fabric::NodeRef::sw(0),
+            fabric::LinkSpec::symmetric(sim::ns(250)));
+  auto topo = builder.build();
+  verbs::Context client(*topo, topo->host(h0), "client");
+  verbs::Context server(*topo, topo->host(h1), "server");
+  auto client_pd = client.alloc_pd();
+  auto server_pd = server.alloc_pd();
+  auto client_cq = client.create_cq();
+  auto server_cq = server.create_cq();
+  auto client_qp = client_pd->create_qp(*client_cq);
+  auto server_qp = server_pd->create_qp(*server_cq);
+  client_qp->connect(*server_qp);
+  auto client_mr = client_pd->register_mr(1u << 20);
+  auto server_mr = server_pd->register_mr(1u << 20);
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kRdmaRead;
+    wr.local_addr = client_mr->addr();
+    wr.length = size;
+    wr.remote_addr = server_mr->addr();
+    wr.rkey = server_mr->rkey();
+    client_qp->post_send(wr);
+    client_cq->run_until_available(1);
+    verbs::Wc wc;
+    client_cq->poll_one(&wc);
+    benchmark::DoNotOptimize(wc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("simulated RDMA READ through one ToR switch");
+}
+BENCHMARK(BM_SwitchedRead)->Arg(64)->Arg(4096);
 
 static void BM_PipelinedReads(benchmark::State& state) {
   revng::Testbed bed(rnic::DeviceModel::kCX5, 5, 1);

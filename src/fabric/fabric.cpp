@@ -1,26 +1,6 @@
 #include "fabric/fabric.hpp"
 
-#include <string>
-
-#include "obs/obs.hpp"
-
 namespace ragnar::fabric {
-
-namespace {
-
-// PR 3 observability: per-verdict fault accounting and wire spans.  Ambient
-// hub or nothing — one thread-local read when observability is off.
-const char* verdict_name(faults::Verdict v) {
-  switch (v) {
-    case faults::Verdict::kDeliver: return "deliver";
-    case faults::Verdict::kDrop: return "drop";
-    case faults::Verdict::kCorrupt: return "corrupt";
-    case faults::Verdict::kFlapDrop: return "flap_drop";
-  }
-  return "?";
-}
-
-}  // namespace
 
 rnic::Rnic* Fabric::add_device(rnic::DeviceModel model, sim::Xoshiro256 rng) {
   return add_device(rnic::make_profile(model), rng);
@@ -28,68 +8,18 @@ rnic::Rnic* Fabric::add_device(rnic::DeviceModel model, sim::Xoshiro256 rng) {
 
 rnic::Rnic* Fabric::add_device(rnic::DeviceProfile profile,
                                sim::Xoshiro256 rng) {
-  const auto id = static_cast<rnic::NodeId>(devices_.size());
-  wire_lat_.push_back(profile.wire_lat);
-  devices_.push_back(
-      std::make_unique<rnic::Rnic>(sched_, std::move(profile), id, rng));
-  rnic::Rnic* dev = devices_.back().get();
-  dev->attach_fabric(this);
-  return dev;
-}
-
-void Fabric::transmit(const rnic::InFlightMsg& msg, sim::SimTime depart) {
-  // Requests leave the requester's port; replies leave the responder's.
-  const rnic::NodeId sender = msg.kind == rnic::InFlightMsg::Kind::kRequest
-                                  ? msg.op.src_node
-                                  : msg.op.dst_node;
-  route(msg, depart, wire_lat_.at(sender));
-}
-
-void Fabric::set_fault_plan(const faults::FaultPlan& plan) {
-  injector_ =
-      plan.active() ? std::make_unique<faults::FaultInjector>(plan) : nullptr;
-}
-
-void Fabric::route(const rnic::InFlightMsg& msg, sim::SimTime depart,
-                   sim::SimDur wire_lat) {
-  // Requests travel to the target node; every reply kind returns to the
-  // requester.
-  const bool is_req = msg.kind == rnic::InFlightMsg::Kind::kRequest;
-  const rnic::NodeId dst = is_req ? msg.op.dst_node : msg.op.src_node;
-  sim::SimDur extra = 0;
-  if (injector_ != nullptr) {
-    const rnic::NodeId src = is_req ? msg.op.src_node : msg.op.dst_node;
-    const faults::Decision d =
-        injector_->decide(src, dst, msg.op.src_node, depart);
-    if (obs::MetricsRegistry* reg = obs::metrics()) {
-      reg->counter("fabric.verdicts",
-                   obs::LabelSet{{"verdict", verdict_name(d.verdict)}})
-          .add();
-    }
-    if (d.verdict != faults::Verdict::kDeliver) {
-      if (obs::Tracer* tr = obs::tracer()) {
-        tr->instant("faults", verdict_name(d.verdict), depart,
-                    {{"src", std::to_string(src)},
-                     {"dst", std::to_string(dst)}});
-      }
-      return;  // lost on the wire
-    }
-    extra = d.extra_delay;
+  const sim::SimDur my_lat = profile.wire_lat;
+  const rnic::NodeId id = add_host(std::move(profile), rng);
+  // Mesh wiring: one direct link to every existing device.  Direction a->b
+  // carries the latency of the sender on that direction, preserving the
+  // legacy per-sending-device wire latency.
+  for (rnic::NodeId other = 0; other < id; ++other) {
+    LinkSpec spec;
+    spec.lat_ab = host(other)->profile().wire_lat;  // other -> new
+    spec.lat_ba = my_lat;                           // new -> other
+    link(NodeRef::host(other), NodeRef::host(id), spec);
   }
-  rnic::Rnic* target = devices_.at(dst).get();
-  const sim::SimTime arrive = depart + wire_lat + extra;
-  if (obs::MetricsRegistry* reg = obs::metrics()) {
-    reg->counter("fabric.delivered").add();
-    reg->counter("fabric.wire_bytes").add(msg.wire_bytes);
-  }
-  if (obs::Tracer* tr = obs::tracer()) {
-    tr->complete("fabric", is_req ? "wire.req" : "wire.resp", depart, arrive,
-                 {{"src", std::to_string(is_req ? msg.op.src_node
-                                                : msg.op.dst_node)},
-                  {"dst", std::to_string(dst)},
-                  {"bytes", std::to_string(msg.wire_bytes)}});
-  }
-  sched_.at(arrive, [target, msg] { target->deliver(msg); });
+  return host(id);
 }
 
 }  // namespace ragnar::fabric

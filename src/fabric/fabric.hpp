@@ -1,67 +1,39 @@
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "faults/faults.hpp"
+#include "fabric/topology.hpp"
 #include "rnic/device_profile.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
-// The simulated network: a set of RNICs joined by an ideal switch.  Each
-// endpoint's port serialization is modeled inside its Rnic; the fabric adds
-// propagation/switching latency and routes replies back to the requester.
+// Compatibility facade over fabric::Topology (topology.hpp): the original
+// "ideal switch" API — add devices, get point-to-point delivery — expressed
+// as a topology of pairwise direct host-host links.
 //
-// An armed faults::FaultPlan makes the switch lossy: the plan's injector is
-// consulted on *every* delivery (requests and replies alike) and may drop,
-// corrupt-discard, or delay the message.  With no plan armed the fabric
-// takes the exact pre-fault path — no injector is constructed, no RNG is
-// drawn, and event ordering is untouched, so fault-off runs stay
-// byte-identical.
+// Direct links take Topology's single-event delivery path: one fault
+// verdict, propagation latency, one scheduled arrival — no switch queueing,
+// no egress serializers, no routing tables.  Each direction of a pair link
+// carries the *sender's* profile wire latency (requests stamped with the
+// requester's latency, replies with the responder's), exactly the legacy
+// per-device `wire_lat_` behaviour, so every pre-topology scenario replays
+// byte-identically through this facade.
+//
+// New experiments that need switches, shared buffers, PFC, or more than a
+// trivial host mesh should build a Topology directly (Topology::Builder).
 namespace ragnar::fabric {
 
-// The fabric IS the devices' FabricPort: add_device() attaches `this`, and
-// every Rnic egress lands in transmit() — a devirtualizable single-impl
-// interface instead of the per-device std::function delivery hook of PR 1-4.
-class Fabric final : public rnic::FabricPort {
+class Fabric final : public Topology {
  public:
-  explicit Fabric(sim::Scheduler& sched) : sched_(sched) {}
-  Fabric(const Fabric&) = delete;
-  Fabric& operator=(const Fabric&) = delete;
-
-  // rnic::FabricPort: a device puts a message on the wire at `depart`.
-  void transmit(const rnic::InFlightMsg& msg, sim::SimTime depart) override;
+  explicit Fabric(sim::Scheduler& sched) : Topology(sched) {}
 
   // Create an RNIC of the given model attached to this fabric.  The fabric
   // owns the device; the returned pointer stays valid for the fabric's life.
+  // Every device pair is joined by a direct link at add time.
   rnic::Rnic* add_device(rnic::DeviceModel model, sim::Xoshiro256 rng);
   rnic::Rnic* add_device(rnic::DeviceProfile profile, sim::Xoshiro256 rng);
 
-  rnic::Rnic* node(rnic::NodeId id) { return devices_.at(id).get(); }
-  std::size_t size() const { return devices_.size(); }
-  sim::Scheduler& scheduler() { return sched_; }
-
-  // Arm (or, with a disabled plan, disarm) fault injection.  Messages
-  // already scheduled for delivery are not recalled.
-  void set_fault_plan(const faults::FaultPlan& plan);
-  bool faults_active() const { return injector_ != nullptr; }
-  // Zero stats when no plan is armed.
-  faults::FaultStats fault_stats() const {
-    return injector_ ? injector_->stats() : faults::FaultStats{};
-  }
-
- private:
-  void route(const rnic::InFlightMsg& msg, sim::SimTime depart,
-             sim::SimDur wire_lat);
-
-  sim::Scheduler& sched_;
-  std::vector<std::unique_ptr<rnic::Rnic>> devices_;
-  // Per-device wire latency (captured at add_device time), indexed by the
-  // *sending* node — requests are stamped with the requester's latency,
-  // replies with the responder's, matching the pre-port delivery hook.
-  std::vector<sim::SimDur> wire_lat_;
-  std::unique_ptr<faults::FaultInjector> injector_;
+  rnic::Rnic* node(rnic::NodeId id) { return host(id); }
+  std::size_t size() const { return host_count(); }
 };
 
 }  // namespace ragnar::fabric

@@ -90,8 +90,30 @@ bool FaultInjector::in_flap(sim::SimTime on_wire) const {
   return false;
 }
 
+Decision FaultInjector::decide(const LinkHop& hop, rnic::NodeId requester,
+                               sim::SimTime on_wire) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(hop.link) << 1) | (hop.reverse ? 1u : 0u);
+  return decide_keyed(key, hop, requester, on_wire);
+}
+
 Decision FaultInjector::decide(rnic::NodeId src, rnic::NodeId dst,
                                rnic::NodeId requester, sim::SimTime on_wire) {
+  // Legacy pair-keyed chains live in a range disjoint from link-keyed ones
+  // (LinkId << 1 never reaches bit 63).
+  const std::uint64_t key = (1ull << 63) |
+                            (static_cast<std::uint64_t>(src) << 16) |
+                            static_cast<std::uint64_t>(dst);
+  LinkHop hop;
+  hop.src = src;
+  hop.dst = dst;
+  return decide_keyed(key, hop, requester, on_wire);
+}
+
+Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
+                                     const LinkHop& hop,
+                                     rnic::NodeId requester,
+                                     sim::SimTime on_wire) {
   Decision d;
   if (!plan_.enabled || !in_scope(requester)) {
     ++stats_.delivered;
@@ -109,9 +131,7 @@ Decision FaultInjector::decide(rnic::NodeId src, rnic::NodeId dst,
   // Gilbert-Elliott chain: advance this link's chain to the message's wire
   // time, then apply the current state's loss probability.
   if (plan_.gilbert && plan_.ge_step > 0) {
-    const std::uint32_t key =
-        (static_cast<std::uint32_t>(src) << 16) | static_cast<std::uint32_t>(dst);
-    GeState& st = ge_[key];
+    GeState& st = ge_[chain_key];
     ge_advance(st, on_wire);
     if (rng_.bernoulli(st.bad ? plan_.ge_loss_bad : plan_.ge_loss_good)) {
       ++stats_.dropped;
@@ -123,12 +143,26 @@ Decision FaultInjector::decide(rnic::NodeId src, rnic::NodeId dst,
   double drop_p = plan_.drop_p;
   double corrupt_p = plan_.corrupt_p;
   double reorder_p = plan_.reorder_p;
-  for (const LinkOverride& o : plan_.link_overrides) {
-    if (o.src == src && o.dst == dst) {
-      drop_p = o.drop_p;
-      corrupt_p = o.corrupt_p;
-      reorder_p = o.reorder_p;
-      break;
+  bool matched = false;
+  if (hop.link != kNoLink) {
+    for (const LinkFaultOverride& o : plan_.link_fault_overrides) {
+      if (o.link == hop.link) {
+        drop_p = o.drop_p;
+        corrupt_p = o.corrupt_p;
+        reorder_p = o.reorder_p;
+        matched = true;
+        break;
+      }
+    }
+  }
+  if (!matched) {
+    for (const LinkOverride& o : plan_.link_overrides) {
+      if (o.src == hop.src && o.dst == hop.dst) {
+        drop_p = o.drop_p;
+        corrupt_p = o.corrupt_p;
+        reorder_p = o.reorder_p;
+        break;
+      }
     }
   }
 

@@ -47,10 +47,42 @@ struct LinkFlap {
   sim::SimTime end = 0;
 };
 
-// Per-directed-link probability override (src -> dst RNIC node ids).
+// Stable identifier of one fabric link, assigned by fabric::Topology in
+// creation order.  Fault targeting keys on links, so a campaign can hit a
+// single uplink of a multi-hop path without touching the host access links.
+using LinkId = std::uint32_t;
+inline constexpr LinkId kNoLink = 0xffffffffu;
+
+// One directed traversal of a fabric link, as the topology describes it to
+// the injector.  `link`/`reverse` are the canonical key; `src`/`dst` carry
+// the endpoint device ids where both ends are hosts (kNoEndpoint on
+// switch-adjacent hops) so the deprecated pair-keyed overrides keep
+// matching on the topologies that predate switches.
+inline constexpr rnic::NodeId kNoEndpoint = 0xffff;
+struct LinkHop {
+  LinkId link = kNoLink;
+  bool reverse = false;  // travelling b->a on the link
+  rnic::NodeId src = kNoEndpoint;
+  rnic::NodeId dst = kNoEndpoint;
+};
+
+// DEPRECATED: per-directed-device-pair probability override (src -> dst
+// RNIC node ids).  Pair keys cannot name a specific link of a multi-hop
+// path; new code targets LinkFaultOverride instead.  Pair overrides are
+// still honoured on host-to-host direct links (the legacy facade shape),
+// where the pair uniquely identifies the link.
 struct LinkOverride {
   rnic::NodeId src = 0;
   rnic::NodeId dst = 0;
+  double drop_p = 0;
+  double corrupt_p = 0;
+  double reorder_p = 0;
+};
+
+// Per-link probability override, keyed on the topology's LinkId (both
+// directions of the link).  Takes precedence over pair overrides.
+struct LinkFaultOverride {
+  LinkId link = 0;
   double drop_p = 0;
   double corrupt_p = 0;
   double reorder_p = 0;
@@ -67,7 +99,8 @@ struct FaultPlan {
   double corrupt_p = 0;   // ICRC-failure discard, counted separately
   double reorder_p = 0;
   sim::SimDur reorder_delay_max = sim::us(5);
-  std::vector<LinkOverride> link_overrides;
+  std::vector<LinkOverride> link_overrides;  // deprecated pair-keyed shim
+  std::vector<LinkFaultOverride> link_fault_overrides;
 
   // Gilbert-Elliott burst loss, per directed link.  The chain advances once
   // per `ge_step` of *simulated time* (transition probabilities are
@@ -145,10 +178,17 @@ class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
 
-  // One verdict per message on the wire.  `src`/`dst` are the endpoints of
-  // the directed link carrying this message; `requester` is the node that
-  // issued the original request (scoping key); `on_wire` is the time the
-  // message starts its wire traversal (flap windows test against it).
+  // One verdict per link traversal.  `hop` names the directed link the
+  // message is about to cross; `requester` is the node that issued the
+  // original request (scoping key); `on_wire` is the time the message
+  // starts its wire traversal (flap windows test against it).  On a
+  // multi-hop path the topology consults the injector once per hop, so a
+  // campaign scoped to one uplink leaves the other hops ideal.
+  Decision decide(const LinkHop& hop, rnic::NodeId requester,
+                  sim::SimTime on_wire);
+
+  // DEPRECATED pair-keyed entry point, kept for pre-topology callers that
+  // never learned link ids.  Chains and overrides key on the device pair.
   Decision decide(rnic::NodeId src, rnic::NodeId dst, rnic::NodeId requester,
                   sim::SimTime on_wire);
 
@@ -166,11 +206,17 @@ class FaultInjector {
   bool in_scope(rnic::NodeId requester) const;
   bool in_flap(sim::SimTime on_wire) const;
   void ge_advance(GeState& st, sim::SimTime now);
+  Decision decide_keyed(std::uint64_t chain_key, const LinkHop& hop,
+                        rnic::NodeId requester, sim::SimTime on_wire);
 
   FaultPlan plan_;
   sim::Xoshiro256 rng_;
   FaultStats stats_;
-  std::unordered_map<std::uint32_t, GeState> ge_;
+  // Chain key: (LinkId << 1) | reverse for link-keyed hops; the legacy
+  // pair entry point maps (src, dst) into a disjoint high range.  Both are
+  // bijective per directed link, so rekeying old pair-addressed campaigns
+  // onto link ids preserves every verdict sequence.
+  std::unordered_map<std::uint64_t, GeState> ge_;
 };
 
 }  // namespace ragnar::faults

@@ -93,6 +93,13 @@ void WireEgress::reconfigure_pacers() {
 
 sim::SimTime WireEgress::reserve(sim::SimTime now, sim::SimTime t,
                                  TrafficClass tc, std::uint64_t bytes) {
+  if (tx_pause_until_ > t) {
+    // PFC pause from the downstream switch: hold payload serialization
+    // until the pause horizon.  tx_pause_until_ stays 0 on point-to-point
+    // fabrics, so this branch never fires there.
+    pause_deferred_total_ += tx_pause_until_ - t;
+    t = tx_pause_until_;
+  }
   const sim::SimTime serialized = egress_link_.reserve(t, bytes);
   egress_util_.add(now, egress_link_.service_time(bytes));
 

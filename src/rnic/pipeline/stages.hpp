@@ -111,6 +111,19 @@ class WireEgress final : public Stage {
   sim::SimTime reserve(sim::SimTime now, sim::SimTime t, TrafficClass tc,
                        std::uint64_t bytes);
 
+  // PFC pause from the attached switch (fabric::Topology): payload egress
+  // may not start serializing before the pause horizon.  Horizons only ever
+  // extend (max), mirroring repeated XOFF refreshes; control frames stay
+  // exempt, as PFC pauses lossless data classes, not the ACK/credit lane.
+  // Never called on point-to-point topologies, so pre-switch scenarios keep
+  // their exact event sequence.
+  void extend_tx_pause(sim::SimTime until) {
+    if (until > tx_pause_until_) tx_pause_until_ = until;
+  }
+  sim::SimTime tx_pause_until() const { return tx_pause_until_; }
+  // Cumulative time payload transmissions were deferred by PFC pause.
+  sim::SimDur pause_deferred_total() const { return pause_deferred_total_; }
+
   EtsConfig& ets() { return ets_; }
   // Re-derive the per-TC pacer rates after an ETS weight change.
   void reconfigure_pacers();
@@ -130,6 +143,8 @@ class WireEgress final : public Stage {
   std::vector<sim::BandwidthServer> tc_pacer_;
   std::vector<sim::SimTime> tc_last_active_;
   DecayedUtil egress_util_;
+  sim::SimTime tx_pause_until_ = 0;
+  sim::SimDur pause_deferred_total_ = 0;
 };
 
 // Arrival accounting + admission control (Grain-I pacing, partitioned-mode

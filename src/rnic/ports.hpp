@@ -5,16 +5,11 @@
 #include "rnic/message.hpp"
 #include "sim/time.hpp"
 
-// Typed port interfaces between the device model and its neighbours.
-//
-// Until PR 4 the device called out through two std::function hooks
-// (`Rnic::DeliveryFn`, `Rnic::SendHandler`) that sat on the post/deliver hot
-// path of every simulated message.  Both neighbours are singletons with
-// stable lifetimes (the fabric owns the device; the verbs Context owns the
-// QP registry), so the type erasure bought nothing and cost an allocation,
-// a wider call sequence and an un-devirtualizable call per message.  These
-// interfaces replace them: `fabric::Fabric` implements FabricPort,
-// `verbs::Context` implements RecvSink.
+// Typed port interfaces between the device model and its neighbours.  Both
+// neighbours have stable lifetimes (the fabric owns the device; the verbs
+// Context owns the QP registry), so a plain virtual interface is the whole
+// contract: `fabric::Topology` implements FabricPort, `verbs::Context`
+// implements RecvSink.
 namespace ragnar::rnic {
 
 // Outbound attachment: the fabric accepts a message leaving the device's

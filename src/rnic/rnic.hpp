@@ -80,8 +80,7 @@ class Rnic {
   // Direct stage access (tests, defense interposers).
   pipeline::Pipeline& pipe() { return pipe_; }
 
-  // Wired up by the Fabric (replaces the PR-1..4 std::function delivery
-  // hook; see rnic/ports.hpp).
+  // Wired up by the owning fabric::Topology (see rnic/ports.hpp).
   void attach_fabric(FabricPort* port) { fabric_ = port; }
 
   // Two-sided SEND delivery sink, wired by the verbs layer.

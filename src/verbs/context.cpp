@@ -53,7 +53,8 @@ void note_completion(std::uint32_t qpn, const Wc& wc) {
 
 }  // namespace
 
-Context::Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name)
+Context::Context(fabric::Topology& fabric, rnic::Rnic* device,
+                 std::string name)
     : fabric_(fabric),
       device_(device),
       name_(std::move(name)),

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "fabric/fabric.hpp"
+#include "fabric/topology.hpp"
 #include "rnic/memory_table.hpp"
 #include "rnic/op.hpp"
 #include "rnic/rnic.hpp"
@@ -45,11 +45,13 @@ struct QpConfig {
 // One host endpoint: owns a device attachment, the local virtual address
 // space, and all verbs objects created on it.  It is the device's
 // rnic::RecvSink: inbound SENDs land in on_inbound_send(), which routes to
-// the destination QP's receive queue (replacing the PR 1-4 std::function
-// send handler).
+// the destination QP's receive queue.
+//
+// A Context binds to any fabric::Topology — the two-host Fabric facade and
+// multi-switch cloud topologies alike.
 class Context final : public rnic::RecvSink {
  public:
-  Context(fabric::Fabric& fabric, rnic::Rnic* device, std::string name);
+  Context(fabric::Topology& fabric, rnic::Rnic* device, std::string name);
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
   ~Context() override;
@@ -61,7 +63,7 @@ class Context final : public rnic::RecvSink {
   const std::string& name() const { return name_; }
   rnic::Rnic& device() { return *device_; }
   sim::Scheduler& scheduler() { return fabric_.scheduler(); }
-  fabric::Fabric& fabric() { return fabric_; }
+  fabric::Topology& fabric() { return fabric_; }
 
   std::unique_ptr<ProtectionDomain> alloc_pd();
   std::unique_ptr<CompletionQueue> create_cq(std::uint32_t depth = 4096);
@@ -101,7 +103,7 @@ class Context final : public rnic::RecvSink {
     std::uint64_t len;
     std::uint8_t* data;
   };
-  fabric::Fabric& fabric_;
+  fabric::Topology& fabric_;
   rnic::Rnic* device_;
   std::string name_;
   std::uint64_t next_va_;

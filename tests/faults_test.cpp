@@ -98,6 +98,107 @@ TEST(FaultInjector, TenantScopingSparesBystanders) {
   EXPECT_EQ(inj.stats().delivered, 20u);
 }
 
+// ---------------------------------------------------------------------------
+// LinkId rekey round trip: campaigns written against the deprecated
+// (src, dst) pair API and the same campaigns rekeyed onto LinkHop must
+// produce identical verdict sequences — both keyings are bijective per
+// directed link and draw from the shared RNG stream in call order.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorRekey, LinkKeyedVerdictsMatchPairKeyed) {
+  const FaultPlan plan = FaultPlan::bursty_loss(0.10, sim::us(500), 42);
+  FaultInjector pair_keyed{plan}, link_keyed{plan};
+  LinkHop hop;
+  hop.link = 5;
+  hop.reverse = false;
+  hop.src = 0;
+  hop.dst = 1;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::SimTime t = sim::us(i);
+    EXPECT_EQ(static_cast<int>(pair_keyed.decide(0, 1, 0, t).verdict),
+              static_cast<int>(link_keyed.decide(hop, 0, t).verdict))
+        << "diverged at message " << i;
+  }
+  EXPECT_EQ(pair_keyed.stats().dropped, link_keyed.stats().dropped);
+  EXPECT_EQ(pair_keyed.stats().delivered, link_keyed.stats().delivered);
+  EXPECT_EQ(pair_keyed.stats().ge_bad_steps, link_keyed.stats().ge_bad_steps);
+}
+
+TEST(FaultInjectorRekey, DirectionsKeepIndependentChains) {
+  // Alternating forward/reverse traversals (requests and replies of one
+  // link) advance two separate Gilbert-Elliott chains under both keyings.
+  const FaultPlan plan = FaultPlan::bursty_loss(0.15, sim::us(200), 9);
+  FaultInjector pair_keyed{plan}, link_keyed{plan};
+  LinkHop fwd, rev;
+  fwd.link = rev.link = 3;
+  fwd.reverse = false;
+  rev.reverse = true;
+  fwd.src = rev.dst = 0;
+  fwd.dst = rev.src = 1;
+  for (int i = 0; i < 4000; ++i) {
+    const sim::SimTime t = sim::us(i);
+    const bool forward = (i % 2) == 0;
+    const Decision p = forward ? pair_keyed.decide(0, 1, 0, t)
+                               : pair_keyed.decide(1, 0, 0, t);
+    const Decision l = link_keyed.decide(forward ? fwd : rev, 0, t);
+    EXPECT_EQ(static_cast<int>(p.verdict), static_cast<int>(l.verdict))
+        << "diverged at message " << i;
+  }
+  EXPECT_EQ(pair_keyed.stats().dropped, link_keyed.stats().dropped);
+  EXPECT_EQ(pair_keyed.stats().ge_steps, link_keyed.stats().ge_steps);
+}
+
+TEST(FaultInjectorRekey, LinkOverrideTakesPrecedenceOverPairOverride) {
+  FaultPlan plan;
+  plan.enabled = true;
+  LinkOverride po;
+  po.src = 0;
+  po.dst = 1;
+  po.drop_p = 0.0;  // pair override says deliver
+  plan.link_overrides.push_back(po);
+  LinkFaultOverride lo;
+  lo.link = 4;
+  lo.drop_p = 1.0;  // link override says drop
+  plan.link_fault_overrides.push_back(lo);
+  FaultInjector inj{plan};
+
+  LinkHop on_four;
+  on_four.link = 4;
+  on_four.src = 0;
+  on_four.dst = 1;
+  LinkHop on_nine = on_four;
+  on_nine.link = 9;  // no link override: falls back to the pair override
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(inj.decide(on_four, 0, sim::us(i)).verdict, Verdict::kDrop);
+    EXPECT_EQ(inj.decide(on_nine, 0, sim::us(i)).verdict, Verdict::kDeliver);
+  }
+  EXPECT_EQ(inj.stats().dropped, 10u);
+  EXPECT_EQ(inj.stats().delivered, 10u);
+}
+
+TEST(FaultInjectorRekey, SwitchAdjacentHopsNeverMatchPairOverrides) {
+  // Hops with switch endpoints carry kNoEndpoint: a pair-keyed campaign
+  // written for the legacy facade cannot accidentally hit the access or
+  // uplink hops of a switched path.
+  FaultPlan plan;
+  plan.enabled = true;
+  LinkOverride po;
+  po.src = 0;
+  po.dst = 1;
+  po.drop_p = 1.0;
+  plan.link_overrides.push_back(po);
+  FaultInjector inj{plan};
+
+  LinkHop sw_hop;  // src/dst left at kNoEndpoint
+  sw_hop.link = 2;
+  EXPECT_EQ(inj.decide(sw_hop, 0, sim::us(1)).verdict, Verdict::kDeliver);
+  LinkHop direct_hop;
+  direct_hop.link = 0;
+  direct_hop.src = 0;
+  direct_hop.dst = 1;
+  EXPECT_EQ(inj.decide(direct_hop, 0, sim::us(2)).verdict, Verdict::kDrop);
+}
+
 TEST(FaultInjector, CorruptionIsCountedSeparately) {
   FaultPlan plan;
   plan.enabled = true;

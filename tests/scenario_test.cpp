@@ -21,9 +21,12 @@ int cli(std::initializer_list<const char*> argv_tail) {
                  const_cast<char**>(argv.data()));
 }
 
-// Every binary that existed before the registry refactor, plus nothing
-// else unexpected-shaped: this is the completeness contract for `run-all`.
+// Every binary that existed before the registry refactor, plus the cloud_*
+// scenarios added with the switched-fabric topology, and nothing else
+// unexpected-shaped: this is the completeness contract for `run-all`.
 const char* const kFormerBinaries[] = {
+    "cloud_bankrupt",
+    "cloud_noisy_neighbor",
     "fig04_priority_matrix",
     "fig05_uli_inter_mr",
     "fig06_offset_abs_64",
@@ -87,7 +90,7 @@ TEST(Cli, ListShowsEveryScenario) {
   for (const char* name : kFormerBinaries) {
     EXPECT_NE(out.find(name), std::string::npos) << name;
   }
-  EXPECT_NE(out.find("(24 scenarios)"), std::string::npos);
+  EXPECT_NE(out.find("(26 scenarios)"), std::string::npos);
 }
 
 TEST(Cli, UnknownScenarioFailsNonZeroAndListsNames) {
