@@ -1,0 +1,318 @@
+// Covert file transfer: the authenticated transport (session handshake,
+// sliding-window selective-ACK ARQ, encrypt-then-MAC slots) moving a file
+// end-to-end over the Grain-III ULI covert channel while the fault fabric
+// injects loss.
+//
+//   covert_transfer           goodput / retransmission count vs injected
+//                             uniform loss; every delivered byte is
+//                             authenticated (the AUTH-OK contract line).
+//   covert_transfer_degraded  a sustained link flap exhausts the retry
+//                             budget -> deterministic PARTIAL-DELIVERY
+//                             (never a hang); a shorter flap on the
+//                             feedback path alone is ridden out by the
+//                             backoff ladder and recovers after it closes.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "covert/framing.hpp"
+#include "covert/transport/link.hpp"
+#include "covert/transport/session.hpp"
+#include "covert/uli_channel.hpp"
+#include "faults/faults.hpp"
+#include "harness/harness.hpp"
+
+using namespace ragnar;
+namespace ct = ragnar::covert::transport;
+
+namespace {
+
+// Deterministic pseudo-file payload.
+std::vector<std::uint8_t> make_payload(std::size_t bytes, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> p(bytes);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return p;
+}
+
+struct TransferCell {
+  // ULI channel under the transport, with the cell's fault campaign armed.
+  covert::UliChannelConfig uli;
+  ct::ModeledFeedbackLink::Config feedback;
+  ct::TransportConfig transport;
+  std::vector<std::uint8_t> payload;
+  std::uint8_t session = 0x42;
+};
+
+struct TransferResult {
+  ct::TransferReport report;
+  faults::FaultStats fs;
+  verbs::QpReliabilityStats rs;
+  std::uint64_t feedback_lost = 0;
+  std::uint64_t segments_suspect = 0;
+};
+
+// Run one end-to-end transfer and fill the harness accounting.
+TransferResult run_transfer(const TransferCell& cell,
+                            harness::TrialContext& ctx) {
+  covert::UliCovertChannel ch(cell.uli);
+  ct::SchedulerClock clock(ch.scheduler());
+  ct::FramedChannelLink data(
+      [&ch](const std::vector<int>& bits) { return ch.transmit(bits); },
+      covert::FrameConfig{});
+  ct::ModeledFeedbackLink feedback(clock, cell.feedback);
+  const ct::Key master{0x5261676e617231ULL, cell.uli.seed};
+  ct::CovertTransport transport(data, feedback, clock, master, cell.transport);
+
+  TransferResult r;
+  r.report = transport.transfer(cell.payload, cell.session);
+  r.fs = ch.fault_stats();
+  r.rs = ch.reliability_stats();
+  r.feedback_lost = feedback.lost();
+  r.segments_suspect = data.segments_suspect();
+
+  harness::FaultAccounting fa;
+  fa.delivered = r.fs.delivered;
+  fa.injected_drops = r.fs.total_lost();
+  fa.retransmits = r.rs.retransmits;
+  fa.rnr_retries = r.rs.rnr_retries;
+  fa.corrupted = r.fs.corrupted;
+  fa.flap_dropped = r.fs.flap_dropped;
+  fa.reordered = r.fs.reordered;
+  fa.ge_steps = r.fs.ge_steps;
+  fa.ge_bad_steps = r.fs.ge_bad_steps;
+  ctx.note_faults(fa);
+  ctx.note_sim_time(clock.now());
+  return r;
+}
+
+harness::Record record_of(const TransferResult& r) {
+  harness::Record rec;
+  rec.set("outcome", std::string(r.report.outcome_name()));
+  rec.set("delivered_bytes", static_cast<std::uint64_t>(r.report.delivered_bytes));
+  rec.set("payload_bytes", static_cast<std::uint64_t>(r.report.payload_bytes));
+  rec.set("auth", std::string(r.report.complete() && r.report.byte_exact
+                                  ? "AUTH-OK"
+                                  : "partial"));
+  rec.set("rounds", r.report.rounds);
+  rec.set("arq_retransmits", r.report.retransmits);
+  rec.set("auth_rejects", r.report.auth_rejects);
+  rec.set("acks_lost", r.report.acks_lost);
+  rec.set("duplicates", r.report.duplicates);
+  rec.set("goodput_bps", r.report.goodput_bps(), 1);
+  return rec;
+}
+
+}  // namespace
+
+RAGNAR_SCENARIO(covert_transfer, "robustness",
+                "authenticated file transfer over the ULI channel vs loss",
+                "32 B file, 3 loss points", "96 B file, 5 loss points") {
+  ctx.header(
+      "covert transfer: authenticated transport over the ULI channel",
+      "session handshake + selective-ACK ARQ + encrypt-then-MAC slots over "
+      "Grain-III; uniform loss injected on the fabric and the feedback path");
+
+  const std::vector<double> loss_grid =
+      ctx.full ? std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10}
+               : std::vector<double>{0.0, 0.02, 0.05};
+  const std::size_t payload_bytes = ctx.full ? 96 : 32;
+
+  std::vector<TransferResult> results(loss_grid.size());
+  harness::SweepRunner sweep;
+  for (std::size_t i = 0; i < loss_grid.size(); ++i) {
+    const double loss = loss_grid[i];
+    char label[32];
+    std::snprintf(label, sizeof label, "uli@%.2f%%", 100 * loss);
+    sweep.add(label, [i, loss, payload_bytes,
+                      &results](harness::TrialContext& tctx) {
+      TransferCell cell;
+      cell.uli = covert::UliChannelConfig::best_for(
+          rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr,
+          tctx.seed);
+      // The covert pair picks a quiet window for the bulk transfer: the
+      // bystander noise floor (Table V's raw-error band) is its own, already
+      // reproduced experiment; the adversarial substrate under test here is
+      // the injected fault campaign.
+      cell.uli.ambient_intensity = 0;
+      // Bulk-transfer symbol rate: at the Table-V bit period every window
+      // carries ~40 fabric packets, so even small per-packet loss perturbs
+      // nearly every window.  Halving the symbol rate averages the loss
+      // stalls out, and one uniform rate keeps the goodput column a pure
+      // ARQ comparison across cells.
+      cell.uli.bit_period = sim::us(60);
+      // The transport idles the channel between frames (ACK exchanges,
+      // retransmission waits); re-warm the probe pipelines so the phase
+      // search stays locked.
+      cell.uli.warmup_bits = 8;
+      if (loss > 0) {
+        cell.uli.fault_plan =
+            faults::FaultPlan::uniform_loss(loss, tctx.seed ^ 0xc0feeULL);
+        // Transport retry timer on the covert QPs: injected drops become
+        // retransmitted READs, not stranded WQEs.  The timer must be short
+        // against the bit period — a recovery stall spanning whole windows
+        // erases more signal than the drop itself.
+        cell.uli.qp_timeout = sim::us(15);
+        cell.uli.qp_retry_cnt = 7;
+        // Even post-FEC, a ~3% residual window-error rate garbles whole
+        // 136-bit slots at a non-trivial per-attempt rate; give the session
+        // enough budget that the campaign has to kill the fabric, not just
+        // tax it, to stop the transfer.
+        cell.transport.handshake_retries = 8;
+        cell.transport.arq.max_retries = 10;
+      }
+      cell.feedback.loss_p = loss;
+      cell.feedback.seed = tctx.seed ^ 0xfeedbacULL;
+      cell.payload = make_payload(payload_bytes, tctx.seed ^ 0xf11eULL);
+      results[i] = run_transfer(cell, tctx);
+      return record_of(results[i]);
+    });
+  }
+  ctx.run_sweep(sweep, "covert_transfer");
+
+  std::printf("\ndelivery contract (one line per cell):\n");
+  for (std::size_t i = 0; i < loss_grid.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "uli@%.2f%%", 100 * loss_grid[i]);
+    results[i].report.print_contract_line(stdout, label);
+  }
+
+  std::printf("\n%-10s %10s %12s %8s %8s %10s %9s %12s\n", "cell", "bytes",
+              "goodput_bps", "retx", "rounds", "auth_rej", "acks_lost",
+              "qp_retx");
+  for (std::size_t i = 0; i < loss_grid.size(); ++i) {
+    const TransferResult& r = results[i];
+    char label[32];
+    std::snprintf(label, sizeof label, "uli@%.2f%%", 100 * loss_grid[i]);
+    std::printf("%-10s %6zu/%-3zu %12.1f %8llu %8llu %10llu %9llu %12llu\n",
+                label, r.report.delivered_bytes, r.report.payload_bytes,
+                r.report.goodput_bps(),
+                static_cast<unsigned long long>(r.report.retransmits),
+                static_cast<unsigned long long>(r.report.rounds),
+                static_cast<unsigned long long>(r.report.auth_rejects),
+                static_cast<unsigned long long>(r.report.acks_lost),
+                static_cast<unsigned long long>(r.rs.retransmits));
+  }
+  std::printf(
+      "\ntakeaway: the transport turns the lossy covert channel into a "
+      "reliable authenticated pipe — every delivered byte passed the "
+      "per-slot MAC, injected loss up to 2%% surfaces as bounded "
+      "retransmissions (ARQ above, QP transport retry below), and beyond "
+      "the channel's capacity the session degrades to a deterministic "
+      "partial-delivery report instead of hanging.\n");
+
+  // Contract: byte-exact authenticated delivery at every cell up to 2%
+  // injected loss.  Higher-loss cells are past the raw channel's FEC
+  // capacity (the raw window-error rate saturates near 11% at 5% loss, no
+  // matter how slow the symbol rate) — they must terminate deterministically
+  // but are allowed to report partial delivery.
+  int rc = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TransferResult& r = results[i];
+    if (loss_grid[i] <= 0.02 && !(r.report.complete() && r.report.byte_exact))
+      rc = 1;
+  }
+  return rc;
+}
+
+RAGNAR_SCENARIO(covert_transfer_degraded, "robustness",
+                "retry exhaustion under sustained flap; recovery after flap",
+                "2 cells (exhaust, recover), 32 B file",
+                "2 cells (exhaust, recover), 64 B file") {
+  ctx.header(
+      "covert transfer degradation: dead fabric vs transient flap",
+      "a flap outliving the whole retry ladder kills the session into a "
+      "deterministic partial-delivery report; a feedback-only flap shorter "
+      "than the backoff ladder is survived and the transfer completes");
+
+  const std::size_t payload_bytes = ctx.full ? 64 : 32;
+
+  std::vector<TransferResult> results(2);
+  harness::SweepRunner sweep;
+
+  // Cell 0 — exhaust: the fabric flaps down just after the handshake and
+  // stays down past every backoff deadline.  The QPs run without the retry
+  // timer (timeout 0): stranded reads model a hard outage, and the
+  // transport's own ARQ budget is what bounds the session.
+  sweep.add("flap-exhaust", [payload_bytes,
+                             &results](harness::TrialContext& tctx) {
+    TransferCell cell;
+    cell.uli = covert::UliChannelConfig::best_for(
+        rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr, tctx.seed);
+    cell.uli.ambient_intensity = 0;  // quiet window; the flap is the story
+    cell.uli.bit_period = sim::us(60);
+    cell.uli.warmup_bits = 8;
+    faults::LinkFlap flap;
+    flap.start = sim::ms(25);
+    flap.end = sim::sec(10);
+    cell.uli.fault_plan.enabled = true;
+    cell.uli.fault_plan.seed = tctx.seed ^ 0xf1a9ULL;
+    cell.uli.fault_plan.flaps.push_back(flap);
+    cell.feedback.flaps.push_back(flap);  // the ACK path crosses it too
+    cell.feedback.seed = tctx.seed ^ 0xfeedbacULL;
+    cell.payload = make_payload(payload_bytes, tctx.seed ^ 0xf11eULL);
+    results[0] = run_transfer(cell, tctx);
+    return record_of(results[0]);
+  });
+
+  // Cell 1 — recover: the forward fabric stays clean; only the feedback
+  // path flaps, for longer than one whole retransmission timeout but
+  // shorter than the capped backoff ladder.  Every ACK inside the window
+  // is lost, the sender backs off and re-sends, and the first ACK after
+  // the flap closes completes the transfer (duplicates at the receiver,
+  // zero corruption).
+  sweep.add("flap-recover", [payload_bytes,
+                             &results](harness::TrialContext& tctx) {
+    TransferCell cell;
+    cell.uli = covert::UliChannelConfig::best_for(
+        rnic::DeviceModel::kCX4, covert::UliChannelKind::kInterMr, tctx.seed);
+    cell.uli.ambient_intensity = 0;  // quiet window; the flap is the story
+    cell.uli.bit_period = sim::us(60);
+    cell.uli.warmup_bits = 8;
+    faults::LinkFlap flap;
+    flap.start = sim::ms(15);
+    flap.end = sim::ms(350);
+    cell.feedback.flaps.push_back(flap);
+    cell.feedback.seed = tctx.seed ^ 0xfeedbacULL;
+    cell.payload = make_payload(payload_bytes, tctx.seed ^ 0xf11eULL);
+    results[1] = run_transfer(cell, tctx);
+    return record_of(results[1]);
+  });
+
+  ctx.run_sweep(sweep, "covert_transfer_degraded");
+
+  std::printf("\ndelivery contract (one line per cell):\n");
+  results[0].report.print_contract_line(stdout, "flap-exhaust");
+  results[1].report.print_contract_line(stdout, "flap-recover");
+
+  std::printf(
+      "\nflap-exhaust: outcome=%s rounds=%llu handshake_sends=%llu "
+      "acks_lost=%llu missing_segs=%zu\n",
+      results[0].report.outcome_name(),
+      static_cast<unsigned long long>(results[0].report.rounds),
+      static_cast<unsigned long long>(results[0].report.handshake_sends),
+      static_cast<unsigned long long>(results[0].report.acks_lost),
+      results[0].report.missing.size());
+  std::printf(
+      "flap-recover: outcome=%s rounds=%llu retx=%llu duplicates=%llu "
+      "acks_lost=%llu elapsed_ms=%.1f\n",
+      results[1].report.outcome_name(),
+      static_cast<unsigned long long>(results[1].report.rounds),
+      static_cast<unsigned long long>(results[1].report.retransmits),
+      static_cast<unsigned long long>(results[1].report.duplicates),
+      static_cast<unsigned long long>(results[1].report.acks_lost),
+      sim::to_sec(results[1].report.elapsed()) * 1e3);
+  std::printf(
+      "\ntakeaway: retry exhaustion is a report, not a hang — the dead "
+      "fabric yields a deterministic PARTIAL-DELIVERY with the delivered "
+      "prefix and the missing segment list, while a transient feedback "
+      "flap is absorbed by the capped exponential backoff and the session "
+      "completes once the flap closes.\n");
+
+  // Contract: cell 0 must degrade (never complete), cell 1 must recover.
+  const bool ok = !results[0].report.complete() &&
+                  results[1].report.complete() && results[1].report.byte_exact;
+  return ok ? 0 : 1;
+}

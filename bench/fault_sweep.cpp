@@ -109,6 +109,11 @@ RAGNAR_SCENARIO(fault_sweep, "robustness",
       fa.injected_drops = fs.total_lost();
       fa.retransmits = rs.retransmits;
       fa.rnr_retries = rs.rnr_retries;
+      fa.corrupted = fs.corrupted;
+      fa.flap_dropped = fs.flap_dropped;
+      fa.reordered = fs.reordered;
+      fa.ge_steps = fs.ge_steps;
+      fa.ge_bad_steps = fs.ge_bad_steps;
       ctx.note_faults(fa);
       ctx.note_sim_time(ch.testbed().sched().now());
 

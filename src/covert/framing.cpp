@@ -1,7 +1,9 @@
 #include "covert/framing.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 
 #include "covert/ecc.hpp"
 
@@ -27,6 +29,23 @@ std::size_t segment_wire_bits(const FrameConfig& cfg) {
 
 }  // namespace
 
+FrameConfig validate_frame_config(const FrameConfig& cfg) {
+  if (cfg.aligned()) return cfg;
+  FrameConfig fixed = cfg;
+  fixed.interleave_depth = fixed.codewords();
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[framing] warning: interleave_depth=%zu is not "
+                 "codeword-aligned for segment_data_bits=%zu (%zu codewords); "
+                 "the burst-correction guarantee would be forfeit. Corrected "
+                 "to depth=%zu. (warning shown once per run)\n",
+                 cfg.interleave_depth, cfg.segment_data_bits, cfg.codewords(),
+                 fixed.interleave_depth);
+  }
+  return fixed;
+}
+
 std::size_t framed_wire_bits(std::size_t data_bits, const FrameConfig& cfg) {
   const std::size_t nseg =
       (data_bits + cfg.segment_data_bits - 1) / cfg.segment_data_bits;
@@ -35,7 +54,8 @@ std::size_t framed_wire_bits(std::size_t data_bits, const FrameConfig& cfg) {
 
 FramedRun transmit_framed(
     const std::function<ChannelRun(const std::vector<int>&)>& transmit,
-    const std::vector<int>& data, const FrameConfig& cfg) {
+    const std::vector<int>& data, const FrameConfig& cfg_in) {
+  const FrameConfig cfg = validate_frame_config(cfg_in);
   FramedRun out;
   out.data_sent = data;
   if (data.empty() || cfg.segment_data_bits == 0) return out;
@@ -159,6 +179,13 @@ FramedRun transmit_framed(
         deinterleave(coded_rx, cfg.interleave_depth),
         deinterleave(erased, cfg.interleave_depth), &corrected);
     out.codewords_corrected += corrected;
+    SegmentHealth health;
+    health.resync_fell_back = fell_back;
+    for (const int e : erased) health.erased_windows += (e != 0) ? 1u : 0u;
+    health.corrected = corrected;
+    health.suspect = health.resync_fell_back ||
+                     health.erased_windows > cfg.interleave_depth;
+    out.segment_health.push_back(health);
     decoded.resize(cfg.segment_data_bits, 0);
     const std::size_t want =
         std::min(cfg.segment_data_bits, data.size() - s * cfg.segment_data_bits);

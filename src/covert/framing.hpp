@@ -41,6 +41,33 @@ struct FrameConfig {
   std::size_t segment_data_bits = 28;  // payload bits per segment (7 cw)
   std::size_t interleave_depth = 7;    // = codewords per segment (aligned)
   std::size_t preamble_bits = 6;       // alternating resync prefix length
+
+  // Hamming(7,4) codewords per segment under this geometry.
+  std::size_t codewords() const { return (segment_data_bits + 3) / 4; }
+  // The burst-correction guarantee only holds codeword-aligned: depth equal
+  // to the codeword count, so each interleaver row is exactly one codeword.
+  // (depth <= 1 means "no interleaving" — allowed, no guarantee claimed.)
+  bool aligned() const {
+    return interleave_depth <= 1 || interleave_depth == codewords();
+  }
+};
+
+// Geometry validation (construction-time contract for every framed user):
+// a misaligned interleave_depth silently puts wire-adjacent windows into
+// the same codeword and forfeits the burst guarantee, so it is corrected
+// to the codeword-aligned depth with a one-time stderr warning rather
+// than left to corrupt quietly.  Aligned configs pass through untouched.
+FrameConfig validate_frame_config(const FrameConfig& cfg);
+
+// Per-segment decode health, surfaced so a transport layer above can turn
+// framing-level trouble into erasure/NAK feedback instead of waiting out a
+// retransmission timeout on silently-wrong bits.
+struct SegmentHealth {
+  bool resync_fell_back = false;   // preamble estimate rejected; used the
+                                   // whole-run quantile reference instead
+  std::size_t erased_windows = 0;  // windows marked as outage erasures
+  std::size_t corrected = 0;       // codewords the ECC had to repair
+  bool suspect = false;            // decode confidence low; see below
 };
 
 // Result of a framed transmission.
@@ -50,6 +77,15 @@ struct FramedRun {
   std::vector<int> data_recovered;
   std::size_t segments = 0;
   std::size_t codewords_corrected = 0;
+  std::vector<SegmentHealth> segment_health;  // one entry per segment
+
+  // A segment is suspect when its resync fell back to the whole-run
+  // reference (threshold confidence lost) or its erasure count exceeded
+  // the interleave depth (a burst larger than the geometry's guarantee —
+  // some codeword saw >= 2 bad bits and may have mis-corrected).
+  bool segment_suspect(std::size_t s) const {
+    return s < segment_health.size() && segment_health[s].suspect;
+  }
 
   double residual_error() const {
     if (data_sent.empty()) return 1.0;

@@ -1,0 +1,136 @@
+#include "covert/transport/arq.hpp"
+
+#include <algorithm>
+
+namespace ragnar::covert::transport {
+
+SenderWindow::SenderWindow(std::size_t total_segments, const ArqConfig& cfg)
+    : cfg_(cfg), state_(total_segments) {}
+
+std::vector<std::uint16_t> SenderWindow::collect(sim::SimTime now) const {
+  std::vector<std::uint16_t> out;
+  const std::size_t window_end = std::min(base_ + cfg_.window, state_.size());
+  for (std::size_t s = base_; s < window_end && out.size() < cfg_.burst; ++s) {
+    const SegState& st = state_[s];
+    if (st.acked) continue;
+    if (st.sends > cfg_.max_retries) continue;  // budget spent: session dying
+    if (st.sends == 0 || now >= st.deadline) {
+      out.push_back(static_cast<std::uint16_t>(s));
+    }
+  }
+  return out;
+}
+
+void SenderWindow::on_sent(std::uint16_t seq, sim::SimTime now) {
+  SegState& st = state_.at(seq);
+  if (st.acked) return;
+  if (st.sends > 0) ++retransmits_;
+  // Deterministic capped exponential backoff: rto_initial << sends, clamped.
+  sim::SimDur rto = cfg_.rto_initial;
+  for (std::size_t i = 0; i < st.sends && rto < cfg_.rto_max; ++i) rto <<= 1;
+  rto = std::min(rto, cfg_.rto_max);
+  st.deadline = now + rto;
+  ++st.sends;
+}
+
+void SenderWindow::on_ack(const AckInfo& info, sim::SimTime now) {
+  const auto mark = [&](std::size_t s) {
+    if (s >= state_.size() || state_[s].acked) return;
+    state_[s].acked = true;
+    ++acked_count_;
+  };
+  // Cumulative part: everything below cum_ack is delivered.  A stale ACK
+  // carries a smaller cum_ack; marking is idempotent so it cannot regress.
+  for (std::size_t s = 0; s < info.cum_ack && s < state_.size(); ++s) mark(s);
+  // Selective part: bit i covers cum_ack + 1 + i.
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (info.sack_bits & (1u << i)) {
+      mark(static_cast<std::size_t>(info.cum_ack) + 1 + i);
+    }
+  }
+  while (base_ < state_.size() && state_[base_].acked) ++base_;
+  // NAK fast path: the receiver saw garbled slots this round.  Anything
+  // still unacked in the window was likely in them — make it eligible now
+  // rather than waiting out the (possibly backed-off) deadline.  The
+  // deadline reset does not touch `sends`, so the retry budget still
+  // bounds total work.
+  if (info.garbled > 0) {
+    const std::size_t window_end = std::min(base_ + cfg_.window, state_.size());
+    for (std::size_t s = base_; s < window_end; ++s) {
+      if (!state_[s].acked && state_[s].sends > 0) state_[s].deadline = now;
+    }
+  }
+}
+
+bool SenderWindow::exhausted() const {
+  const std::size_t window_end = std::min(base_ + cfg_.window, state_.size());
+  for (std::size_t s = base_; s < window_end; ++s) {
+    const SegState& st = state_[s];
+    if (!st.acked && st.sends > cfg_.max_retries) return true;
+  }
+  return false;
+}
+
+sim::SimTime SenderWindow::next_timer() const {
+  sim::SimTime best = kNoTimer;
+  const std::size_t window_end = std::min(base_ + cfg_.window, state_.size());
+  for (std::size_t s = base_; s < window_end; ++s) {
+    const SegState& st = state_[s];
+    if (st.acked || st.sends == 0 || st.sends > cfg_.max_retries) continue;
+    best = std::min(best, st.deadline);
+  }
+  return best;
+}
+
+bool SenderWindow::is_acked(std::uint16_t seq) const {
+  return state_.at(seq).acked;
+}
+
+std::size_t SenderWindow::sends_of(std::uint16_t seq) const {
+  return state_.at(seq).sends;
+}
+
+ReceiverWindow::ReceiverWindow(std::uint32_t total_len, std::size_t payload_cap)
+    : total_len_(total_len),
+      payload_cap_(payload_cap == 0 ? 1 : payload_cap),
+      segments_((total_len + payload_cap_ - 1) / payload_cap_),
+      data_(total_len, 0),
+      have_(segments_, false) {}
+
+void ReceiverWindow::on_data(const Segment& seg) {
+  const std::size_t idx = seg.seq;
+  if (idx >= segments_) return;
+  if (have_[idx]) {
+    ++duplicates_;
+    return;
+  }
+  const std::size_t off = idx * payload_cap_;
+  const std::size_t want =
+      std::min(payload_cap_, static_cast<std::size_t>(total_len_) - off);
+  const std::size_t got = std::min(want, seg.payload.size());
+  for (std::size_t i = 0; i < got; ++i) data_[off + i] = seg.payload[i];
+  have_[idx] = true;
+  ++received_count_;
+  delivered_bytes_ += got;
+}
+
+void ReceiverWindow::note_garbled(std::size_t n) { pending_garbled_ += n; }
+
+AckInfo ReceiverWindow::make_ack() {
+  AckInfo info;
+  std::size_t cum = 0;
+  while (cum < segments_ && have_[cum]) ++cum;
+  info.cum_ack = static_cast<std::uint16_t>(cum);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t s = cum + 1 + i;
+    if (s < segments_ && have_[s]) info.sack_bits |= (1u << i);
+  }
+  info.garbled = static_cast<std::uint8_t>(std::min<std::size_t>(
+      pending_garbled_, 0xff));
+  pending_garbled_ = 0;
+  return info;
+}
+
+std::vector<std::uint8_t> ReceiverWindow::assemble() const { return data_; }
+
+}  // namespace ragnar::covert::transport

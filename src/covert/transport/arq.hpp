@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "covert/transport/wire.hpp"
+#include "sim/time.hpp"
+
+// Sliding-window selective-ACK ARQ state machines for the covert transport.
+// Pure bookkeeping over simulated time — no channel, no crypto — so every
+// edge case (reordered ACKs, retry exhaustion, flap-spanning timeouts) is
+// unit-testable without running a fabric simulation.
+//
+// Timer discipline: each in-flight segment carries its own deterministic
+// retransmission deadline.  The first (re)send of seq arms
+// `rto_initial << retries`, capped at `rto_max`; a retransmission bumps the
+// retry count, so a segment that keeps missing backs off exponentially
+// instead of flooding the covert channel (which would light up every
+// detector).  A segment that exhausts `max_retries` marks the *session*
+// dead — the transport stops, reports partial delivery, and never hangs.
+namespace ragnar::covert::transport {
+
+struct ArqConfig {
+  std::size_t window = 8;     // max distinct unacked segments in flight
+  std::size_t burst = 4;      // max segments per transmission round
+  sim::SimDur rto_initial = sim::ms(30);
+  sim::SimDur rto_max = sim::ms(240);  // backoff cap
+  std::size_t max_retries = 6;         // re-sends per segment before dead
+};
+
+// Sentinel for "no timer pending".
+inline constexpr sim::SimTime kNoTimer = ~static_cast<sim::SimTime>(0);
+
+class SenderWindow {
+ public:
+  SenderWindow(std::size_t total_segments, const ArqConfig& cfg);
+
+  // Sequence numbers eligible for (re)transmission at `now`: unacked
+  // segments inside the window whose deadline has passed (or that were
+  // never sent), lowest seq first, at most `burst`.  Does not mutate
+  // state; pair with on_sent() for each seq actually transmitted.
+  std::vector<std::uint16_t> collect(sim::SimTime now) const;
+
+  // Seq was handed to the link at `now`: arm its deadline with the current
+  // backoff and count the retransmission (first send is not a retry).
+  void on_sent(std::uint16_t seq, sim::SimTime now);
+
+  // Selective-ACK feedback.  Regression-safe: a stale ACK (smaller cum_ack,
+  // duplicate SACK bits) can only re-confirm, never un-ack — reordered or
+  // duplicated feedback must not stall the window.  When the ACK reports
+  // garbled slots (NAK), every unacked in-flight segment becomes eligible
+  // immediately (fast retransmit) without consuming a retry.
+  void on_ack(const AckInfo& info, sim::SimTime now);
+
+  bool all_acked() const { return acked_count_ == state_.size(); }
+  // True when some unacked segment has spent its whole retry budget: the
+  // session is dead and the caller must degrade to a partial report.
+  bool exhausted() const;
+  // Earliest pending deadline (kNoTimer when nothing is in flight /
+  // everything eligible now).  The session loop advances the clock here
+  // when no segment is currently eligible.
+  sim::SimTime next_timer() const;
+
+  std::size_t acked_count() const { return acked_count_; }
+  std::size_t total() const { return state_.size(); }
+  std::uint64_t retransmits() const { return retransmits_; }
+  bool is_acked(std::uint16_t seq) const;
+  std::size_t sends_of(std::uint16_t seq) const;
+
+ private:
+  struct SegState {
+    bool acked = false;
+    std::size_t sends = 0;      // total transmissions so far
+    sim::SimTime deadline = 0;  // next retransmission time (0 = send now)
+  };
+
+  ArqConfig cfg_;
+  std::vector<SegState> state_;
+  std::size_t base_ = 0;  // lowest unacked seq (window origin)
+  std::size_t acked_count_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+class ReceiverWindow {
+ public:
+  ReceiverWindow(std::uint32_t total_len, std::size_t payload_cap);
+
+  // An authenticated DATA segment arrived; idempotent for duplicates.
+  void on_data(const Segment& seg);
+  // `n` slots in the last inbound round failed parse/MAC — surface them to
+  // the sender as NAK feedback in the next ACK.
+  void note_garbled(std::size_t n);
+
+  // Build the current ACK (and clear the garbled counter it reports).
+  AckInfo make_ack();
+
+  bool complete() const { return received_count_ == segments_; }
+  std::size_t segments() const { return segments_; }
+  std::size_t received_count() const { return received_count_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+  // The assembled payload: exact when complete(); with holes, missing
+  // segments read as zero bytes (the partial-delivery report marks them).
+  std::vector<std::uint8_t> assemble() const;
+  bool has_segment(std::size_t idx) const { return have_.at(idx); }
+
+ private:
+  std::uint32_t total_len_;
+  std::size_t payload_cap_;
+  std::size_t segments_;
+  std::vector<std::uint8_t> data_;
+  std::vector<bool> have_;
+  std::size_t received_count_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::size_t pending_garbled_ = 0;
+};
+
+}  // namespace ragnar::covert::transport

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Self-contained deterministic crypto for the covert transport: a keyed
+// wide-state MAC and a stream cipher built on one 512-bit ARX permutation.
+// No external dependencies, no platform entropy, no wall clock — every
+// output is a pure function of (key, nonce, data), so transport runs are
+// reproducible bit for bit across platforms and --jobs values.
+//
+// Threat model (docs/COVERT.md): the adversary is the *fabric*, not a
+// cryptanalyst — FaultInjector burst corruption and framing residual
+// decode errors must be detected (authentication), and the payload must
+// not traverse the channel in the clear (confidentiality against a
+// passive observer of the demodulated bit stream).  The permutation is a
+// textbook 8x64-lane ARX sponge in the PetoronHash family of
+// dependency-free wide-state hashes; it is NOT a vetted cipher and makes
+// no claim against a real cryptanalytic adversary.
+namespace ragnar::covert::transport {
+
+// 128-bit symmetric key.  Covert endpoints share it out of band (threat
+// model: the two colluding parties met before deployment).
+struct Key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Key& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+// The 512-bit permutation state: 8 64-bit lanes, mixed by `kRounds`
+// ARX rounds (add / rotate / xor with lane crossing plus round constants).
+struct WideState {
+  static constexpr int kRounds = 8;
+  std::uint64_t lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  void permute();
+};
+
+// Keyed sponge MAC.  Rate = 4 lanes (32 bytes per block), capacity = 4
+// lanes carrying the key, so absorbed data can never collide the keyed
+// half directly.  `domain` separates uses (segment MAC vs key
+// derivation) so a tag from one context is useless in another.
+class WideMac {
+ public:
+  WideMac(const Key& key, std::uint64_t domain);
+
+  void absorb(const std::uint8_t* data, std::size_t n);
+  void absorb_u64(std::uint64_t v);
+
+  // Finalize and squeeze.  The object must not be reused afterwards.
+  std::uint32_t tag32();
+  std::uint64_t tag64();
+
+ private:
+  void absorb_block();
+  void finalize();
+
+  WideState st_;
+  std::uint8_t buf_[32];
+  std::size_t fill_ = 0;
+  std::uint64_t absorbed_ = 0;
+  bool finalized_ = false;
+};
+
+// One-line MAC over a byte range.
+std::uint32_t mac32(const Key& key, std::uint64_t domain,
+                    const std::uint8_t* data, std::size_t n);
+
+// Counter-mode stream cipher over the same permutation: keystream block i
+// is the rate half of permute(key, nonce, i).  Encryption == decryption
+// (XOR).  A (key, nonce) pair must never key two different plaintexts;
+// the transport derives the nonce from (segment kind, session, seq), and
+// retransmissions carry the identical plaintext, so the rule holds.
+class StreamCipher {
+ public:
+  StreamCipher(const Key& key, std::uint64_t nonce);
+
+  // XOR the keystream into `data` in place.
+  void apply(std::uint8_t* data, std::size_t n);
+
+ private:
+  void refill();
+
+  Key key_;
+  std::uint64_t nonce_;
+  std::uint64_t counter_ = 0;
+  std::uint8_t block_[32];
+  std::size_t used_ = 32;  // force refill on first use
+};
+
+// Per-session subkey: both endpoints derive it from the shared master key
+// and the session id negotiated in the handshake, so segment MACs and
+// keystreams differ across sessions even for identical payloads.
+Key derive_session_key(const Key& master, std::uint8_t session_id);
+
+}  // namespace ragnar::covert::transport

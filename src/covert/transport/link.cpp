@@ -1,0 +1,89 @@
+#include "covert/transport/link.hpp"
+
+#include <algorithm>
+
+namespace ragnar::covert::transport {
+
+FramedChannelLink::FramedChannelLink(TransmitFn transmit,
+                                     const FrameConfig& frame)
+    : transmit_(std::move(transmit)), frame_(frame) {}
+
+LinkRun FramedChannelLink::send(const std::vector<int>& bits) {
+  LinkRun out;
+  if (bits.empty()) return out;
+  const FramedRun run = transmit_framed(transmit_, bits, frame_);
+  out.bits = run.data_recovered;
+  out.elapsed = run.raw.elapsed;
+  codewords_corrected_ += run.codewords_corrected;
+  for (std::size_t s = 0; s < run.segment_health.size(); ++s) {
+    if (run.segment_suspect(s)) ++out.suspect_segments;
+  }
+  segments_suspect_ += out.suspect_segments;
+  return out;
+}
+
+ModeledFeedbackLink::ModeledFeedbackLink(Clock& clock, const Config& cfg)
+    : clock_(clock), cfg_(cfg), rng_(cfg.seed) {}
+
+LinkRun ModeledFeedbackLink::send(const std::vector<int>& bits) {
+  LinkRun out;
+  const sim::SimTime start = clock_.now();
+  out.elapsed = cfg_.bit_period * bits.size();
+  const sim::SimTime end = start + out.elapsed;
+  clock_.advance_to(end);
+  ++sends_;
+  bool dead = false;
+  for (const faults::LinkFlap& flap : cfg_.flaps) {
+    if (start < flap.end && end > flap.start) {
+      dead = true;
+      break;
+    }
+  }
+  if (!dead && cfg_.loss_p > 0 && rng_.uniform() < cfg_.loss_p) dead = true;
+  if (dead) {
+    ++lost_;
+    return out;  // whole send lost: empty bits
+  }
+  out.bits = bits;
+  return out;
+}
+
+ScriptedLink::ScriptedLink(Clock& clock, sim::SimDur bit_period, Script script,
+                           std::uint64_t corrupt_seed)
+    : clock_(clock),
+      bit_period_(bit_period),
+      script_(std::move(script)),
+      rng_(corrupt_seed) {}
+
+LinkRun ScriptedLink::send(const std::vector<int>& bits) {
+  LinkRun out;
+  const sim::SimTime start = clock_.now();
+  out.elapsed = bit_period_ * bits.size();
+  clock_.advance_to(start + out.elapsed);
+  const Verdict v = script_ ? script_(calls_, start) : Verdict::kDeliver;
+  ++calls_;
+  switch (v) {
+    case Verdict::kDrop:
+      ++out.suspect_segments;
+      return out;
+    case Verdict::kCorrupt: {
+      out.bits = bits;
+      // Flip ~1/8 of the bits, at least 8, spread pseudo-randomly.
+      const std::size_t flips =
+          std::max<std::size_t>(8, out.bits.size() / 8);
+      for (std::size_t i = 0; i < flips && !out.bits.empty(); ++i) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng_.uniform_u64(out.bits.size()));
+        out.bits[at] ^= 1;
+      }
+      ++out.suspect_segments;
+      return out;
+    }
+    case Verdict::kDeliver:
+      break;
+  }
+  out.bits = bits;
+  return out;
+}
+
+}  // namespace ragnar::covert::transport

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "covert/common.hpp"
+#include "covert/framing.hpp"
+#include "faults/faults.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+// The channel abstraction the covert transport runs over: one-way,
+// bit-oriented, lossy links sharing one simulated clock.
+//
+//   FramedChannelLink   the data direction — covert::transmit_framed over a
+//                       real covert channel (ULI / priority / cloud), so the
+//                       bits ride the fault fabric and come back with the
+//                       framing layer's per-segment health feedback.
+//   ModeledFeedbackLink the ACK direction — a low-rate covert feedback path
+//                       modeled directly (serialization delay + Bernoulli
+//                       loss + the fault plan's flap windows), sharing the
+//                       forward testbed's scheduler so one timeline orders
+//                       both directions.
+//   ScriptedLink        deterministic per-send verdicts for ARQ edge-case
+//                       tests (drop round N, corrupt round M, flap window)
+//                       without running a fabric simulation.
+namespace ragnar::covert::transport {
+
+// The transport's time source.  Covert endpoints cannot timestamp against
+// each other's clocks; they share the simulation's.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual sim::SimTime now() const = 0;
+  // Advance to `t` (no-op when t <= now).  Implementations draining a
+  // scheduler run pending events up to t on the way.
+  virtual void advance_to(sim::SimTime t) = 0;
+};
+
+// Standalone clock for unit tests and modeled links.
+class VirtualClock final : public Clock {
+ public:
+  sim::SimTime now() const override { return t_; }
+  void advance_to(sim::SimTime t) override { t_ = std::max(t_, t); }
+
+ private:
+  sim::SimTime t_ = 0;
+};
+
+// Clock view of a live sim::Scheduler (the covert channel's testbed).
+class SchedulerClock final : public Clock {
+ public:
+  explicit SchedulerClock(sim::Scheduler& sched) : sched_(sched) {}
+  sim::SimTime now() const override { return sched_.now(); }
+  void advance_to(sim::SimTime t) override {
+    if (t > sched_.now()) sched_.run_until(t);
+  }
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+// Result of pushing one bit vector through a link.
+struct LinkRun {
+  std::vector<int> bits;        // what the far side demodulated (may be
+                                // empty: the whole send was lost)
+  sim::SimDur elapsed = 0;      // wire time the send occupied
+  std::size_t suspect_segments = 0;  // framing segments flagged unhealthy
+};
+
+class BitLink {
+ public:
+  virtual ~BitLink() = default;
+  // Transmit `bits` and return what the receiver recovered.  Sending
+  // advances the shared clock by the link's serialization time.
+  virtual LinkRun send(const std::vector<int>& bits) = 0;
+};
+
+// Data direction: frame `bits` (resync preamble + interleaved Hamming) and
+// push them through a covert channel exposed as a transmit callable —
+// the same shape covert::transmit_framed consumes, so any in-tree channel
+// plugs in.  The underlying channel run advances its own scheduler; pair
+// with a SchedulerClock over the same testbed.
+class FramedChannelLink final : public BitLink {
+ public:
+  using TransmitFn = std::function<ChannelRun(const std::vector<int>&)>;
+
+  FramedChannelLink(TransmitFn transmit, const FrameConfig& frame);
+
+  LinkRun send(const std::vector<int>& bits) override;
+
+  // Framing-layer accounting across every send (resync fallbacks, ECC
+  // corrections) — the transport surfaces these in its report.
+  std::uint64_t codewords_corrected() const { return codewords_corrected_; }
+  std::uint64_t segments_suspect() const { return segments_suspect_; }
+
+ private:
+  TransmitFn transmit_;
+  FrameConfig frame_;
+  std::uint64_t codewords_corrected_ = 0;
+  std::uint64_t segments_suspect_ = 0;
+};
+
+// ACK direction: an explicitly modeled low-rate feedback path.  Sends
+// serialize at `bit_period` per bit on the shared clock; a send is lost
+// whole either by Bernoulli loss (its own seeded stream — deterministic)
+// or when its wire time overlaps one of the fault plan's flap windows
+// (the feedback path crosses the same flapping fabric as the data path).
+class ModeledFeedbackLink final : public BitLink {
+ public:
+  struct Config {
+    sim::SimDur bit_period = sim::us(30);
+    double loss_p = 0;
+    std::uint64_t seed = 1;
+    std::vector<faults::LinkFlap> flaps;
+  };
+
+  ModeledFeedbackLink(Clock& clock, const Config& cfg);
+
+  LinkRun send(const std::vector<int>& bits) override;
+
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t lost() const { return lost_; }
+
+ private:
+  Clock& clock_;
+  Config cfg_;
+  sim::Xoshiro256 rng_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+// Test link: a scripted verdict per send.  kCorrupt flips a deterministic
+// pseudo-random subset of bits (enough to defeat any 32-bit MAC check with
+// overwhelming probability while keeping slot alignment intact).
+class ScriptedLink final : public BitLink {
+ public:
+  enum class Verdict : std::uint8_t { kDeliver, kDrop, kCorrupt };
+  // Called once per send with (call index, send start time).
+  using Script = std::function<Verdict(std::size_t, sim::SimTime)>;
+
+  ScriptedLink(Clock& clock, sim::SimDur bit_period, Script script,
+               std::uint64_t corrupt_seed = 0x5eed);
+
+  LinkRun send(const std::vector<int>& bits) override;
+
+  std::size_t calls() const { return calls_; }
+
+ private:
+  Clock& clock_;
+  sim::SimDur bit_period_;
+  Script script_;
+  sim::Xoshiro256 rng_;
+  std::size_t calls_ = 0;
+};
+
+}  // namespace ragnar::covert::transport

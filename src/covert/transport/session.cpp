@@ -1,0 +1,293 @@
+#include "covert/transport/session.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <memory>
+
+namespace ragnar::covert::transport {
+
+namespace {
+
+// Capped exponential backoff shared by the handshake and FIN exchanges
+// (data segments back off per-segment inside SenderWindow).
+sim::SimDur control_rto(const ArqConfig& arq, std::size_t attempt) {
+  sim::SimDur rto = arq.rto_initial;
+  for (std::size_t i = 0; i < attempt && rto < arq.rto_max; ++i) rto <<= 1;
+  return std::min(rto, arq.rto_max);
+}
+
+}  // namespace
+
+const char* TransferReport::outcome_name() const {
+  switch (outcome) {
+    case TransferOutcome::kComplete:
+      return "complete";
+    case TransferOutcome::kHandshakeDead:
+      return "handshake-dead";
+    case TransferOutcome::kRetryExhausted:
+      return "retry-exhausted";
+    case TransferOutcome::kRoundCapHit:
+      return "round-cap";
+  }
+  return "?";
+}
+
+void TransferReport::print_contract_line(std::FILE* out,
+                                         const char* label) const {
+  if (complete()) {
+    std::fprintf(out,
+                 "%s: delivered=%zu/%zu bytes segs=%zu/%zu auth=%s "
+                 "retx=%" PRIu64 " rounds=%" PRIu64 " acks=%" PRIu64
+                 "/%" PRIu64 " dup=%" PRIu64 " fin=%s\n",
+                 label, delivered_bytes, payload_bytes, segments_delivered,
+                 segments_total, byte_exact ? "AUTH-OK" : "AUTH-FAIL",
+                 retransmits, rounds, acks_sent - acks_lost, acks_sent,
+                 duplicates, fin_acked ? "acked" : "open");
+    return;
+  }
+  std::fprintf(out,
+               "%s: PARTIAL-DELIVERY (%s) delivered=%zu/%zu bytes "
+               "segs=%zu/%zu missing=%zu retx=%" PRIu64 " rounds=%" PRIu64
+               " auth_rejects=%" PRIu64 "\n",
+               label, outcome_name(), delivered_bytes, payload_bytes,
+               segments_delivered, segments_total, missing.size(), retransmits,
+               rounds, auth_rejects);
+}
+
+CovertTransport::CovertTransport(BitLink& data, BitLink& feedback,
+                                 Clock& clock, const Key& master,
+                                 const TransportConfig& cfg)
+    : data_(data), feedback_(feedback), clock_(clock), master_(master),
+      cfg_(cfg) {}
+
+TransferReport CovertTransport::transfer(
+    const std::vector<std::uint8_t>& payload, std::uint8_t session_id) {
+  TransferReport rep;
+  rep.payload_bytes = payload.size();
+  rep.started = clock_.now();
+  const std::size_t cap = std::max<std::size_t>(1, cfg_.wire.payload_cap);
+  rep.segments_total = (payload.size() + cap - 1) / cap;
+
+  // Receiver-side session state; opened when an authenticated HELLO lands.
+  std::unique_ptr<ReceiverWindow> rx;
+  const auto open_rx = [&](std::uint32_t total_len) {
+    if (!rx) rx = std::make_unique<ReceiverWindow>(total_len, cap);
+  };
+
+  // Process one inbound (receiver-side) run: authenticate slots, absorb
+  // DATA, open the session on HELLO, and remember garbled slots for NAK.
+  // Returns the control kinds observed so the caller can drive handshake /
+  // FIN state.
+  struct Inbound {
+    bool saw_hello = false;
+    bool saw_fin = false;
+    std::size_t data_segs = 0;
+    std::size_t garbled = 0;  // slots the receiver noticed but rejected
+  };
+  const auto absorb_forward = [&](const LinkRun& run) {
+    Inbound in;
+    const DecodedSlots dec = decode_slots(run.bits, master_, cfg_.wire);
+    rep.garbled_slots += dec.garbled;
+    rep.auth_rejects += dec.auth_rejects;
+    std::size_t garbled = dec.garbled;
+    // Framing-layer erasures (whole suspect segments) also count as NAK
+    // evidence even when the slot parse happens to fail at the magic check.
+    garbled = std::max(garbled, run.suspect_segments);
+    for (const Segment& seg : dec.accepted) {
+      if (seg.session != session_id) {
+        ++rep.garbled_slots;  // stray session: treat as noise
+        continue;
+      }
+      switch (seg.kind) {
+        case SegKind::kHello: {
+          std::uint32_t total_len = 0;
+          if (parse_hello(seg, &total_len)) {
+            open_rx(total_len);
+            in.saw_hello = true;
+          }
+          break;
+        }
+        case SegKind::kData:
+          if (rx) {
+            const std::uint64_t before = rx->duplicates();
+            rx->on_data(seg);
+            rep.duplicates += rx->duplicates() - before;
+            ++in.data_segs;
+          }
+          break;
+        case SegKind::kFin:
+          in.saw_fin = true;
+          break;
+        default:
+          break;  // sender-direction kinds never ride the forward link
+      }
+    }
+    if (rx && garbled > 0) rx->note_garbled(garbled);
+    in.garbled = garbled;
+    return in;
+  };
+
+  // Push one receiver->sender segment through the feedback link and hand
+  // back whatever the sender authenticated (empty on loss/corruption).
+  const auto send_feedback = [&](const Segment& seg) {
+    const LinkRun run = feedback_.send(encode_slots({seg}, master_, cfg_.wire));
+    DecodedSlots dec = decode_slots(run.bits, master_, cfg_.wire);
+    std::vector<Segment> ok;
+    for (Segment& s : dec.accepted) {
+      if (s.session == session_id) ok.push_back(std::move(s));
+    }
+    return ok;
+  };
+
+  const auto finish = [&](TransferOutcome outcome) {
+    rep.outcome = outcome;
+    rep.finished = clock_.now();
+    if (rx) {
+      rep.received = rx->assemble();
+      rep.delivered_bytes = rx->delivered_bytes();
+      rep.segments_delivered = rx->received_count();
+      for (std::size_t s = 0; s < rx->segments(); ++s) {
+        if (!rx->has_segment(s)) {
+          rep.missing.push_back(static_cast<std::uint16_t>(s));
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < rep.segments_total; ++s) {
+        rep.missing.push_back(static_cast<std::uint16_t>(s));
+      }
+    }
+    rep.byte_exact = rep.outcome == TransferOutcome::kComplete &&
+                     rep.received == payload;
+    return rep;
+  };
+
+  // --- Handshake: HELLO -> HELLO-ACK, bounded retries with backoff. ------
+  bool established = false;
+  for (std::size_t attempt = 0;
+       attempt <= cfg_.handshake_retries && rep.rounds < cfg_.max_rounds;
+       ++attempt) {
+    ++rep.rounds;
+    ++rep.handshake_sends;
+    const Segment hello =
+        make_hello(session_id, static_cast<std::uint32_t>(payload.size()));
+    const Inbound in =
+        absorb_forward(data_.send(encode_slots({hello}, master_, cfg_.wire)));
+    if (in.saw_hello) {
+      ++rep.acks_sent;
+      const std::vector<Segment> back =
+          send_feedback(make_control(SegKind::kHelloAck, session_id, 0));
+      bool acked = false;
+      for (const Segment& s : back) {
+        if (s.kind == SegKind::kHelloAck) acked = true;
+      }
+      if (acked) {
+        established = true;
+        break;
+      }
+      ++rep.acks_lost;
+    }
+    if (attempt < cfg_.handshake_retries) {
+      clock_.advance_to(clock_.now() + control_rto(cfg_.arq, attempt));
+    }
+  }
+  if (!established) return finish(TransferOutcome::kHandshakeDead);
+
+  // --- Data: sliding-window rounds until complete, dead, or capped. ------
+  if (rep.segments_total > 0) {
+    SenderWindow tx(rep.segments_total, cfg_.arq);
+    while (!tx.all_acked()) {
+      if (tx.exhausted()) {
+        rep.retransmits = tx.retransmits();
+        return finish(TransferOutcome::kRetryExhausted);
+      }
+      if (rep.rounds >= cfg_.max_rounds) {
+        rep.retransmits = tx.retransmits();
+        return finish(TransferOutcome::kRoundCapHit);
+      }
+      const std::vector<std::uint16_t> eligible = tx.collect(clock_.now());
+      if (eligible.empty()) {
+        const sim::SimTime t = tx.next_timer();
+        if (t == kNoTimer) {
+          // Nothing eligible and no timer: every pending segment is out of
+          // budget without having tripped the window check yet.
+          rep.retransmits = tx.retransmits();
+          return finish(TransferOutcome::kRetryExhausted);
+        }
+        ++rep.rounds;
+        clock_.advance_to(t);
+        continue;
+      }
+      ++rep.rounds;
+      std::vector<Segment> batch;
+      batch.reserve(eligible.size());
+      for (const std::uint16_t seq : eligible) {
+        Segment seg;
+        seg.kind = SegKind::kData;
+        seg.session = session_id;
+        seg.seq = seq;
+        const std::size_t off = static_cast<std::size_t>(seq) * cap;
+        const std::size_t len = std::min(cap, payload.size() - off);
+        seg.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                           payload.begin() +
+                               static_cast<std::ptrdiff_t>(off + len));
+        batch.push_back(std::move(seg));
+      }
+      const Inbound in =
+          absorb_forward(data_.send(encode_slots(batch, master_, cfg_.wire)));
+      const sim::SimTime sent_at = clock_.now();
+      for (const std::uint16_t seq : eligible) tx.on_sent(seq, sent_at);
+      if (!rx) continue;  // cannot happen post-handshake; defensive
+      if (in.data_segs == 0 && in.garbled == 0) {
+        // The whole burst vanished silently (flap / total outage): the
+        // receiver saw nothing, so no ACK rides back — the sender waits
+        // out the retransmission timers exactly like a real dead period.
+        continue;
+      }
+      ++rep.acks_sent;
+      const std::vector<Segment> back =
+          send_feedback(make_ack(session_id, rx->make_ack()));
+      bool applied = false;
+      for (const Segment& s : back) {
+        AckInfo info;
+        if (parse_ack(s, &info)) {
+          tx.on_ack(info, clock_.now());
+          applied = true;
+        }
+      }
+      if (!applied) ++rep.acks_lost;
+    }
+    rep.retransmits = tx.retransmits();
+  }
+
+  // --- Close: FIN -> FIN-ACK.  Data is already safe; a dead close only
+  // leaves fin_acked=false on an otherwise complete transfer. -------------
+  for (std::size_t attempt = 0;
+       attempt <= cfg_.handshake_retries && rep.rounds < cfg_.max_rounds;
+       ++attempt) {
+    ++rep.rounds;
+    const Segment fin = make_control(SegKind::kFin, session_id, 0);
+    const Inbound in =
+        absorb_forward(data_.send(encode_slots({fin}, master_, cfg_.wire)));
+    if (in.saw_fin) {
+      ++rep.acks_sent;
+      const std::vector<Segment> back =
+          send_feedback(make_control(SegKind::kFinAck, session_id, 0));
+      bool acked = false;
+      for (const Segment& s : back) {
+        if (s.kind == SegKind::kFinAck) acked = true;
+      }
+      if (acked) {
+        rep.fin_acked = true;
+        break;
+      }
+      ++rep.acks_lost;
+    }
+    if (attempt < cfg_.handshake_retries) {
+      clock_.advance_to(clock_.now() + control_rto(cfg_.arq, attempt));
+    }
+  }
+
+  return finish(TransferOutcome::kComplete);
+}
+
+}  // namespace ragnar::covert::transport

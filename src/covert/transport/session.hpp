@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "covert/transport/arq.hpp"
+#include "covert/transport/crypto.hpp"
+#include "covert/transport/link.hpp"
+#include "covert/transport/wire.hpp"
+
+// The session layer: end-to-end authenticated payload transfer over a pair
+// of lossy covert links.  One CovertTransport co-drives both endpoints the
+// way the in-tree channels co-drive their Tx/Rx actors:
+//
+//   handshake   HELLO {session, total_len} -> HELLO-ACK, retried with the
+//               same capped backoff as data; an unanswered handshake is a
+//               dead session (nothing delivered, report says so).
+//   transfer    sliding-window DATA bursts; each burst is one framed
+//               channel run.  The receiver authenticates every slot
+//               (encrypt-then-MAC) — FaultInjector corruption surfaces as
+//               an auth reject + NAK, never as silently wrong bytes — and
+//               answers with a selective ACK.  Lost ACKs cost a
+//               retransmission timeout; reordered/stale ACKs are
+//               regression-safe.
+//   degrade     a segment (or the handshake / FIN) that exhausts its retry
+//               budget kills the session deterministically: the transfer
+//               returns a partial-delivery report (delivered prefix, holes,
+//               retry accounting) instead of hanging on a dead fabric.
+//   close       FIN -> FIN-ACK, bounded retries; data is already safe when
+//               FIN retries exhaust, so that only degrades the close state.
+namespace ragnar::covert::transport {
+
+struct TransportConfig {
+  WireConfig wire;
+  ArqConfig arq;
+  std::size_t handshake_retries = 4;  // HELLO / FIN send budget
+  // Hard determinism guard: bound protocol rounds even under a pathological
+  // link model, so a misconfigured run can never spin forever.
+  std::size_t max_rounds = 4096;
+};
+
+// How a transfer ended.
+enum class TransferOutcome : std::uint8_t {
+  kComplete,          // every byte delivered and authenticated
+  kHandshakeDead,     // HELLO retries exhausted, nothing delivered
+  kRetryExhausted,    // a DATA segment spent its budget: partial delivery
+  kRoundCapHit,       // max_rounds guard tripped: partial delivery
+};
+
+struct TransferReport {
+  TransferOutcome outcome = TransferOutcome::kComplete;
+  bool fin_acked = false;
+  bool byte_exact = false;  // receiver buffer == sender payload
+
+  std::size_t payload_bytes = 0;    // what the sender was asked to move
+  std::size_t delivered_bytes = 0;  // authenticated bytes at the receiver
+  std::size_t segments_total = 0;
+  std::size_t segments_delivered = 0;
+  std::vector<std::uint8_t> received;  // receiver's buffer (holes zeroed)
+  std::vector<std::uint16_t> missing;  // undelivered segment seqs
+
+  std::uint64_t rounds = 0;           // protocol rounds driven
+  std::uint64_t retransmits = 0;      // DATA re-sends
+  std::uint64_t handshake_sends = 0;  // HELLO transmissions
+  std::uint64_t auth_rejects = 0;     // slots failing MAC at the receiver
+  std::uint64_t garbled_slots = 0;    // slots failing magic/parse or MAC
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_lost = 0;        // ACK rounds the sender never saw
+  std::uint64_t duplicates = 0;       // re-delivered segments (stale retx)
+
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+
+  bool complete() const { return outcome == TransferOutcome::kComplete; }
+  sim::SimDur elapsed() const { return finished - started; }
+  // Authenticated payload bits per second of simulated transfer time.
+  double goodput_bps() const {
+    return finished > started
+               ? static_cast<double>(delivered_bytes) * 8.0 /
+                     sim::to_sec(finished - started)
+               : 0.0;
+  }
+  const char* outcome_name() const;
+
+  // The deterministic one-line delivery contract used by scenarios and CI:
+  //   "delivered=48/48 bytes segs=6/6 auth=AUTH-OK retx=3 ..."   or
+  //   "PARTIAL-DELIVERY delivered=16/48 bytes segs=2/6 missing=4 ..."
+  void print_contract_line(std::FILE* out, const char* label) const;
+};
+
+class CovertTransport {
+ public:
+  // `data` carries payload toward the receiver; `feedback` carries ACKs
+  // back.  `clock` must be the timeline both links advance.
+  CovertTransport(BitLink& data, BitLink& feedback, Clock& clock,
+                  const Key& master, const TransportConfig& cfg);
+
+  // Move `payload` end to end under `session_id`.  Always returns — dead
+  // links degrade to a partial report, never a hang.
+  TransferReport transfer(const std::vector<std::uint8_t>& payload,
+                          std::uint8_t session_id);
+
+ private:
+  BitLink& data_;
+  BitLink& feedback_;
+  Clock& clock_;
+  Key master_;
+  TransportConfig cfg_;
+};
+
+}  // namespace ragnar::covert::transport

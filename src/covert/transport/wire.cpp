@@ -1,0 +1,153 @@
+#include "covert/transport/wire.hpp"
+
+#include <algorithm>
+
+namespace ragnar::covert::transport {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xc0;
+constexpr std::uint64_t kDomainSegMac = 0x5261676e61725347ULL;  // "RagnarSG"
+
+std::uint64_t seg_nonce(SegKind kind, std::uint8_t session, std::uint16_t seq) {
+  return (static_cast<std::uint64_t>(kind) << 32) |
+         (static_cast<std::uint64_t>(session) << 16) |
+         static_cast<std::uint64_t>(seq);
+}
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool valid_kind(std::uint8_t low) {
+  return low >= static_cast<std::uint8_t>(SegKind::kHello) &&
+         low <= static_cast<std::uint8_t>(SegKind::kFinAck);
+}
+
+}  // namespace
+
+Segment make_hello(std::uint8_t session, std::uint32_t total_len) {
+  Segment seg;
+  seg.kind = SegKind::kHello;
+  seg.session = session;
+  seg.payload.resize(4);
+  put_u32(seg.payload.data(), total_len);
+  return seg;
+}
+
+bool parse_hello(const Segment& seg, std::uint32_t* total_len) {
+  if (seg.kind != SegKind::kHello || seg.payload.size() < 4) return false;
+  *total_len = get_u32(seg.payload.data());
+  return true;
+}
+
+Segment make_ack(std::uint8_t session, const AckInfo& info) {
+  Segment seg;
+  seg.kind = SegKind::kAck;
+  seg.session = session;
+  seg.seq = info.cum_ack;
+  seg.payload.resize(3);
+  put_u16(seg.payload.data(), info.sack_bits);
+  seg.payload[2] = info.garbled;
+  return seg;
+}
+
+bool parse_ack(const Segment& seg, AckInfo* info) {
+  if (seg.kind != SegKind::kAck || seg.payload.size() < 3) return false;
+  info->cum_ack = seg.seq;
+  info->sack_bits = get_u16(seg.payload.data());
+  info->garbled = seg.payload[2];
+  return true;
+}
+
+Segment make_control(SegKind kind, std::uint8_t session, std::uint16_t seq) {
+  Segment seg;
+  seg.kind = kind;
+  seg.session = session;
+  seg.seq = seq;
+  return seg;
+}
+
+std::vector<int> encode_slots(const std::vector<Segment>& segs,
+                              const Key& master, const WireConfig& cfg) {
+  const std::size_t slot = cfg.slot_bytes();
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(segs.size() * slot);
+  for (const Segment& seg : segs) {
+    std::vector<std::uint8_t> s(slot, 0);
+    s[0] = kMagic | static_cast<std::uint8_t>(seg.kind);
+    s[1] = seg.session;
+    put_u16(&s[2], seg.seq);
+    const std::size_t len = std::min(seg.payload.size(), cfg.payload_cap);
+    s[4] = static_cast<std::uint8_t>(len);
+    for (std::size_t i = 0; i < len; ++i) s[5 + i] = seg.payload[i];
+    const Key sk = derive_session_key(master, seg.session);
+    StreamCipher cipher(sk, seg_nonce(seg.kind, seg.session, seg.seq));
+    cipher.apply(&s[5], cfg.payload_cap);
+    put_u32(&s[5 + cfg.payload_cap],
+            mac32(sk, kDomainSegMac, s.data(), 5 + cfg.payload_cap));
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  }
+  std::vector<int> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back((b >> i) & 1);
+  }
+  return bits;
+}
+
+DecodedSlots decode_slots(const std::vector<int>& bits, const Key& master,
+                          const WireConfig& cfg) {
+  DecodedSlots out;
+  const std::size_t slot_bits = cfg.slot_bits();
+  const std::size_t nslots = bits.size() / slot_bits;
+  out.truncated = bits.size() - nslots * slot_bits;
+  for (std::size_t n = 0; n < nslots; ++n) {
+    std::vector<std::uint8_t> s(cfg.slot_bytes(), 0);
+    for (std::size_t i = 0; i < slot_bits; ++i) {
+      s[i / 8] = static_cast<std::uint8_t>(
+          (s[i / 8] << 1) | (bits[n * slot_bits + i] != 0 ? 1 : 0));
+    }
+    const std::uint8_t kind_byte = s[0];
+    if ((kind_byte & 0xf0) != kMagic || !valid_kind(kind_byte & 0x0f)) {
+      ++out.garbled;
+      continue;
+    }
+    Segment seg;
+    seg.kind = static_cast<SegKind>(kind_byte & 0x0f);
+    seg.session = s[1];
+    seg.seq = get_u16(&s[2]);
+    const Key sk = derive_session_key(master, seg.session);
+    const std::uint32_t want = get_u32(&s[5 + cfg.payload_cap]);
+    if (mac32(sk, kDomainSegMac, s.data(), 5 + cfg.payload_cap) != want) {
+      ++out.garbled;
+      ++out.auth_rejects;
+      continue;
+    }
+    // Authenticated: decrypt and trust the length field.
+    StreamCipher cipher(sk, seg_nonce(seg.kind, seg.session, seg.seq));
+    cipher.apply(&s[5], cfg.payload_cap);
+    const std::size_t len = std::min<std::size_t>(s[4], cfg.payload_cap);
+    seg.payload.assign(s.begin() + 5,
+                       s.begin() + 5 + static_cast<std::ptrdiff_t>(len));
+    out.accepted.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace ragnar::covert::transport

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "covert/transport/crypto.hpp"
+
+// Segment wire format for the covert transport.  Every segment occupies one
+// fixed-size *slot* so the receiver can parse a demodulated bit stream
+// without trusting any length field inside it: slot boundaries are implied
+// by position, and a slot whose MAC fails verification is reported as
+// garbled instead of being decoded.
+//
+// Slot layout (bytes, little-endian multi-byte fields):
+//
+//   [0]    kind      high nibble 0xC magic | SegKind low nibble
+//   [1]    session   session id (keys the per-session subkey)
+//   [2:3]  seq       sequence number (DATA) / echo field (control)
+//   [4]    len       payload bytes used, <= payload_cap
+//   [5:5+cap)        payload, zero-padded to payload_cap, stream-encrypted
+//   [5+cap:5+cap+4)  mac32 over bytes [0, 5+cap) (encrypt-then-MAC),
+//                    keyed by the per-session subkey
+//
+// The payload keystream nonce is (kind, session, seq), so a retransmitted
+// segment re-encrypts to the identical ciphertext (deterministic replay)
+// while two different segments never share keystream.
+namespace ragnar::covert::transport {
+
+enum class SegKind : std::uint8_t {
+  kHello = 1,     // sender -> receiver: open session, payload = total_len
+  kHelloAck = 2,  // receiver -> sender: session accepted
+  kData = 3,      // payload bytes at offset seq * payload_cap
+  kAck = 4,       // receiver -> sender: cumulative + selective ack + NAK
+  kFin = 5,       // sender -> receiver: all data acked, close
+  kFinAck = 6,    // receiver -> sender: close confirmed
+};
+
+struct WireConfig {
+  std::size_t payload_cap = 8;  // payload bytes per slot
+
+  std::size_t slot_bytes() const { return 5 + payload_cap + 4; }
+  std::size_t slot_bits() const { return slot_bytes() * 8; }
+};
+
+struct Segment {
+  SegKind kind = SegKind::kData;
+  std::uint8_t session = 0;
+  std::uint16_t seq = 0;
+  std::vector<std::uint8_t> payload;  // <= payload_cap bytes
+};
+
+// Selective-acknowledgement state carried by a kAck segment:
+//   cum_ack      next in-order sequence number the receiver expects
+//                (everything below it is delivered);
+//   sack_bits    bit i set = segment cum_ack + 1 + i received out of order;
+//   garbled      slots in the acked round that failed parse/MAC — the
+//                segment-level erasure/NAK feedback that lets the sender
+//                fast-retransmit instead of waiting out the RTO.
+struct AckInfo {
+  std::uint16_t cum_ack = 0;
+  std::uint16_t sack_bits = 0;
+  std::uint8_t garbled = 0;
+};
+
+// Control-segment payload constructors / parsers.
+Segment make_hello(std::uint8_t session, std::uint32_t total_len);
+bool parse_hello(const Segment& seg, std::uint32_t* total_len);
+Segment make_ack(std::uint8_t session, const AckInfo& info);
+bool parse_ack(const Segment& seg, AckInfo* info);
+Segment make_control(SegKind kind, std::uint8_t session, std::uint16_t seq);
+
+// Serialize segments into consecutive slots and expand to wire bits
+// (MSB-first per byte).  Payloads are encrypted and MAC'd under the
+// session subkey derived from `master` and each segment's session id.
+std::vector<int> encode_slots(const std::vector<Segment>& segs,
+                              const Key& master, const WireConfig& cfg);
+
+struct DecodedSlots {
+  std::vector<Segment> accepted;  // authenticated, decrypted segments
+  std::size_t garbled = 0;        // slots failing magic/len/MAC checks
+  std::size_t auth_rejects = 0;   // subset of garbled: header parsed, MAC bad
+  std::size_t truncated = 0;      // trailing bits short of one slot
+};
+
+// Parse a demodulated bit stream back into segments.  Never throws; every
+// malformed slot lands in `garbled` (the transport's NAK feedback), and a
+// tail shorter than one slot is counted as truncated.
+DecodedSlots decode_slots(const std::vector<int>& bits, const Key& master,
+                          const WireConfig& cfg);
+
+}  // namespace ragnar::covert::transport

@@ -71,12 +71,24 @@ UliCovertChannel::UliCovertChannel(const UliChannelConfig& cfg)
            cfg.seed,
            /*clients=*/2 + (cfg.ambient_intensity > 0 ? cfg.ambient_clients
                                                       : 0)) {
+  // Fault campaign on the fabric under the channel; the default plan is
+  // disabled and arms nothing (fault-free runs stay byte-identical).
+  bed_.fabric().set_fault_plan(cfg_.fault_plan);
   // Tx = client 0, Rx = client 1; both talk to the same server device and
   // share the readable service region MR#0 (threat model, section V-A).
-  tx_conn_ = bed_.connect(0, /*qp_count=*/2, cfg_.tx_queue_depth, /*tc=*/0);
+  verbs::QpConfig tx_qp;
+  tx_qp.max_send_wr = cfg_.tx_queue_depth;
+  tx_qp.tc = 0;
+  tx_qp.timeout = cfg_.qp_timeout;
+  tx_qp.retry_cnt = cfg_.qp_retry_cnt;
+  tx_qp.rnr_retry = cfg_.qp_rnr_retry;
+  tx_conn_ = bed_.connect(0, /*qp_count=*/2, tx_qp);
   tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
   tx_mrs_.push_back(tx_conn_.server_pd->register_mr(2u << 20));
-  rx_conn_ = bed_.connect(1, /*qp_count=*/2, cfg_.rx_queue_depth, /*tc=*/1);
+  verbs::QpConfig rx_qp = tx_qp;
+  rx_qp.max_send_wr = cfg_.rx_queue_depth;
+  rx_qp.tc = 1;
+  rx_conn_ = bed_.connect(1, /*qp_count=*/2, rx_qp);
   rnic::Rnic& dev = bed_.server().device();
   rnic::RuntimeConfig rt = dev.runtime_config();
   rt.responder_noise = cfg_.responder_noise;
@@ -89,6 +101,13 @@ UliCovertChannel::UliCovertChannel(const UliChannelConfig& cfg)
       ambient_.push_back(std::make_unique<revng::AmbientFlow>(bed_, ac));
     }
   }
+}
+
+verbs::QpReliabilityStats UliCovertChannel::reliability_stats() const {
+  verbs::QpReliabilityStats total;
+  for (const auto& qp : tx_conn_.client_qps) total += qp->reliability();
+  for (const auto& qp : rx_conn_.client_qps) total += qp->reliability();
+  return total;
 }
 
 int UliCovertChannel::current_bit(sim::SimTime t) const {
@@ -137,13 +156,17 @@ bool UliCovertChannel::rx_post_one() {
 
 sim::Task UliCovertChannel::tx_actor() {
   auto& sched = bed_.sched();
+  // Capture this run's horizon: a later transmit() raises t_end_, and an
+  // actor left parked on a dead CQ from an earlier run must not revive
+  // into the new frame.
+  const sim::SimTime t_end = t_end_;
   while (tx_post_one()) {
   }
   verbs::Wc wc;
-  while (sched.now() < t_end_) {
+  while (sched.now() < t_end) {
     co_await tx_conn_.cq().wait(1);
     while (tx_conn_.cq().poll_one(&wc)) {
-      if (sched.now() < t_end_) tx_post_one();
+      if (sched.now() < t_end) tx_post_one();
     }
   }
   tx_done_ = true;
@@ -151,23 +174,40 @@ sim::Task UliCovertChannel::tx_actor() {
 
 sim::Task UliCovertChannel::rx_actor() {
   auto& sched = bed_.sched();
+  const sim::SimTime t_end = t_end_;
   while (rx_post_one()) {
   }
   verbs::Wc wc;
-  while (sched.now() < t_end_) {
+  while (sched.now() < t_end) {
     co_await rx_conn_.cq().wait(1);
     while (rx_conn_.cq().poll_one(&wc)) {
       if (wc.status == rnic::WcStatus::kSuccess) {
         rx_trace_.add(wc.completed_at, wc.uli_ns());
         rx_samples_.push_back({wc.posted_at, wc.completed_at, wc.uli_ns()});
       }
-      if (sched.now() < t_end_) rx_post_one();
+      if (sched.now() < t_end) rx_post_one();
     }
   }
   rx_done_ = true;
 }
 
 ChannelRun UliCovertChannel::transmit(const std::vector<int>& payload) {
+  // A frame that starts from a cold probe pipeline (the scheduler advanced
+  // past the previous frame's end while the channel sat idle) decodes with
+  // smeared window means, and the phase search — fed a pure alternating
+  // calibration prefix — can lock a full bit window off.  A frame that
+  // immediately follows another frame is clean, so re-warm with a
+  // throwaway frame and transmit the real one back-to-back.
+  if (cfg_.warmup_bits > 0 && t_end_ > 0 && bed_.sched().now() > t_end_) {
+    std::vector<int> warmup(cfg_.warmup_bits);
+    for (std::size_t i = 0; i < warmup.size(); ++i)
+      warmup[i] = static_cast<int>(i & 1);
+    transmit_frame(warmup);
+  }
+  return transmit_frame(payload);
+}
+
+ChannelRun UliCovertChannel::transmit_frame(const std::vector<int>& payload) {
   // Known alternating calibration prefix, then the payload.
   std::vector<int> calibration(cfg_.calibration_bits);
   for (std::size_t i = 0; i < calibration.size(); ++i)

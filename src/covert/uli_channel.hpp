@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "covert/common.hpp"
+#include "faults/faults.hpp"
 #include "obs/metrics.hpp"
 #include "revng/ambient.hpp"
 #include "revng/testbed.hpp"
@@ -74,6 +75,25 @@ struct UliChannelConfig {
   // set.  Used by the model-feature ablations.
   std::optional<rnic::DeviceProfile> profile_override;
 
+  // Fault injection on the underlying fabric.  The default (disabled) plan
+  // arms nothing, so fault-free runs stay byte-identical.
+  faults::FaultPlan fault_plan;
+  // QP reliability for the covert flows when the fabric is lossy: a nonzero
+  // timeout arms the transport retry timer so dropped READs are
+  // retransmitted instead of silently stranding their WQE slots.
+  sim::SimDur qp_timeout = 0;
+  std::uint8_t qp_retry_cnt = 7;
+  std::uint8_t qp_rnr_retry = 0;
+
+  // Re-synchronization warm-up: when the scheduler has advanced past the
+  // end of the previous frame (the channel sat idle — e.g. a transport
+  // layer exchanged ACKs in between), transmit a throwaway frame of this
+  // many bits first and discard it.  A run that starts from a cold probe
+  // pipeline produces smeared window means and the phase search can lock a
+  // full bit window off; a run that immediately follows another run is
+  // clean.  0 disables (default: single-shot scenarios never idle).
+  std::size_t warmup_bits = 0;
+
   // Populate the per-device best-parameter combinations from the paper's
   // footnotes (sizes, queue depths, offsets, bit periods).
   static UliChannelConfig best_for(rnic::DeviceModel model,
@@ -85,7 +105,9 @@ class UliCovertChannel {
   explicit UliCovertChannel(const UliChannelConfig& cfg);
 
   // Transmit `payload` (calibration prefix is prepended internally); runs
-  // the simulation to completion and returns the decoded result.
+  // the simulation to completion and returns the decoded result.  When
+  // `warmup_bits` is set and the channel sat idle since the previous frame,
+  // a throwaway warm-up frame is transmitted (and discarded) first.
   ChannelRun transmit(const std::vector<int>& payload);
 
   // Introspection for experiments that watch the channel from outside
@@ -100,7 +122,13 @@ class UliCovertChannel {
   // Bit-window means of the last run, calibration included.
   const std::vector<double>& window_means() const { return window_means_; }
 
+  // Injected-fault accounting for the run so far (zero when no plan armed).
+  faults::FaultStats fault_stats() { return bed_.fabric().fault_stats(); }
+  // Aggregate retry/RNR accounting across the covert endpoints' QPs.
+  verbs::QpReliabilityStats reliability_stats() const;
+
  private:
+  ChannelRun transmit_frame(const std::vector<int>& payload);
   sim::Task tx_actor();
   sim::Task rx_actor();
   bool tx_post_one();

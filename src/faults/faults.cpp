@@ -1,7 +1,9 @@
 #include "faults/faults.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 
 namespace ragnar::faults {
 
@@ -33,7 +35,23 @@ FaultPlan FaultPlan::bursty_loss(double target_loss, sim::SimDur mean_burst,
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed) {}
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  // Legacy (src, dst) pair overrides predate the multi-hop topology: on a
+  // switched fabric one endpoint pair crosses several physical links, so a
+  // pair override is ambiguous about *which* link it models.  Note it once
+  // per process (trials run on worker threads; the flag keeps the note to
+  // a single line) and steer authors to LinkId-keyed overrides.
+  if (!plan_.link_overrides.empty()) {
+    static std::atomic_flag noted = ATOMIC_FLAG_INIT;
+    if (!noted.test_and_set(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[faults] note: FaultPlan::link_overrides (endpoint-pair "
+                   "keyed) is deprecated; prefer LinkId-keyed "
+                   "link_fault_overrides, which name a physical hop on the "
+                   "switched topology. (note shown once per run)\n");
+    }
+  }
+}
 
 bool FaultInjector::in_scope(rnic::NodeId requester) const {
   if (plan_.scoped_tenants.empty()) return true;

@@ -121,7 +121,9 @@ std::string SweepReport::write_csv(const std::string& dir,
   const std::vector<std::string> mcols = metric_columns();
   std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
   if (any_faults) {
-    std::fprintf(f, ",delivered,injected_drops,retransmits,rnr_retries");
+    std::fprintf(f,
+                 ",delivered,injected_drops,retransmits,rnr_retries"
+                 ",corrupted,flap_dropped,reordered,ge_steps,ge_bad_steps");
   }
   for (const auto& [k, v] : trials.front().record.fields()) {
     std::fprintf(f, ",%s", csv_escape(k).c_str());
@@ -132,9 +134,14 @@ std::string SweepReport::write_csv(const std::string& dir,
     std::fprintf(f, "%s,%zu,%" PRIu64 ",%.3f,%.0f", csv_escape(t.label).c_str(),
                  t.index, t.seed, t.wall_ms, sim::to_ns(t.sim_end));
     if (any_faults) {
-      std::fprintf(f, ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
+      std::fprintf(f,
+                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
                    t.faults.delivered, t.faults.injected_drops,
-                   t.faults.retransmits, t.faults.rnr_retries);
+                   t.faults.retransmits, t.faults.rnr_retries,
+                   t.faults.corrupted, t.faults.flap_dropped,
+                   t.faults.reordered, t.faults.ge_steps,
+                   t.faults.ge_bad_steps);
     }
     for (const auto& [k, v] : trials.front().record.fields()) {
       const std::string* mine = t.record.find(k);
@@ -164,9 +171,15 @@ void SweepReport::write_json(const std::string& path) const {
     if (t.faults_noted) {
       std::fprintf(f,
                    ", \"delivered\": %" PRIu64 ", \"injected_drops\": %" PRIu64
-                   ", \"retransmits\": %" PRIu64 ", \"rnr_retries\": %" PRIu64,
+                   ", \"retransmits\": %" PRIu64 ", \"rnr_retries\": %" PRIu64
+                   ", \"corrupted\": %" PRIu64 ", \"flap_dropped\": %" PRIu64
+                   ", \"reordered\": %" PRIu64 ", \"ge_steps\": %" PRIu64
+                   ", \"ge_bad_steps\": %" PRIu64,
                    t.faults.delivered, t.faults.injected_drops,
-                   t.faults.retransmits, t.faults.rnr_retries);
+                   t.faults.retransmits, t.faults.rnr_retries,
+                   t.faults.corrupted, t.faults.flap_dropped,
+                   t.faults.reordered, t.faults.ge_steps,
+                   t.faults.ge_bad_steps);
     }
     for (const auto& [k, v] : t.record.fields()) {
       std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),

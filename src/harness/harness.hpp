@@ -69,6 +69,12 @@ struct FaultAccounting {
   std::uint64_t injected_drops = 0;  // drops + corrupt-discards + flap losses
   std::uint64_t retransmits = 0;     // transport-timer re-posts by trial QPs
   std::uint64_t rnr_retries = 0;     // RNR backoff re-posts by trial QPs
+  // Campaign breakdown (all zero when the plan armed nothing of the kind).
+  std::uint64_t corrupted = 0;       // payload corruptions injected
+  std::uint64_t flap_dropped = 0;    // losses attributed to flap windows
+  std::uint64_t reordered = 0;       // deliveries the injector re-ordered
+  std::uint64_t ge_steps = 0;        // Gilbert-Elliott chain steps taken
+  std::uint64_t ge_bad_steps = 0;    // ... of which in the bad state
 };
 
 // Handed to each trial closure.

@@ -1,0 +1,490 @@
+// Unit tests for the covert transport stack: crypto tamper detection, the
+// fixed-slot wire format, the selective-ACK ARQ edge cases (retry
+// exhaustion, reordered/stale ACKs, flap-spanning timeouts), the framing
+// layer's geometry validation and per-segment health, and the end-to-end
+// session over deterministic scripted links.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "covert/framing.hpp"
+#include "covert/transport/arq.hpp"
+#include "covert/transport/crypto.hpp"
+#include "covert/transport/link.hpp"
+#include "covert/transport/session.hpp"
+#include "covert/transport/wire.hpp"
+
+namespace ct = ragnar::covert::transport;
+using ragnar::covert::ChannelRun;
+using ragnar::covert::FrameConfig;
+using ragnar::covert::FramedRun;
+using ragnar::sim::ms;
+using ragnar::sim::us;
+
+namespace {
+
+const ct::Key kKey{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int b : v) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+std::vector<std::uint8_t> pattern_payload(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return p;
+}
+
+}  // namespace
+
+// --- crypto ---------------------------------------------------------------
+
+TEST(Crypto, MacIsDeterministicAndKeyed) {
+  const auto msg = pattern_payload(40);
+  const std::uint32_t a = ct::mac32(kKey, 1, msg.data(), msg.size());
+  const std::uint32_t b = ct::mac32(kKey, 1, msg.data(), msg.size());
+  EXPECT_EQ(a, b);
+  const ct::Key other{kKey.lo ^ 1, kKey.hi};
+  EXPECT_NE(a, ct::mac32(other, 1, msg.data(), msg.size()));
+  EXPECT_NE(a, ct::mac32(kKey, 2, msg.data(), msg.size()));
+}
+
+TEST(Crypto, MacDetectsEverySingleBitFlip) {
+  const auto msg = pattern_payload(24);
+  const std::uint32_t ref = ct::mac32(kKey, 7, msg.data(), msg.size());
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto tampered = msg;
+      tampered[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(ref, ct::mac32(kKey, 7, tampered.data(), tampered.size()))
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crypto, StreamCipherRoundTripsAndIsNonceSeparated) {
+  auto data = pattern_payload(32);
+  const auto orig = data;
+  ct::StreamCipher enc(kKey, 42);
+  enc.apply(data.data(), data.size());
+  EXPECT_NE(data, orig);  // keystream is not the zero string
+  ct::StreamCipher dec(kKey, 42);
+  dec.apply(data.data(), data.size());
+  EXPECT_EQ(data, orig);
+
+  auto other = orig;
+  ct::StreamCipher enc2(kKey, 43);
+  enc2.apply(other.data(), other.size());
+  ct::StreamCipher enc3(kKey, 42);
+  auto same_nonce = orig;
+  enc3.apply(same_nonce.data(), same_nonce.size());
+  EXPECT_NE(other, same_nonce);  // distinct nonces, distinct keystreams
+}
+
+TEST(Crypto, SessionKeysDifferPerSession) {
+  const ct::Key a = ct::derive_session_key(kKey, 1);
+  const ct::Key b = ct::derive_session_key(kKey, 2);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == kKey);
+  // Deterministic.
+  EXPECT_TRUE(a == ct::derive_session_key(kKey, 1));
+}
+
+// --- wire -----------------------------------------------------------------
+
+TEST(Wire, SlotsRoundTripThroughBits) {
+  ct::WireConfig cfg;
+  std::vector<ct::Segment> segs;
+  ct::Segment d;
+  d.kind = ct::SegKind::kData;
+  d.session = 9;
+  d.seq = 3;
+  d.payload = bytes_of({1, 2, 3, 4, 5});
+  segs.push_back(d);
+  segs.push_back(ct::make_hello(9, 1234));
+  ct::AckInfo ack;
+  ack.cum_ack = 7;
+  ack.sack_bits = 0b101;
+  ack.garbled = 2;
+  segs.push_back(ct::make_ack(9, ack));
+
+  const std::vector<int> bits = ct::encode_slots(segs, kKey, cfg);
+  EXPECT_EQ(bits.size(), segs.size() * cfg.slot_bits());
+  const ct::DecodedSlots dec = ct::decode_slots(bits, kKey, cfg);
+  EXPECT_EQ(dec.garbled, 0u);
+  EXPECT_EQ(dec.truncated, 0u);
+  ASSERT_EQ(dec.accepted.size(), 3u);
+  EXPECT_EQ(dec.accepted[0].kind, ct::SegKind::kData);
+  EXPECT_EQ(dec.accepted[0].seq, 3);
+  EXPECT_EQ(dec.accepted[0].payload, d.payload);
+  std::uint32_t total = 0;
+  EXPECT_TRUE(ct::parse_hello(dec.accepted[1], &total));
+  EXPECT_EQ(total, 1234u);
+  ct::AckInfo got;
+  EXPECT_TRUE(ct::parse_ack(dec.accepted[2], &got));
+  EXPECT_EQ(got.cum_ack, 7);
+  EXPECT_EQ(got.sack_bits, 0b101);
+  EXPECT_EQ(got.garbled, 2);
+}
+
+TEST(Wire, TamperedSlotIsRejectedNotMisdecoded) {
+  ct::WireConfig cfg;
+  ct::Segment d;
+  d.kind = ct::SegKind::kData;
+  d.session = 1;
+  d.seq = 0;
+  d.payload = pattern_payload(cfg.payload_cap);
+  std::vector<int> bits = ct::encode_slots({d}, kKey, cfg);
+  // Flip one payload bit on the wire: the header still parses, the MAC
+  // must catch it (FaultInjector corruption shows up exactly like this).
+  bits[(5 * 8) + 3] ^= 1;
+  const ct::DecodedSlots dec = ct::decode_slots(bits, kKey, cfg);
+  EXPECT_TRUE(dec.accepted.empty());
+  EXPECT_EQ(dec.garbled, 1u);
+  EXPECT_EQ(dec.auth_rejects, 1u);
+}
+
+TEST(Wire, WrongKeyRejectsEverything) {
+  ct::WireConfig cfg;
+  const std::vector<int> bits =
+      ct::encode_slots({ct::make_hello(1, 99)}, kKey, cfg);
+  const ct::Key wrong{kKey.lo, kKey.hi ^ 0xdeadULL};
+  const ct::DecodedSlots dec = ct::decode_slots(bits, wrong, cfg);
+  EXPECT_TRUE(dec.accepted.empty());
+  EXPECT_EQ(dec.garbled, 1u);
+}
+
+TEST(Wire, TruncatedTailIsCountedNotCrashed) {
+  ct::WireConfig cfg;
+  std::vector<int> bits = ct::encode_slots({ct::make_hello(1, 5)}, kKey, cfg);
+  bits.resize(bits.size() - 13);
+  const ct::DecodedSlots dec = ct::decode_slots(bits, kKey, cfg);
+  EXPECT_TRUE(dec.accepted.empty());
+  EXPECT_EQ(dec.truncated, cfg.slot_bits() - 13);
+}
+
+TEST(Wire, RetransmissionEncodesIdentically) {
+  ct::WireConfig cfg;
+  ct::Segment d;
+  d.kind = ct::SegKind::kData;
+  d.session = 5;
+  d.seq = 12;
+  d.payload = bytes_of({9, 8, 7});
+  EXPECT_EQ(ct::encode_slots({d}, kKey, cfg), ct::encode_slots({d}, kKey, cfg));
+}
+
+// --- ARQ ------------------------------------------------------------------
+
+TEST(Arq, ReorderedAndStaleAcksDoNotStallOrRegress) {
+  ct::ArqConfig cfg;
+  ct::SenderWindow w(6, cfg);
+  for (std::uint16_t s = 0; s < 4; ++s) w.on_sent(s, 0);
+
+  // The "newer" ACK arrives first: cum 3, SACK for seq 4 (not sent yet —
+  // must be ignored harmlessly beyond the state it names).
+  ct::AckInfo newer;
+  newer.cum_ack = 3;
+  w.on_ack(newer, ms(1));
+  EXPECT_TRUE(w.is_acked(0));
+  EXPECT_TRUE(w.is_acked(2));
+  EXPECT_FALSE(w.is_acked(3));
+
+  // Then the stale one (reordered delivery): cum 1.  Nothing un-acks.
+  ct::AckInfo stale;
+  stale.cum_ack = 1;
+  w.on_ack(stale, ms(2));
+  EXPECT_TRUE(w.is_acked(1));
+  EXPECT_TRUE(w.is_acked(2));
+  EXPECT_EQ(w.acked_count(), 3u);
+
+  // The window keeps moving: seq 3..5 are still collectable.
+  const auto eligible = w.collect(ms(2) + cfg.rto_initial);
+  ASSERT_FALSE(eligible.empty());
+  EXPECT_EQ(eligible.front(), 3);
+}
+
+TEST(Arq, DuplicateSackBitsAreIdempotent) {
+  ct::ArqConfig cfg;
+  ct::SenderWindow w(4, cfg);
+  for (std::uint16_t s = 0; s < 4; ++s) w.on_sent(s, 0);
+  ct::AckInfo a;
+  a.cum_ack = 0;
+  a.sack_bits = 0b11;  // seq 1 and 2
+  w.on_ack(a, 1);
+  w.on_ack(a, 2);
+  w.on_ack(a, 3);
+  EXPECT_EQ(w.acked_count(), 2u);
+  EXPECT_FALSE(w.is_acked(0));
+  EXPECT_FALSE(w.all_acked());
+}
+
+TEST(Arq, BackoffIsExponentialAndCapped) {
+  ct::ArqConfig cfg;
+  cfg.rto_initial = ms(10);
+  cfg.rto_max = ms(35);
+  ct::SenderWindow w(1, cfg);
+  w.on_sent(0, 0);
+  EXPECT_EQ(w.next_timer(), ms(10));  // 10 << 0
+  w.on_sent(0, ms(10));
+  EXPECT_EQ(w.next_timer(), ms(10) + ms(20));  // 10 << 1
+  w.on_sent(0, ms(30));
+  EXPECT_EQ(w.next_timer(), ms(30) + ms(35));  // capped
+  EXPECT_EQ(w.retransmits(), 2u);
+}
+
+TEST(Arq, RetryExhaustionIsDetectedNotLooped) {
+  ct::ArqConfig cfg;
+  cfg.max_retries = 2;
+  ct::SenderWindow w(2, cfg);
+  ragnar::sim::SimTime now = 0;
+  std::size_t sends = 0;
+  while (!w.exhausted() && sends < 100) {
+    for (const std::uint16_t s : w.collect(now)) {
+      w.on_sent(s, now);
+      ++sends;
+    }
+    const ragnar::sim::SimTime t = w.next_timer();
+    if (t == ct::kNoTimer) break;
+    now = t;
+  }
+  EXPECT_TRUE(w.exhausted());
+  // Budget: (max_retries + 1) sends per segment, never more.
+  EXPECT_EQ(sends, 2u * (cfg.max_retries + 1));
+}
+
+TEST(Arq, NakMakesInFlightEligibleWithoutConsumingRetries) {
+  ct::ArqConfig cfg;
+  ct::SenderWindow w(2, cfg);
+  w.on_sent(0, 0);
+  w.on_sent(1, 0);
+  EXPECT_TRUE(w.collect(1).empty());  // deadlines far away
+  ct::AckInfo nak;
+  nak.cum_ack = 0;
+  nak.garbled = 2;
+  w.on_ack(nak, 1);
+  const auto eligible = w.collect(1);
+  EXPECT_EQ(eligible.size(), 2u);  // fast retransmit now
+  EXPECT_EQ(w.sends_of(0), 1u);    // no retry consumed by the NAK itself
+}
+
+TEST(Arq, ReceiverAssemblesWithHolesAndCountsDuplicates) {
+  ct::ReceiverWindow r(/*total_len=*/20, /*payload_cap=*/8);
+  EXPECT_EQ(r.segments(), 3u);
+  ct::Segment s0;
+  s0.kind = ct::SegKind::kData;
+  s0.seq = 0;
+  s0.payload = pattern_payload(8);
+  ct::Segment s2 = s0;
+  s2.seq = 2;
+  s2.payload = bytes_of({1, 2, 3, 4});
+  r.on_data(s0);
+  r.on_data(s2);
+  r.on_data(s0);  // duplicate
+  EXPECT_EQ(r.duplicates(), 1u);
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.delivered_bytes(), 12u);
+  const auto ack = r.make_ack();
+  EXPECT_EQ(ack.cum_ack, 1);          // seq 0 delivered, 1 missing
+  EXPECT_EQ(ack.sack_bits, 0b1u);     // cum+1+0 == seq 2
+  const auto data = r.assemble();
+  ASSERT_EQ(data.size(), 20u);
+  EXPECT_EQ(data[0], pattern_payload(8)[0]);
+  EXPECT_EQ(data[8], 0);  // hole reads as zero
+  EXPECT_EQ(data[16], 1);
+}
+
+// --- framing geometry + health (satellite) --------------------------------
+
+TEST(Framing, MisalignedDepthIsCorrectedWithWarning) {
+  FrameConfig bad;
+  bad.segment_data_bits = 16;  // 4 codewords
+  bad.interleave_depth = 7;    // misaligned
+  EXPECT_FALSE(bad.aligned());
+  const FrameConfig fixed = ragnar::covert::validate_frame_config(bad);
+  EXPECT_TRUE(fixed.aligned());
+  EXPECT_EQ(fixed.interleave_depth, 4u);
+  // Aligned configs pass through untouched, including depth<=1.
+  EXPECT_EQ(ragnar::covert::validate_frame_config(FrameConfig{})
+                .interleave_depth,
+            FrameConfig{}.interleave_depth);
+  FrameConfig none;
+  none.interleave_depth = 1;
+  EXPECT_EQ(ragnar::covert::validate_frame_config(none).interleave_depth, 1u);
+}
+
+namespace {
+
+// Synthetic perfect channel: the receiver metric is exactly the sent bit
+// (1.0 / 0.0), with an optional outage window forced to mid-level.
+ChannelRun ideal_run(const std::vector<int>& bits, std::size_t outage_begin,
+                     std::size_t outage_end) {
+  ChannelRun run;
+  run.sent = bits;
+  run.elapsed = us(30) * bits.size();
+  run.rx_metric.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    double v = bits[i] ? 1.0 : 0.0;
+    if (i >= outage_begin && i < outage_end) v = 0.5;
+    run.rx_metric.push_back(v);
+  }
+  run.threshold = 0.5;
+  run.cal_separation = 1.0;
+  return run;
+}
+
+}  // namespace
+
+TEST(Framing, HealthySegmentsReportHealthy) {
+  std::vector<int> data(56);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = (i * 5 / 3) & 1;
+  const FramedRun run = ragnar::covert::transmit_framed(
+      [](const std::vector<int>& bits) { return ideal_run(bits, 0, 0); },
+      data);
+  EXPECT_EQ(run.data_recovered, data);
+  ASSERT_EQ(run.segment_health.size(), run.segments);
+  for (std::size_t s = 0; s < run.segments; ++s) {
+    EXPECT_FALSE(run.segment_suspect(s)) << s;
+    EXPECT_EQ(run.segment_health[s].erased_windows, 0u) << s;
+  }
+}
+
+TEST(Framing, BurstBeyondGuaranteeMarksSegmentSuspect) {
+  std::vector<int> data(56);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = (i * 7 / 5) & 1;
+  // Segment wire layout: 6 preamble + 49 coded bits = 55 per segment.
+  // Blank a run of windows longer than the interleave depth (7) inside
+  // segment 1's coded region.
+  const FramedRun run = ragnar::covert::transmit_framed(
+      [](const std::vector<int>& bits) { return ideal_run(bits, 65, 85); },
+      data);
+  ASSERT_EQ(run.segment_health.size(), 2u);
+  EXPECT_FALSE(run.segment_suspect(0));
+  EXPECT_TRUE(run.segment_suspect(1));
+  EXPECT_GT(run.segment_health[1].erased_windows, 7u);
+}
+
+// --- end-to-end session over scripted links -------------------------------
+
+namespace {
+
+struct SessionFixture {
+  ct::VirtualClock clock;
+  ct::TransportConfig cfg;
+
+  ct::TransferReport run(ct::ScriptedLink::Script fwd,
+                         ct::ScriptedLink::Script back,
+                         std::size_t payload_bytes = 40) {
+    ct::ScriptedLink data(clock, us(30), std::move(fwd));
+    ct::ScriptedLink feedback(clock, us(30), std::move(back));
+    ct::CovertTransport t(data, feedback, clock, kKey, cfg);
+    return t.transfer(pattern_payload(payload_bytes), /*session_id=*/7);
+  }
+};
+
+constexpr auto kDeliver = ct::ScriptedLink::Verdict::kDeliver;
+constexpr auto kDrop = ct::ScriptedLink::Verdict::kDrop;
+constexpr auto kCorrupt = ct::ScriptedLink::Verdict::kCorrupt;
+
+}  // namespace
+
+TEST(Session, CleanLinksDeliverByteExact) {
+  SessionFixture fx;
+  const auto rep = fx.run([](std::size_t, ragnar::sim::SimTime) { return kDeliver; },
+                          [](std::size_t, ragnar::sim::SimTime) { return kDeliver; });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kComplete);
+  EXPECT_TRUE(rep.byte_exact);
+  EXPECT_TRUE(rep.fin_acked);
+  EXPECT_EQ(rep.delivered_bytes, 40u);
+  EXPECT_EQ(rep.retransmits, 0u);
+  EXPECT_EQ(rep.received, pattern_payload(40));
+}
+
+TEST(Session, CorruptionIsRetransmittedAndAuthenticated) {
+  SessionFixture fx;
+  // Corrupt every third forward send; the MAC rejects the slots, the NAK
+  // triggers fast retransmit, and the payload still arrives byte-exact.
+  const auto rep = fx.run(
+      [](std::size_t call, ragnar::sim::SimTime) {
+        return call % 3 == 1 ? kCorrupt : kDeliver;
+      },
+      [](std::size_t, ragnar::sim::SimTime) { return kDeliver; });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kComplete);
+  EXPECT_TRUE(rep.byte_exact);
+  EXPECT_GT(rep.retransmits + rep.handshake_sends, 1u);
+  EXPECT_GT(rep.garbled_slots, 0u);
+}
+
+TEST(Session, DeadForwardLinkDegradesToHandshakeReportNotHang) {
+  SessionFixture fx;
+  const auto rep = fx.run([](std::size_t, ragnar::sim::SimTime) { return kDrop; },
+                          [](std::size_t, ragnar::sim::SimTime) { return kDeliver; });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kHandshakeDead);
+  EXPECT_EQ(rep.delivered_bytes, 0u);
+  EXPECT_EQ(rep.handshake_sends, fx.cfg.handshake_retries + 1);
+  EXPECT_EQ(rep.missing.size(), rep.segments_total);
+  EXPECT_FALSE(rep.byte_exact);
+}
+
+TEST(Session, RetryExhaustionMidTransferYieldsPartialDelivery) {
+  SessionFixture fx;
+  // Handshake and the first data round succeed, then the forward link dies
+  // for good: the remaining segments exhaust their budget and the report
+  // carries the delivered prefix plus the missing list — bounded rounds,
+  // no hang.
+  const auto rep = fx.run(
+      [](std::size_t call, ragnar::sim::SimTime) {
+        return call < 2 ? kDeliver : kDrop;
+      },
+      [](std::size_t, ragnar::sim::SimTime) { return kDeliver; });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kRetryExhausted);
+  EXPECT_GT(rep.delivered_bytes, 0u);
+  EXPECT_LT(rep.delivered_bytes, rep.payload_bytes);
+  EXPECT_FALSE(rep.missing.empty());
+  EXPECT_LT(rep.rounds, fx.cfg.max_rounds);
+  // The delivered prefix is intact in the assembled buffer.
+  const auto expect = pattern_payload(40);
+  for (std::size_t i = 0; i < rep.delivered_bytes; ++i) {
+    EXPECT_EQ(rep.received[i], expect[i]) << i;
+  }
+}
+
+TEST(Session, FlapSpanningWholeRtoRecoversAfterItCloses) {
+  SessionFixture fx;
+  // The feedback path is dead for a window several RTOs long starting
+  // right after the handshake (one 136-bit slot each way at 30us/bit puts
+  // the handshake inside the first ~9ms); every data ACK inside the flap
+  // is lost.  The backoff ladder must ride the flap out and complete —
+  // with duplicates at the receiver and zero payload corruption.
+  const ragnar::sim::SimTime flap_start = ms(9);
+  const ragnar::sim::SimTime flap_end = ms(9) + fx.cfg.arq.rto_initial * 3;
+  const auto rep = fx.run(
+      [](std::size_t, ragnar::sim::SimTime) { return kDeliver; },
+      [=](std::size_t, ragnar::sim::SimTime t) {
+        return (t >= flap_start && t < flap_end) ? kDrop : kDeliver;
+      });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kComplete);
+  EXPECT_TRUE(rep.byte_exact);
+  EXPECT_GT(rep.acks_lost, 0u);
+  EXPECT_GT(rep.retransmits, 0u);
+  EXPECT_GT(rep.duplicates, 0u);
+  EXPECT_GE(rep.finished, flap_end);
+}
+
+TEST(Session, RoundCapIsAHardGuard) {
+  SessionFixture fx;
+  fx.cfg.max_rounds = 6;  // pathologically small
+  // Handshake ACK gets through, then the feedback path dies: the data
+  // phase can neither finish nor exhaust quickly, so the round cap is
+  // what bounds the session.
+  const auto rep = fx.run(
+      [](std::size_t, ragnar::sim::SimTime) { return kDeliver; },
+      [](std::size_t call, ragnar::sim::SimTime) {
+        return call == 0 ? kDeliver : kDrop;
+      });
+  EXPECT_EQ(rep.outcome, ct::TransferOutcome::kRoundCapHit);
+  EXPECT_LE(rep.rounds, 6u);
+}

@@ -50,6 +50,8 @@ const char* const kFormerBinaries[] = {
     "claim_pcie_coarse_baseline",
     "ablation_seed_stability",
     "fault_sweep",
+    "covert_transfer",
+    "covert_transfer_degraded",
     "sim_microbench",
 };
 
@@ -90,7 +92,7 @@ TEST(Cli, ListShowsEveryScenario) {
   for (const char* name : kFormerBinaries) {
     EXPECT_NE(out.find(name), std::string::npos) << name;
   }
-  EXPECT_NE(out.find("(26 scenarios)"), std::string::npos);
+  EXPECT_NE(out.find("(28 scenarios)"), std::string::npos);
 }
 
 TEST(Cli, UnknownScenarioFailsNonZeroAndListsNames) {
