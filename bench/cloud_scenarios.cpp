@@ -14,20 +14,20 @@
 //                         victim), then per-tenant caps at the receiving
 //                         NIC — enforced by RxAdmission's pacing machinery —
 //                         partially restoring the victim.
-#include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/cloud_common.hpp"
 #include "covert/common.hpp"
 #include "fabric/topology.hpp"
 #include "rnic/device_profile.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/coro.hpp"
+#include "sim/engine.hpp"
 #include "sim/random.hpp"
-#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "verbs/context.hpp"
@@ -36,53 +36,9 @@ using namespace ragnar;
 
 namespace {
 
-// A fully wired unidirectional RC attachment between two hosts of a
-// Topology (the cloud analogue of Testbed::connect, which presumes the
-// two-host facade).
-struct Conn {
-  std::unique_ptr<verbs::ProtectionDomain> src_pd;
-  std::unique_ptr<verbs::ProtectionDomain> dst_pd;
-  std::unique_ptr<verbs::CompletionQueue> src_cq;
-  std::unique_ptr<verbs::CompletionQueue> dst_cq;
-  std::vector<std::unique_ptr<verbs::QueuePair>> src_qps;
-  std::vector<std::unique_ptr<verbs::QueuePair>> dst_qps;
-  std::unique_ptr<verbs::MemoryRegion> src_mr;  // local staging buffer
-  std::unique_ptr<verbs::MemoryRegion> dst_mr;  // remote target region
-
-  verbs::QueuePair& qp(std::size_t i = 0) { return *src_qps.at(i); }
-  verbs::CompletionQueue& cq() { return *src_cq; }
-};
-
-Conn connect(verbs::Context& src, verbs::Context& dst, std::size_t qp_count,
-             const verbs::QpConfig& cfg, std::uint64_t buf_len = 1u << 20) {
-  Conn c;
-  c.src_pd = src.alloc_pd();
-  c.dst_pd = dst.alloc_pd();
-  c.src_cq = src.create_cq();
-  c.dst_cq = dst.create_cq();
-  c.src_mr = c.src_pd->register_mr(buf_len);
-  c.dst_mr = c.dst_pd->register_mr(buf_len);
-  for (std::size_t q = 0; q < qp_count; ++q) {
-    c.src_qps.push_back(c.src_pd->create_qp(*c.src_cq, cfg));
-    c.dst_qps.push_back(c.dst_pd->create_qp(*c.dst_cq, cfg));
-    const verbs::ConnectResult cr =
-        c.src_qps.back()->connect(*c.dst_qps.back());
-    assert(cr == verbs::ConnectResult::kOk);
-    (void)cr;
-  }
-  return c;
-}
-
-// Closed-loop posting helper: keep `depth` WRs of `length` bytes in flight.
-bool post_one(Conn& conn, verbs::WrOpcode opcode, std::uint32_t length) {
-  verbs::SendWr wr;
-  wr.opcode = opcode;
-  wr.local_addr = conn.src_mr->addr();
-  wr.length = length;
-  wr.remote_addr = conn.dst_mr->addr();
-  wr.rkey = conn.dst_mr->rkey();
-  return conn.qp().post_send(wr) == verbs::PostResult::kOk;
-}
+using cloud::Conn;
+using cloud::connect;
+using cloud::post_one;
 
 // ------------------------------------------------------------------------
 // cloud_bankrupt
@@ -93,7 +49,7 @@ bool post_one(Conn& conn, verbs::WrOpcode opcode, std::uint32_t length) {
 // (prober h1 in rack 0, peer h3 in rack 1).  A and B share *only* the
 // uplink's egress queue on tor0 — no NIC, no host, no MR.
 struct BankruptRig {
-  sim::Scheduler sched;
+  sim::Engine eng;
   std::unique_ptr<fabric::Topology> topo;
   fabric::SwitchId tor0 = 0;
   std::vector<std::unique_ptr<verbs::Context>> ctx;
@@ -115,15 +71,22 @@ struct BankruptRig {
   static constexpr std::uint32_t kProbeBytes = 256;
   static constexpr std::uint32_t kTxDepth = 8;
 
-  explicit BankruptRig(std::uint64_t seed) {
+  // `shards` = 0 keeps the engine in legacy mode (the golden path); any
+  // other value runs windowed with rack 0 on shard 0 and rack 1 on shard
+  // 1 % shards — windowed output is identical for every shard count.
+  explicit BankruptRig(std::uint64_t seed, std::size_t shards = 0)
+      : eng(sim::Engine::Options{static_cast<std::uint32_t>(shards),
+                                 sim::kMillisecond}) {
+    const sim::ShardId rack1 =
+        shards == 0 ? 0 : static_cast<sim::ShardId>(1 % shards);
     sim::Xoshiro256 rng(seed);
     const rnic::DeviceProfile prof =
         rnic::make_profile(rnic::DeviceModel::kCX5);
-    fabric::Topology::Builder b(sched);
-    const auto h0 = b.add_host(prof, rng.fork());
-    const auto h1 = b.add_host(prof, rng.fork());
-    const auto h2 = b.add_host(prof, rng.fork());
-    const auto h3 = b.add_host(prof, rng.fork());
+    fabric::Topology::Builder b(eng);
+    const auto h0 = b.add_host(prof, rng.fork(), 0);
+    const auto h1 = b.add_host(prof, rng.fork(), 0);
+    const auto h2 = b.add_host(prof, rng.fork(), rack1);
+    const auto h3 = b.add_host(prof, rng.fork(), rack1);
     fabric::SwitchSpec tor;
     // Deep pool, PFC off: the channel is pure shared-queue *latency* — the
     // backlog never comes close to filling the buffer, so nothing is
@@ -131,10 +94,10 @@ struct BankruptRig {
     tor.buffer_bytes = 4u << 20;
     tor.pfc_xoff_bytes = 0;
     tor.name = "tor0";
-    tor0 = b.add_switch(tor);
+    tor0 = b.add_switch(tor, 0);
     fabric::SwitchSpec tor_b = tor;
     tor_b.name = "tor1";
-    const auto tor1 = b.add_switch(tor_b);
+    const auto tor1 = b.add_switch(tor_b, rack1);
     const auto access = fabric::LinkSpec::symmetric(sim::ns(250), 100.0);
     b.link(fabric::NodeRef::host(h0), fabric::NodeRef::sw(tor0), access)
         .link(fabric::NodeRef::host(h1), fabric::NodeRef::sw(tor0), access)
@@ -159,20 +122,24 @@ struct BankruptRig {
     return frame[std::min(idx, frame.size() - 1)];
   }
 
+  // The executing shard's clock — both actors live on shard 0 (rack 0), so
+  // this is their hosts' local time in either mode.
+  sim::SimTime now() const { return eng.local_now(); }
+
   // Tenant A: saturated WRITE loop whose message size is the bit — large
   // writes back the uplink queue up, small ones leave it empty.
   sim::Task tx_actor() {
     while (post_one(tx, verbs::WrOpcode::kRdmaWrite,
-                    current_bit(sched.now()) ? kBit1Bytes : kBit0Bytes) &&
+                    current_bit(now()) ? kBit1Bytes : kBit0Bytes) &&
            tx.qp().outstanding() < kTxDepth) {
     }
     verbs::Wc wc;
-    while (sched.now() < t_end) {
+    while (now() < t_end) {
       co_await tx.cq().wait(1);
       while (tx.cq().poll_one(&wc)) {
-        if (sched.now() < t_end) {
+        if (now() < t_end) {
           post_one(tx, verbs::WrOpcode::kRdmaWrite,
-                   current_bit(sched.now()) ? kBit1Bytes : kBit0Bytes);
+                   current_bit(now()) ? kBit1Bytes : kBit0Bytes);
         }
       }
     }
@@ -184,7 +151,7 @@ struct BankruptRig {
   sim::Task rx_actor() {
     post_one(probe, verbs::WrOpcode::kRdmaRead, kProbeBytes);
     verbs::Wc wc;
-    while (sched.now() < t_end) {
+    while (now() < t_end) {
       co_await probe.cq().wait(1);
       while (probe.cq().poll_one(&wc)) {
         // Bin by *post* time: a probe issued inside a 1-window carries that
@@ -199,7 +166,7 @@ struct BankruptRig {
             rtt_cnt[w] += 1;
           }
         }
-        if (sched.now() < t_end) {
+        if (now() < t_end) {
           post_one(probe, verbs::WrOpcode::kRdmaRead, kProbeBytes);
         }
       }
@@ -218,11 +185,11 @@ struct BankruptRig {
     window = bit_window;
     rtt_sum.assign(frame.size(), 0.0);
     rtt_cnt.assign(frame.size(), 0);
-    t0 = sched.now() + sim::us(50);
+    t0 = eng.now() + sim::us(50);
     t_end = t0 + window * frame.size();
-    sched.spawn(tx_actor());
-    sched.spawn(rx_actor());
-    sched.run_while([&] { return !(tx_done && rx_done); });
+    eng.spawn(tx_actor(), 0);  // h0's shard
+    eng.spawn(rx_actor(), 0);  // h1's shard
+    eng.run_while([&] { return !(tx_done && rx_done); });
 
     std::vector<double> means(frame.size(), 0.0);
     for (std::size_t i = 0; i < frame.size(); ++i) {
@@ -260,20 +227,28 @@ struct PhaseResult {
 // every host on the rack — the victim included — and queueing the victim's
 // requests behind megabytes of hog traffic.
 PhaseResult run_phase(std::uint64_t seed, bool hog_on, double hog_cap_gbps,
-                      sim::SimDur measure) {
-  sim::Scheduler sched;
+                      sim::SimDur measure, std::size_t shards = 0) {
+  sim::Engine eng(sim::Engine::Options{static_cast<std::uint32_t>(shards),
+                                       sim::kMillisecond});
+  // Host i -> shard i % N (round-robin; the ToR rides with the victim).
+  // The placement only exists in windowed mode, where output is identical
+  // for every shard count; shards = 0 is the legacy golden path.
+  const auto place = [&](std::size_t i) {
+    return shards == 0 ? sim::ShardId{0}
+                       : static_cast<sim::ShardId>(i % shards);
+  };
   sim::Xoshiro256 rng(seed);
   const rnic::DeviceProfile prof = rnic::make_profile(rnic::DeviceModel::kCX5);
-  fabric::Topology::Builder b(sched);
-  const auto victim_h = b.add_host(prof, rng.fork());
-  const auto hog1_h = b.add_host(prof, rng.fork());
-  const auto hog2_h = b.add_host(prof, rng.fork());
-  const auto server_h = b.add_host(prof, rng.fork());
+  fabric::Topology::Builder b(eng);
+  const auto victim_h = b.add_host(prof, rng.fork(), place(0));
+  const auto hog1_h = b.add_host(prof, rng.fork(), place(1));
+  const auto hog2_h = b.add_host(prof, rng.fork(), place(2));
+  const auto server_h = b.add_host(prof, rng.fork(), place(3));
   fabric::SwitchSpec tor_spec;
   tor_spec.buffer_bytes = 512u << 10;
   tor_spec.pfc_xoff_bytes = 128u << 10;
   tor_spec.pfc_xon_bytes = 64u << 10;
-  const auto tor = b.add_switch(tor_spec);
+  const auto tor = b.add_switch(tor_spec, place(0));
   const auto access = fabric::LinkSpec::symmetric(sim::ns(250), 100.0);
   for (rnic::NodeId h : {victim_h, hog1_h, hog2_h, server_h}) {
     b.link(fabric::NodeRef::host(h), fabric::NodeRef::sw(tor), access);
@@ -318,13 +293,16 @@ PhaseResult run_phase(std::uint64_t seed, bool hog_on, double hog_cap_gbps,
   sim::SampleSet rtt;
   std::uint64_t victim_bytes = 0;
   bool victim_done = false;
-  int hogs_running = 0;
+  // One completion flag per hog, each written by exactly one actor: the
+  // hogs live on different shards in windowed mode, so a shared counter
+  // would be a data race.  Flags start "done" when the hogs never run.
+  bool hog_done[2] = {!hog_on, !hog_on};
 
   auto victim_actor = [&]() -> sim::Task {
     for (std::uint32_t i = 0; i < kVictimDepth; ++i)
       post_one(victim, verbs::WrOpcode::kRdmaRead, kVictimBytes);
     verbs::Wc wc;
-    while (sched.now() < t_end) {
+    while (eng.local_now() < t_end) {
       co_await victim.cq().wait(1);
       while (victim.cq().poll_one(&wc)) {
         if (wc.status == rnic::WcStatus::kSuccess && wc.completed_at >= t0 &&
@@ -333,34 +311,34 @@ PhaseResult run_phase(std::uint64_t seed, bool hog_on, double hog_cap_gbps,
           victim_bytes += wc.byte_len;
           ++res.victim_ops;
         }
-        if (sched.now() < t_end)
+        if (eng.local_now() < t_end)
           post_one(victim, verbs::WrOpcode::kRdmaRead, kVictimBytes);
       }
     }
     victim_done = true;
   };
 
-  auto hog_actor = [&](Conn& conn) -> sim::Task {
-    ++hogs_running;
+  auto hog_actor = [&](Conn& conn, bool* done) -> sim::Task {
     for (std::uint32_t i = 0; i < kHogDepth; ++i)
       post_one(conn, verbs::WrOpcode::kRdmaWrite, kHogBytes);
     verbs::Wc wc;
-    while (sched.now() < t_end) {
+    while (eng.local_now() < t_end) {
       co_await conn.cq().wait(1);
       while (conn.cq().poll_one(&wc)) {
-        if (sched.now() < t_end)
+        if (eng.local_now() < t_end)
           post_one(conn, verbs::WrOpcode::kRdmaWrite, kHogBytes);
       }
     }
-    --hogs_running;
+    *done = true;
   };
 
-  sched.spawn(victim_actor());
+  eng.spawn(victim_actor(), place(0));
   if (hog_on) {
-    sched.spawn(hog_actor(hog1));
-    sched.spawn(hog_actor(hog2));
+    eng.spawn(hog_actor(hog1, &hog_done[0]), place(1));
+    eng.spawn(hog_actor(hog2, &hog_done[1]), place(2));
   }
-  sched.run_while([&] { return !victim_done || hogs_running > 0; });
+  eng.run_while(
+      [&] { return !victim_done || !hog_done[0] || !hog_done[1]; });
 
   res.victim_gbps =
       static_cast<double>(victim_bytes) * 8.0 / 1e9 / sim::to_sec(measure);
@@ -390,7 +368,7 @@ RAGNAR_SCENARIO(cloud_bankrupt, "cloud",
   sim::Xoshiro256 rng(ctx.seed);
   const std::vector<int> payload = covert::random_bits(payload_bits, rng);
 
-  BankruptRig rig(ctx.seed);
+  BankruptRig rig(ctx.seed, ctx.shards);
   const covert::ChannelRun run =
       rig.transmit(payload, window, calibration_bits);
   const fabric::SwitchStats& sw = rig.topo->switch_stats(rig.tor0);
@@ -447,8 +425,8 @@ RAGNAR_SCENARIO(cloud_noisy_neighbor, "cloud",
       "peak_kb");
   PhaseResult results[3];
   for (int i = 0; i < 3; ++i) {
-    results[i] =
-        run_phase(ctx.seed, phases[i].hog_on, phases[i].cap, measure);
+    results[i] = run_phase(ctx.seed, phases[i].hog_on, phases[i].cap, measure,
+                           ctx.shards);
     const PhaseResult& r = results[i];
     std::printf(
         "%-10s %12.3f %12llu %11.2f %11.2f %9llu %7llu %8.1f\n",

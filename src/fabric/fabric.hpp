@@ -25,6 +25,10 @@ namespace ragnar::fabric {
 class Fabric final : public Topology {
  public:
   explicit Fabric(sim::Scheduler& sched) : Topology(sched) {}
+  // Engine-backed facade: devices land on shard 0 (the two-host shape has
+  // nothing to parallelize; this exists so engine-based scenarios can keep
+  // using the point-to-point API).
+  explicit Fabric(sim::Engine& engine) : Topology(engine) {}
 
   // Create an RNIC of the given model attached to this fabric.  The fabric
   // owns the device; the returned pointer stays valid for the fabric's life.

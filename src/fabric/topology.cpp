@@ -39,24 +39,37 @@ std::uint64_t flow_hash(const rnic::WireOp& op) {
 }  // namespace
 
 rnic::NodeId Topology::add_host(rnic::DeviceProfile profile,
-                                sim::Xoshiro256 rng) {
+                                sim::Xoshiro256 rng, sim::ShardId shard) {
   const auto id = static_cast<rnic::NodeId>(hosts_.size());
+  sim::Scheduler& sched = engine_ != nullptr ? engine_->shard(shard) : sched_;
   hosts_.push_back(
-      std::make_unique<rnic::Rnic>(sched_, std::move(profile), id, rng));
+      std::make_unique<rnic::Rnic>(sched, std::move(profile), id, rng));
   hosts_.back()->attach_fabric(this);
+  host_shard_.push_back(engine_ != nullptr ? shard : 0);
   routes_dirty_ = true;
   return id;
 }
 
-SwitchId Topology::add_switch(const SwitchSpec& spec) {
+SwitchId Topology::add_switch(const SwitchSpec& spec, sim::ShardId shard) {
   const auto id = static_cast<SwitchId>(switches_.size());
   switches_.push_back(Switch{});
   switches_.back().spec = spec;
+  switches_.back().shard = engine_ != nullptr ? shard : 0;
   routes_dirty_ = true;
   return id;
 }
 
 LinkId Topology::link(NodeRef a, NodeRef b, const LinkSpec& spec) {
+  if (windowed() && (spec.lat_ab == 0 || spec.lat_ba == 0)) {
+    std::fprintf(stderr,
+                 "fabric::Topology: zero-latency link on a windowed engine — "
+                 "link propagation bounds the lookahead, so every link needs "
+                 "lat >= 1 ps\n");
+    std::abort();
+  }
+  if (engine_ != nullptr) {
+    engine_->constrain_lookahead(std::min(spec.lat_ab, spec.lat_ba));
+  }
   const auto id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{});
   Link& l = links_.back();
@@ -65,7 +78,7 @@ LinkId Topology::link(NodeRef a, NodeRef b, const LinkSpec& spec) {
   l.spec = spec;
   l.ser[0].configure(spec.gbps, 0);
   l.ser[1].configure(spec.gbps, 0);
-  link_bytes_.push_back(0);
+  link_bytes_.resize_slots(links_.size());
   if (a.is_host() && b.is_host()) {
     // Direct links route without tables; register both directions.
     const auto key_ab = (a.id << 16) | b.id;
@@ -97,12 +110,25 @@ std::vector<LinkId> Topology::links_between(NodeRef a, NodeRef b) const {
 }
 
 std::uint64_t Topology::link_bytes(LinkId id) const {
-  return link_bytes_.at(id);
+  return link_bytes_.sum(id);
 }
 
 void Topology::set_fault_plan(const faults::FaultPlan& plan) {
   injector_ =
       plan.active() ? std::make_unique<faults::FaultInjector>(plan) : nullptr;
+  // The injector draws from one RNG stream shared by every link, so
+  // parallel shard execution would make verdict order racy.  Serial windows
+  // keep an armed plan deterministic (at the cost of the parallel speedup).
+  if (engine_ != nullptr) engine_->set_serial_windows(injector_ != nullptr);
+}
+
+void Topology::schedule(NodeRef from, NodeRef to, sim::SimTime t,
+                        std::function<void()> cb) {
+  if (windowed()) {
+    engine_->post(shard_of(to), t, node_index(from), std::move(cb));
+  } else {
+    sched_.at(t, std::move(cb));
+  }
 }
 
 void Topology::ensure_routes() {
@@ -183,8 +209,6 @@ void Topology::route_direct(const rnic::InFlightMsg& msg, sim::SimTime depart,
     faults::LinkHop fh;
     fh.link = link_id;
     fh.reverse = reverse;
-    fh.src = sender;
-    fh.dst = dst;
     const faults::Decision d = injector_->decide(fh, msg.op.src_node, depart);
     if (obs::MetricsRegistry* reg = obs::metrics()) {
       reg->counter("fabric.verdicts",
@@ -203,11 +227,13 @@ void Topology::route_direct(const rnic::InFlightMsg& msg, sim::SimTime depart,
     extra = d.extra_delay;
   }
   const sim::SimDur wire_lat = reverse ? l.spec.lat_ba : l.spec.lat_ab;
-  deliver(msg, dst, is_req, depart, depart + wire_lat + extra);
+  deliver(msg, NodeRef::host(sender), dst, is_req, depart,
+          depart + wire_lat + extra);
 }
 
-void Topology::deliver(const rnic::InFlightMsg& msg, rnic::NodeId dst,
-                       bool is_req, sim::SimTime depart, sim::SimTime arrive) {
+void Topology::deliver(const rnic::InFlightMsg& msg, NodeRef from,
+                       rnic::NodeId dst, bool is_req, sim::SimTime depart,
+                       sim::SimTime arrive) {
   rnic::Rnic* target = hosts_.at(dst).get();
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     reg->counter("fabric.delivered").add();
@@ -220,7 +246,8 @@ void Topology::deliver(const rnic::InFlightMsg& msg, rnic::NodeId dst,
                   {"dst", std::to_string(dst)},
                   {"bytes", std::to_string(msg.wire_bytes)}});
   }
-  sched_.at(arrive, [target, msg] { target->deliver(msg); });
+  schedule(from, NodeRef::host(dst), arrive,
+           [target, msg] { target->deliver(msg); });
 }
 
 void Topology::hop(const rnic::InFlightMsg& msg, NodeRef at, sim::SimTime t) {
@@ -247,10 +274,6 @@ void Topology::hop(const rnic::InFlightMsg& msg, NodeRef at, sim::SimTime t) {
     faults::LinkHop fh;
     fh.link = link_id;
     fh.reverse = reverse;
-    if (at.is_host() && next.is_host()) {
-      fh.src = static_cast<rnic::NodeId>(at.id);
-      fh.dst = static_cast<rnic::NodeId>(next.id);
-    }
     const faults::Decision d = injector_->decide(fh, msg.op.src_node, t);
     if (obs::MetricsRegistry* reg = obs::metrics()) {
       reg->counter("fabric.verdicts",
@@ -275,7 +298,7 @@ void Topology::hop(const rnic::InFlightMsg& msg, NodeRef at, sim::SimTime t) {
     t_out = switch_egress(at.id, link_id, dir, t, msg.wire_bytes);
     if (t_out == kDropped) return;
   }
-  link_bytes_[link_id] += msg.wire_bytes;
+  link_bytes_.at(stats_shard(), link_id) += msg.wire_bytes;
   const sim::SimDur prop = reverse ? l.spec.lat_ba : l.spec.lat_ab;
   sim::SimTime arrive = t_out + prop;
   if (!next.is_host()) arrive += switches_[next.id].spec.forward_lat;
@@ -288,12 +311,11 @@ void Topology::hop(const rnic::InFlightMsg& msg, NodeRef at, sim::SimTime t) {
   }
 
   if (next.is_host()) {
-    deliver(msg, dst, is_req, t_out, arrive);
+    deliver(msg, at, dst, is_req, t_out, arrive);
   } else {
     const SwitchId sw = next.id;
-    sched_.at(arrive, [this, msg, sw] {
-      hop(msg, NodeRef::sw(sw), sched_.now());
-    });
+    schedule(at, next, arrive,
+             [this, msg, sw, arrive] { hop(msg, NodeRef::sw(sw), arrive); });
   }
 }
 
@@ -375,50 +397,73 @@ void Topology::assert_or_extend_pause(SwitchId sw_id, sim::SimTime now) {
     if (obs::Tracer* tr = obs::tracer()) {
       tr->instant("fabric.pfc", "xoff", now, {{"switch", s.spec.name}});
     }
-    propagate_pause(sw_id, horizon);
+    propagate_pause(sw_id, now, horizon);
   } else if (horizon > s.pause_horizon) {
     s.pause_horizon = horizon;
-    propagate_pause(sw_id, horizon);
+    propagate_pause(sw_id, now, horizon);
   }
 }
 
-void Topology::propagate_pause(SwitchId sw_id, sim::SimTime horizon) {
+void Topology::propagate_pause(SwitchId sw_id, sim::SimTime now,
+                               sim::SimTime horizon) {
   Switch& s = switches_[sw_id];
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     reg->counter("fabric.pfc.pause_ps",
                  obs::LabelSet{{"switch", s.spec.name}})
         .add(horizon > s.pause_started ? horizon - s.pause_started : 0);
   }
+  // In windowed mode pause application is a cross-node effect like any
+  // other: it reaches the upstream node one lookahead later through its
+  // shard's mailbox (real PFC frames also take a wire trip).  Legacy mode
+  // keeps the instantaneous direct pokes, byte-identical to the pre-engine
+  // fabric.
+  const sim::SimTime apply_at =
+      windowed() ? now + engine_->lookahead() : horizon;
   for (LinkId p : s.ports) {
     Link& l = links_[p];
     const NodeRef upstream = other_end(l, NodeRef::sw(sw_id));
     if (upstream.is_host()) {
-      hosts_.at(upstream.id)->pipe().egress().extend_tx_pause(horizon);
+      rnic::Rnic* h = hosts_.at(upstream.id).get();
+      if (windowed()) {
+        schedule(NodeRef::sw(sw_id), upstream, apply_at,
+                 [h, horizon] { h->pipe().egress().extend_tx_pause(horizon); });
+      } else {
+        h->pipe().egress().extend_tx_pause(horizon);
+      }
     } else {
       // Pause the upstream switch's egress port toward us; its own pool
       // then backs up and may cascade the pause further.
       const int toward_us = l.a == upstream ? 0 : 1;
-      l.pause_until[toward_us] =
-          std::max(l.pause_until[toward_us], horizon);
+      if (windowed()) {
+        Link* lp = &l;
+        schedule(NodeRef::sw(sw_id), upstream, apply_at,
+                 [lp, toward_us, horizon] {
+                   lp->pause_until[toward_us] =
+                       std::max(lp->pause_until[toward_us], horizon);
+                 });
+      } else {
+        l.pause_until[toward_us] =
+            std::max(l.pause_until[toward_us], horizon);
+      }
     }
   }
 }
 
 std::uint64_t Topology::buffer_occupancy(SwitchId sw) {
   Switch& s = switches_.at(sw);
-  drain(s, sched_.now());
+  drain(s, node_now(NodeRef::sw(sw)));
   return s.occupancy;
 }
 
 bool Topology::pause_asserted(SwitchId sw) {
   Switch& s = switches_.at(sw);
-  drain(s, sched_.now());
+  drain(s, node_now(NodeRef::sw(sw)));
   return s.paused;
 }
 
 const SwitchStats& Topology::switch_stats(SwitchId sw) {
   Switch& s = switches_.at(sw);
-  drain(s, sched_.now());
+  drain(s, node_now(NodeRef::sw(sw)));
   return s.stats;
 }
 

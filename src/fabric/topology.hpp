@@ -8,10 +8,12 @@
 #include "faults/faults.hpp"
 #include "rnic/device_profile.hpp"
 #include "rnic/rnic.hpp"
+#include "sim/engine.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sharded.hpp"
 
 // The simulated network as an explicit multi-hop topology.
 //
@@ -44,6 +46,16 @@
 // campaigns key on LinkId and can target a single uplink of a multi-hop
 // path (see faults.hpp).  With no plan armed no injector exists and no RNG
 // is drawn.
+//
+// Built on a sim::Engine (docs/ENGINE.md), a topology becomes shard-aware:
+// hosts and switches are pinned to shards at add time, and in windowed mode
+// every cross-node event — hop arrivals, deliveries, PFC pause application —
+// flows through Engine::post, keyed by the generating node so same-time
+// deliveries order identically for any shard layout.  Link propagation
+// latencies bound the engine's lookahead; windowed mode therefore rejects
+// zero-latency links.  On a plain Scheduler (or a legacy-mode engine)
+// nothing changes: events are scheduled directly and runs stay
+// byte-identical to the pre-engine fabric.
 //
 // The legacy two-host/one-link fabric survives as the `Fabric` facade
 // (fabric.hpp): a Topology of pairwise direct host links whose delivery
@@ -107,6 +119,12 @@ class Topology : public rnic::FabricPort {
   class Builder;
 
   explicit Topology(sim::Scheduler& sched) : sched_(sched) {}
+  // Engine-backed topology: nodes schedule on their shard's queue, and in
+  // windowed mode cross-node events route through the engine's mailboxes.
+  explicit Topology(sim::Engine& engine)
+      : sched_(engine.legacy_scheduler()), engine_(&engine) {
+    link_bytes_.reset(engine.shard_count(), 0);
+  }
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
@@ -114,20 +132,25 @@ class Topology : public rnic::FabricPort {
   void transmit(const rnic::InFlightMsg& msg, sim::SimTime depart) override;
 
   // --- construction (Builder and the Fabric facade call these) -----------
-  // Create an RNIC attached to this topology.  The topology owns the
-  // device; the returned id indexes host().
-  rnic::NodeId add_host(rnic::DeviceProfile profile, sim::Xoshiro256 rng);
-  SwitchId add_switch(const SwitchSpec& spec);
+  // Create an RNIC attached to this topology, pinned to `shard` (ignored
+  // without an engine).  The topology owns the device; the returned id
+  // indexes host().
+  rnic::NodeId add_host(rnic::DeviceProfile profile, sim::Xoshiro256 rng,
+                        sim::ShardId shard = 0);
+  SwitchId add_switch(const SwitchSpec& spec, sim::ShardId shard = 0);
   // Connect two nodes.  Host endpoints may be linked to at most one switch
   // each (plus any number of direct host-host links); switch pairs may be
-  // linked in parallel for ECMP.
+  // linked in parallel for ECMP.  In windowed mode both propagation
+  // latencies must be nonzero (they bound the engine's lookahead).
   LinkId link(NodeRef a, NodeRef b, const LinkSpec& spec);
 
   rnic::Rnic* host(rnic::NodeId id) { return hosts_.at(id).get(); }
   std::size_t host_count() const { return hosts_.size(); }
   std::size_t switch_count() const { return switches_.size(); }
   std::size_t link_count() const { return links_.size(); }
+  // Shard 0's scheduler; per-node code should prefer Rnic::scheduler().
   sim::Scheduler& scheduler() { return sched_; }
+  sim::Engine* engine() { return engine_; }
 
   // First link connecting a and b (either orientation); kNoLink if none.
   LinkId link_between(NodeRef a, NodeRef b) const;
@@ -167,6 +190,7 @@ class Topology : public rnic::FabricPort {
 
   struct Switch {
     SwitchSpec spec;
+    sim::ShardId shard = 0;
     SwitchStats stats;
     std::uint64_t occupancy = 0;  // shared pool, after drain(now)
     bool paused = false;
@@ -196,9 +220,9 @@ class Topology : public rnic::FabricPort {
   // drops below xon.
   sim::SimTime pause_release_time(const Switch& s) const;
   void assert_or_extend_pause(SwitchId sw_id, sim::SimTime now);
-  void propagate_pause(SwitchId sw_id, sim::SimTime horizon);
-  void deliver(const rnic::InFlightMsg& msg, rnic::NodeId dst, bool is_req,
-               sim::SimTime depart, sim::SimTime arrive);
+  void propagate_pause(SwitchId sw_id, sim::SimTime now, sim::SimTime horizon);
+  void deliver(const rnic::InFlightMsg& msg, NodeRef from, rnic::NodeId dst,
+               bool is_req, sim::SimTime depart, sim::SimTime arrive);
 
   std::uint32_t node_index(NodeRef n) const {
     return n.is_host() ? n.id
@@ -209,11 +233,38 @@ class Topology : public rnic::FabricPort {
   }
   void ensure_routes();
 
+  // --- engine plumbing ----------------------------------------------------
+  // True when cross-node events must flow through Engine::post.
+  bool windowed() const { return engine_ != nullptr && engine_->windowed(); }
+  sim::ShardId shard_of(NodeRef n) const {
+    return n.is_host() ? host_shard_[n.id] : switches_[n.id].shard;
+  }
+  // Schedule `cb` at `t` on `to`'s shard.  `from` is the generating node:
+  // its topology index keys same-time mailbox ordering, which must not
+  // depend on the shard layout.
+  void schedule(NodeRef from, NodeRef to, sim::SimTime t,
+                std::function<void()> cb);
+  // The clock a node's lazily-drained state should be refreshed against.
+  sim::SimTime node_now(NodeRef n) const {
+    return engine_ != nullptr ? engine_->shard(shard_of(n)).now()
+                              : sched_.now();
+  }
+  // The per-shard accounting row for the currently executing shard.
+  std::uint32_t stats_shard() const {
+    if (!windowed()) return 0;
+    const sim::ShardId s = engine_->current_shard();
+    return s == sim::kNoShard ? 0 : s;
+  }
+
   sim::Scheduler& sched_;
+  sim::Engine* engine_ = nullptr;
   std::vector<std::unique_ptr<rnic::Rnic>> hosts_;
+  std::vector<sim::ShardId> host_shard_;
   std::vector<Switch> switches_;
   std::vector<Link> links_;
-  std::vector<std::uint64_t> link_bytes_;  // per link, both directions
+  // Per link, both directions.  Shard-private rows (a link's two endpoints
+  // may execute on different shards); fold with link_bytes().
+  sim::PerShardSlots<std::uint64_t> link_bytes_;
   // Direct host-host links: (src << 16 | dst) -> LinkId fast path.
   sim::FlatMap<std::uint32_t, LinkId> direct_;
   // routes_[node_index][dst_host] = equal-cost next-hop links, LinkId order.
@@ -239,15 +290,19 @@ class Topology::Builder {
  public:
   explicit Builder(sim::Scheduler& sched)
       : topo_(std::make_unique<Topology>(sched)) {}
+  explicit Builder(sim::Engine& engine)
+      : topo_(std::make_unique<Topology>(engine)) {}
 
-  rnic::NodeId add_host(rnic::DeviceProfile profile, sim::Xoshiro256 rng) {
-    return topo_->add_host(std::move(profile), rng);
+  rnic::NodeId add_host(rnic::DeviceProfile profile, sim::Xoshiro256 rng,
+                        sim::ShardId shard = 0) {
+    return topo_->add_host(std::move(profile), rng, shard);
   }
-  rnic::NodeId add_host(rnic::DeviceModel model, sim::Xoshiro256 rng) {
-    return topo_->add_host(rnic::make_profile(model), rng);
+  rnic::NodeId add_host(rnic::DeviceModel model, sim::Xoshiro256 rng,
+                        sim::ShardId shard = 0) {
+    return topo_->add_host(rnic::make_profile(model), rng, shard);
   }
-  SwitchId add_switch(const SwitchSpec& spec = {}) {
-    return topo_->add_switch(spec);
+  SwitchId add_switch(const SwitchSpec& spec = {}, sim::ShardId shard = 0) {
+    return topo_->add_switch(spec, shard);
   }
   Builder& link(NodeRef a, NodeRef b, const LinkSpec& spec) {
     topo_->link(a, b, spec);

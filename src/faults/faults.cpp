@@ -1,9 +1,7 @@
 #include "faults/faults.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <cstdio>
 
 namespace ragnar::faults {
 
@@ -35,23 +33,7 @@ FaultPlan FaultPlan::bursty_loss(double target_loss, sim::SimDur mean_burst,
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed) {
-  // Legacy (src, dst) pair overrides predate the multi-hop topology: on a
-  // switched fabric one endpoint pair crosses several physical links, so a
-  // pair override is ambiguous about *which* link it models.  Note it once
-  // per process (trials run on worker threads; the flag keeps the note to
-  // a single line) and steer authors to LinkId-keyed overrides.
-  if (!plan_.link_overrides.empty()) {
-    static std::atomic_flag noted = ATOMIC_FLAG_INIT;
-    if (!noted.test_and_set(std::memory_order_relaxed)) {
-      std::fprintf(stderr,
-                   "[faults] note: FaultPlan::link_overrides (endpoint-pair "
-                   "keyed) is deprecated; prefer LinkId-keyed "
-                   "link_fault_overrides, which name a physical hop on the "
-                   "switched topology. (note shown once per run)\n");
-    }
-  }
-}
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
 
 bool FaultInjector::in_scope(rnic::NodeId requester) const {
   if (plan_.scoped_tenants.empty()) return true;
@@ -115,19 +97,6 @@ Decision FaultInjector::decide(const LinkHop& hop, rnic::NodeId requester,
   return decide_keyed(key, hop, requester, on_wire);
 }
 
-Decision FaultInjector::decide(rnic::NodeId src, rnic::NodeId dst,
-                               rnic::NodeId requester, sim::SimTime on_wire) {
-  // Legacy pair-keyed chains live in a range disjoint from link-keyed ones
-  // (LinkId << 1 never reaches bit 63).
-  const std::uint64_t key = (1ull << 63) |
-                            (static_cast<std::uint64_t>(src) << 16) |
-                            static_cast<std::uint64_t>(dst);
-  LinkHop hop;
-  hop.src = src;
-  hop.dst = dst;
-  return decide_keyed(key, hop, requester, on_wire);
-}
-
 Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
                                      const LinkHop& hop,
                                      rnic::NodeId requester,
@@ -161,21 +130,9 @@ Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
   double drop_p = plan_.drop_p;
   double corrupt_p = plan_.corrupt_p;
   double reorder_p = plan_.reorder_p;
-  bool matched = false;
   if (hop.link != kNoLink) {
     for (const LinkFaultOverride& o : plan_.link_fault_overrides) {
       if (o.link == hop.link) {
-        drop_p = o.drop_p;
-        corrupt_p = o.corrupt_p;
-        reorder_p = o.reorder_p;
-        matched = true;
-        break;
-      }
-    }
-  }
-  if (!matched) {
-    for (const LinkOverride& o : plan_.link_overrides) {
-      if (o.src == hop.src && o.dst == hop.dst) {
         drop_p = o.drop_p;
         corrupt_p = o.corrupt_p;
         reorder_p = o.reorder_p;

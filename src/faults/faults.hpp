@@ -18,7 +18,7 @@
 // (requests and replies alike):
 //
 //   * independent per-message drop / corrupt / reorder probabilities,
-//     optionally overridden per directed link;
+//     optionally overridden per link (LinkId-keyed);
 //   * a Gilbert-Elliott two-state burst-loss chain per directed link
 //     (bursty loss is what desynchronizes covert framing — see
 //     covert/framing.hpp);
@@ -54,33 +54,17 @@ using LinkId = std::uint32_t;
 inline constexpr LinkId kNoLink = 0xffffffffu;
 
 // One directed traversal of a fabric link, as the topology describes it to
-// the injector.  `link`/`reverse` are the canonical key; `src`/`dst` carry
-// the endpoint device ids where both ends are hosts (kNoEndpoint on
-// switch-adjacent hops) so the deprecated pair-keyed overrides keep
-// matching on the topologies that predate switches.
-inline constexpr rnic::NodeId kNoEndpoint = 0xffff;
+// the injector.  `link`/`reverse` are the canonical key: they name one
+// physical hop of the path, so a campaign can hit a single uplink of a
+// multi-hop route without touching the host access links.
 struct LinkHop {
   LinkId link = kNoLink;
   bool reverse = false;  // travelling b->a on the link
-  rnic::NodeId src = kNoEndpoint;
-  rnic::NodeId dst = kNoEndpoint;
-};
-
-// DEPRECATED: per-directed-device-pair probability override (src -> dst
-// RNIC node ids).  Pair keys cannot name a specific link of a multi-hop
-// path; new code targets LinkFaultOverride instead.  Pair overrides are
-// still honoured on host-to-host direct links (the legacy facade shape),
-// where the pair uniquely identifies the link.
-struct LinkOverride {
-  rnic::NodeId src = 0;
-  rnic::NodeId dst = 0;
-  double drop_p = 0;
-  double corrupt_p = 0;
-  double reorder_p = 0;
 };
 
 // Per-link probability override, keyed on the topology's LinkId (both
-// directions of the link).  Takes precedence over pair overrides.
+// directions of the link).  Overrides replace the plan-level defaults for
+// matching hops.
 struct LinkFaultOverride {
   LinkId link = 0;
   double drop_p = 0;
@@ -99,7 +83,6 @@ struct FaultPlan {
   double corrupt_p = 0;   // ICRC-failure discard, counted separately
   double reorder_p = 0;
   sim::SimDur reorder_delay_max = sim::us(5);
-  std::vector<LinkOverride> link_overrides;  // deprecated pair-keyed shim
   std::vector<LinkFaultOverride> link_fault_overrides;
 
   // Gilbert-Elliott burst loss, per directed link.  The chain advances once
@@ -187,11 +170,6 @@ class FaultInjector {
   Decision decide(const LinkHop& hop, rnic::NodeId requester,
                   sim::SimTime on_wire);
 
-  // DEPRECATED pair-keyed entry point, kept for pre-topology callers that
-  // never learned link ids.  Chains and overrides key on the device pair.
-  Decision decide(rnic::NodeId src, rnic::NodeId dst, rnic::NodeId requester,
-                  sim::SimTime on_wire);
-
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }
 
@@ -212,10 +190,7 @@ class FaultInjector {
   FaultPlan plan_;
   sim::Xoshiro256 rng_;
   FaultStats stats_;
-  // Chain key: (LinkId << 1) | reverse for link-keyed hops; the legacy
-  // pair entry point maps (src, dst) into a disjoint high range.  Both are
-  // bijective per directed link, so rekeying old pair-addressed campaigns
-  // onto link ids preserves every verdict sequence.
+  // Chain key: (LinkId << 1) | reverse — bijective per directed link.
   std::unordered_map<std::uint64_t, GeState> ge_;
 };
 

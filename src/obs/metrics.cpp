@@ -131,6 +131,45 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+void TimeSeries::merge_from(const TimeSeries& other) {
+  if (other.points_.empty()) return;
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+  std::stable_sort(
+      points_.begin(), points_.end(),
+      [](const TracePoint& a, const TracePoint& b) { return a.t < b.t; });
+}
+
+void RateSampler::merge_from(const RateSampler& other) {
+  if (other.bin_ != bin_) return;
+  if (other.bytes_per_bin_.size() > bytes_per_bin_.size()) {
+    bytes_per_bin_.resize(other.bytes_per_bin_.size(), 0);
+    ops_per_bin_.resize(other.ops_per_bin_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.bytes_per_bin_.size(); ++b) {
+    bytes_per_bin_[b] += other.bytes_per_bin_[b];
+    ops_per_bin_[b] += other.ops_per_bin_[b];
+  }
+}
+
 std::vector<double> TimeSeries::values_in(sim::SimTime from,
                                           sim::SimTime to) const {
   std::vector<double> out;
@@ -219,6 +258,24 @@ void MetricsRegistry::clear() {
   histograms_.clear();
   series_.clear();
   rates_.clear();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    get_or_create(counters_, key).merge_from(*c);
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    get_or_create(gauges_, key).merge_from(*g);
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    get_or_create(histograms_, key).merge_from(*h);
+  }
+  for (const auto& [key, s] : other.series_) {
+    get_or_create(series_, key).merge_from(*s);
+  }
+  for (const auto& [key, r] : other.rates_) {
+    get_or_create(rates_, key, r->bin_width()).merge_from(*r);
+  }
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -60,6 +60,7 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
+  void merge_from(const Counter& other) { value_ += other.value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -70,6 +71,8 @@ class Gauge {
   void set(double v) { value_ = v; }
   void add(double d) { value_ += d; }
   double value() const { return value_; }
+  // Last writer wins; merge order (shard order) decides ties.
+  void merge_from(const Gauge& other) { value_ = other.value_; }
 
  private:
   double value_ = 0;
@@ -92,6 +95,9 @@ class Histogram {
   double max() const { return count_ ? max_ : 0; }
   // Linear-interpolated quantile, q in [0, 1].
   double quantile(double q) const;
+  // Bucket-wise accumulate; exact because both sides share the fixed
+  // log-linear bucket layout.
+  void merge_from(const Histogram& other);
 
  private:
   static std::uint32_t bucket_of(double v);
@@ -123,6 +129,9 @@ class TimeSeries {
   std::vector<double> values_in(sim::SimTime from, sim::SimTime to) const;
   std::vector<double> values() const;
   void clear() { points_.clear(); }
+  // Append then re-sort by time (stable, so same-time points keep
+  // this-before-other order — merge in shard order for determinism).
+  void merge_from(const TimeSeries& other);
 
  private:
   std::vector<TracePoint> points_;
@@ -143,6 +152,10 @@ class RateSampler {
   std::vector<double> gbps_series() const;
   // Operations per second per bin.
   std::vector<double> ops_series() const;
+  // Bin-wise accumulate.  No-op when the bin widths disagree (the bins are
+  // not commensurable; the per-shard engine merge always matches widths
+  // because both sides recorded under the same instrument key).
+  void merge_from(const RateSampler& other);
 
  private:
   sim::SimDur bin_;
@@ -181,6 +194,13 @@ class MetricsRegistry {
 
   bool empty() const;
   void clear();
+
+  // Fold another registry into this one: counters and histograms
+  // accumulate, gauges take the other side's value, series interleave by
+  // time, rate bins add.  The windowed sim::Engine gives each shard a
+  // private registry and merges them here in shard order after every run,
+  // so multi-shard metric values match a single-shard run's.
+  void merge_from(const MetricsRegistry& other);
 
   // Deterministic flattened view for the harness CSV/JSON writers: cells
   // ordered by instrument key (std::map order), values formatted with

@@ -10,7 +10,7 @@ Testbed::Testbed(rnic::DeviceModel model, std::uint64_t seed,
 
 Testbed::Testbed(const rnic::DeviceProfile& profile, std::uint64_t seed,
                  std::size_t clients)
-    : model_(profile.model), rng_(seed), fabric_(sched_) {
+    : model_(profile.model), rng_(seed), fabric_(engine_) {
   rnic::Rnic* sdev = fabric_.add_device(profile, rng_.fork());
   server_ = std::make_unique<verbs::Context>(fabric_, sdev, "server");
   for (std::size_t i = 0; i < clients; ++i) {

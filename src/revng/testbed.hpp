@@ -7,6 +7,7 @@
 
 #include "fabric/fabric.hpp"
 #include "rnic/device_profile.hpp"
+#include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "verbs/context.hpp"
@@ -29,7 +30,12 @@ class Testbed {
   Testbed(const rnic::DeviceProfile& profile, std::uint64_t seed,
           std::size_t clients = 2);
 
-  sim::Scheduler& sched() { return sched_; }
+  // The testbed's engine runs in legacy mode (one shard, event-granular
+  // run calls): the two-to-four-host shape has nothing to parallelize, and
+  // legacy mode keeps every pre-engine figure byte-identical.  sched() is
+  // that single shard's scheduler.
+  sim::Engine& engine() { return engine_; }
+  sim::Scheduler& sched() { return engine_.legacy_scheduler(); }
   fabric::Fabric& fabric() { return fabric_; }
   rnic::DeviceModel model() const { return model_; }
   const rnic::DeviceProfile& profile() const {
@@ -70,7 +76,7 @@ class Testbed {
  private:
   rnic::DeviceModel model_;
   sim::Xoshiro256 rng_;
-  sim::Scheduler sched_;
+  sim::Engine engine_;
   fabric::Fabric fabric_;
   std::unique_ptr<verbs::Context> server_;
   std::vector<std::unique_ptr<verbs::Context>> clients_;

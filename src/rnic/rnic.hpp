@@ -79,6 +79,9 @@ class Rnic {
   TranslationUnit& translation() { return pipe_.translation().unit(); }
   // Direct stage access (tests, defense interposers).
   pipeline::Pipeline& pipe() { return pipe_; }
+  // The scheduler this device's internal events run on — its shard's, when
+  // the owning topology is built on a windowed sim::Engine.
+  sim::Scheduler& scheduler() { return sched_; }
 
   // Wired up by the owning fabric::Topology (see rnic/ports.hpp).
   void attach_fabric(FabricPort* port) { fabric_ = port; }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "sim/concurrency.hpp"
 
 namespace ragnar::scenario {
 
@@ -28,7 +29,9 @@ constexpr const char* kUsage =
     "  --jobs N      sweep worker threads (default: hardware concurrency;\n"
     "                results are bit-identical for any N)\n"
     "  --json F      dump harness trial reports as JSON to F\n"
-    "  --trace F     write a merged Chrome trace_event JSON to F\n";
+    "  --trace F     write a merged Chrome trace_event JSON to F\n"
+    "  --shards N    engine shards for engine-based scenarios (0 = scenario\n"
+    "                default; output is identical for any N >= 1)\n";
 
 void print_available(std::FILE* to) {
   std::fprintf(to, "available scenarios:\n");
@@ -90,6 +93,11 @@ bool parse_common_flag(int argc, char** argv, int* i, Options* opt,
     if (!numeric("--jobs", &v)) return false;
     opt->jobs = static_cast<std::size_t>(v);
     return true;
+  } else if (matches(arg, "--shards")) {
+    std::uint64_t v = 0;
+    if (!numeric("--shards", &v)) return false;
+    opt->shards = static_cast<std::size_t>(v);
+    return true;
   } else if (matches(arg, "--json")) {
     const char* v = value_of("--json");
     if (v == nullptr) return false;
@@ -124,6 +132,10 @@ std::string per_scenario_path(const std::string& path, const char* name) {
 int run_selected(const std::vector<const Scenario*>& selected,
                  const Options& opt) {
   if (!opt.trace_path.empty()) arm_process_trace(opt.trace_path);
+  // One process-wide thread budget, seeded from --jobs: sweeps and engine
+  // shard pools lease from it instead of each sizing against the hardware.
+  sim::ConcurrencyBudget::instance().set_total(
+      static_cast<unsigned>(opt.jobs));
   int rc = 0;
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const Scenario* s = selected[i];
@@ -257,6 +269,8 @@ int run_compat(const char* scenario_name, int argc, char** argv) {
     return 2;
   }
   if (!opt.trace_path.empty()) arm_process_trace(opt.trace_path);
+  sim::ConcurrencyBudget::instance().set_total(
+      static_cast<unsigned>(opt.jobs));
   ScenarioContext ctx(opt);
   return s->run(ctx);
 }

@@ -40,6 +40,9 @@ bool parse_u64_strict(const char* text, std::uint64_t* out);
 //                 trace_event JSON (chrome://tracing / ui.perfetto.dev) to F.
 //                 Without it no obs::Hub exists anywhere, so stdout/CSV
 //                 output is byte-identical to a build without obs.
+//   --shards N    engine shards for scenarios that build on sim::Engine
+//                 (0 = the scenario's default; windowed output is identical
+//                 for any N >= 1 per the determinism contract)
 struct Options {
   std::uint64_t seed = 2024;
   bool full = false;
@@ -47,6 +50,7 @@ struct Options {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string json_path;
   std::string trace_path;  // non-empty = observability armed
+  std::size_t shards = 0;  // 0 = scenario default
 };
 
 // Handed to Scenario::run: the options plus the shared output glue.  The
@@ -59,7 +63,8 @@ class ScenarioContext {
         csv_dir(opt.csv_dir),
         jobs(opt.jobs),
         json_path(opt.json_path),
-        trace_path(opt.trace_path) {}
+        trace_path(opt.trace_path),
+        shards(opt.shards) {}
 
   std::uint64_t seed;
   bool full;
@@ -67,6 +72,7 @@ class ScenarioContext {
   std::size_t jobs;
   std::string json_path;
   std::string trace_path;
+  std::size_t shards;
 
   // The standard reproduction header every scenario prints first.
   void header(const char* experiment, const char* paper_ref) const;

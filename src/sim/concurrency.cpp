@@ -1,0 +1,64 @@
+#include "sim/concurrency.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ragnar::sim {
+
+ConcurrencyBudget& ConcurrencyBudget::instance() {
+  static ConcurrencyBudget budget;
+  return budget;
+}
+
+namespace {
+unsigned hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+void ConcurrencyBudget::set_total(unsigned total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = total;
+}
+
+unsigned ConcurrencyBudget::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ == 0 ? hardware_jobs() : total_;
+}
+
+ConcurrencyBudget::Lease ConcurrencyBudget::acquire(unsigned want,
+                                                    bool exact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const unsigned cap = total_ == 0 ? hardware_jobs() : total_;
+  if (want == 0) {
+    want = cap;
+    exact = false;
+  }
+  const unsigned avail = cap > leased_ ? cap - leased_ : 0;
+  // Grant at least 1 (serial floor); only the surplus above 1 is charged,
+  // matching the "budget counts extra workers" contract in the header.
+  // Exact requests skip the cap but are charged all the same, so implicit
+  // pools nested under them still degrade.
+  const unsigned grant = std::max(1u, exact ? want : std::min(want, avail));
+  leased_ += grant > 1 ? grant : 0;
+  return Lease(this, grant);
+}
+
+unsigned ConcurrencyBudget::leased() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leased_;
+}
+
+void ConcurrencyBudget::give_back(unsigned n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  leased_ -= std::min(leased_, n);
+}
+
+void ConcurrencyBudget::Lease::release() {
+  if (budget_ != nullptr && workers_ > 1) budget_->give_back(workers_);
+  budget_ = nullptr;
+  workers_ = 0;
+}
+
+}  // namespace ragnar::sim

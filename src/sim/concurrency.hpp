@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+// The process-wide thread budget (docs/ENGINE.md §5).
+//
+// Before this existed the repo had two independent thread pools — the sweep
+// harness (`SweepRunner --jobs`) and the `ragnar run-all --jobs` driver —
+// each sizing itself against hardware_concurrency().  Adding engine shards
+// as a third axis would let nested parallelism (run-all jobs × sweep jobs ×
+// shard workers) oversubscribe the machine multiplicatively.  Every
+// component that spawns worker threads now leases them from this single
+// budget instead:
+//
+//   * the CLI seeds the budget once from --jobs (0 = hardware concurrency);
+//   * SweepRunner and sim::Engine acquire() the parallelism they *want* and
+//     run with the (possibly smaller) grant;
+//   * acquire() never blocks and always grants at least 1 — a component can
+//     always make progress serially, so nesting cannot deadlock, only
+//     degrade toward serial execution.
+//
+// The budget counts *extra* worker threads, not callers: a lease of n means
+// "run n-way parallel", of which n-1 are new threads (the caller's own
+// thread is the first worker).  Releasing is RAII via Lease.
+namespace ragnar::sim {
+
+class ConcurrencyBudget {
+ public:
+  // The one process-wide budget.
+  static ConcurrencyBudget& instance();
+
+  // Cap the total parallelism.  0 restores the default (hardware
+  // concurrency).  Existing leases are unaffected.
+  void set_total(unsigned total);
+  unsigned total() const;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { swap(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      release();
+      swap(o);
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    // Granted parallelism, >= 1.  (1 == run serially on the caller.)
+    unsigned workers() const { return workers_ == 0 ? 1 : workers_; }
+    void release();
+
+   private:
+    friend class ConcurrencyBudget;
+    Lease(ConcurrencyBudget* b, unsigned w) : budget_(b), workers_(w) {}
+    void swap(Lease& o) noexcept {
+      std::swap(budget_, o.budget_);
+      std::swap(workers_, o.workers_);
+    }
+    ConcurrencyBudget* budget_ = nullptr;
+    unsigned workers_ = 0;
+  };
+
+  // Lease up to `want` workers (want == 0 asks for the full budget).  Never
+  // blocks; grants at least 1 even when the budget is exhausted, so nested
+  // consumers degrade to serial instead of deadlocking.
+  //
+  // `exact` marks an explicit user demand (a literal --jobs value): the
+  // grant is `want` even beyond the cap.  Results are bit-identical for
+  // any worker count everywhere in this codebase, so oversubscribing the
+  // machine is the user's call to make — the cap exists to stop *implicit*
+  // pools from multiplying, not to second-guess a flag.
+  Lease acquire(unsigned want, bool exact = false);
+
+  // Currently leased workers (tests / introspection).
+  unsigned leased() const;
+
+ private:
+  ConcurrencyBudget() = default;
+  void give_back(unsigned n);
+
+  mutable std::mutex mu_;
+  unsigned total_ = 0;  // 0 = hardware concurrency, resolved lazily
+  unsigned leased_ = 0;
+};
+
+}  // namespace ragnar::sim

@@ -1,0 +1,258 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "sim/coro.hpp"
+
+namespace ragnar::sim {
+
+thread_local Engine::ExecContext Engine::t_exec;
+
+Engine::Engine(const Options& opts)
+    : windowed_(opts.shards > 0),
+      lookahead_(std::max<SimDur>(1, opts.max_lookahead)) {
+  const std::uint32_t n = windowed_ ? opts.shards : 1;
+  shards_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+    shards_.back()->out.reset(n);
+  }
+  if (windowed_ && n > 1) {
+    lease_ = ConcurrencyBudget::instance().acquire(n);
+    workers_ = std::min<unsigned>(lease_.workers(), n);
+  }
+}
+
+Engine::~Engine() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_.store(true, std::memory_order_release);
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+SimTime Engine::now() const {
+  // Between run calls every shard clock agrees (run_windows advances all of
+  // them to the same bound); shard 0 speaks for the engine.
+  return shards_[0]->sched.now();
+}
+
+SimTime Engine::local_now() const {
+  return t_exec.state != nullptr ? t_exec.state->sched.now() : now();
+}
+
+ShardId Engine::current_shard() const { return t_exec.id; }
+
+void Engine::spawn(Task actor, ShardId s) {
+  shards_[s]->sched.spawn(std::move(actor));
+}
+
+void Engine::post(ShardId to, SimTime t, std::uint64_t origin,
+                  std::function<void()> cb) {
+  ShardState* cur = t_exec.state;
+  if (!windowed_ || cur == nullptr) {
+    // Legacy mode, or coordinator code running between windows: schedule
+    // straight into the destination queue (deterministic — one thread).
+    shards_[to]->sched.at(t, std::move(cb));
+    return;
+  }
+  if (t <= window_upto_) {
+    std::fprintf(stderr,
+                 "sim::Engine: lookahead violation — post for t=%llu inside "
+                 "window ending at %llu (lookahead %llu ps). A model path "
+                 "bypassed the fabric's latency floor.\n",
+                 static_cast<unsigned long long>(t),
+                 static_cast<unsigned long long>(window_upto_),
+                 static_cast<unsigned long long>(lookahead_));
+    std::abort();
+  }
+  cur->out.push(to, t, origin, std::move(cb));
+}
+
+void Engine::constrain_lookahead(SimDur lat) {
+  lookahead_ = std::max<SimDur>(1, std::min(lookahead_, lat));
+}
+
+void Engine::run_until(SimTime t) {
+  if (!windowed_) {
+    legacy_scheduler().run_until(t);
+    return;
+  }
+  run_windows(t, true, nullptr);
+}
+
+void Engine::run_until(const std::function<bool()>& done) {
+  run_while([&done] { return !done(); });
+}
+
+void Engine::run_while(const std::function<bool()>& pred) {
+  if (!windowed_) {
+    legacy_scheduler().run_while(pred);
+    return;
+  }
+  run_windows(0, false, &pred);
+}
+
+void Engine::run_until_idle() {
+  if (!windowed_) {
+    legacy_scheduler().run_until_idle();
+    return;
+  }
+  run_windows(0, false, nullptr);
+}
+
+std::uint64_t Engine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sched.events_processed();
+  return total;
+}
+
+void Engine::run_windows(SimTime bound, bool bounded,
+                         const std::function<bool()>* pred) {
+  record_obs_ = obs::current() != nullptr;
+  if (record_obs_) arm_shard_hubs();
+  for (;;) {
+    drain_all_mail();
+    if (pred != nullptr && !(*pred)()) break;
+    SimTime t_min = 0;
+    if (!earliest_event(&t_min)) break;
+    if (bounded && t_min > bound) break;
+    // Window [t_min, t_min + L): inclusive end, saturating on overflow.
+    SimTime upto = t_min + (lookahead_ - 1);
+    if (upto < t_min) upto = ~SimTime{0};
+    if (bounded && upto > bound) upto = bound;
+    exec_window(upto);
+    ++windows_;
+  }
+  if (bounded) {
+    // No events <= bound remain anywhere; advance every clock to the bound
+    // so now() is well-defined and equal across shards.
+    for (auto& s : shards_) s->sched.run_until(bound);
+  }
+  if (record_obs_) merge_shard_metrics();
+}
+
+void Engine::drain_all_mail() {
+  const std::uint32_t n = shard_count();
+  for (std::uint32_t dest = 0; dest < n; ++dest) {
+    drain_scratch_.clear();
+    for (auto& src : shards_) {
+      auto& row = src->out.row(dest);
+      for (MailSlot& slot : row) drain_scratch_.push_back(std::move(slot));
+      row.clear();
+    }
+    std::stable_sort(drain_scratch_.begin(), drain_scratch_.end(),
+                     [](const MailSlot& a, const MailSlot& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.origin < b.origin;
+                     });
+    mail_delivered_ += drain_scratch_.size();
+    Scheduler& sched = shards_[dest]->sched;
+    for (MailSlot& slot : drain_scratch_) {
+      sched.at(slot.at, std::move(slot.cb));
+    }
+  }
+  drain_scratch_.clear();
+}
+
+bool Engine::earliest_event(SimTime* t) const {
+  bool any = false;
+  SimTime best = ~SimTime{0};
+  for (const auto& s : shards_) {
+    if (s->sched.pending() == 0) continue;
+    best = std::min(best, s->sched.next_event_time());
+    any = true;
+  }
+  *t = best;
+  return any;
+}
+
+void Engine::exec_window(SimTime upto) {
+  window_upto_ = upto;
+  if (workers_ <= 1 || serial_windows_) {
+    for (ShardId s = 0; s < shard_count(); ++s) exec_shard_window(s, upto);
+    return;
+  }
+  start_workers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.store(0, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+  }
+  cv_work_.notify_all();
+  run_worker_share(0, upto);
+  // Spin-wait for the other workers; windows are short and frequent, and
+  // the workers finish the moment their shards drain.
+  const unsigned expect = workers_ - 1;
+  while (done_.load(std::memory_order_acquire) != expect) {
+    std::this_thread::yield();
+  }
+}
+
+void Engine::exec_shard_window(ShardId s, SimTime upto) {
+  ShardState& st = *shards_[s];
+  t_exec.state = &st;
+  t_exec.id = s;
+  obs::Hub* prev = nullptr;
+  if (record_obs_) prev = obs::install(st.hub.get());
+  st.sched.run_until(upto);
+  if (record_obs_) obs::install(prev);
+  t_exec.state = nullptr;
+  t_exec.id = kNoShard;
+}
+
+void Engine::run_worker_share(unsigned worker_id, SimTime upto) {
+  for (ShardId s = worker_id; s < shard_count(); s += workers_) {
+    exec_shard_window(s, upto);
+  }
+}
+
+void Engine::start_workers() {
+  if (!threads_.empty()) return;
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void Engine::worker_main(unsigned worker_id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return gen_.load(std::memory_order_acquire) != seen ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = gen_.load(std::memory_order_acquire);
+    run_worker_share(worker_id, window_upto_);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Engine::arm_shard_hubs() {
+  for (auto& s : shards_) {
+    if (s->hub == nullptr) s->hub = std::make_unique<obs::Hub>();
+  }
+}
+
+void Engine::merge_shard_metrics() {
+  obs::Hub* parent = obs::current();
+  if (parent == nullptr) return;
+  for (auto& s : shards_) {
+    if (s->hub == nullptr) continue;
+    parent->metrics().merge_from(s->hub->metrics());
+    s->hub->metrics().clear();
+  }
+}
+
+}  // namespace ragnar::sim

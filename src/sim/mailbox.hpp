@@ -1,0 +1,86 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Cross-shard mail for the windowed engine (docs/ENGINE.md §3).
+//
+// During a window, each shard appends every engine-mediated event it
+// generates to its own outbox row — one slot vector per destination shard.
+// A row is written by exactly one thread (the worker executing that shard)
+// and drained by the coordinator after the window barrier, so the handoff
+// needs no locks and no per-slot atomics: the barrier's release/acquire
+// edge is the only synchronization, the mailbox itself is plain memory
+// with a single writer per window.
+//
+// Determinism does not come from the drain *visit* order but from an
+// explicit shard-independent sort key.  Every slot carries the origin key
+// of the node that generated it (plus its push position within that
+// origin, implicit in vector order); the drain concatenates all source
+// rows for a destination and stable-sorts by (time, origin).  Because an
+// origin node lives on exactly one shard, the stable sort yields one total
+// order that is a pure function of the event content — the same order
+// whether the topology ran on 1 shard or 16.  See docs/ENGINE.md for why
+// push order alone (the naive per-pair FIFO) is *not* shard-count
+// invariant when two events tie on the timestamp.
+namespace ragnar::sim {
+
+struct MailSlot {
+  SimTime at = 0;
+  std::uint64_t origin = 0;  // shard-independent generator key (node id)
+  std::function<void()> cb;
+};
+
+// One shard's outgoing mail: row per destination shard.
+class Outbox {
+ public:
+  void reset(std::uint32_t shard_count) {
+    rows_.clear();
+    rows_.resize(shard_count);
+  }
+
+  void push(std::uint32_t dest, SimTime at, std::uint64_t origin,
+            std::function<void()> cb) {
+    rows_[dest].push_back(MailSlot{at, origin, std::move(cb)});
+  }
+
+  std::vector<MailSlot>& row(std::uint32_t dest) { return rows_[dest]; }
+  const std::vector<MailSlot>& row(std::uint32_t dest) const {
+    return rows_[dest];
+  }
+
+  bool empty() const {
+    for (const auto& r : rows_) {
+      if (!r.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<MailSlot>> rows_;
+};
+
+// Collect every source's row for destination `dest` into `scratch` in the
+// canonical order: concatenate by source shard, then stable-sort by
+// (time, origin).  Clears the drained rows.
+template <typename OutboxRange>
+void drain_mail_for(OutboxRange& outboxes, std::uint32_t dest,
+                    std::vector<MailSlot>& scratch) {
+  scratch.clear();
+  for (auto& box : outboxes) {
+    auto& row = box.row(dest);
+    for (MailSlot& slot : row) scratch.push_back(std::move(slot));
+    row.clear();
+  }
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const MailSlot& a, const MailSlot& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.origin < b.origin;
+                   });
+}
+
+}  // namespace ragnar::sim

@@ -40,6 +40,9 @@ class Scheduler {
   void run_while(const std::function<bool()>& pred);
 
   std::size_t pending() const { return queue_.size(); }
+  // Timestamp of the earliest pending event (precondition: pending() > 0).
+  // The windowed engine reads this to pick the next window floor.
+  SimTime next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
   // --- coroutine support -------------------------------------------------

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Per-shard accounting slots, the raikv idiom (see ROADMAP: injinj__raikv's
+// per-context stat counters): instead of sharing one counter array across
+// threads — which would need atomics on the hot path and ping-pong cache
+// lines — every shard owns a private row and readers fold the rows on
+// demand.  Rows are padded out to cache-line multiples so two shards never
+// write the same line.  Writes are plain stores (each row has exactly one
+// writing thread per window); folds happen on the coordinator after a
+// barrier, so no fences are needed beyond the barrier's own.
+namespace ragnar::sim {
+
+template <typename T>
+class PerShardSlots {
+ public:
+  static constexpr std::size_t kCacheLine = 64;
+
+  PerShardSlots() { reset(1, 0); }
+
+  // Reconfigure to `shards` rows of `slots` entries, zeroing everything.
+  void reset(std::uint32_t shards, std::size_t slots) {
+    shards_ = shards == 0 ? 1 : shards;
+    slots_ = slots;
+    stride_ = round_up(slots == 0 ? 1 : slots);
+    data_.assign(static_cast<std::size_t>(shards_) * stride_, T{});
+  }
+
+  // Grow the per-row slot count, preserving existing values (topology
+  // construction adds links one at a time; this is never on a hot path).
+  void resize_slots(std::size_t slots) {
+    if (slots <= slots_) {
+      slots_ = slots;
+      return;
+    }
+    const std::size_t new_stride = round_up(slots);
+    if (new_stride != stride_) {
+      std::vector<T> grown(static_cast<std::size_t>(shards_) * new_stride,
+                           T{});
+      for (std::uint32_t s = 0; s < shards_; ++s) {
+        for (std::size_t i = 0; i < slots_; ++i) {
+          grown[s * new_stride + i] = data_[s * stride_ + i];
+        }
+      }
+      data_ = std::move(grown);
+      stride_ = new_stride;
+    }
+    slots_ = slots;
+  }
+
+  std::uint32_t shards() const { return shards_; }
+  std::size_t slots() const { return slots_; }
+
+  T& at(std::uint32_t shard, std::size_t slot) {
+    return data_[static_cast<std::size_t>(shard) * stride_ + slot];
+  }
+  const T& at(std::uint32_t shard, std::size_t slot) const {
+    return data_[static_cast<std::size_t>(shard) * stride_ + slot];
+  }
+
+  // Fold one slot across every shard's row.
+  T sum(std::size_t slot) const {
+    T acc{};
+    for (std::uint32_t s = 0; s < shards_; ++s) acc += at(s, slot);
+    return acc;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t slots) {
+    const std::size_t per_line = kCacheLine / sizeof(T) ? kCacheLine / sizeof(T) : 1;
+    return ((slots + per_line - 1) / per_line) * per_line;
+  }
+
+  std::uint32_t shards_ = 1;
+  std::size_t slots_ = 0;
+  std::size_t stride_ = 1;
+  std::vector<T> data_;
+};
+
+}  // namespace ragnar::sim

@@ -62,7 +62,7 @@ class Context final : public rnic::RecvSink {
 
   const std::string& name() const { return name_; }
   rnic::Rnic& device() { return *device_; }
-  sim::Scheduler& scheduler() { return fabric_.scheduler(); }
+  sim::Scheduler& scheduler() { return device_->scheduler(); }
   fabric::Topology& fabric() { return fabric_; }
 
   std::unique_ptr<ProtectionDomain> alloc_pd();

@@ -16,10 +16,17 @@ namespace {
 // FaultInjector unit tests
 // ---------------------------------------------------------------------------
 
+LinkHop hop(LinkId link, bool reverse = false) {
+  LinkHop h;
+  h.link = link;
+  h.reverse = reverse;
+  return h;
+}
+
 TEST(FaultInjector, DisabledPlanDeliversEverything) {
   FaultInjector inj{FaultPlan{}};
   for (int i = 0; i < 100; ++i) {
-    const Decision d = inj.decide(0, 1, 0, sim::us(i));
+    const Decision d = inj.decide(hop(0), 0, sim::us(i));
     EXPECT_EQ(d.verdict, Verdict::kDeliver);
     EXPECT_EQ(d.extra_delay, 0);
   }
@@ -32,8 +39,8 @@ TEST(FaultInjector, SameSeedYieldsSameVerdicts) {
   FaultInjector a{plan}, b{plan};
   for (int i = 0; i < 5000; ++i) {
     const sim::SimTime t = sim::us(i);
-    EXPECT_EQ(static_cast<int>(a.decide(0, 1, 0, t).verdict),
-              static_cast<int>(b.decide(0, 1, 0, t).verdict))
+    EXPECT_EQ(static_cast<int>(a.decide(hop(0), 0, t).verdict),
+              static_cast<int>(b.decide(hop(0), 0, t).verdict))
         << "diverged at message " << i;
   }
   EXPECT_EQ(a.stats().dropped, b.stats().dropped);
@@ -42,7 +49,7 @@ TEST(FaultInjector, SameSeedYieldsSameVerdicts) {
 
 TEST(FaultInjector, UniformLossHitsConfiguredRate) {
   FaultInjector inj{FaultPlan::uniform_loss(0.3, 7)};
-  for (int i = 0; i < 10000; ++i) inj.decide(0, 1, 0, sim::us(i));
+  for (int i = 0; i < 10000; ++i) inj.decide(hop(0), 0, sim::us(i));
   EXPECT_NEAR(inj.stats().loss_rate(), 0.3, 0.03);
 }
 
@@ -54,7 +61,7 @@ TEST(FaultInjector, GilbertElliottLossComesInBursts) {
   auto max_drop_run = [&](FaultInjector& inj) {
     int run = 0, best = 0;
     for (int i = 0; i < kMsgs; ++i) {
-      if (inj.decide(0, 1, 0, sim::us(i)).verdict != Verdict::kDeliver) {
+      if (inj.decide(hop(0), 0, sim::us(i)).verdict != Verdict::kDeliver) {
         best = std::max(best, ++run);
       } else {
         run = 0;
@@ -77,10 +84,10 @@ TEST(FaultInjector, FlapWindowIsDeterministic) {
   plan.enabled = true;
   plan.flaps.push_back({sim::us(10), sim::us(20)});
   FaultInjector inj{plan};
-  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(5)).verdict, Verdict::kDeliver);
-  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(10)).verdict, Verdict::kFlapDrop);
-  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(15)).verdict, Verdict::kFlapDrop);
-  EXPECT_EQ(inj.decide(0, 1, 0, sim::us(20)).verdict, Verdict::kDeliver);
+  EXPECT_EQ(inj.decide(hop(0), 0, sim::us(5)).verdict, Verdict::kDeliver);
+  EXPECT_EQ(inj.decide(hop(0), 0, sim::us(10)).verdict, Verdict::kFlapDrop);
+  EXPECT_EQ(inj.decide(hop(0), 0, sim::us(15)).verdict, Verdict::kFlapDrop);
+  EXPECT_EQ(inj.decide(hop(0), 0, sim::us(20)).verdict, Verdict::kDeliver);
   EXPECT_EQ(inj.stats().flap_dropped, 2u);
 }
 
@@ -89,9 +96,9 @@ TEST(FaultInjector, TenantScopingSparesBystanders) {
   plan.scoped_tenants = {3};
   FaultInjector inj{plan};
   for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(inj.decide(0, 1, /*requester=*/3, sim::us(i)).verdict,
+    EXPECT_EQ(inj.decide(hop(0), /*requester=*/3, sim::us(i)).verdict,
               Verdict::kDrop);
-    EXPECT_EQ(inj.decide(0, 1, /*requester=*/2, sim::us(i)).verdict,
+    EXPECT_EQ(inj.decide(hop(0), /*requester=*/2, sim::us(i)).verdict,
               Verdict::kDeliver);
   }
   EXPECT_EQ(inj.stats().dropped, 20u);
@@ -99,104 +106,69 @@ TEST(FaultInjector, TenantScopingSparesBystanders) {
 }
 
 // ---------------------------------------------------------------------------
-// LinkId rekey round trip: campaigns written against the deprecated
-// (src, dst) pair API and the same campaigns rekeyed onto LinkHop must
-// produce identical verdict sequences — both keyings are bijective per
-// directed link and draw from the shared RNG stream in call order.
+// LinkId keying: overrides and Gilbert-Elliott chains address physical
+// hops, not endpoint pairs.
 // ---------------------------------------------------------------------------
 
-TEST(FaultInjectorRekey, LinkKeyedVerdictsMatchPairKeyed) {
-  const FaultPlan plan = FaultPlan::bursty_loss(0.10, sim::us(500), 42);
-  FaultInjector pair_keyed{plan}, link_keyed{plan};
-  LinkHop hop;
-  hop.link = 5;
-  hop.reverse = false;
-  hop.src = 0;
-  hop.dst = 1;
-  for (int i = 0; i < 5000; ++i) {
-    const sim::SimTime t = sim::us(i);
-    EXPECT_EQ(static_cast<int>(pair_keyed.decide(0, 1, 0, t).verdict),
-              static_cast<int>(link_keyed.decide(hop, 0, t).verdict))
-        << "diverged at message " << i;
-  }
-  EXPECT_EQ(pair_keyed.stats().dropped, link_keyed.stats().dropped);
-  EXPECT_EQ(pair_keyed.stats().delivered, link_keyed.stats().delivered);
-  EXPECT_EQ(pair_keyed.stats().ge_bad_steps, link_keyed.stats().ge_bad_steps);
-}
-
-TEST(FaultInjectorRekey, DirectionsKeepIndependentChains) {
-  // Alternating forward/reverse traversals (requests and replies of one
-  // link) advance two separate Gilbert-Elliott chains under both keyings.
-  const FaultPlan plan = FaultPlan::bursty_loss(0.15, sim::us(200), 9);
-  FaultInjector pair_keyed{plan}, link_keyed{plan};
-  LinkHop fwd, rev;
-  fwd.link = rev.link = 3;
-  fwd.reverse = false;
-  rev.reverse = true;
-  fwd.src = rev.dst = 0;
-  fwd.dst = rev.src = 1;
-  for (int i = 0; i < 4000; ++i) {
-    const sim::SimTime t = sim::us(i);
-    const bool forward = (i % 2) == 0;
-    const Decision p = forward ? pair_keyed.decide(0, 1, 0, t)
-                               : pair_keyed.decide(1, 0, 0, t);
-    const Decision l = link_keyed.decide(forward ? fwd : rev, 0, t);
-    EXPECT_EQ(static_cast<int>(p.verdict), static_cast<int>(l.verdict))
-        << "diverged at message " << i;
-  }
-  EXPECT_EQ(pair_keyed.stats().dropped, link_keyed.stats().dropped);
-  EXPECT_EQ(pair_keyed.stats().ge_steps, link_keyed.stats().ge_steps);
-}
-
-TEST(FaultInjectorRekey, LinkOverrideTakesPrecedenceOverPairOverride) {
+TEST(FaultInjectorLinks, DirectionsKeepIndependentChains) {
+  // The two directions of one link (requests and replies) are separate
+  // Gilbert-Elliott chains.  With an absorbing good state each chain's
+  // step count advances on its own first consultation, and re-consulting
+  // the same direction at the same time adds nothing.
   FaultPlan plan;
   plan.enabled = true;
-  LinkOverride po;
-  po.src = 0;
-  po.dst = 1;
-  po.drop_p = 0.0;  // pair override says deliver
-  plan.link_overrides.push_back(po);
+  plan.gilbert = true;
+  plan.ge_p_good_to_bad = 0;  // absorbing good state: no RNG noise
+  plan.ge_loss_good = 0;
+  FaultInjector inj{plan};
+
+  EXPECT_EQ(inj.decide(hop(3, false), 0, sim::us(5)).verdict,
+            Verdict::kDeliver);
+  EXPECT_EQ(inj.stats().ge_steps, 5u);
+  EXPECT_EQ(inj.decide(hop(3, true), 0, sim::us(5)).verdict,
+            Verdict::kDeliver);
+  // The reverse chain advanced its own 5 steps — it did not share the
+  // forward chain's clock.
+  EXPECT_EQ(inj.stats().ge_steps, 10u);
+  // Same direction, same time: the chain is already at us(5); no advance.
+  EXPECT_EQ(inj.decide(hop(3, false), 0, sim::us(5)).verdict,
+            Verdict::kDeliver);
+  EXPECT_EQ(inj.stats().ge_steps, 10u);
+}
+
+TEST(FaultInjectorLinks, LinkOverrideAppliesOnlyToItsLink) {
+  FaultPlan plan;
+  plan.enabled = true;  // defaults: no loss anywhere
   LinkFaultOverride lo;
   lo.link = 4;
-  lo.drop_p = 1.0;  // link override says drop
+  lo.drop_p = 1.0;  // ... except link 4
   plan.link_fault_overrides.push_back(lo);
   FaultInjector inj{plan};
 
-  LinkHop on_four;
-  on_four.link = 4;
-  on_four.src = 0;
-  on_four.dst = 1;
-  LinkHop on_nine = on_four;
-  on_nine.link = 9;  // no link override: falls back to the pair override
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(inj.decide(on_four, 0, sim::us(i)).verdict, Verdict::kDrop);
-    EXPECT_EQ(inj.decide(on_nine, 0, sim::us(i)).verdict, Verdict::kDeliver);
+    EXPECT_EQ(inj.decide(hop(4), 0, sim::us(i)).verdict, Verdict::kDrop);
+    EXPECT_EQ(inj.decide(hop(9), 0, sim::us(i)).verdict, Verdict::kDeliver);
   }
   EXPECT_EQ(inj.stats().dropped, 10u);
   EXPECT_EQ(inj.stats().delivered, 10u);
 }
 
-TEST(FaultInjectorRekey, SwitchAdjacentHopsNeverMatchPairOverrides) {
-  // Hops with switch endpoints carry kNoEndpoint: a pair-keyed campaign
-  // written for the legacy facade cannot accidentally hit the access or
-  // uplink hops of a switched path.
+TEST(FaultInjectorLinks, LinkOverrideOverridesPlanDefaults) {
   FaultPlan plan;
   plan.enabled = true;
-  LinkOverride po;
-  po.src = 0;
-  po.dst = 1;
-  po.drop_p = 1.0;
-  plan.link_overrides.push_back(po);
+  plan.drop_p = 1.0;  // default: drop everything
+  LinkFaultOverride lo;
+  lo.link = 4;
+  lo.drop_p = 0.0;  // ... except link 4, which is clean
+  plan.link_fault_overrides.push_back(lo);
   FaultInjector inj{plan};
 
-  LinkHop sw_hop;  // src/dst left at kNoEndpoint
-  sw_hop.link = 2;
-  EXPECT_EQ(inj.decide(sw_hop, 0, sim::us(1)).verdict, Verdict::kDeliver);
-  LinkHop direct_hop;
-  direct_hop.link = 0;
-  direct_hop.src = 0;
-  direct_hop.dst = 1;
-  EXPECT_EQ(inj.decide(direct_hop, 0, sim::us(2)).verdict, Verdict::kDrop);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(inj.decide(hop(4), 0, sim::us(i)).verdict, Verdict::kDeliver);
+    EXPECT_EQ(inj.decide(hop(9), 0, sim::us(i)).verdict, Verdict::kDrop);
+  }
+  EXPECT_EQ(inj.stats().dropped, 10u);
+  EXPECT_EQ(inj.stats().delivered, 10u);
 }
 
 TEST(FaultInjector, CorruptionIsCountedSeparately) {
@@ -204,7 +176,7 @@ TEST(FaultInjector, CorruptionIsCountedSeparately) {
   plan.enabled = true;
   plan.corrupt_p = 1.0;
   FaultInjector inj{plan};
-  EXPECT_EQ(inj.decide(0, 1, 0, 0).verdict, Verdict::kCorrupt);
+  EXPECT_EQ(inj.decide(hop(0), 0, 0).verdict, Verdict::kCorrupt);
   EXPECT_EQ(inj.stats().corrupted, 1u);
   EXPECT_EQ(inj.stats().dropped, 0u);
   EXPECT_EQ(inj.stats().total_lost(), 1u);
@@ -217,7 +189,7 @@ TEST(FaultInjector, ReorderDelaysButDelivers) {
   plan.reorder_delay_max = sim::us(5);
   FaultInjector inj{plan};
   for (int i = 0; i < 50; ++i) {
-    const Decision d = inj.decide(0, 1, 0, sim::us(i));
+    const Decision d = inj.decide(hop(0), 0, sim::us(i));
     EXPECT_EQ(d.verdict, Verdict::kDeliver);
     EXPECT_LE(d.extra_delay, sim::us(5));
   }

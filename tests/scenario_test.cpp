@@ -27,6 +27,7 @@ int cli(std::initializer_list<const char*> argv_tail) {
 const char* const kFormerBinaries[] = {
     "cloud_bankrupt",
     "cloud_noisy_neighbor",
+    "cloud_scale",
     "fig04_priority_matrix",
     "fig05_uli_inter_mr",
     "fig06_offset_abs_64",
@@ -92,7 +93,7 @@ TEST(Cli, ListShowsEveryScenario) {
   for (const char* name : kFormerBinaries) {
     EXPECT_NE(out.find(name), std::string::npos) << name;
   }
-  EXPECT_NE(out.find("(28 scenarios)"), std::string::npos);
+  EXPECT_NE(out.find("(29 scenarios)"), std::string::npos);
 }
 
 TEST(Cli, UnknownScenarioFailsNonZeroAndListsNames) {
@@ -243,6 +244,31 @@ TEST(Cli, Fig04PriorityMatrixMatchesPreRefactorGolden) {
   testing::internal::GetCapturedStderr();
   EXPECT_EQ(rc, 0);
   EXPECT_EQ(out, kFig04QuickGolden);
+}
+
+// The engine determinism contract (docs/ENGINE.md §3): a windowed run's
+// stdout is byte-identical for any shard count.  --shards 1 is the
+// single-shard baseline; 3 deliberately mismatches the scenarios' rack
+// counts so nodes land on shards unevenly.
+TEST(Cli, WindowedCloudScenariosAreShardCountInvariant) {
+  for (const char* name :
+       {"cloud_bankrupt", "cloud_noisy_neighbor", "cloud_scale"}) {
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    const int rc1 = cli({"run", name, "--shards", "1"});
+    const std::string one = testing::internal::GetCapturedStdout();
+    testing::internal::GetCapturedStderr();
+    ASSERT_EQ(rc1, 0) << name;
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    const int rc3 = cli({"run", name, "--shards", "3"});
+    const std::string three = testing::internal::GetCapturedStdout();
+    testing::internal::GetCapturedStderr();
+    ASSERT_EQ(rc3, 0) << name;
+    EXPECT_NE(one.find("====="), std::string::npos)
+        << name << " produced no reproduction header";
+    EXPECT_EQ(one, three) << name << " diverged between 1 and 3 shards";
+  }
 }
 
 TEST(Cli, SeedChangesOutput) {
