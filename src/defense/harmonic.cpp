@@ -84,11 +84,12 @@ void HarmonicMonitor::tick() {
         cfg.tenant_caps_gbps[v.src] = enforce_gbps_;
         cfg_dirty = true;
         throttled_[v.src] = 0;
-      } else if (auto it = throttled_.find(v.src); it != throttled_.end()) {
-        if (++it->second >= clean_to_lift_) {
+      } else if (std::size_t* clean = throttled_.find(v.src);
+                 clean != nullptr) {
+        if (++*clean >= clean_to_lift_) {
           cfg.tenant_caps_gbps.erase(v.src);
           cfg_dirty = true;
-          throttled_.erase(it);
+          throttled_.erase(v.src);
         }
       }
     }

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "rnic/rnic.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -65,7 +65,7 @@ class HarmonicMonitor {
     clean_to_lift_ = clean_windows_to_lift;
   }
   bool currently_throttled(rnic::NodeId src) const {
-    return throttled_.count(src) > 0;
+    return throttled_.find(src) != nullptr;
   }
 
   // All verdicts, one row per (window, tenant).
@@ -88,7 +88,7 @@ class HarmonicMonitor {
   std::vector<TenantVerdict> verdicts_;
   double enforce_gbps_ = 0;
   std::size_t clean_to_lift_ = 3;
-  std::map<rnic::NodeId, std::size_t> throttled_;  // src -> clean windows seen
+  sim::FlatMap<rnic::NodeId, std::size_t> throttled_;  // src -> clean windows
 };
 
 }  // namespace ragnar::defense

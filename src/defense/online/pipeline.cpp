@@ -1,0 +1,96 @@
+#include "defense/online/pipeline.hpp"
+
+namespace ragnar::defense::online {
+
+OnlinePipeline::OnlinePipeline(OnlineConfig cfg) : cfg_(cfg) {}
+
+TenantState* OnlinePipeline::tenant(rnic::NodeId src) {
+  TenantState* st = tenants_.find(src);
+  if (st != nullptr) return st;
+  if (tenants_.size() >= cfg_.max_tenants) {
+    ++tenants_dropped_;
+    return nullptr;
+  }
+  return tenants_.try_emplace(src, cfg_).first;
+}
+
+void OnlinePipeline::consume(obs::StreamSink& sink) {
+  for (const obs::StreamSample& s :
+       sink.drain(obs::StreamChannel::kTenantMsg)) {
+    ++samples_consumed_;
+    const auto src = static_cast<rnic::NodeId>(s.key >> 8);
+    if (TenantState* st = tenant(src)) st->on_msg(s, cfg_);
+  }
+  for (const obs::StreamSample& s :
+       sink.drain(obs::StreamChannel::kTenantResource)) {
+    ++samples_consumed_;
+    const auto src = static_cast<rnic::NodeId>(s.key);
+    if (TenantState* st = tenant(src)) st->on_resource(s, cfg_);
+  }
+  // The remaining channels (stage dwell, switch queue/drops, PFC, QP
+  // retries) are drained so the rings stay fresh; today's detectors key off
+  // the admission channels, and the context features ride along for future
+  // consumers without another publish path.
+  for (const obs::StreamChannel ch :
+       {obs::StreamChannel::kStageDwell, obs::StreamChannel::kSwitchQueue,
+        obs::StreamChannel::kSwitchDrop, obs::StreamChannel::kPfcPause,
+        obs::StreamChannel::kQpRetry}) {
+    samples_consumed_ += sink.drain(ch).size();
+  }
+}
+
+std::vector<TenantScore> OnlinePipeline::scores() const {
+  std::vector<TenantScore> out;
+  out.reserve(tenants_.size());
+  for (const auto& [src, st] : tenants_) {
+    out.push_back(st.score(src, cfg_));
+  }
+  return out;
+}
+
+TenantScore OnlinePipeline::score(rnic::NodeId src) const {
+  const TenantState* st = tenants_.find(src);
+  if (st == nullptr) {
+    TenantScore empty;
+    empty.src = src;
+    return empty;
+  }
+  return st->score(src, cfg_);
+}
+
+std::uint64_t OnlinePipeline::stream_overflow() const {
+  std::uint64_t s = 0;
+  for (const auto& [src, st] : tenants_) s += st.stream_overflow();
+  return s;
+}
+
+std::uint64_t OnlinePipeline::resource_overflow() const {
+  std::uint64_t s = 0;
+  for (const auto& [src, st] : tenants_) s += st.resource_overflow();
+  return s;
+}
+
+std::size_t OnlinePipeline::footprint_bytes() const {
+  std::size_t s = sizeof(*this);
+  for (const auto& [src, st] : tenants_) {
+    s += sizeof(src) + st.footprint_bytes();
+  }
+  return s;
+}
+
+std::size_t OnlinePipeline::max_footprint_bytes() const {
+  // Worst case per tenant, every cap saturated.
+  const std::size_t ring = sizeof(obs::WindowedRate) +
+                           cfg_.bins * sizeof(double) + 64;  // slack
+  const std::size_t per_tenant =
+      sizeof(TenantState) +
+      cfg_.max_streams_per_tenant *
+          (sizeof(std::pair<std::uint32_t, obs::WindowedRate>) + ring) +
+      2 * cfg_.max_resources_per_tenant *
+          sizeof(std::pair<std::uint32_t, char>) +
+      2 * ring +                                   // byte + msg-rate signals
+      sizeof(obs::GkSketch) + cfg_.sketch_max_tuples * 3 * 24;  // tuples
+  return sizeof(*this) + cfg_.max_tenants * (per_tenant + 64);
+}
+
+}  // namespace ragnar::defense::online

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "defense/online/detectors.hpp"
+#include "obs/stream.hpp"
+#include "sim/flat_map.hpp"
+
+// The online defense pipeline: an incremental consumer of the streaming obs
+// backbone (docs/DEFENSE.md).  A scenario drives the simulation in chunks
+// and calls consume() between chunks; the pipeline drains the ambient
+// sink's channels into the per-tenant detectors and keeps running verdicts
+// available at any simulated time.  Total state is hard-capped by
+// OnlineConfig — max_footprint_bytes() is the provable bound the
+// million-message acceptance test asserts against.
+namespace ragnar::defense::online {
+
+class OnlinePipeline {
+ public:
+  explicit OnlinePipeline(OnlineConfig cfg = {});
+
+  // Drain every channel of `sink` and feed the detectors.  Samples the
+  // rings evicted before this call are gone (visible in the sink's drop
+  // counters) — consume frequently enough for the ring capacity, or size
+  // the rings for the chunk length.
+  void consume(obs::StreamSink& sink);
+
+  // Per-tenant verdicts, ascending tenant id.
+  std::vector<TenantScore> scores() const;
+  // Convenience: score for one tenant (default-constructed when unseen).
+  TenantScore score(rnic::NodeId src) const;
+
+  std::uint64_t samples_consumed() const { return samples_consumed_; }
+  // Tenants past max_tenants are never tracked; they count here.
+  std::uint64_t tenants_dropped() const { return tenants_dropped_; }
+  std::uint64_t stream_overflow() const;
+  std::uint64_t resource_overflow() const;
+
+  // Current heap footprint of all detector state.
+  std::size_t footprint_bytes() const;
+  // Configuration-derived hard bound on footprint_bytes(): what the state
+  // can grow to if every cap saturates.  Independent of message count.
+  std::size_t max_footprint_bytes() const;
+
+  const OnlineConfig& config() const { return cfg_; }
+
+ private:
+  TenantState* tenant(rnic::NodeId src);
+
+  OnlineConfig cfg_;
+  sim::FlatMap<rnic::NodeId, TenantState> tenants_;
+  std::uint64_t samples_consumed_ = 0;
+  std::uint64_t tenants_dropped_ = 0;
+};
+
+}  // namespace ragnar::defense::online

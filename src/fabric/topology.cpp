@@ -116,10 +116,17 @@ std::uint64_t Topology::link_bytes(LinkId id) const {
 void Topology::set_fault_plan(const faults::FaultPlan& plan) {
   injector_ =
       plan.active() ? std::make_unique<faults::FaultInjector>(plan) : nullptr;
-  // The injector draws from one RNG stream shared by every link, so
-  // parallel shard execution would make verdict order racy.  Serial windows
-  // keep an armed plan deterministic (at the cost of the parallel speedup).
-  if (engine_ != nullptr) engine_->set_serial_windows(injector_ != nullptr);
+  // Per-link plans pre-create every slot here so the hot path never inserts
+  // while shards run in parallel.
+  if (injector_ != nullptr) injector_->reserve_links(links_.size());
+  // A shared-stream plan draws from one RNG for every link, so parallel
+  // shard execution would make verdict order racy — it forces serial
+  // windows.  Per-link streams are consulted only from the shard that owns
+  // the hop's transmitting node, so they keep the parallel speedup.
+  if (engine_ != nullptr) {
+    engine_->set_serial_windows(injector_ != nullptr &&
+                                !injector_->plan().per_link_rng);
+  }
 }
 
 void Topology::schedule(NodeRef from, NodeRef to, sim::SimTime t,
@@ -330,6 +337,10 @@ sim::SimTime Topology::switch_egress(SwitchId sw, LinkId lk, int dir,
                    obs::LabelSet{{"switch", s.spec.name}})
           .add();
     }
+    if (obs::StreamSink* sink = obs::stream()) {
+      sink->publish(obs::StreamChannel::kSwitchDrop, t, sw, lk,
+                    static_cast<double>(bytes));
+    }
     if (obs::Tracer* tr = obs::tracer()) {
       tr->instant("fabric.switch", "buffer_drop", t,
                   {{"switch", s.spec.name}, {"link", std::to_string(lk)}});
@@ -354,6 +365,10 @@ sim::SimTime Topology::switch_egress(SwitchId sw, LinkId lk, int dir,
     reg->gauge("fabric.switch.buffer_bytes",
                obs::LabelSet{{"switch", s.spec.name}})
         .set(static_cast<double>(s.occupancy));
+  }
+  if (obs::StreamSink* sink = obs::stream()) {
+    sink->publish(obs::StreamChannel::kSwitchQueue, t, sw, lk,
+                  static_cast<double>(s.occupancy));
   }
   if (s.spec.pfc_xoff_bytes > 0 && s.occupancy >= s.spec.pfc_xoff_bytes) {
     assert_or_extend_pause(sw, t);
@@ -394,12 +409,20 @@ void Topology::assert_or_extend_pause(SwitchId sw_id, sim::SimTime now) {
                    obs::LabelSet{{"switch", s.spec.name}})
           .add();
     }
+    if (obs::StreamSink* sink = obs::stream()) {
+      sink->publish(obs::StreamChannel::kPfcPause, now, sw_id, 1,
+                    horizon > now ? sim::to_ns(horizon - now) : 0.0);
+    }
     if (obs::Tracer* tr = obs::tracer()) {
       tr->instant("fabric.pfc", "xoff", now, {{"switch", s.spec.name}});
     }
     propagate_pause(sw_id, now, horizon);
   } else if (horizon > s.pause_horizon) {
     s.pause_horizon = horizon;
+    if (obs::StreamSink* sink = obs::stream()) {
+      sink->publish(obs::StreamChannel::kPfcPause, now, sw_id, 0,
+                    horizon > now ? sim::to_ns(horizon - now) : 0.0);
+    }
     propagate_pause(sw_id, now, horizon);
   }
 }

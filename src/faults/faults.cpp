@@ -32,8 +32,49 @@ FaultPlan FaultPlan::bursty_loss(double target_loss, sim::SimDur mean_burst,
   return plan;
 }
 
+namespace {
+
+// SplitMix64 finalizer — full-avalanche mix of (plan seed, chain key) into
+// a per-link stream seed, so adjacent link ids get uncorrelated streams.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t chain_key) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (chain_key + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::reserve_links(std::size_t n_links) {
+  if (!plan_.per_link_rng) return;
+  slots_.reserve(2 * n_links + 2);
+  for (std::size_t i = 0; i < n_links; ++i) {
+    const std::uint64_t link = static_cast<std::uint64_t>(i) << 1;
+    slot_for(link);
+    slot_for(link | 1);
+  }
+  // decide() on a hop with no LinkId still keys a (shared) slot.
+  const std::uint64_t none = static_cast<std::uint64_t>(kNoLink) << 1;
+  slot_for(none);
+  slot_for(none | 1);
+}
+
+FaultInjector::LinkSlot& FaultInjector::slot_for(std::uint64_t chain_key) {
+  LinkSlot* s = slots_.find(chain_key);
+  if (s != nullptr) return *s;
+  // Insertion path: reached only before parallel execution (reserve_links)
+  // or from single-threaded standalone use — never on a parallel hot path.
+  return *slots_.try_emplace(chain_key, mix_seed(plan_.seed, chain_key)).first;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats out = stats_;
+  for (const auto& [key, slot] : slots_) out += slot.stats;
+  return out;
+}
 
 bool FaultInjector::in_scope(rnic::NodeId requester) const {
   if (plan_.scoped_tenants.empty()) return true;
@@ -41,7 +82,8 @@ bool FaultInjector::in_scope(rnic::NodeId requester) const {
                    requester) != plan_.scoped_tenants.end();
 }
 
-void FaultInjector::ge_advance(GeState& st, sim::SimTime now) {
+void FaultInjector::ge_advance(GeState& st, sim::Xoshiro256& rng,
+                               FaultStats& stats, sim::SimTime now) {
   // Same-step or out-of-order wire times reuse the current state (route()
   // computes departure times per message; they are not globally sorted).
   if (now <= st.last) return;
@@ -49,8 +91,8 @@ void FaultInjector::ge_advance(GeState& st, sim::SimTime now) {
       static_cast<std::uint64_t>((now - st.last) / plan_.ge_step);
   st.last += static_cast<sim::SimDur>(steps) * plan_.ge_step;
   const auto spend = [&](std::uint64_t n) {
-    stats_.ge_steps += n;
-    if (st.bad) stats_.ge_bad_steps += n;
+    stats.ge_steps += n;
+    if (st.bad) stats.ge_bad_steps += n;
   };
   while (steps > 0) {
     const double p_leave =
@@ -67,7 +109,7 @@ void FaultInjector::ge_advance(GeState& st, sim::SimTime now) {
     }
     // Sample the geometric sojourn (steps spent in the current state before
     // the next transition) directly — O(transitions), not O(steps).
-    const double u = rng_.uniform();
+    const double u = rng.uniform();
     const double raw = std::log1p(-u) / std::log1p(-p_leave);
     const std::uint64_t sojourn =
         1 + static_cast<std::uint64_t>(std::min(raw, 1e18));
@@ -101,16 +143,28 @@ Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
                                      const LinkHop& hop,
                                      rnic::NodeId requester,
                                      sim::SimTime on_wire) {
+  // Shared mode draws everything from the injector-wide stream; per-link
+  // mode confines every draw and every counter to this link's slot.
+  sim::Xoshiro256* rng = &rng_;
+  FaultStats* stats = &stats_;
+  GeState* ge = nullptr;
+  if (plan_.per_link_rng) {
+    LinkSlot& slot = slot_for(chain_key);
+    rng = &slot.rng;
+    stats = &slot.stats;
+    ge = &slot.ge;
+  }
+
   Decision d;
   if (!plan_.enabled || !in_scope(requester)) {
-    ++stats_.delivered;
+    ++stats->delivered;
     return d;
   }
 
   // Flap windows are deterministic (no RNG draw): a dead link drops
   // everything on the wire inside the window.
   if (in_flap(on_wire)) {
-    ++stats_.flap_dropped;
+    ++stats->flap_dropped;
     d.verdict = Verdict::kFlapDrop;
     return d;
   }
@@ -118,10 +172,10 @@ Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
   // Gilbert-Elliott chain: advance this link's chain to the message's wire
   // time, then apply the current state's loss probability.
   if (plan_.gilbert && plan_.ge_step > 0) {
-    GeState& st = ge_[chain_key];
-    ge_advance(st, on_wire);
-    if (rng_.bernoulli(st.bad ? plan_.ge_loss_bad : plan_.ge_loss_good)) {
-      ++stats_.dropped;
+    GeState& st = ge != nullptr ? *ge : ge_[chain_key];
+    ge_advance(st, *rng, *stats, on_wire);
+    if (rng->bernoulli(st.bad ? plan_.ge_loss_bad : plan_.ge_loss_good)) {
+      ++stats->dropped;
       d.verdict = Verdict::kDrop;
       return d;
     }
@@ -141,23 +195,23 @@ Decision FaultInjector::decide_keyed(std::uint64_t chain_key,
     }
   }
 
-  if (drop_p > 0 && rng_.bernoulli(drop_p)) {
-    ++stats_.dropped;
+  if (drop_p > 0 && rng->bernoulli(drop_p)) {
+    ++stats->dropped;
     d.verdict = Verdict::kDrop;
     return d;
   }
-  if (corrupt_p > 0 && rng_.bernoulli(corrupt_p)) {
+  if (corrupt_p > 0 && rng->bernoulli(corrupt_p)) {
     // ICRC failure: the receiving NIC discards the packet.
-    ++stats_.corrupted;
+    ++stats->corrupted;
     d.verdict = Verdict::kCorrupt;
     return d;
   }
-  if (reorder_p > 0 && rng_.bernoulli(reorder_p)) {
-    ++stats_.reordered;
+  if (reorder_p > 0 && rng->bernoulli(reorder_p)) {
+    ++stats->reordered;
     d.extra_delay = static_cast<sim::SimDur>(
-        rng_.uniform() * static_cast<double>(plan_.reorder_delay_max));
+        rng->uniform() * static_cast<double>(plan_.reorder_delay_max));
   }
-  ++stats_.delivered;
+  ++stats->delivered;
   return d;
 }
 

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "rnic/op.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -105,6 +105,17 @@ struct FaultPlan {
   // whose *requester* node is listed (replies to that requester included).
   std::vector<rnic::NodeId> scoped_tenants;
 
+  // Draw verdicts from an independent RNG stream per *directed link*
+  // (seeded from `seed` and the chain key) instead of one injector-wide
+  // stream.  Off by default: the shared stream is the historical behaviour
+  // and stays byte-identical.  With per-link streams every verdict depends
+  // only on (seed, link, that link's own message order) — and each directed
+  // link is only ever consulted from the shard that owns its transmitting
+  // node — so an armed plan no longer forces the engine into serial
+  // windows.  The two modes draw different random sequences: flipping this
+  // flag changes verdicts, not just their schedule.
+  bool per_link_rng = false;
+
   bool active() const { return enabled; }
 
   // Convenience factories for the common campaigns.  `mean_burst` is the
@@ -129,6 +140,17 @@ struct FaultStats {
   // during bursts), so the time fraction is reported separately.
   std::uint64_t ge_steps = 0;      // chain steps advanced (all links)
   std::uint64_t ge_bad_steps = 0;  // of those, steps spent in the bad state
+
+  FaultStats& operator+=(const FaultStats& o) {
+    delivered += o.delivered;
+    dropped += o.dropped;
+    corrupted += o.corrupted;
+    flap_dropped += o.flap_dropped;
+    reordered += o.reordered;
+    ge_steps += o.ge_steps;
+    ge_bad_steps += o.ge_bad_steps;
+    return *this;
+  }
 
   std::uint64_t total_lost() const { return dropped + corrupted + flap_dropped; }
   std::uint64_t total_seen() const { return delivered + total_lost(); }
@@ -170,8 +192,16 @@ class FaultInjector {
   Decision decide(const LinkHop& hop, rnic::NodeId requester,
                   sim::SimTime on_wire);
 
+  // Pre-create the per-link RNG slots for links [0, n_links) plus the
+  // kNoLink slot.  A per_link_rng plan consulted from parallel shards must
+  // never insert into the slot table on the hot path (insertion is the only
+  // cross-link mutation); Topology::set_fault_plan calls this at arm time.
+  // No-op for shared-stream plans.
+  void reserve_links(std::size_t n_links);
+
   const FaultPlan& plan() const { return plan_; }
-  const FaultStats& stats() const { return stats_; }
+  // Aggregated over the per-link slots when per_link_rng is set.
+  FaultStats stats() const;
 
  private:
   // Gilbert-Elliott state per directed link; `last` is the chain's position
@@ -181,17 +211,31 @@ class FaultInjector {
     sim::SimTime last = 0;
   };
 
+  // One directed link's private stream under per_link_rng: its own RNG,
+  // Gilbert-Elliott chain, and stats counters, so concurrent shards never
+  // touch another link's state.
+  struct LinkSlot {
+    explicit LinkSlot(std::uint64_t seed) : rng(seed) {}
+    sim::Xoshiro256 rng;
+    GeState ge;
+    FaultStats stats;
+  };
+
   bool in_scope(rnic::NodeId requester) const;
   bool in_flap(sim::SimTime on_wire) const;
-  void ge_advance(GeState& st, sim::SimTime now);
+  void ge_advance(GeState& st, sim::Xoshiro256& rng, FaultStats& stats,
+                  sim::SimTime now);
   Decision decide_keyed(std::uint64_t chain_key, const LinkHop& hop,
                         rnic::NodeId requester, sim::SimTime on_wire);
+  LinkSlot& slot_for(std::uint64_t chain_key);
 
   FaultPlan plan_;
   sim::Xoshiro256 rng_;
   FaultStats stats_;
   // Chain key: (LinkId << 1) | reverse — bijective per directed link.
-  std::unordered_map<std::uint64_t, GeState> ge_;
+  sim::FlatMap<std::uint64_t, GeState> ge_;
+  // per_link_rng mode only; same chain key.
+  sim::FlatMap<std::uint64_t, LinkSlot> slots_;
 };
 
 }  // namespace ragnar::faults

@@ -120,6 +120,9 @@ std::string SweepReport::write_csv(const std::string& dir,
   const bool any_faults =
       std::any_of(trials.begin(), trials.end(),
                   [](const TrialResult& t) { return t.faults_noted; });
+  const bool any_stream =
+      std::any_of(trials.begin(), trials.end(),
+                  [](const TrialResult& t) { return t.stream_noted; });
   const std::vector<std::string> mcols = metric_columns();
   std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
   if (any_faults) {
@@ -127,6 +130,7 @@ std::string SweepReport::write_csv(const std::string& dir,
                  ",delivered,injected_drops,retransmits,rnr_retries"
                  ",corrupted,flap_dropped,reordered,ge_steps,ge_bad_steps");
   }
+  if (any_stream) std::fprintf(f, ",stream_published,stream_dropped");
   for (const auto& [k, v] : trials.front().record.fields()) {
     std::fprintf(f, ",%s", csv_escape(k).c_str());
   }
@@ -144,6 +148,10 @@ std::string SweepReport::write_csv(const std::string& dir,
                    t.faults.corrupted, t.faults.flap_dropped,
                    t.faults.reordered, t.faults.ge_steps,
                    t.faults.ge_bad_steps);
+    }
+    if (any_stream) {
+      std::fprintf(f, ",%" PRIu64 ",%" PRIu64, t.stream_published,
+                   t.stream_dropped);
     }
     for (const auto& [k, v] : trials.front().record.fields()) {
       const std::string* mine = t.record.find(k);
@@ -182,6 +190,12 @@ void SweepReport::write_json(const std::string& path) const {
                    t.faults.corrupted, t.faults.flap_dropped,
                    t.faults.reordered, t.faults.ge_steps,
                    t.faults.ge_bad_steps);
+    }
+    if (t.stream_noted) {
+      std::fprintf(f,
+                   ", \"stream_published\": %" PRIu64
+                   ", \"stream_dropped\": %" PRIu64,
+                   t.stream_published, t.stream_dropped);
     }
     for (const auto& [k, v] : t.record.fields()) {
       std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),
@@ -252,6 +266,8 @@ SweepReport SweepRunner::run(const Options& opts) {
       obs::Hub::Config hcfg;
       hcfg.tracing = opts.trace;
       hcfg.trace_capacity = opts.trace_capacity;
+      hcfg.streaming = opts.stream;
+      hcfg.stream_capacity = opts.stream_capacity;
       hub = std::make_unique<obs::Hub>(hcfg);
       ctx.obs = hub.get();
     }
@@ -279,6 +295,11 @@ SweepReport SweepRunner::run(const Options& opts) {
         for (obs::TraceEvent& ev : out.trace) {
           ev.pid = static_cast<std::uint32_t>(index + 1);
         }
+      }
+      if (obs::StreamSink* sink = hub->stream()) {
+        out.stream_published = sink->published_total();
+        out.stream_dropped = sink->dropped_total();
+        out.stream_noted = true;
       }
     }
     pt.fn = nullptr;  // release the closure's captures eagerly

@@ -116,6 +116,14 @@ struct TrialResult {
   obs::MetricsSnapshot metrics;
   std::vector<obs::TraceEvent> trace;
   std::uint64_t trace_dropped = 0;
+  // Streaming-sink accounting (Options::stream): total samples published
+  // and ring-overflow drops across every channel of the trial's sink.
+  // Silent sample loss would quietly bias any online detector consuming the
+  // stream, so the writers surface the drop counters per trial (columns /
+  // fields appear only when a trial armed a sink).
+  std::uint64_t stream_published = 0;
+  std::uint64_t stream_dropped = 0;
+  bool stream_noted = false;
 };
 
 struct SweepReport {
@@ -202,6 +210,13 @@ class SweepRunner {
     bool obs = false;
     bool trace = false;
     std::size_t trace_capacity = 4096;
+    // Streaming sink: requires `obs`; arms a per-trial obs::StreamSink with
+    // `stream_capacity` samples per channel.  The runner records the sink's
+    // published/dropped totals into the TrialResult after the trial returns
+    // (whatever samples remain in the rings are discarded — consumers such
+    // as defense::online::OnlinePipeline drain during the trial).
+    bool stream = false;
+    std::size_t stream_capacity = obs::StreamSink::kDefaultCapacity;
   };
 
   // A trial builds its whole world (testbed, channel, ...) from ctx.seed,

@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 // The one observability entry point (docs/OBSERVABILITY.md).
@@ -27,22 +28,34 @@ class Hub {
   struct Config {
     bool tracing = false;            // allocate a Tracer?
     std::size_t trace_capacity = Tracer::kDefaultCapacity;
+    bool streaming = false;          // allocate a StreamSink?
+    std::size_t stream_capacity = StreamSink::kDefaultCapacity;
   };
 
   Hub() : Hub(Config{}) {}
   explicit Hub(const Config& cfg)
-      : tracer_(cfg.tracing ? new Tracer(cfg.trace_capacity) : nullptr) {}
-  ~Hub() { delete tracer_; }
+      : cfg_(cfg),
+        tracer_(cfg.tracing ? new Tracer(cfg.trace_capacity) : nullptr),
+        stream_(cfg.streaming ? new StreamSink(cfg.stream_capacity)
+                              : nullptr) {}
+  ~Hub() {
+    delete tracer_;
+    delete stream_;
+  }
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 
+  const Config& config() const { return cfg_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer* tracer() { return tracer_; }
+  StreamSink* stream() { return stream_; }
 
  private:
+  Config cfg_;
   MetricsRegistry metrics_;
   Tracer* tracer_;
+  StreamSink* stream_;
 };
 
 namespace detail {
@@ -81,6 +94,11 @@ inline MetricsRegistry* metrics() {
 inline Tracer* tracer() {
   Hub* h = current();
   return h != nullptr ? h->tracer() : nullptr;
+}
+
+inline StreamSink* stream() {
+  Hub* h = current();
+  return h != nullptr ? h->stream() : nullptr;
 }
 
 }  // namespace ragnar::obs

@@ -1,0 +1,86 @@
+#include "obs/stream.hpp"
+
+#include <algorithm>
+
+namespace ragnar::obs {
+
+StreamSink::StreamSink(std::size_t capacity_per_channel)
+    : capacity_(capacity_per_channel == 0 ? 1 : capacity_per_channel) {
+  for (Ring& r : rings_) r.buf.resize(capacity_);
+}
+
+std::vector<StreamSample> StreamSink::take_ring(Ring& r) {
+  std::vector<StreamSample> out;
+  out.reserve(r.size);
+  // Oldest sample sits at `next` once the ring has wrapped, at 0 before.
+  const std::size_t start = r.size == r.buf.size() ? r.next : 0;
+  for (std::size_t i = 0; i < r.size; ++i) {
+    out.push_back(r.buf[(start + i) % r.buf.size()]);
+  }
+  r.next = 0;
+  r.size = 0;
+  return out;
+}
+
+std::vector<StreamSample> StreamSink::drain(StreamChannel ch) {
+  return take_ring(rings_[static_cast<std::size_t>(ch)]);
+}
+
+void StreamSink::merge_from(StreamSink& other) {
+  for (std::size_t c = 0; c < kStreamChannels; ++c) {
+    Ring& theirs = other.rings_[c];
+    if (theirs.published == 0) continue;
+    Ring& mine = rings_[c];
+    std::vector<StreamSample> a = take_ring(mine);
+    std::vector<StreamSample> b = other.take_ring(theirs);
+    a.insert(a.end(), b.begin(), b.end());
+    // Stable: same-timestamp samples keep merge-call (shard) order, the
+    // same tie-break the engine's mailbox merge uses.
+    std::stable_sort(a.begin(), a.end(),
+                     [](const StreamSample& x, const StreamSample& y) {
+                       return x.t < y.t;
+                     });
+    // Refill my ring with the newest `capacity_` samples; anything older
+    // counts as dropped, exactly as if it had been published here.
+    const std::size_t keep = std::min(a.size(), capacity_);
+    const std::size_t skip = a.size() - keep;
+    for (std::size_t i = skip; i < a.size(); ++i) {
+      mine.buf[mine.next] = a[i];
+      mine.next = mine.next + 1 == mine.buf.size() ? 0 : mine.next + 1;
+    }
+    mine.size = keep;
+    mine.published += theirs.published;
+    mine.dropped += theirs.dropped + skip;
+    theirs.published = 0;
+    theirs.dropped = 0;
+  }
+}
+
+std::uint64_t StreamSink::published_total() const {
+  std::uint64_t s = 0;
+  for (const Ring& r : rings_) s += r.published;
+  return s;
+}
+
+std::uint64_t StreamSink::dropped_total() const {
+  std::uint64_t s = 0;
+  for (const Ring& r : rings_) s += r.dropped;
+  return s;
+}
+
+std::size_t StreamSink::footprint_bytes() const {
+  std::size_t s = sizeof(*this);
+  for (const Ring& r : rings_) s += r.buf.capacity() * sizeof(StreamSample);
+  return s;
+}
+
+void StreamSink::clear() {
+  for (Ring& r : rings_) {
+    r.next = 0;
+    r.size = 0;
+    r.published = 0;
+    r.dropped = 0;
+  }
+}
+
+}  // namespace ragnar::obs

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "rnic/op.hpp"
+#include "sim/flat_map.hpp"
 
 // Responder-side memory-region registry: rkey -> (base, length, access,
 // backing storage).  The verbs layer registers MRs here; the RNIC responder
@@ -28,10 +28,7 @@ class MemoryTable {
   void deregister_mr(Rkey rkey) { table_.erase(rkey); }
 
   // nullptr if the rkey is unknown.
-  const MrEntry* lookup(Rkey rkey) const {
-    auto it = table_.find(rkey);
-    return it == table_.end() ? nullptr : &it->second;
-  }
+  const MrEntry* lookup(Rkey rkey) const { return table_.find(rkey); }
 
   // Validates a remote access; returns kSuccess or the failure status.
   WcStatus check(Rkey rkey, std::uint64_t addr, std::uint32_t len,
@@ -40,7 +37,7 @@ class MemoryTable {
   std::size_t size() const { return table_.size(); }
 
  private:
-  std::unordered_map<Rkey, MrEntry> table_;
+  sim::FlatMap<Rkey, MrEntry> table_;
 };
 
 inline WcStatus MemoryTable::check(Rkey rkey, std::uint64_t addr,

@@ -7,11 +7,16 @@
 namespace ragnar::rnic::pipeline {
 
 void Stage::note_slow(const PipelineCtx& ctx, sim::SimTime entered) const {
+  const sim::SimDur dwell = ctx.t > entered ? ctx.t - entered : 0;
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     const obs::LabelSet lbl{{"stage", name()}};
     reg->counter("rnic.stage.msgs", lbl).add();
-    reg->histogram("rnic.stage.dwell_ns", lbl)
-        .record(sim::to_ns(ctx.t > entered ? ctx.t - entered : 0));
+    reg->histogram("rnic.stage.dwell_ns", lbl).record(sim::to_ns(dwell));
+  }
+  if (obs::StreamSink* sink = obs::stream()) {
+    sink->publish(obs::StreamChannel::kStageDwell, ctx.t,
+                  static_cast<std::uint32_t>(id()), ctx.op.src_node,
+                  sim::to_ns(dwell));
   }
   if (obs::Tracer* tr = obs::tracer()) {
     tr->complete("rnic.stage", name(), entered, ctx.t,

@@ -6,6 +6,22 @@
 
 namespace ragnar::rnic::pipeline {
 
+// Stable numeric identity per stage type: the streaming-sink key for
+// kStageDwell samples (a string name would put a hash on the hot path).
+// Order is the pipeline traversal order; values are part of the stream
+// schema consumed by src/defense/online.
+enum class StageId : std::uint8_t {
+  kDoorbellFetch = 0,
+  kTxArbiter,
+  kWireEgress,
+  kRxAdmission,
+  kRxDispatch,
+  kTranslation,
+  kPayloadDma,
+  kResponseGen,
+  kCompletion,
+};
+
 // Uniform stage interface.  A stage advances ctx.t through its resources;
 // the requester-path stages are driven through the virtual process() chain,
 // the responder-path stages additionally expose typed entry points for the
@@ -19,6 +35,7 @@ class Stage {
  public:
   virtual ~Stage() = default;
   virtual const char* name() const = 0;
+  virtual StageId id() const = 0;
 
   // Default no-op: only the uniform requester-path stages override it.
   virtual void process(PipelineCtx& ctx) { (void)ctx; }

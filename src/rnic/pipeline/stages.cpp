@@ -184,19 +184,37 @@ void WireEgress::accept(PipelineCtx& ctx, bool is_request) {
 
 // ------------------------------------------------------------ rx admission
 
-void RxAdmission::account(const WireOp& op) {
+void RxAdmission::account(sim::SimTime now, const WireOp& op) {
   SrcWindowStats& s = src_stats_[op.src_node];
   const auto oi = static_cast<std::size_t>(op.op);
   s.msgs[oi] += 1;
   s.bytes[oi] += op.size;
-  if (op.size <= cfg_.fastpath_max_bytes)
+  std::uint32_t size_class;
+  if (op.size <= cfg_.fastpath_max_bytes) {
     s.tiny_msgs += 1;
-  else if (op.size <= cfg_.mtu)
+    size_class = 0;
+  } else if (op.size <= cfg_.mtu) {
     s.medium_msgs += 1;
-  else
+    size_class = 1;
+  } else {
     s.large_msgs += 1;
+    size_class = 2;
+  }
   if (op.op != Opcode::kSend) s.rkeys_touched.insert(op.rkey);
   s.qpns_seen.insert(op.src_qpn);
+  if (obs::StreamSink* sink = obs::stream()) {
+    // Grain-II observable: one sample per admitted message, keyed
+    // (src, opcode, size class) — the per-stream rate signal.
+    sink->publish(obs::StreamChannel::kTenantMsg, now,
+                  (static_cast<std::uint32_t>(op.src_node) << 8) |
+                      (static_cast<std::uint32_t>(op.op) << 4) | size_class,
+                  op.src_qpn, static_cast<double>(op.size));
+    // Grain-III observable: which rkey/QP the tenant touched.
+    if (op.op != Opcode::kSend) {
+      sink->publish(obs::StreamChannel::kTenantResource, now, op.src_node,
+                    op.rkey, static_cast<double>(op.src_qpn));
+    }
+  }
 }
 
 sim::SimTime RxAdmission::admit(sim::SimTime now, const WireOp& op,

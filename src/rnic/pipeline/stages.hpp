@@ -60,6 +60,7 @@ class DoorbellFetch final : public Stage {
   DoorbellFetch(const DoorbellFetchConfig& cfg, PcieBus& pcie)
       : cfg_(cfg), pcie_(pcie) {}
   const char* name() const override { return "doorbell_fetch"; }
+  StageId id() const override { return StageId::kDoorbellFetch; }
   void process(PipelineCtx& ctx) override;
 
  private:
@@ -76,6 +77,7 @@ class TxArbiter final : public Stage {
   TxArbiter(const TxArbiterConfig& cfg, JitterRng& rng)
       : cfg_(cfg), rng_(rng), pu_(cfg.tx_pu_count) {}
   const char* name() const override { return "tx_arbiter"; }
+  StageId id() const override { return StageId::kTxArbiter; }
   // WQE grant: bulk-write quantum scaling + grant trace point.
   void process(PipelineCtx& ctx) override;
   // Response-side grant: plain cycle, no quantum scaling, no grant trace.
@@ -94,6 +96,7 @@ class WireEgress final : public Stage {
  public:
   WireEgress(const WireEgressConfig& cfg, PortCounters& counters);
   const char* name() const override { return "wire_egress"; }
+  StageId id() const override { return StageId::kWireEgress; }
 
   // Requester path: compute the request wire image, serialize, account.
   void process(PipelineCtx& ctx) override;
@@ -154,9 +157,12 @@ class RxAdmission final : public Stage {
  public:
   explicit RxAdmission(const RxAdmissionConfig& cfg) : cfg_(cfg) {}
   const char* name() const override { return "rx_admission"; }
+  StageId id() const override { return StageId::kRxAdmission; }
 
-  // Tenant accounting (Grain-I/II/III observables).
-  void account(const WireOp& op);
+  // Tenant accounting (Grain-I/II/III observables).  `now` timestamps the
+  // streaming-sink samples (Grain-II per-(src, opcode, size-class) message
+  // stream, Grain-III rkey/QP touches) the online detectors consume.
+  void account(sim::SimTime now, const WireOp& op);
   // Admission time for the message (== now when admitted immediately).
   // Emits the admission.defer span/counter when deferred.
   sim::SimTime admit(sim::SimTime now, const WireOp& op,
@@ -197,6 +203,7 @@ class RxDispatch final : public Stage {
  public:
   RxDispatch(const RxDispatchConfig& cfg, WireEgress& egress, JitterRng& rng);
   const char* name() const override { return "rx_dispatch"; }
+  StageId id() const override { return StageId::kRxDispatch; }
   void process(PipelineCtx& ctx) override;
 
   // Staging-SRAM pressure source shared with ResponseGen (KF1).
@@ -233,6 +240,7 @@ class TranslationStage final : public Stage, public TranslationPath {
                    sim::Xoshiro256 unit_rng)
       : cfg_(cfg), rng_(rng), unit_(cfg.unit, unit_rng) {}
   const char* name() const override { return "translation"; }
+  StageId id() const override { return StageId::kTranslation; }
 
   // Shared-unit walk (READ and atomic responder accesses).
   sim::SimTime translate(sim::SimTime t, const XlRequest& req) override {
@@ -284,6 +292,7 @@ class PayloadDma final : public Stage {
  public:
   explicit PayloadDma(PcieBus& pcie) : pcie_(pcie) {}
   const char* name() const override { return "payload_dma"; }
+  StageId id() const override { return StageId::kPayloadDma; }
 
   // DMA-fetch from host memory (READ responses, +DMA latency).
   void fetch(PipelineCtx& ctx, std::uint64_t bytes) {
@@ -320,6 +329,7 @@ class ResponseGen final : public Stage {
               RxDispatch& dispatch, JitterRng& rng)
       : cfg_(cfg), egress_(egress), dispatch_(dispatch), rng_(rng) {}
   const char* name() const override { return "response_gen"; }
+  StageId id() const override { return StageId::kResponseGen; }
 
   // READ response generation at DMA-delivery time; sets ctx.wire_pkts.
   // The caller continues through TxArbiter::grant_response + respond().
@@ -351,6 +361,7 @@ class CompletionStage final : public Stage {
                   JitterRng& rng)
       : cfg_(cfg), pcie_(pcie), rx_pu_(rx_pu), sched_(sched), rng_(rng) {}
   const char* name() const override { return "completion"; }
+  StageId id() const override { return StageId::kCompletion; }
 
   void process_response(PipelineCtx& ctx, const InFlightMsg& msg);
 

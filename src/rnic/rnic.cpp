@@ -69,7 +69,7 @@ void Rnic::deliver(const InFlightMsg& msg) {
 
 void Rnic::handle_request(InFlightMsg msg, sim::SimTime t) {
   const sim::SimTime now = sched_.now();
-  pipe_.admission().account(msg.op);
+  pipe_.admission().account(now, msg.op);
   const sim::SimTime admit =
       pipe_.admission().admit(now, msg.op, msg.wire_bytes);
   if (admit > now) {

@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "rnic/device_profile.hpp"
 #include "rnic/op.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
@@ -133,12 +133,12 @@ class TranslationUnit {
 
   TranslationConfig cfg_;
   sim::Xoshiro256 rng_;
-  sim::FifoServer pipe_;                                // shared mode
-  std::unordered_map<NodeId, sim::FifoServer> pipes_;   // partitioned mode
+  sim::FifoServer pipe_;                             // shared mode
+  sim::FlatMap<NodeId, sim::FifoServer> pipes_;      // partitioned mode
   bool partitioned_ = false;
 
   SpecState shared_state_;
-  std::unordered_map<NodeId, SpecState> per_src_state_;
+  sim::FlatMap<NodeId, SpecState> per_src_state_;
   std::vector<sim::SimTime> bank_busy_until_;
   std::vector<NodeId> bank_busy_src_;
 

@@ -129,7 +129,13 @@ harness::SweepRunner::Options ScenarioContext::sweep_options() const {
 
 harness::SweepReport ScenarioContext::run_sweep(harness::SweepRunner& sweep,
                                                 const char* name) const {
-  const auto report = sweep.run(sweep_options());
+  return run_sweep(sweep, name, sweep_options());
+}
+
+harness::SweepReport ScenarioContext::run_sweep(
+    harness::SweepRunner& sweep, const char* name,
+    const harness::SweepRunner::Options& o) const {
+  const auto report = sweep.run(o);
   if (!trace_path.empty()) {
     // Fold this sweep's per-trial events into the process trace, one
     // Chrome-trace pid per trial, numbered across successive sweeps.

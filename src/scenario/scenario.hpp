@@ -86,6 +86,12 @@ class ScenarioContext {
   // in-order results.
   harness::SweepReport run_sweep(harness::SweepRunner& sweep,
                                  const char* name) const;
+  // As above with explicit runner options, for scenarios that need more
+  // than the uniform flags (e.g. defense_online arming the streaming obs
+  // sink on every trial regardless of --trace).  Callers normally start
+  // from sweep_options() and override.
+  harness::SweepReport run_sweep(harness::SweepRunner& sweep, const char* name,
+                                 const harness::SweepRunner::Options& o) const;
 };
 
 // One registered experiment.  `name` is the registry key (and the name of

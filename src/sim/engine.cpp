@@ -240,8 +240,24 @@ void Engine::worker_main(unsigned worker_id) {
 }
 
 void Engine::arm_shard_hubs() {
+  // Shard hubs inherit the parent's streaming config so model hooks publish
+  // per-shard (no cross-thread sink contention inside a window); tracing
+  // stays parent-only — span rings are drained per trial, not per window.
+  obs::Hub::Config cfg;
+  if (obs::Hub* parent = obs::current()) {
+    cfg.streaming = parent->config().streaming;
+    cfg.stream_capacity = parent->config().stream_capacity;
+  }
   for (auto& s : shards_) {
-    if (s->hub == nullptr) s->hub = std::make_unique<obs::Hub>();
+    // Recreate on config change (a later run may arm streaming): shard hubs
+    // hold no state across runs — metrics and streams are merged out and
+    // cleared at every run's end.
+    const bool stale =
+        s->hub != nullptr &&
+        (s->hub->config().streaming != cfg.streaming ||
+         (cfg.streaming &&
+          s->hub->config().stream_capacity != cfg.stream_capacity));
+    if (s->hub == nullptr || stale) s->hub = std::make_unique<obs::Hub>(cfg);
   }
 }
 
@@ -252,6 +268,12 @@ void Engine::merge_shard_metrics() {
     if (s->hub == nullptr) continue;
     parent->metrics().merge_from(s->hub->metrics());
     s->hub->metrics().clear();
+    // Streams merge in shard order with a stable per-timestamp sort, so the
+    // merged sample sequence is shard-count independent for distinct
+    // timestamps (docs/OBSERVABILITY.md §streaming).
+    if (parent->stream() != nullptr && s->hub->stream() != nullptr) {
+      parent->stream()->merge_from(*s->hub->stream());
+    }
   }
 }
 

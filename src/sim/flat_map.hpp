@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,22 @@ class FlatMap {
   }
 
   V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  // Remove the entry for `key`; returns the number of entries erased (0/1).
+  // O(n) tail shift, like any sorted vector — fine for the small tables this
+  // container is for, and it keeps iteration order intact.
+  std::size_t erase(const K& key) {
+    auto it = lower(key);
+    if (it == items_.end() || it->first != key) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+  // Erase by iterator (the erase-while-iterating idiom); returns the
+  // iterator past the removed entry, as std::vector does.
+  iterator erase(const_iterator pos) { return items_.erase(pos); }
+
+  void reserve(std::size_t n) { items_.reserve(n); }
 
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }

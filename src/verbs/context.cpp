@@ -20,6 +20,17 @@ void count_qp_event(const char* name, std::uint32_t qpn,
   }
 }
 
+// Streaming counterpart: a timed reliability event on the kQpRetry channel,
+// consumed by the online defense detectors.  Same disabled-path discipline
+// as the registry hooks (one TLS read + branch).
+void stream_qp_event(obs::QpStreamEvent kind, std::uint32_t qpn,
+                     sim::SimTime at) {
+  if (obs::StreamSink* sink = obs::stream()) {
+    sink->publish(obs::StreamChannel::kQpRetry, at, qpn,
+                  static_cast<std::uint32_t>(kind), 1.0);
+  }
+}
+
 void note_qp_transition(std::uint32_t qpn, QpState from, QpState to,
                         sim::SimTime at) {
   if (obs::Tracer* tr = obs::tracer()) {
@@ -74,9 +85,9 @@ Context::~Context() {
 
 bool Context::on_inbound_send(rnic::Qpn dst_qpn, const std::uint8_t* data,
                               std::uint32_t len, sim::SimTime at) {
-  auto it = qp_registry_.find(dst_qpn);
-  if (it == qp_registry_.end()) return false;
-  return it->second->consume_recv(data, len, at);
+  QueuePair* qp = find_qp(dst_qpn);
+  if (qp == nullptr) return false;
+  return qp->consume_recv(data, len, at);
 }
 
 std::unique_ptr<ProtectionDomain> Context::alloc_pd() {
@@ -342,14 +353,14 @@ PostResult QueuePair::post_send(const SendWr& wr) {
 
 void QueuePair::arm_timer(std::uint64_t id) {
   if (cfg_.timeout == 0) return;  // reliability timer disabled
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  const std::uint32_t attempt = it->second.attempt;
+  const Pending* p = pending_.find(id);
+  if (p == nullptr) return;
+  const std::uint32_t attempt = p->attempt;
   // Resolve the QP through the context registry at fire time: a timer that
   // outlives its QP must be inert.
   Context* ctx = &ctx_;
   const std::uint32_t qpn = qpn_;
-  ctx_.scheduler().at(ctx_.scheduler().now() + it->second.cur_timeout,
+  ctx_.scheduler().at(ctx_.scheduler().now() + p->cur_timeout,
                       [ctx, qpn, id, attempt] {
                         QueuePair* qp = ctx->find_qp(qpn);
                         if (qp != nullptr) qp->on_transport_timeout(id, attempt);
@@ -357,12 +368,13 @@ void QueuePair::arm_timer(std::uint64_t id) {
 }
 
 void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
-  auto it = pending_.find(id);
-  if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
+  Pending* pp = pending_.find(id);
+  if (pp == nullptr || pp->attempt != attempt) return;  // stale
   if (state_ != QpState::kRts) return;
   ++stats_.timeouts;
   count_qp_event("qp.timeouts", qpn_);
-  Pending& p = it->second;
+  stream_qp_event(obs::QpStreamEvent::kTimeout, qpn_, ctx_.scheduler().now());
+  Pending& p = *pp;
   if (p.retries_left == 0) {
     fail_wqe(id, rnic::WcStatus::kRetryExcError, ctx_.scheduler().now());
     return;
@@ -372,6 +384,7 @@ void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
   p.cur_timeout *= 2;   // exponential backoff
   ++stats_.retransmits;
   count_qp_event("qp.retransmits", qpn_);
+  stream_qp_event(obs::QpStreamEvent::kRetransmit, qpn_, ctx_.scheduler().now());
   if (obs::Tracer* tr = obs::tracer()) {
     tr->instant("qp", "retransmit", ctx_.scheduler().now(),
                 {{"qp", std::to_string(qpn_)}});
@@ -381,28 +394,29 @@ void QueuePair::on_transport_timeout(std::uint64_t id, std::uint32_t attempt) {
 }
 
 void QueuePair::repost_after_rnr(std::uint64_t id, std::uint32_t attempt) {
-  auto it = pending_.find(id);
-  if (it == pending_.end() || it->second.attempt != attempt) return;  // stale
+  const Pending* p = pending_.find(id);
+  if (p == nullptr || p->attempt != attempt) return;  // stale
   if (state_ != QpState::kRts) return;  // flushed while backing off
   ++stats_.rnr_retries;
   count_qp_event("qp.rnr_retries", qpn_);
-  ctx_.device().post(it->second.op, this, it->second.local);
+  stream_qp_event(obs::QpStreamEvent::kRnrRetry, qpn_, ctx_.scheduler().now());
+  ctx_.device().post(p->op, this, p->local);
   arm_timer(id);
 }
 
 void QueuePair::fail_wqe(std::uint64_t id, rnic::WcStatus status,
                          sim::SimTime at) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;
+  const Pending* p = pending_.find(id);
+  if (p == nullptr) return;
   Wc wc;
-  wc.wr_id = it->second.user_wr_id;
-  wc.opcode = it->second.opcode;
-  wc.byte_len = it->second.length;
-  wc.posted_at = it->second.posted_at;
-  wc.queue_ahead = it->second.queue_ahead;
+  wc.wr_id = p->user_wr_id;
+  wc.opcode = p->opcode;
+  wc.byte_len = p->length;
+  wc.posted_at = p->posted_at;
+  wc.queue_ahead = p->queue_ahead;
   wc.status = status;
   wc.completed_at = at;
-  pending_.erase(it);
+  pending_.erase(id);
   if (outstanding_ > 0) --outstanding_;
   note_completion(qpn_, wc);
   cq_.push(wc);
@@ -428,6 +442,7 @@ void QueuePair::flush_sends(sim::SimTime at) {
     wc.completed_at = at;
     ++stats_.flushed;
     count_qp_event("qp.flushed", qpn_);
+    stream_qp_event(obs::QpStreamEvent::kFlush, qpn_, at);
     cq_.push(wc);
   }
   pending_.clear();
@@ -452,21 +467,23 @@ void QueuePair::modify_to_error() {
     wc.completed_at = now;
     ++stats_.flushed;
     count_qp_event("qp.flushed", qpn_);
+    stream_qp_event(obs::QpStreamEvent::kFlush, qpn_, now);
     cq_.push(wc);
   }
 }
 
 void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
                               sim::SimTime at, std::uint64_t /*atomic_result*/) {
-  auto it = pending_.find(wr_id);
+  Pending* pp = pending_.find(wr_id);
   // Unknown id: a duplicate response after retransmission, or a WQE already
   // flushed/failed.  The spec answer is to drop it, not fabricate a Wc.
-  if (it == pending_.end()) return;
+  if (pp == nullptr) return;
 
   if (status == rnic::WcStatus::kRnrNak) {
     ++stats_.rnr_naks;
     count_qp_event("qp.rnr_naks", qpn_);
-    Pending& p = it->second;
+    stream_qp_event(obs::QpStreamEvent::kRnrNak, qpn_, at);
+    Pending& p = *pp;
     if (p.rnr_left == 0) {
       fail_wqe(wr_id, rnic::WcStatus::kRnrRetryExcError, at);
       return;
@@ -490,12 +507,12 @@ void QueuePair::on_completion(std::uint64_t wr_id, rnic::WcStatus status,
   Wc wc;
   wc.status = status;
   wc.completed_at = at;
-  wc.wr_id = it->second.user_wr_id;
-  wc.opcode = it->second.opcode;
-  wc.byte_len = it->second.length;
-  wc.posted_at = it->second.posted_at;
-  wc.queue_ahead = it->second.queue_ahead;
-  pending_.erase(it);
+  wc.wr_id = pp->user_wr_id;
+  wc.opcode = pp->opcode;
+  wc.byte_len = pp->length;
+  wc.posted_at = pp->posted_at;
+  wc.queue_ahead = pp->queue_ahead;
+  pending_.erase(wr_id);
   if (outstanding_ > 0) --outstanding_;
   note_completion(qpn_, wc);
   cq_.push(wc);

@@ -14,6 +14,7 @@
 #include "rnic/op.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/coro.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/scheduler.hpp"
 #include "verbs/verbs.hpp"
 
@@ -94,8 +95,8 @@ class Context final : public rnic::RecvSink {
   void register_qp(std::uint32_t qpn, QueuePair* qp) { qp_registry_[qpn] = qp; }
   void unregister_qp(std::uint32_t qpn) { qp_registry_.erase(qpn); }
   QueuePair* find_qp(std::uint32_t qpn) {
-    auto it = qp_registry_.find(qpn);
-    return it == qp_registry_.end() ? nullptr : it->second;
+    QueuePair** slot = qp_registry_.find(qpn);
+    return slot == nullptr ? nullptr : *slot;
   }
 
  private:
@@ -112,8 +113,10 @@ class Context final : public rnic::RecvSink {
   std::uint32_t next_mr_id_ = 1;
   rnic::Rkey next_rkey_;
   std::uint32_t active_qps_ = 0;
+  // local_maps_ stays std::map: resolve_local range-scans with upper_bound,
+  // which FlatMap deliberately does not expose.
   std::map<std::uint64_t, LocalMap> local_maps_;  // base -> mapping
-  std::map<std::uint32_t, QueuePair*> qp_registry_;
+  sim::FlatMap<std::uint32_t, QueuePair*> qp_registry_;
 };
 
 // Protection domain: groups MRs and QPs under one access scope.
@@ -294,7 +297,9 @@ class QueuePair : public rnic::CompletionSink {
   std::uint32_t peer_qpn_ = 0;
   std::uint32_t outstanding_ = 0;
   std::uint64_t next_internal_id_ = 1;  // users may reuse wr_id freely
-  std::map<std::uint64_t, Pending> pending_;  // internal id -> bookkeeping
+  // Keyed by monotonic internal id, so inserts always append (no shifting)
+  // and iteration is post order.
+  sim::FlatMap<std::uint64_t, Pending> pending_;  // internal id -> bookkeeping
   std::deque<RecvWr> recv_queue_;
   QpState state_ = QpState::kInit;
   QpReliabilityStats stats_;

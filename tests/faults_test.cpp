@@ -5,8 +5,10 @@
 
 #include "covert/framing.hpp"
 #include "covert/priority_channel.hpp"
+#include "fabric/topology.hpp"
 #include "faults/faults.hpp"
 #include "revng/testbed.hpp"
+#include "sim/engine.hpp"
 #include "verbs/context.hpp"
 
 namespace ragnar::faults {
@@ -413,6 +415,178 @@ TEST(FramedCovert, FramingBeatsRawDecodingAtTwoPercentLoss) {
   EXPECT_GE(raw_ch.fault_stats().flap_dropped, 1u);
   EXPECT_GE(framed_ch.fault_stats().flap_dropped, 1u);
   EXPECT_GE(framed_ch.reliability_stats().retransmits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-link RNG streams: shard invariance and serial-window relaxation
+// ---------------------------------------------------------------------------
+
+// Every directed link draws from its own seeded stream, so the verdict
+// sequence depends only on (seed, link, that link's message order) — the
+// property that lets an armed plan run with parallel shard windows.
+TEST(FaultInjectorPerLink, VerdictsDependOnlyOnPerLinkOrder) {
+  FaultPlan plan = FaultPlan::uniform_loss(0.3, 17);
+  plan.reorder_p = 0.2;
+  plan.per_link_rng = true;
+
+  // Run A: strictly alternate links 0 and 1.  Run B: all of link 0's
+  // messages first, then all of link 1's.  A shared stream would give the
+  // two interleavings different verdicts; per-link streams must not.
+  FaultInjector a{plan}, b{plan};
+  a.reserve_links(2);
+  b.reserve_links(2);
+  std::vector<Verdict> a0, a1, b0, b1;
+  for (int i = 0; i < 500; ++i) {
+    a0.push_back(a.decide(hop(0), 0, sim::us(i)).verdict);
+    a1.push_back(a.decide(hop(1), 0, sim::us(i)).verdict);
+  }
+  for (int i = 0; i < 500; ++i) {
+    b0.push_back(b.decide(hop(0), 0, sim::us(i)).verdict);
+  }
+  for (int i = 0; i < 500; ++i) {
+    b1.push_back(b.decide(hop(1), 0, sim::us(i)).verdict);
+  }
+  EXPECT_EQ(a0, b0);
+  EXPECT_EQ(a1, b1);
+  // The two links' streams are themselves decorrelated.
+  EXPECT_NE(a0, a1);
+  // Aggregated stats see every draw either way.
+  EXPECT_EQ(a.stats().total_seen(), 1000u);
+  EXPECT_EQ(a.stats().total_seen(), b.stats().total_seen());
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+}
+
+namespace shard_invariance {
+
+// Two racks, one 25G uplink, a faulted fabric, and an open-loop burst of
+// reliable WRITEs from each rack-0 host to its rack-1 peer.  Returns
+// everything observable: completion records, fault stats, and whether the
+// engine was forced into serial windows.
+struct FabricRun {
+  std::vector<std::tuple<std::uint64_t, int, sim::SimTime>> completions;
+  faults::FaultStats stats;
+  bool serial = false;
+};
+
+FabricRun run_faulted_fabric(std::size_t shards, bool per_link) {
+  sim::Engine eng(sim::Engine::Options{static_cast<std::uint32_t>(shards),
+                                       sim::kMillisecond});
+  const auto rack1 = static_cast<sim::ShardId>(1 % shards);
+  sim::Xoshiro256 rng(99);
+  const rnic::DeviceProfile prof = rnic::make_profile(rnic::DeviceModel::kCX5);
+  fabric::Topology::Builder b(eng);
+  const auto h0 = b.add_host(prof, rng.fork(), 0);
+  const auto h1 = b.add_host(prof, rng.fork(), 0);
+  const auto h2 = b.add_host(prof, rng.fork(), rack1);
+  const auto h3 = b.add_host(prof, rng.fork(), rack1);
+  fabric::SwitchSpec tor;
+  tor.name = "tor0";
+  const auto tor0 = b.add_switch(tor, 0);
+  fabric::SwitchSpec tor_b = tor;
+  tor_b.name = "tor1";
+  const auto tor1 = b.add_switch(tor_b, rack1);
+  const auto access = fabric::LinkSpec::symmetric(sim::ns(250), 100.0);
+  b.link(fabric::NodeRef::host(h0), fabric::NodeRef::sw(tor0), access)
+      .link(fabric::NodeRef::host(h1), fabric::NodeRef::sw(tor0), access)
+      .link(fabric::NodeRef::host(h2), fabric::NodeRef::sw(tor1), access)
+      .link(fabric::NodeRef::host(h3), fabric::NodeRef::sw(tor1), access)
+      .link(fabric::NodeRef::sw(tor0), fabric::NodeRef::sw(tor1),
+            fabric::LinkSpec::symmetric(sim::ns(500), 25.0));
+  auto topo = b.build();
+
+  FaultPlan plan = FaultPlan::bursty_loss(0.05, sim::us(20), 5);
+  plan.drop_p = 0.03;
+  plan.corrupt_p = 0.01;
+  plan.reorder_p = 0.05;
+  plan.per_link_rng = per_link;
+  topo->set_fault_plan(plan);
+
+  std::vector<std::unique_ptr<verbs::Context>> ctx;
+  for (rnic::NodeId h : {h0, h1, h2, h3}) {
+    ctx.push_back(std::make_unique<verbs::Context>(
+        *topo, topo->host(h), "h" + std::to_string(h)));
+  }
+
+  struct Conn {
+    std::unique_ptr<verbs::ProtectionDomain> spd, dpd;
+    std::unique_ptr<verbs::CompletionQueue> scq, dcq;
+    std::unique_ptr<verbs::QueuePair> sqp, dqp;
+    std::unique_ptr<verbs::MemoryRegion> smr, dmr;
+  };
+  verbs::QpConfig qp;
+  qp.max_send_wr = 64;
+  qp.timeout = sim::us(50);  // arm the transport retry timer
+  const auto connect = [&qp](verbs::Context& src, verbs::Context& dst) {
+    Conn c;
+    c.spd = src.alloc_pd();
+    c.dpd = dst.alloc_pd();
+    c.scq = src.create_cq();
+    c.dcq = dst.create_cq();
+    c.smr = c.spd->register_mr(1u << 16);
+    c.dmr = c.dpd->register_mr(1u << 16);
+    c.sqp = c.spd->create_qp(*c.scq, qp);
+    c.dqp = c.dpd->create_qp(*c.dcq, qp);
+    EXPECT_EQ(c.sqp->connect(*c.dqp), verbs::ConnectResult::kOk);
+    return c;
+  };
+  Conn c02 = connect(*ctx[0], *ctx[2]);
+  Conn c13 = connect(*ctx[1], *ctx[3]);
+
+  for (Conn* c : {&c02, &c13}) {
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      verbs::SendWr wr;
+      wr.wr_id = i;
+      wr.opcode = verbs::WrOpcode::kRdmaWrite;
+      wr.local_addr = c->smr->addr();
+      wr.length = 1024;
+      wr.remote_addr = c->dmr->addr();
+      wr.rkey = c->dmr->rkey();
+      EXPECT_EQ(c->sqp->post_send(wr), verbs::PostResult::kOk);
+    }
+  }
+
+  FabricRun out;
+  out.serial = eng.serial_windows();
+  eng.run_until(sim::ms(20));
+  for (Conn* c : {&c02, &c13}) {
+    verbs::Wc wc;
+    while (c->scq->poll_one(&wc)) {
+      out.completions.emplace_back(wc.wr_id, static_cast<int>(wc.status),
+                                   wc.completed_at);
+    }
+  }
+  out.stats = topo->fault_stats();
+  return out;
+}
+
+}  // namespace shard_invariance
+
+// The satellite contract: an armed per-link plan is byte-identical across
+// shard counts (and no longer forces serial windows), while a shared-stream
+// plan still does force them.
+TEST(FaultInjectorPerLink, ArmedPlanIsShardCountInvariant) {
+  using shard_invariance::run_faulted_fabric;
+  const auto one = run_faulted_fabric(1, true);
+  EXPECT_FALSE(one.serial);
+  EXPECT_GT(one.stats.total_lost(), 0u) << "plan never fired";
+  EXPECT_FALSE(one.completions.empty());
+  for (std::size_t shards : {2u, 3u}) {
+    const auto many = run_faulted_fabric(shards, true);
+    EXPECT_FALSE(many.serial);
+    EXPECT_EQ(one.completions, many.completions) << shards << " shards";
+    EXPECT_EQ(one.stats.delivered, many.stats.delivered) << shards;
+    EXPECT_EQ(one.stats.dropped, many.stats.dropped) << shards;
+    EXPECT_EQ(one.stats.corrupted, many.stats.corrupted) << shards;
+    EXPECT_EQ(one.stats.flap_dropped, many.stats.flap_dropped) << shards;
+    EXPECT_EQ(one.stats.reordered, many.stats.reordered) << shards;
+    EXPECT_EQ(one.stats.ge_steps, many.stats.ge_steps) << shards;
+    EXPECT_EQ(one.stats.ge_bad_steps, many.stats.ge_bad_steps) << shards;
+  }
+}
+
+TEST(FaultInjectorPerLink, SharedStreamPlansStillForceSerialWindows) {
+  const auto shared = shard_invariance::run_faulted_fabric(2, false);
+  EXPECT_TRUE(shared.serial);
 }
 
 }  // namespace
