@@ -192,6 +192,38 @@ TransferReport CovertTransport::transfer(
   }
   if (!established) return finish(TransferOutcome::kHandshakeDead);
 
+  // Adaptive pacing state (no-ops when disabled): the sender's estimate of
+  // how long it must sit out between rounds to stay under a throttling
+  // defense.  Loss evidence grows the gap multiplicatively; a streak of
+  // clean rounds halves it back toward zero.
+  sim::SimDur pace_gap = 0;
+  std::size_t pace_clean_streak = 0;
+  const auto pace_on_loss = [&] {
+    if (!cfg_.pacing.enabled) return;
+    pace_clean_streak = 0;
+    const sim::SimDur grown =
+        pace_gap == 0
+            ? cfg_.pacing.gap_step
+            : static_cast<sim::SimDur>(static_cast<double>(pace_gap) *
+                                       cfg_.pacing.backoff_factor);
+    pace_gap = std::min(cfg_.pacing.gap_max, grown);
+    ++rep.pace_backoffs;
+    rep.pace_gap_final = pace_gap;
+  };
+  const auto pace_on_clean = [&] {
+    if (!cfg_.pacing.enabled || pace_gap == 0) return;
+    if (++pace_clean_streak < cfg_.pacing.clean_rounds_to_probe) return;
+    pace_clean_streak = 0;
+    pace_gap = pace_gap / 2 >= cfg_.pacing.gap_step ? pace_gap / 2 : 0;
+    ++rep.pace_probes;
+    rep.pace_gap_final = pace_gap;
+  };
+  const auto pace_wait = [&] {
+    if (cfg_.pacing.enabled && pace_gap > 0) {
+      clock_.advance_to(clock_.now() + pace_gap);
+    }
+  };
+
   // --- Data: sliding-window rounds until complete, dead, or capped. ------
   if (rep.segments_total > 0) {
     SenderWindow tx(rep.segments_total, cfg_.arq);
@@ -241,6 +273,10 @@ TransferReport CovertTransport::transfer(
         // The whole burst vanished silently (flap / total outage): the
         // receiver saw nothing, so no ACK rides back — the sender waits
         // out the retransmission timers exactly like a real dead period.
+        // An admission throttle looks exactly like this from the sender's
+        // seat, so it is the adaptive pacer's strongest backoff signal.
+        pace_on_loss();
+        pace_wait();
         continue;
       }
       ++rep.acks_sent;
@@ -255,6 +291,12 @@ TransferReport CovertTransport::transfer(
         }
       }
       if (!applied) ++rep.acks_lost;
+      if (in.garbled > 0 || !applied) {
+        pace_on_loss();
+      } else {
+        pace_on_clean();
+      }
+      pace_wait();
     }
     rep.retransmits = tx.retransmits();
   }

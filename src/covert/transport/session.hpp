@@ -32,6 +32,27 @@
 //               FIN retries exhaust, so that only degrades the close state.
 namespace ragnar::covert::transport {
 
+// Adaptive sender pacing (docs/DEFENSE.md §closed loop).  A closed-loop
+// defense throttles a flagged tenant's admission pacer, which the covert
+// sender experiences as *throttle-shaped loss*: whole bursts vanish or come
+// back garbled while the bit clock keeps running.  An adaptive sender reads
+// that evidence out of its own ARQ and trades rate for stealth — it inserts
+// a growing inter-round gap after loss evidence (AIMD-style multiplicative
+// backoff), then probes the gap back down after a run of clean rounds,
+// riding just under the detector's lift hysteresis the way Bankrupt-style
+// senders duck congestion policers.  Off by default: a disabled pacer
+// inserts zero gaps and the transfer loop is event-for-event identical.
+struct AdaptivePacing {
+  bool enabled = false;
+  // First gap inserted when a clean sender sees loss; also the granularity
+  // probing shrinks by.
+  sim::SimDur gap_step = sim::us(200);
+  sim::SimDur gap_max = sim::ms(8);  // backoff ceiling
+  double backoff_factor = 2.0;       // gap growth per lossy round
+  // Consecutive clean rounds before the sender halves the gap (probe-up).
+  std::size_t clean_rounds_to_probe = 4;
+};
+
 struct TransportConfig {
   WireConfig wire;
   ArqConfig arq;
@@ -39,6 +60,7 @@ struct TransportConfig {
   // Hard determinism guard: bound protocol rounds even under a pathological
   // link model, so a misconfigured run can never spin forever.
   std::size_t max_rounds = 4096;
+  AdaptivePacing pacing;
 };
 
 // How a transfer ended.
@@ -69,6 +91,13 @@ struct TransferReport {
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_lost = 0;        // ACK rounds the sender never saw
   std::uint64_t duplicates = 0;       // re-delivered segments (stale retx)
+  // Adaptive-pacing audit (zero unless TransportConfig::pacing.enabled):
+  // rounds that grew the gap, probe events that shrank it, and the gap the
+  // sender ended on.  Deliberately not in print_contract_line — existing
+  // scenario goldens stay byte-identical.
+  std::uint64_t pace_backoffs = 0;
+  std::uint64_t pace_probes = 0;
+  sim::SimDur pace_gap_final = 0;
 
   sim::SimTime started = 0;
   sim::SimTime finished = 0;

@@ -1,0 +1,61 @@
+#include "defense/enforcer.hpp"
+
+#include <algorithm>
+
+namespace ragnar::defense {
+
+void Enforcer::attach(rnic::ControlPort* port) {
+  if (port == nullptr) return;
+  if (std::find(ports_.begin(), ports_.end(), port) != ports_.end()) return;
+  ports_.push_back(port);
+}
+
+void Enforcer::observe(const Verdict& v) {
+  ++observed_;
+  if (!v.flagged()) return;
+  ++flagged_total_;
+  dirty_.try_emplace(v.src, 1);
+}
+
+void Enforcer::close_window(sim::SimTime now) {
+  ++windows_;
+  last_window_at_ = now;
+
+  // Flagged tenants: install the cap on the first offense, restart the
+  // clean ladder on a repeat.  The port call happens only on the
+  // transition — re-asserting an identical cap every window would spam the
+  // EnforcementAction audit channel without changing admission state.
+  for (const auto& [src, mark] : dirty_) {
+    auto [clean, fresh] = throttled_.try_emplace(src, std::size_t{0});
+    if (fresh) {
+      for (rnic::ControlPort* port : ports_) {
+        port->set_tenant_cap(src, policy_.throttle_gbps);
+      }
+      ++applied_;
+    } else {
+      *clean = 0;
+    }
+  }
+
+  // Everyone else ages toward lift.  A throttled tenant with no verdict at
+  // all this window (it went silent under the cap) is trivially clean —
+  // the aging must not depend on the detector still producing rows for it.
+  for (auto it = throttled_.begin(); it != throttled_.end();) {
+    if (dirty_.find(it->first) != nullptr) {
+      ++it;
+      continue;
+    }
+    if (++it->second >= policy_.clean_windows_to_lift) {
+      for (rnic::ControlPort* port : ports_) {
+        port->clear_tenant_cap(it->first);
+      }
+      ++lifted_;
+      it = throttled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_.clear();
+}
+
+}  // namespace ragnar::defense

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "defense/verdict.hpp"
+#include "rnic/control.hpp"
+#include "sim/flat_map.hpp"
+
+// The enforcement half of the closed loop (docs/DEFENSE.md §closed loop).
+//
+// Detectors emit Verdicts; the Enforcer owns the throttle policy and drives
+// one or more rnic::ControlPorts.  The split matters for two reasons: any
+// number of detectors — the offline HarmonicMonitor, the streaming
+// OnlinePipeline, both at once — can feed the same hysteresis state without
+// double-throttling a tenant, and the enforcement bookkeeping that used to
+// be private to HarmonicMonitor (the clean-window lift ladder) is now
+// testable and reusable on its own.
+//
+// Time discipline: observe() only records; all port mutation happens in
+// close_window(), which the window-owning detector calls from its scheduled
+// tick.  Caps therefore change at deterministic control-tick times, never
+// mid-window, and a multi-detector loop applies at most one cap transition
+// per tenant per window no matter how many detectors flagged it.
+namespace ragnar::defense {
+
+struct EnforcerPolicy {
+  // Cap applied to a flagged tenant (Gb/s at the device's RxAdmission).
+  double throttle_gbps = 1.0;
+  // Consecutive windows with no flagged verdict before the cap lifts.
+  std::size_t clean_windows_to_lift = 3;
+};
+
+class Enforcer {
+ public:
+  explicit Enforcer(EnforcerPolicy policy = {}) : policy_(policy) {}
+
+  // Attach a device's control port; every port receives every cap
+  // transition (a tenant throttled on one device is throttled on all).
+  void attach(rnic::ControlPort* port);
+  std::size_t ports() const { return ports_.size(); }
+
+  // Record one detector verdict for the current window.  Clean verdicts
+  // are counted but carry no state; flagged ones mark the tenant dirty
+  // until the next close_window().
+  void observe(const Verdict& v);
+
+  // Close the enforcement window at simulated time `now`: newly flagged
+  // tenants get the cap, still-flagged tenants reset their clean run, and
+  // every throttled tenant that stayed clean — including tenants that went
+  // silent and produced no verdict at all — ages one window toward lift.
+  void close_window(sim::SimTime now);
+
+  bool throttled(rnic::NodeId src) const {
+    return throttled_.find(src) != nullptr;
+  }
+  std::size_t throttled_count() const { return throttled_.size(); }
+
+  std::uint64_t actions_applied() const { return applied_; }
+  std::uint64_t actions_lifted() const { return lifted_; }
+  std::uint64_t verdicts_observed() const { return observed_; }
+  std::uint64_t verdicts_flagged() const { return flagged_total_; }
+  std::uint64_t windows_closed() const { return windows_; }
+  sim::SimTime last_window_at() const { return last_window_at_; }
+
+  const EnforcerPolicy& policy() const { return policy_; }
+
+ private:
+  EnforcerPolicy policy_;
+  std::vector<rnic::ControlPort*> ports_;
+  // src -> consecutive clean windows while throttled.
+  sim::FlatMap<rnic::NodeId, std::size_t> throttled_;
+  // Tenants flagged since the last close_window().
+  sim::FlatMap<rnic::NodeId, char> dirty_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t lifted_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t flagged_total_ = 0;
+  std::uint64_t windows_ = 0;
+  sim::SimTime last_window_at_ = 0;
+};
+
+}  // namespace ragnar::defense

@@ -1,12 +1,39 @@
 #include "defense/harmonic.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
 namespace ragnar::defense {
 
 HarmonicMonitor::HarmonicMonitor(sim::Scheduler& sched, rnic::Rnic& dev,
                                  sim::SimDur window, HarmonicPolicy policy)
     : sched_(sched), dev_(dev), window_(window), policy_(policy) {}
+
+void HarmonicMonitor::enable_enforcement(double throttle_gbps,
+                                         std::size_t clean_windows_to_lift) {
+  if (enforcer_ == nullptr) {
+    // Direct-mutation era shim: nobody attached a ControlPort, so wire the
+    // monitored device's own port through a private Enforcer.
+    static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+    if (!warned.test_and_set(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[harmonic] note: enable_enforcement called without an "
+                   "attached ControlPort; auto-attaching the monitored "
+                   "device's own control port through a private "
+                   "defense::Enforcer. Attach an Enforcer explicitly to "
+                   "drive enforcement across devices or detectors. (note "
+                   "shown once per run)\n");
+    }
+    owned_ = std::make_unique<Enforcer>(
+        EnforcerPolicy{throttle_gbps, clean_windows_to_lift});
+    owned_->attach(&dev_.control());
+    enforcer_ = owned_.get();
+    drive_windows_ = true;
+    return;
+  }
+  // An enforcer is already attached; enforcement is configured there.
+}
 
 void HarmonicMonitor::start() {
   if (running_) return;
@@ -18,29 +45,9 @@ void HarmonicMonitor::start() {
 void HarmonicMonitor::tick() {
   if (!running_) return;
   ++windows_;
+  const sim::SimTime now = sched_.now();
   const double secs = sim::to_sec(window_);
   const auto window_stats = dev_.take_src_window_stats();
-
-  // Enforcement edits accumulate on a RuntimeConfig draft and land in one
-  // atomic configure() at the end of the window — the device never sees a
-  // half-applied set of throttles.
-  rnic::RuntimeConfig cfg = dev_.runtime_config();
-  bool cfg_dirty = false;
-
-  // A throttled tenant that sent nothing this window is trivially clean —
-  // it gets no stats row, but its throttle must still age out.
-  if (enforce_gbps_ > 0) {
-    for (auto it = throttled_.begin(); it != throttled_.end();) {
-      if (window_stats.find(it->first) == nullptr &&
-          ++it->second >= clean_to_lift_) {
-        cfg.tenant_caps_gbps.erase(it->first);
-        cfg_dirty = true;
-        it = throttled_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
 
   for (auto& [src, s] : window_stats) {
     TenantVerdict v;
@@ -79,22 +86,13 @@ void HarmonicMonitor::tick() {
                v.distinct_qps > policy_.grain3_qp_cap;
     verdicts_.push_back(v);
 
-    if (enforce_gbps_ > 0) {
-      if (v.flagged()) {
-        cfg.tenant_caps_gbps[v.src] = enforce_gbps_;
-        cfg_dirty = true;
-        throttled_[v.src] = 0;
-      } else if (std::size_t* clean = throttled_.find(v.src);
-                 clean != nullptr) {
-        if (++*clean >= clean_to_lift_) {
-          cfg.tenant_caps_gbps.erase(v.src);
-          cfg_dirty = true;
-          throttled_.erase(v.src);
-        }
-      }
-    }
+    if (enforcer_ != nullptr) enforcer_->observe(v.to_verdict(now));
   }
-  if (cfg_dirty) dev_.configure(cfg);
+  // Close the enforcement window at the control tick: newly flagged
+  // tenants get the cap, clean (or silent) throttled tenants age toward
+  // lift.  All cap mutation rides the device ControlPort(s) the Enforcer
+  // holds — the monitor itself no longer touches RuntimeConfig.
+  if (enforcer_ != nullptr && drive_windows_) enforcer_->close_window(now);
   sched_.after(window_, [this] { tick(); });
 }
 

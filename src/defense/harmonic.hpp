@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "defense/enforcer.hpp"
+#include "defense/verdict.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/scheduler.hpp"
@@ -37,6 +40,22 @@ struct TenantVerdict {
   bool grain2 = false;
   bool grain3 = false;
   bool flagged() const { return grain1 || grain2 || grain3; }
+
+  // Reduce this stats row to the unified seam currency (defense/verdict.hpp)
+  // the Enforcer consumes.
+  Verdict to_verdict(sim::SimTime at) const {
+    Verdict v;
+    v.src = src;
+    v.at = at;
+    v.source = VerdictSource::kHarmonic;
+    v.grain1 = grain1;
+    v.grain2 = grain2;
+    v.grain3 = grain3;
+    v.score = grain1   ? gbps
+              : grain2 ? peak_stream_mpps
+                       : static_cast<double>(distinct_rkeys);
+    return v;
+  }
 };
 
 struct HarmonicPolicy {
@@ -59,13 +78,28 @@ class HarmonicMonitor {
   // Enforcement (HARMONIC is an isolation system, not just a detector):
   // flagged tenants are throttled to `throttle_gbps`; the throttle lifts
   // after `clean_windows_to_lift` consecutive clean windows.
+  //
+  // Legacy shim: the monitor no longer owns throttle bookkeeping — it
+  // emits unified Verdicts into a defense::Enforcer driving the device's
+  // rnic::ControlPort.  Calling this without first attaching an external
+  // Enforcer auto-builds a private one over the monitored device's own
+  // port (and says so once on stderr); new code should construct an
+  // Enforcer, attach the port(s) explicitly, and call attach_enforcer().
   void enable_enforcement(double throttle_gbps,
-                          std::size_t clean_windows_to_lift = 3) {
-    enforce_gbps_ = throttle_gbps;
-    clean_to_lift_ = clean_windows_to_lift;
+                          std::size_t clean_windows_to_lift = 3);
+
+  // Plug this monitor into a shared enforcement loop.  When
+  // `drive_windows` is set (the default for a single-monitor loop), each
+  // poll tick closes the Enforcer's window after emitting its verdicts;
+  // in a multi-detector loop exactly one participant should drive.
+  void attach_enforcer(Enforcer* enforcer, bool drive_windows = true) {
+    enforcer_ = enforcer;
+    drive_windows_ = drive_windows;
   }
+  Enforcer* enforcer() { return enforcer_; }
+
   bool currently_throttled(rnic::NodeId src) const {
-    return throttled_.find(src) != nullptr;
+    return enforcer_ != nullptr && enforcer_->throttled(src);
   }
 
   // All verdicts, one row per (window, tenant).
@@ -86,9 +120,13 @@ class HarmonicMonitor {
   bool running_ = false;
   std::size_t windows_ = 0;
   std::vector<TenantVerdict> verdicts_;
-  double enforce_gbps_ = 0;
-  std::size_t clean_to_lift_ = 3;
-  sim::FlatMap<rnic::NodeId, std::size_t> throttled_;  // src -> clean windows
+  // The enforcement seam (PR 10): verdicts flow to an Enforcer, which owns
+  // the hysteresis state and the ControlPort(s).  `owned_` backs the
+  // enable_enforcement() legacy shim; an externally attached enforcer is
+  // never owned.
+  Enforcer* enforcer_ = nullptr;
+  std::unique_ptr<Enforcer> owned_;
+  bool drive_windows_ = true;
 };
 
 }  // namespace ragnar::defense

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "defense/verdict.hpp"
 #include "obs/sketch.hpp"
 #include "obs/stream.hpp"
 #include "rnic/op.hpp"
@@ -69,6 +70,22 @@ struct TenantScore {
   bool grain3 = false;
   bool grain4 = false;
   bool flagged() const { return grain2 || grain3 || grain4; }
+
+  // Reduce this score row to the unified seam currency (defense/verdict.hpp)
+  // — the same shape HarmonicMonitor emits, so one Enforcer serves both.
+  Verdict to_verdict(sim::SimTime at) const {
+    Verdict v;
+    v.src = src;
+    v.at = at;
+    v.source = VerdictSource::kOnline;
+    v.grain2 = grain2;
+    v.grain3 = grain3;
+    v.grain4 = grain4;
+    v.score = grain4   ? periodicity
+              : grain2 ? peak_stream_mpps
+                       : static_cast<double>(distinct_rkeys);
+    return v;
+  }
 };
 
 // One tenant's bounded detector state.

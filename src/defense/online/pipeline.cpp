@@ -48,6 +48,12 @@ std::vector<TenantScore> OnlinePipeline::scores() const {
   return out;
 }
 
+void OnlinePipeline::emit_verdicts(Enforcer& enf, sim::SimTime now) const {
+  for (const auto& [src, st] : tenants_) {
+    enf.observe(st.score(src, cfg_).to_verdict(now));
+  }
+}
+
 TenantScore OnlinePipeline::score(rnic::NodeId src) const {
   const TenantState* st = tenants_.find(src);
   if (st == nullptr) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "defense/enforcer.hpp"
 #include "defense/online/detectors.hpp"
 #include "obs/stream.hpp"
 #include "sim/flat_map.hpp"
@@ -31,6 +32,12 @@ class OnlinePipeline {
   std::vector<TenantScore> scores() const;
   // Convenience: score for one tenant (default-constructed when unseen).
   TenantScore score(rnic::NodeId src) const;
+
+  // Closed-loop emission (docs/DEFENSE.md §closed loop): reduce every
+  // tracked tenant's current score to a unified defense::Verdict stamped
+  // `now` and feed it to `enf`.  Called between consume() chunks; the
+  // window-driving detector (or the scenario) closes the Enforcer window.
+  void emit_verdicts(Enforcer& enf, sim::SimTime now) const;
 
   std::uint64_t samples_consumed() const { return samples_consumed_; }
   // Tenants past max_tenants are never tracked; they count here.

@@ -123,6 +123,12 @@ std::string SweepReport::write_csv(const std::string& dir,
   const bool any_stream =
       std::any_of(trials.begin(), trials.end(),
                   [](const TrialResult& t) { return t.stream_noted; });
+  // Enforcement columns ride only on sweeps where a control port actually
+  // fired (closed-loop runs): open-loop sweeps keep their exact schema.
+  const bool any_actions =
+      std::any_of(trials.begin(), trials.end(), [](const TrialResult& t) {
+        return t.actions_applied != 0 || t.actions_lifted != 0;
+      });
   const std::vector<std::string> mcols = metric_columns();
   std::fprintf(f, "label,index,seed,wall_ms,sim_end_ns");
   if (any_faults) {
@@ -131,6 +137,7 @@ std::string SweepReport::write_csv(const std::string& dir,
                  ",corrupted,flap_dropped,reordered,ge_steps,ge_bad_steps");
   }
   if (any_stream) std::fprintf(f, ",stream_published,stream_dropped");
+  if (any_actions) std::fprintf(f, ",actions_applied,actions_lifted");
   for (const auto& [k, v] : trials.front().record.fields()) {
     std::fprintf(f, ",%s", csv_escape(k).c_str());
   }
@@ -152,6 +159,10 @@ std::string SweepReport::write_csv(const std::string& dir,
     if (any_stream) {
       std::fprintf(f, ",%" PRIu64 ",%" PRIu64, t.stream_published,
                    t.stream_dropped);
+    }
+    if (any_actions) {
+      std::fprintf(f, ",%" PRIu64 ",%" PRIu64, t.actions_applied,
+                   t.actions_lifted);
     }
     for (const auto& [k, v] : trials.front().record.fields()) {
       const std::string* mine = t.record.find(k);
@@ -196,6 +207,12 @@ void SweepReport::write_json(const std::string& path) const {
                    ", \"stream_published\": %" PRIu64
                    ", \"stream_dropped\": %" PRIu64,
                    t.stream_published, t.stream_dropped);
+    }
+    if (t.actions_applied != 0 || t.actions_lifted != 0) {
+      std::fprintf(f,
+                   ", \"actions_applied\": %" PRIu64
+                   ", \"actions_lifted\": %" PRIu64,
+                   t.actions_applied, t.actions_lifted);
     }
     for (const auto& [k, v] : t.record.fields()) {
       std::fprintf(f, ", \"%s\": \"%s\"", json_escape(k).c_str(),
@@ -300,6 +317,16 @@ SweepReport SweepRunner::run(const Options& opts) {
         out.stream_published = sink->published_total();
         out.stream_dropped = sink->dropped_total();
         out.stream_noted = true;
+        // The enforcement channel is the closed loop's audit trail: online
+        // consumers deliberately never drain it, so whatever the control
+        // ports published is still in the ring here.  Peek (not drain) —
+        // a trial may inspect its own sink after this.
+        for (const obs::StreamSample& s :
+             sink->peek(obs::StreamChannel::kEnforcement)) {
+          const auto ev = static_cast<obs::EnforcementEvent>(s.aux);
+          if (ev == obs::EnforcementEvent::kApply) ++out.actions_applied;
+          if (ev == obs::EnforcementEvent::kLift) ++out.actions_lifted;
+        }
       }
     }
     pt.fn = nullptr;  // release the closure's captures eagerly

@@ -124,6 +124,13 @@ struct TrialResult {
   std::uint64_t stream_published = 0;
   std::uint64_t stream_dropped = 0;
   bool stream_noted = false;
+  // Closed-loop enforcement audit (docs/DEFENSE.md §closed loop): cap
+  // applies / lifts counted off the trial sink's EnforcementAction channel
+  // at trial end.  Counted from the live ring (peek), so a pathological
+  // ring overflow undercounts — visible via stream_dropped.  Columns
+  // appear only when some trial recorded an action.
+  std::uint64_t actions_applied = 0;
+  std::uint64_t actions_lifted = 0;
 };
 
 struct SweepReport {

@@ -26,6 +26,17 @@ std::vector<StreamSample> StreamSink::drain(StreamChannel ch) {
   return take_ring(rings_[static_cast<std::size_t>(ch)]);
 }
 
+std::vector<StreamSample> StreamSink::peek(StreamChannel ch) const {
+  const Ring& r = rings_[static_cast<std::size_t>(ch)];
+  std::vector<StreamSample> out;
+  out.reserve(r.size);
+  const std::size_t start = r.size == r.buf.size() ? r.next : 0;
+  for (std::size_t i = 0; i < r.size; ++i) {
+    out.push_back(r.buf[(start + i) % r.buf.size()]);
+  }
+  return out;
+}
+
 void StreamSink::merge_from(StreamSink& other) {
   for (std::size_t c = 0; c < kStreamChannels; ++c) {
     Ring& theirs = other.rings_[c];

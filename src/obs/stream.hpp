@@ -50,6 +50,11 @@ enum class StreamChannel : std::uint8_t {
   kPfcPause,
   // verbs reliability: key = qpn, aux = QpStreamEvent, value = 1.
   kQpRetry,
+  // rnic control plane (rnic/control.hpp): key = (device << 16) | tenant,
+  //   aux = EnforcementEvent, value = cap Gb/s (0 on lift).  The audit
+  //   trail of a closed-loop defense run — the online pipeline never drains
+  //   it, so the harness can count applies/lifts at trial end.
+  kEnforcement,
   kCount
 };
 
@@ -63,6 +68,13 @@ enum class QpStreamEvent : std::uint32_t {
   kRnrNak,
   kRnrRetry,
   kFlush,
+};
+
+// aux codes for kEnforcement.
+enum class EnforcementEvent : std::uint32_t {
+  kLift = 0,         // per-tenant cap removed
+  kApply = 1,        // per-tenant cap installed / replaced
+  kEtsReweight = 2,  // egress ETS share changed (key low bits = TC)
 };
 
 struct StreamSample {
@@ -119,6 +131,11 @@ class StreamSink {
   std::uint64_t dropped_total() const;
   std::size_t capacity_per_channel() const { return capacity_; }
   std::size_t footprint_bytes() const;
+
+  // Copy of one channel's live samples, oldest first, *without* clearing
+  // the ring — the read for audit-trail channels (kEnforcement) that must
+  // survive until the harness counts them at trial end.
+  std::vector<StreamSample> peek(StreamChannel ch) const;
 
   void clear();
 

@@ -176,6 +176,21 @@ class RxAdmission final : public Stage {
   void configure_caps(const std::unordered_map<NodeId, double>& caps);
   void set_tdm(bool on) { tdm_ = on; }
 
+  // Per-tenant scheduled-time cap mutation (rnic::ControlPort): the next
+  // admit() of `src` sees the new cap — admit() already re-derives the
+  // tenant's pacer lazily whenever the cap differs from the pacer rate, so
+  // a single-tenant edit is exactly equivalent to a whole-map
+  // configure_caps() carrying the same values.
+  void set_tenant_cap(NodeId src, double gbps) {
+    if (gbps > 0) {
+      tenant_caps_[src] = gbps;
+    } else {
+      tenant_caps_.erase(src);
+    }
+  }
+  void clear_tenant_cap(NodeId src) { tenant_caps_.erase(src); }
+  bool tdm() const { return tdm_; }
+
   double tenant_pacing_gbps() const { return tenant_pacing_gbps_; }
   double tenant_cap_gbps(NodeId src) const {
     const double* cap = tenant_caps_.find(src);

@@ -3,7 +3,77 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace ragnar::rnic {
+
+namespace {
+
+// EnforcementAction sample: key packs (controlling device << 16 | tenant),
+// aux is the EnforcementEvent code, value carries the cap in Gb/s (0 on
+// lift).  Published at the port's scheduler time, so per-shard samples
+// merge deterministically under sim::Engine.
+void publish_action(sim::SimTime now, NodeId device, NodeId src,
+                    std::uint32_t event, double gbps) {
+  if (obs::StreamSink* sink = obs::stream()) {
+    sink->publish(obs::StreamChannel::kEnforcement, now,
+                  (static_cast<std::uint32_t>(device) << 16) |
+                      static_cast<std::uint32_t>(src),
+                  event, gbps);
+  }
+}
+
+}  // namespace
+
+NodeId Rnic::Control::node() const { return dev_.node_; }
+
+void Rnic::Control::set_tenant_cap(NodeId src, double gbps) {
+  if (gbps <= 0) {
+    clear_tenant_cap(src);
+    return;
+  }
+  dev_.pipe_.admission().set_tenant_cap(src, gbps);
+  ++caps_applied_;
+  publish_action(dev_.sched_.now(), dev_.node_, src,
+                 static_cast<std::uint32_t>(obs::EnforcementEvent::kApply), gbps);
+}
+
+void Rnic::Control::clear_tenant_cap(NodeId src) {
+  dev_.pipe_.admission().clear_tenant_cap(src);
+  ++caps_cleared_;
+  publish_action(dev_.sched_.now(), dev_.node_, src,
+                 static_cast<std::uint32_t>(obs::EnforcementEvent::kLift), 0.0);
+}
+
+void Rnic::Control::set_tx_ets_share(std::uint8_t tc, double weight_pct) {
+  EtsConfig& ets = dev_.pipe_.egress().ets();
+  if (tc >= ets.weight_pct.size()) return;
+  ets.weight_pct[tc] = weight_pct;
+  dev_.pipe_.egress().reconfigure_pacers();
+  publish_action(dev_.sched_.now(), dev_.node_, tc,
+                 static_cast<std::uint32_t>(obs::EnforcementEvent::kEtsReweight),
+                 weight_pct);
+}
+
+ControlSnapshot Rnic::Control::snapshot() const {
+  ControlSnapshot snap;
+  snap.at = dev_.sched_.now();
+  // Pipeline accessors are non-const (they hand out mutable stage refs);
+  // the reads below are pure.
+  auto& pipe = const_cast<Rnic&>(dev_).pipe_;
+  const pipeline::RxAdmission& adm = pipe.admission();
+  snap.tenant_pacing_gbps = adm.tenant_pacing_gbps();
+  snap.tdm = adm.tdm();
+  snap.tenant_caps.reserve(adm.tenant_caps().size());
+  for (const auto& [src, cap] : adm.tenant_caps()) {
+    snap.tenant_caps.emplace_back(src, cap);
+  }
+  const EtsConfig& ets = pipe.egress().ets();
+  snap.ets_weight_pct.assign(ets.weight_pct.begin(), ets.weight_pct.end());
+  snap.caps_applied = caps_applied_;
+  snap.caps_cleared = caps_cleared_;
+  return snap;
+}
 
 using pipeline::load_u64;
 using pipeline::store_u64;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "rnic/control.hpp"
 #include "rnic/counters.hpp"
 #include "rnic/device_profile.hpp"
 #include "rnic/memory_table.hpp"
@@ -79,6 +80,10 @@ class Rnic {
   TranslationUnit& translation() { return pipe_.translation().unit(); }
   // Direct stage access (tests, defense interposers).
   pipeline::Pipeline& pipe() { return pipe_; }
+  // Runtime control plane: typed scheduled-time knob mutation + live
+  // snapshot (rnic/control.hpp; driven by defense::Enforcer).
+  ControlPort& control() { return control_; }
+  const ControlPort& control() const { return control_; }
   // The scheduler this device's internal events run on — its shard's, when
   // the owning topology is built on a windowed sim::Engine.
   sim::Scheduler& scheduler() { return sched_; }
@@ -128,8 +133,11 @@ class Rnic {
     return pipe_.admission().tenant_pacing_gbps();
   }
   // Per-tenant targeted throttle (HARMONIC-style enforcement; 0 = unset).
+  // Reads through the control port's snapshot, so callers always see the
+  // *live* admission state — including caps an Enforcer applied mid-run —
+  // never a stale construction-time copy.
   double tenant_cap_gbps(NodeId src) const {
-    return pipe_.admission().tenant_cap_gbps(src);
+    return control_.snapshot().cap_for(src);
   }
 
  private:
@@ -156,6 +164,24 @@ class Rnic {
   }
   void send_reply(InFlightMsg reply, sim::SimTime t);
 
+  // The device's ControlPort implementation: per-knob mutation delegates to
+  // the live pipeline stages and stamps an EnforcementAction stream sample
+  // at the scheduler's current time.
+  class Control final : public ControlPort {
+   public:
+    explicit Control(Rnic& dev) : dev_(dev) {}
+    NodeId node() const override;
+    void set_tenant_cap(NodeId src, double gbps) override;
+    void clear_tenant_cap(NodeId src) override;
+    void set_tx_ets_share(std::uint8_t tc, double weight_pct) override;
+    ControlSnapshot snapshot() const override;
+
+   private:
+    Rnic& dev_;
+    std::uint64_t caps_applied_ = 0;
+    std::uint64_t caps_cleared_ = 0;
+  };
+
   sim::Scheduler& sched_;
   DeviceProfile prof_;
   NodeId node_;
@@ -165,6 +191,7 @@ class Rnic {
   MemoryTable memory_;
   PortCounters counters_;
   pipeline::Pipeline pipe_;
+  Control control_{*this};
 };
 
 }  // namespace ragnar::rnic

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "covert/uli_channel.hpp"
+#include "defense/enforcer.hpp"
 #include "defense/harmonic.hpp"
 #include "defense/mitigation.hpp"
 #include "revng/flow.hpp"
@@ -102,6 +103,72 @@ TEST(Harmonic, EnforcementThrottlesAndLifts) {
 
   // The throttle bit: the flood achieved far less than its unthrottled rate.
   EXPECT_LT(attacker.achieved_gbps(), 4.0);
+}
+
+TEST(Enforcer, HysteresisAppliesOnceAndLiftsThroughControlPort) {
+  // The enforcement seam in isolation: verdicts in, cap transitions out on
+  // a live device port, with the clean-window lift ladder in between.
+  revng::Testbed bed(rnic::DeviceModel::kCX4, 68, 1);
+  rnic::ControlPort& port = bed.server().device().control();
+  const rnic::NodeId attacker = bed.client(0).device().node();
+
+  EnforcerPolicy pol;
+  pol.throttle_gbps = 2.0;
+  pol.clean_windows_to_lift = 3;
+  Enforcer enf(pol);
+  enf.attach(&port);
+  ASSERT_EQ(enf.ports(), 1u);
+
+  const auto flagged = [&](sim::SimTime at, VerdictSource source) {
+    Verdict v;
+    v.src = attacker;
+    v.at = at;
+    v.source = source;
+    v.grain2 = true;
+    v.score = 9.0;
+    return v;
+  };
+
+  // Window 1: both detector generations flag the same tenant through the
+  // one seam — exactly one cap transition reaches the port.
+  enf.observe(flagged(sim::ms(1), VerdictSource::kHarmonic));
+  enf.observe(flagged(sim::ms(1), VerdictSource::kOnline));
+  enf.close_window(sim::ms(1));
+  EXPECT_TRUE(enf.throttled(attacker));
+  EXPECT_EQ(enf.actions_applied(), 1u);
+  EXPECT_EQ(port.snapshot().cap_for(attacker), 2.0);
+  EXPECT_EQ(port.snapshot().caps_applied, 1u);
+
+  // Window 2: still flagged — the clean run resets, the cap stays, and no
+  // redundant apply hits the port.
+  enf.observe(flagged(sim::ms(2), VerdictSource::kHarmonic));
+  enf.close_window(sim::ms(2));
+  EXPECT_EQ(enf.actions_applied(), 1u);
+  EXPECT_EQ(port.snapshot().caps_applied, 1u);
+
+  // Windows 3-4: one clean verdict, then total silence.  Both age the
+  // throttle toward lift; neither lifts it yet.
+  Verdict clean;
+  clean.src = attacker;
+  clean.at = sim::ms(3);
+  enf.observe(clean);
+  enf.close_window(sim::ms(3));
+  enf.close_window(sim::ms(4));  // silent tenant still ages
+  EXPECT_TRUE(enf.throttled(attacker));
+  EXPECT_EQ(enf.actions_lifted(), 0u);
+
+  // Window 5: the third clean window lifts the cap on the live port.
+  enf.close_window(sim::ms(5));
+  EXPECT_FALSE(enf.throttled(attacker));
+  EXPECT_EQ(enf.actions_lifted(), 1u);
+  EXPECT_EQ(port.snapshot().cap_for(attacker), 0.0);
+  EXPECT_EQ(port.snapshot().caps_cleared, 1u);
+
+  // Bookkeeping the scenarios print: 4 verdicts seen, 3 of them flagged.
+  EXPECT_EQ(enf.verdicts_observed(), 4u);
+  EXPECT_EQ(enf.verdicts_flagged(), 3u);
+  EXPECT_EQ(enf.windows_closed(), 5u);
+  EXPECT_EQ(enf.last_window_at(), sim::ms(5));
 }
 
 // The paper's core defense claim (section VII): HARMONIC's Grain-I/II/III

@@ -198,6 +198,73 @@ std::vector<obs::StreamSample> run_engine_stream(std::uint32_t shards) {
 
 }  // namespace
 
+namespace {
+
+// The closed-loop audit trail: EnforcementAction samples published from
+// per-shard control ports, read back with peek() the way the harness counts
+// applies/lifts at trial end (the ring must survive the read).
+std::vector<obs::StreamSample> run_enforcement_stream(std::uint32_t shards) {
+  obs::Hub::Config hcfg;
+  hcfg.streaming = true;
+  obs::Hub hub(hcfg);
+  obs::ScopedHub scoped(&hub);
+
+  sim::Engine eng(sim::Engine::Options{shards, sim::kMillisecond});
+  constexpr std::uint32_t kDevices = 6;
+  for (std::uint32_t dev = 0; dev < kDevices; ++dev) {
+    const sim::ShardId shard =
+        static_cast<sim::ShardId>(dev % (shards == 0 ? 1 : shards));
+    for (std::uint32_t w = 0; w < 20; ++w) {
+      const sim::SimTime t = sim::us(10 + w * kDevices + dev);
+      const auto ev = w % 3 == 0   ? obs::EnforcementEvent::kApply
+                      : w % 3 == 1 ? obs::EnforcementEvent::kLift
+                                   : obs::EnforcementEvent::kEtsReweight;
+      eng.post(shard, t, dev, [t, dev, ev] {
+        if (obs::StreamSink* sink = obs::stream()) {
+          sink->publish(obs::StreamChannel::kEnforcement, t,
+                        (dev << 16) | dev, static_cast<std::uint32_t>(ev),
+                        ev == obs::EnforcementEvent::kApply ? 2.0 : 0.0);
+        }
+      });
+    }
+  }
+  eng.run_until(sim::ms(2));
+  return hub.stream()->peek(obs::StreamChannel::kEnforcement);
+}
+
+}  // namespace
+
+// kEnforcement merges under the same barrier discipline as every other
+// channel: the apply/lift audit the harness reports must not depend on the
+// shard count, and peek() must leave the ring intact for the next reader.
+TEST(EngineStream, EnforcementAuditIsShardCountInvariant) {
+  const std::vector<obs::StreamSample> one = run_enforcement_stream(1);
+  ASSERT_EQ(one.size(), 120u);
+  for (std::size_t i = 1; i < one.size(); ++i) {
+    ASSERT_LT(one[i - 1].t, one[i].t);  // distinct and sorted
+  }
+  for (std::uint32_t shards : {2u, 3u, 4u}) {
+    const std::vector<obs::StreamSample> many = run_enforcement_stream(shards);
+    ASSERT_EQ(many.size(), one.size()) << shards << " shards";
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      EXPECT_EQ(many[i].t, one[i].t) << shards << " shards, sample " << i;
+      EXPECT_EQ(many[i].key, one[i].key) << shards << " shards, sample " << i;
+      EXPECT_EQ(many[i].aux, one[i].aux) << shards << " shards, sample " << i;
+      EXPECT_EQ(many[i].value, one[i].value)
+          << shards << " shards, sample " << i;
+    }
+  }
+  // peek() is non-destructive: a second reader (e.g. a scenario printing the
+  // audit after the harness counted it) sees the same samples.
+  obs::StreamSink sink;
+  sink.publish(obs::StreamChannel::kEnforcement, sim::us(1), 7,
+               static_cast<std::uint32_t>(obs::EnforcementEvent::kApply), 2.0);
+  EXPECT_EQ(sink.peek(obs::StreamChannel::kEnforcement).size(), 1u);
+  EXPECT_EQ(sink.peek(obs::StreamChannel::kEnforcement).size(), 1u);
+  EXPECT_EQ(sink.drain(obs::StreamChannel::kEnforcement).size(), 1u);
+  EXPECT_EQ(sink.peek(obs::StreamChannel::kEnforcement).size(), 0u);
+}
+
 // The tsan target: shards=4 runs the publish callbacks on the engine's
 // worker pool, each thread writing its own shard sink; the merged sequence
 // must be byte-identical to the single-shard run.

@@ -53,6 +53,7 @@ const char* const kFormerBinaries[] = {
     "fault_sweep",
     "covert_transfer",
     "covert_transfer_degraded",
+    "defense_closed_loop",
     "defense_online",
     "sim_microbench",
 };
@@ -94,7 +95,7 @@ TEST(Cli, ListShowsEveryScenario) {
   for (const char* name : kFormerBinaries) {
     EXPECT_NE(out.find(name), std::string::npos) << name;
   }
-  EXPECT_NE(out.find("(30 scenarios)"), std::string::npos);
+  EXPECT_NE(out.find("(31 scenarios)"), std::string::npos);
 }
 
 TEST(Cli, UnknownScenarioFailsNonZeroAndListsNames) {
